@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared helpers for the per-figure bench harnesses.
+ *
+ * Each bench binary regenerates one table or figure of the paper: same
+ * rows/series, measured on the synthetic server workloads.  Absolute
+ * numbers differ from the paper's testbed; EXPERIMENTS.md records the
+ * paper-vs-measured comparison.
+ */
+
+#ifndef DCFB_BENCH_COMMON_H
+#define DCFB_BENCH_COMMON_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "sim/report.h"
+#include "sim/simulator.h"
+#include "workload/profiles.h"
+
+namespace dcfb::bench {
+
+/** Bench-wide run windows (shorter than the tests' defaults to keep a
+ *  full sweep over every bench binary tractable on one core). */
+inline sim::RunWindows
+windows()
+{
+    return sim::RunWindows{150000, 150000};
+}
+
+/** The three workloads used for parameter sweeps (largest, middle,
+ *  smallest footprint) when a full 7-workload grid would be excessive. */
+inline std::vector<std::string>
+sweepWorkloads()
+{
+    return {"OLTP (DB A)", "Web (Apache)", "Web Frontend"};
+}
+
+/** All seven workloads, paper order. */
+inline std::vector<std::string>
+allWorkloads()
+{
+    return workload::serverWorkloadNames();
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const char *figure, const char *claim)
+{
+    std::printf("%s\n  paper: %s\n", figure, claim);
+}
+
+} // namespace dcfb::bench
+
+#endif // DCFB_BENCH_COMMON_H

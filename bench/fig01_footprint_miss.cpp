@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Figure 1: footprint miss ratio in Shotgun's U-BTB per workload.
+ * Paper band: 4-31 %, worst on OLTP (DB A).
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace dcfb;
+    bench::banner("Fig. 1 - Shotgun U-BTB footprint miss ratio",
+                  "4-31% across workloads; OLTP (DB A) worst (31%)");
+
+    sim::Table table({"workload", "U-BTB lookups", "footprint misses",
+                      "footprint miss ratio"});
+    for (const auto &name : bench::allWorkloads()) {
+        auto cfg = sim::makeConfig(workload::serverProfile(name),
+                                   sim::Preset::Shotgun);
+        auto res = sim::simulate(cfg, bench::windows());
+        table.addRow({name,
+                      std::to_string(res.stat("sg.ubtb_lookups")),
+                      std::to_string(res.stat("sg.ubtb_footprint_misses")),
+                      sim::Table::pct(res.ratio(
+                          "sg.ubtb_footprint_misses", "sg.ubtb_lookups"))});
+    }
+    table.print("Footprint miss ratio in Shotgun");
+    return 0;
+}

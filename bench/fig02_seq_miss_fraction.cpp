@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Figure 2: fraction of L1i misses that are sequential (spatially next
+ * to the last accessed block).  Paper band: 65-80 %.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace dcfb;
+    bench::banner("Fig. 2 - fraction of sequential L1i misses",
+                  "65-80% of misses are sequential");
+
+    sim::Table table({"workload", "L1i misses", "sequential",
+                      "sequential fraction"});
+    double sum = 0.0;
+    auto names = bench::allWorkloads();
+    for (const auto &name : names) {
+        auto cfg = sim::makeConfig(workload::serverProfile(name),
+                                   sim::Preset::Baseline);
+        auto res = sim::simulate(cfg, bench::windows());
+        double frac = res.ratio("l1i.l1i_seq_misses", "l1i.l1i_misses");
+        sum += frac;
+        table.addRow({name, std::to_string(res.stat("l1i.l1i_misses")),
+                      std::to_string(res.stat("l1i.l1i_seq_misses")),
+                      sim::Table::pct(frac)});
+    }
+    table.addRow({"Average", "", "",
+                  sim::Table::pct(sum / static_cast<double>(names.size()))});
+    table.print("Fraction of sequential cache misses");
+    return 0;
+}

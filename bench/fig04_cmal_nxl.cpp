@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 4: covered memory access latency (CMAL) of NL, N2L, N4L and
+ * N8L.  Paper: 65 / 80 / 88 / 85 % - note the N8L inversion caused by
+ * useless-prefetch traffic inflating LLC latency.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace dcfb;
+    bench::banner("Fig. 4 - CMAL for sequential prefetchers",
+                  "NL 65%, N2L 80%, N4L 88%, N8L 85% (N8L inverts)");
+
+    const sim::Preset depths[] = {sim::Preset::NL, sim::Preset::N2L,
+                                  sim::Preset::N4L, sim::Preset::N8L};
+    sim::Table table({"design", "CMAL (avg over workloads)",
+                      "ext. requests (avg)"});
+    for (auto preset : depths) {
+        double sum = 0.0;
+        std::uint64_t reqs = 0;
+        auto names = bench::allWorkloads();
+        for (const auto &name : names) {
+            auto res = sim::simulate(
+                sim::makeConfig(workload::serverProfile(name), preset),
+                bench::windows());
+            sum += res.cmal();
+            reqs += res.stat("l1i.l1i_external_requests");
+        }
+        table.addRow({sim::presetName(preset),
+                      sim::Table::pct(sum / 7.0),
+                      std::to_string(reqs / 7)});
+    }
+    table.print("Covered Memory Access Latency (CMAL)");
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 13: prefetch timeliness (CMAL) of N4L, SN4L, Dis and
+ * SN4L+Dis+BTB.  Paper: 88 / 93 / 89 / 91 %.  Includes the proactive-
+ * depth ablation called out in DESIGN.md.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace dcfb;
+    bench::banner("Fig. 13 - timeliness (CMAL) of the proposed designs",
+                  "N4L 88%, SN4L 93%, Dis 89%, SN4L+Dis+BTB 91%");
+
+    sim::Table table({"design", "CMAL (avg)"});
+    for (auto preset : {sim::Preset::N4LPlain, sim::Preset::SN4L,
+                        sim::Preset::DisOnly, sim::Preset::SN4LDisBtb}) {
+        double sum = 0.0;
+        for (const auto &name : bench::allWorkloads()) {
+            auto res = sim::simulate(
+                sim::makeConfig(workload::serverProfile(name), preset),
+                bench::windows());
+            sum += res.cmal();
+        }
+        table.addRow({sim::presetName(preset), sim::Table::pct(sum / 7.0)});
+    }
+    table.print("Timeliness of different prefetchers");
+
+    // Ablation: proactive chain depth limit (paper picks 4).
+    sim::Table depth({"chain depth limit", "CMAL (avg)", "speedup (avg)"});
+    for (unsigned limit : {1u, 2u, 4u, 8u}) {
+        double cmal_sum = 0.0, speed_sum = 0.0;
+        for (const auto &name : bench::sweepWorkloads()) {
+            auto profile = workload::serverProfile(name);
+            auto base = sim::simulate(
+                sim::makeConfig(profile, sim::Preset::Baseline),
+                bench::windows());
+            auto cfg = sim::makeConfig(profile, sim::Preset::SN4LDisBtb);
+            cfg.sn4l.chainDepthLimit = limit;
+            auto res = sim::simulate(cfg, bench::windows());
+            cmal_sum += res.cmal();
+            speed_sum += sim::speedup(res, base);
+        }
+        depth.addRow({std::to_string(limit),
+                      sim::Table::pct(cmal_sum / 3.0),
+                      sim::Table::num(speed_sum / 3.0, 3)});
+    }
+    depth.print("Ablation: proactive chain depth limit");
+
+    // Ablation: SN1L vs. SN4L for the sequential tails of discontinuity
+    // regions (the paper chooses SN1L to protect accuracy at depth).
+    sim::Table tails({"tail policy", "pf accuracy (avg)", "speedup (avg)"});
+    for (bool sn1l : {true, false}) {
+        double acc_sum = 0.0, speed_sum = 0.0;
+        for (const auto &name : bench::sweepWorkloads()) {
+            auto profile = workload::serverProfile(name);
+            auto base = sim::simulate(
+                sim::makeConfig(profile, sim::Preset::Baseline),
+                bench::windows());
+            auto cfg = sim::makeConfig(profile, sim::Preset::SN4LDisBtb);
+            cfg.sn4l.sn1lTails = sn1l;
+            auto res = sim::simulate(cfg, bench::windows());
+            acc_sum += res.ratio("l1i.pf_useful", "l1i.pf_issued");
+            speed_sum += sim::speedup(res, base);
+        }
+        tails.addRow({sn1l ? "SN1L tails (paper)" : "SN4L tails",
+                      sim::Table::pct(acc_sum / 3.0),
+                      sim::Table::num(speed_sum / 3.0, 3)});
+    }
+    tails.print("Ablation: sequential-tail depth beyond discontinuities");
+    return 0;
+}

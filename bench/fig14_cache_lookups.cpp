@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 14 (+ Section VII.E): L1i cache lookups normalized to the
+ * no-prefetcher baseline, and the RLU-size sweep showing 8 entries
+ * suffice.  Paper: Confluence lowest; ours ~ Shotgun.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace dcfb;
+    bench::banner("Fig. 14 - cache lookups, normalized to baseline",
+                  "Confluence lowest; SN4L+Dis+BTB ~ Shotgun; RLU=8 enough");
+
+    auto names = bench::allWorkloads();
+    auto avg_lookups = [&](sim::Preset preset, unsigned rlu) {
+        double sum = 0.0;
+        for (const auto &name : names) {
+            auto cfg = sim::makeConfig(workload::serverProfile(name),
+                                       preset);
+            if (rlu != 8)
+                cfg.sn4l.rluEntries = rlu;
+            auto res = sim::simulate(cfg, bench::windows());
+            sum += static_cast<double>(res.stat("l1i.l1i_lookups"));
+        }
+        return sum / static_cast<double>(names.size());
+    };
+
+    double base = avg_lookups(sim::Preset::Baseline, 8);
+    sim::Table table({"design", "lookups (norm.)"});
+    table.addRow({"Baseline", "1.00"});
+    table.addRow({"SN4L+Dis+BTB (no RLU)",
+                  sim::Table::num(
+                      avg_lookups(sim::Preset::SN4LDisBtb, 0) / base)});
+    table.addRow({"SN4L+Dis+BTB (RLU=4)",
+                  sim::Table::num(
+                      avg_lookups(sim::Preset::SN4LDisBtb, 4) / base)});
+    table.addRow({"SN4L+Dis+BTB (RLU=8)",
+                  sim::Table::num(
+                      avg_lookups(sim::Preset::SN4LDisBtb, 8) / base)});
+    table.addRow({"SN4L+Dis+BTB (RLU=16)",
+                  sim::Table::num(
+                      avg_lookups(sim::Preset::SN4LDisBtb, 16) / base)});
+    table.addRow({"Shotgun",
+                  sim::Table::num(
+                      avg_lookups(sim::Preset::Shotgun, 8) / base)});
+    table.addRow({"Confluence",
+                  sim::Table::num(
+                      avg_lookups(sim::Preset::Confluence, 8) / base)});
+    table.print("Number of cache lookups, normalized to baseline");
+    return 0;
+}

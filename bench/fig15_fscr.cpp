@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 15: Frontend Stall Cycle Reduction (FSCR) of SN4L+Dis+BTB,
+ * Shotgun and Confluence.  Paper: 61 / 35 / 32 % on average.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace dcfb;
+    bench::banner("Fig. 15 - Frontend Stall Cycle Reduction",
+                  "SN4L+Dis+BTB 61%, Shotgun 35%, Confluence 32% (avg)");
+
+    std::vector<sim::Preset> designs = {sim::Preset::SN4LDisBtb,
+                                        sim::Preset::Shotgun,
+                                        sim::Preset::Confluence};
+    sim::ExperimentGrid grid({sim::Preset::Baseline, sim::Preset::SN4LDisBtb,
+                              sim::Preset::Shotgun, sim::Preset::Confluence},
+                             bench::windows());
+    grid.run();
+
+    sim::Table table({"workload", "SN4L+Dis+BTB", "Shotgun", "Confluence"});
+    std::vector<double> sums(designs.size(), 0.0);
+    for (const auto &name : grid.workloads()) {
+        const auto &base = grid.at(name, sim::Preset::Baseline);
+        std::vector<std::string> row{name};
+        for (std::size_t d = 0; d < designs.size(); ++d) {
+            double f = sim::fscr(grid.at(name, designs[d]), base);
+            sums[d] += f;
+            row.push_back(sim::Table::pct(f));
+        }
+        table.addRow(row);
+    }
+    std::vector<std::string> avg{"Average"};
+    for (double s : sums)
+        avg.push_back(
+            sim::Table::pct(s / static_cast<double>(
+                                    grid.workloads().size())));
+    table.addRow(avg);
+    table.print("Frontend Stall Cycle Reduction (FSCR)");
+    return 0;
+}

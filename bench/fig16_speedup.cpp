@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 16: performance of the evaluated designs over the
+ * no-prefetcher baseline.  Paper: SN4L+Dis+BTB 19 % average (7 % Web
+ * Frontend to 50 % Media Streaming), 5 % over Shotgun on average and
+ * 16 % on OLTP (DB A); Confluence wins only on OLTP (DB A).
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace dcfb;
+    bench::banner("Fig. 16 - speedup over no-prefetcher baseline",
+                  "ours 1.19 avg (1.07-1.50); +5% vs Shotgun, +16% on DB A");
+
+    std::vector<sim::Preset> designs = {
+        sim::Preset::NL, sim::Preset::SN4LDisBtb, sim::Preset::Shotgun,
+        sim::Preset::Confluence};
+    std::vector<sim::Preset> all = designs;
+    all.push_back(sim::Preset::Baseline);
+    sim::ExperimentGrid grid(all, bench::windows());
+    grid.run();
+
+    sim::Table table(
+        {"workload", "NL", "SN4L+Dis+BTB", "Shotgun", "Confluence"});
+    for (const auto &name : grid.workloads()) {
+        const auto &base = grid.at(name, sim::Preset::Baseline);
+        std::vector<std::string> row{name};
+        for (auto d : designs) {
+            row.push_back(
+                sim::Table::num(sim::speedup(grid.at(name, d), base), 3));
+        }
+        table.addRow(row);
+    }
+    std::vector<std::string> avg{"GeoMean"};
+    for (auto d : designs) {
+        avg.push_back(sim::Table::num(
+            grid.gmeanSpeedup(d, sim::Preset::Baseline), 3));
+    }
+    table.addRow(avg);
+    table.print("Speedup over baseline without instruction/BTB prefetch");
+
+    double ours = grid.gmeanSpeedup(sim::Preset::SN4LDisBtb,
+                                    sim::Preset::Baseline);
+    double shotgun =
+        grid.gmeanSpeedup(sim::Preset::Shotgun, sim::Preset::Baseline);
+    std::printf("\nSN4L+Dis+BTB over Shotgun (avg): %.1f%%\n",
+                (ours / shotgun - 1.0) * 100.0);
+    const auto &dba_ours = grid.at("OLTP (DB A)", sim::Preset::SN4LDisBtb);
+    const auto &dba_sg = grid.at("OLTP (DB A)", sim::Preset::Shotgun);
+    std::printf("SN4L+Dis+BTB over Shotgun (OLTP DB A): %.1f%%\n",
+                (dba_ours.ipc() / dba_sg.ipc() - 1.0) * 100.0);
+    return 0;
+}

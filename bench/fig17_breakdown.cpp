@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Figure 17: performance breakdown of SN4L+Dis+BTB and comparison to a
+ * perfect frontend.  Paper: N4L < SN4L (13 %) < SN4L+Dis (15 %) <
+ * SN4L+Dis+BTB (19 %) ~ Perfect L1i < Perfect L1i + BTBinf (29 %).
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace dcfb;
+    bench::banner("Fig. 17 - performance breakdown vs. perfect frontend",
+                  "N4L < SN4L 13% < +Dis 15% < +BTB 19% <= PerfectL1i; "
+                  "PerfectL1i+BTBinf 29%");
+
+    std::vector<sim::Preset> designs = {
+        sim::Preset::N4LPlain, sim::Preset::SN4L, sim::Preset::SN4LDis,
+        sim::Preset::SN4LDisBtb, sim::Preset::PerfectL1i,
+        sim::Preset::PerfectL1iBtb};
+    std::vector<sim::Preset> all = designs;
+    all.push_back(sim::Preset::Baseline);
+    sim::ExperimentGrid grid(all, bench::windows());
+    grid.run();
+
+    sim::Table table({"design", "speedup (geomean)"});
+    for (auto d : designs) {
+        table.addRow({sim::presetName(d),
+                      sim::Table::num(
+                          grid.gmeanSpeedup(d, sim::Preset::Baseline), 3)});
+    }
+    table.print("Performance breakdown of SN4L+Dis+BTB");
+    return 0;
+}

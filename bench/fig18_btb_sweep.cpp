@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 18: speedup of SN4L+Dis+BTB over Shotgun as the BTB budget
+ * shrinks (emulating the larger instruction footprints of commercial
+ * server workloads).  Paper: the gap grows as the BTB gets smaller.
+ */
+
+#include <cmath>
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace dcfb;
+    bench::banner("Fig. 18 - ours vs. Shotgun with shrinking BTBs",
+                  "the gap over Shotgun grows as BTB size decreases");
+
+    sim::Table table({"BTB scale", "ours BTB", "Shotgun U-BTB",
+                      "ours/Shotgun speedup"});
+    for (unsigned div : {1u, 2u, 4u, 8u}) {
+        double log_sum = 0.0;
+        unsigned ours_btb = 2048 / div;
+        unsigned sg_ubtb = 1536 / div;
+        for (const auto &name : bench::allWorkloads()) {
+            auto profile = workload::serverProfile(name);
+            auto ours_cfg =
+                sim::makeConfig(profile, sim::Preset::SN4LDisBtb);
+            ours_cfg.btbEntries = ours_btb;
+            auto sg_cfg = sim::makeConfig(profile, sim::Preset::Shotgun);
+            sg_cfg.shotgunBtb.ubtbEntries = sg_ubtb;
+            sg_cfg.shotgunBtb.cbtbEntries = std::max(128u / div, 16u);
+            sg_cfg.shotgunBtb.ribEntries = std::max(512u / div, 32u);
+            auto ours = sim::simulate(ours_cfg, bench::windows());
+            auto sg = sim::simulate(sg_cfg, bench::windows());
+            log_sum += std::log(ours.ipc() / sg.ipc());
+        }
+        double gmean = std::exp(log_sum / 7.0);
+        table.addRow({"1/" + std::to_string(div),
+                      std::to_string(ours_btb), std::to_string(sg_ubtb),
+                      sim::Table::num(gmean, 3)});
+    }
+    table.print("Speedup of SN4L+Dis+BTB over Shotgun, varying BTB size");
+    return 0;
+}

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Table I: fraction of cycles the core is stalled on an empty FTQ under
+ * Shotgun.  Paper: 1.64 % (OLTP DB B) to 18.87 % (OLTP DB A).
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace dcfb;
+    bench::banner("Table I - empty-FTQ stall cycles in Shotgun",
+                  "1.6-18.9% of cycles; OLTP (DB A) worst");
+
+    sim::Table table({"workload", "empty-FTQ stall fraction",
+                      "BPU stall cycles"});
+    for (const auto &name : bench::allWorkloads()) {
+        auto cfg = sim::makeConfig(workload::serverProfile(name),
+                                   sim::Preset::Shotgun);
+        auto res = sim::simulate(cfg, bench::windows());
+        double frac =
+            static_cast<double>(res.stat("fe.fe_empty_ftq_stall_cycles")) /
+            static_cast<double>(res.cycles);
+        table.addRow({name, sim::Table::pct(frac),
+                      std::to_string(res.stat("fe.bpu_stall_cycles"))});
+    }
+    table.print("Empty-FTQ stall cycles in Shotgun");
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Table II: storage and complexity comparison of SN4L+Dis+BTB, Shotgun
+ * and Confluence.  Storage is audited from the actual configured
+ * structures rather than restated.
+ */
+
+#include "bench_common.h"
+
+#include "frontend/shotgun_btb.h"
+#include "isa/predecoder.h"
+#include "mem/l1d.h"
+#include "prefetch/confluence.h"
+#include "prefetch/sn4l_dis_btb.h"
+#include "sim/system.h"
+
+int
+main()
+{
+    using namespace dcfb;
+    bench::banner("Table II - storage/complexity comparison",
+                  "ours 7.6KB; Shotgun 6KB; Confluence ~200KB in LLC");
+
+    // Audit our proposal from a live instance.
+    auto profile = workload::serverProfile("Web Frontend");
+    sim::SystemConfig cfg =
+        sim::makeConfig(profile, sim::Preset::SN4LDisBtb);
+    cfg.functionalWarmInstrs = 0;
+    sim::System system(cfg);
+    auto *ours = dynamic_cast<prefetch::Sn4lDisBtb *>(
+        system.prefetcher.get());
+    double ours_kb =
+        static_cast<double>(ours->storageBits()) / 8.0 / 1024.0;
+
+    // Shotgun: extra BTB segments (basic-block length + 2x8-bit
+    // footprints + validity per U-BTB entry) + 64-entry L1i prefetch
+    // buffer + 32-entry BTB prefetch buffer.
+    frontend::ShotgunBtbConfig sg;
+    double sg_bits = sg.ubtbEntries * (8 + 8 + 8 + 2) + 64 * (52 + 512) / 8.0
+        + 32 * 96;
+    double sg_kb = sg_bits / 8.0 / 1024.0;
+
+    // Confluence/SHIFT metadata (history + index), normally virtualized
+    // in the LLC.
+    prefetch::ConfluenceConfig cc;
+    mem::LlcConfig llc_cfg;
+    noc::MeshConfig mesh_cfg;
+    noc::MeshModel mesh(mesh_cfg);
+    mem::MemoryModel memory(mem::MemoryConfig{});
+    mem::Llc llc(llc_cfg, mesh, memory, 0);
+    mem::L1iCache l1i(mem::L1iConfig{}, llc);
+    prefetch::ConfluencePrefetcher conf(l1i, cc);
+    double conf_kb =
+        static_cast<double>(conf.storageBits()) / 8.0 / 1024.0;
+
+    sim::Table table({"", "SN4L+Dis+BTB", "Shotgun", "Confluence"});
+    table.addRow({"Storage overhead",
+                  sim::Table::num(ours_kb, 1) + " KB",
+                  sim::Table::num(sg_kb, 1) + " KB",
+                  sim::Table::num(conf_kb, 0) + " KB (in LLC)"});
+    table.addRow({"BTB modification", "No", "Yes (split U/C/RIB)",
+                  "Yes (AirBTB / 16K)"});
+    table.addRow({"Instr. prefetch buffer", "No", "Yes (64)", "No"});
+    table.addRow({"Scalability (2x metadata)", "+6 KB", "+~20 KB (U-BTB)",
+                  "-"});
+    table.addRow({"Search complexity", "Low (direct-mapped)",
+                  "High (3 BTBs + FA buffers)", "High (LLC indirection)"});
+    table.addRow({"Modular", "Yes", "No", "No"});
+    table.addRow({"Handles huge footprints", "Yes", "No", "Yes"});
+    table.print("SN4L+Dis+BTB and prior work");
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Diagnostic example: run one (workload, design) pair and dump every
+ * counter the simulator collects.  Useful for understanding where
+ * cycles go and how the prefetcher behaves.
+ *
+ * Usage: inspect_run [workload] [design]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/simulator.h"
+#include "workload/profiles.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace dcfb;
+
+    std::string name = argc > 1 ? argv[1] : "Web (Apache)";
+    std::string design = argc > 2 ? argv[2] : "SN4L+Dis+BTB";
+
+    sim::Preset preset = sim::Preset::Baseline;
+    for (int p = 0; p <= static_cast<int>(sim::Preset::PerfectL1iBtb);
+         ++p) {
+        if (sim::presetName(static_cast<sim::Preset>(p)) == design)
+            preset = static_cast<sim::Preset>(p);
+    }
+
+    auto profile = workload::serverProfile(name);
+    sim::RunWindows windows;
+    if (argc > 4) {
+        windows.warm = static_cast<dcfb::Cycle>(std::atoll(argv[3]));
+        windows.measure = static_cast<dcfb::Cycle>(std::atoll(argv[4]));
+    }
+    auto res = sim::simulate(sim::makeConfig(profile, preset), windows);
+
+    std::printf("workload=%s design=%s cycles=%llu instrs=%llu ipc=%.3f\n",
+                res.workload.c_str(), res.design.c_str(),
+                static_cast<unsigned long long>(res.cycles),
+                static_cast<unsigned long long>(res.instructions),
+                res.ipc());
+    for (const auto &kv : res.stats) {
+        std::printf("  %-40s %llu\n", kv.first.c_str(),
+                    static_cast<unsigned long long>(kv.second));
+    }
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Workload characterization: footprint, L1i MPKI, sequential-miss
+ * fraction, BTB behaviour and stall breakdown for a profile — with
+ * optional knob overrides for tuning experiments.
+ *
+ * Usage: workload_explorer [workload] [numFunctions zipfSkew callSkew]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/simulator.h"
+#include "workload/profiles.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace dcfb;
+
+    std::string name = argc > 1 ? argv[1] : "Web (Apache)";
+    auto profile = workload::serverProfile(name);
+    if (argc > 4) {
+        profile.numFunctions =
+            static_cast<std::uint32_t>(std::atoi(argv[2]));
+        profile.zipfSkew = std::atof(argv[3]);
+        profile.callSkew = std::atof(argv[4]);
+    }
+
+    auto program = workload::buildProgram(profile);
+    std::printf("%-16s funcs=%u zipf=%.2f call=%.2f code=%zuKB\n",
+                name.c_str(), profile.numFunctions, profile.zipfSkew,
+                profile.callSkew, program.codeBytes() / 1024);
+
+    auto cfg = sim::makeConfig(profile, sim::Preset::Baseline);
+    auto res = sim::simulate(cfg);
+
+    double instrs = static_cast<double>(res.instructions);
+    double mpki = 1000.0 * static_cast<double>(res.stat("l1i.l1i_misses")) /
+        instrs;
+    double btb_mpki = 1000.0 *
+        static_cast<double>(res.stat("btb.btb_misses")) / instrs;
+    double seq_frac = res.ratio("l1i.l1i_seq_misses", "l1i.l1i_misses");
+    std::printf("  ipc=%.3f  L1i MPKI=%.1f  seqFrac=%.0f%%  BTB MPKI=%.1f\n",
+                res.ipc(), mpki, seq_frac * 100, btb_mpki);
+    std::printf("  stalls: icache=%.0f%% btb=%.0f%% mispred=%.0f%% "
+                "backend=%.0f%%\n",
+                100.0 * res.stat("sim.stall_icache") / res.cycles,
+                100.0 * res.stat("sim.stall_btb") / res.cycles,
+                100.0 * res.stat("sim.stall_mispredict") / res.cycles,
+                100.0 * res.stat("sim.stall_backend") / res.cycles);
+    return 0;
+}

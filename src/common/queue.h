@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fixed-capacity FIFO queue.
+ *
+ * The paper's prefetch engine uses several small bounded queues (SeqQueue,
+ * DisQueue, RLUQueue, the prefetch queue in front of the L1i ports).  This
+ * container enforces the capacity: pushes beyond capacity are rejected so
+ * the hardware limit is modeled, not papered over.
+ */
+
+#ifndef DCFB_COMMON_QUEUE_H
+#define DCFB_COMMON_QUEUE_H
+
+#include <cassert>
+#include <cstddef>
+#include <deque>
+
+namespace dcfb {
+
+/**
+ * Bounded FIFO with explicit overflow signaling.
+ */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(std::size_t capacity) : cap(capacity) {}
+
+    /** Append @p value; returns false (dropping it) when full. */
+    bool
+    push(const T &value)
+    {
+        if (items.size() >= cap)
+            return false;
+        items.push_back(value);
+        return true;
+    }
+
+    /** Front element; queue must be non-empty. */
+    const T &
+    front() const
+    {
+        assert(!items.empty());
+        return items.front();
+    }
+
+    /** Remove the front element; queue must be non-empty. */
+    void
+    pop()
+    {
+        assert(!items.empty());
+        items.pop_front();
+    }
+
+    bool empty() const { return items.empty(); }
+    bool full() const { return items.size() >= cap; }
+    std::size_t size() const { return items.size(); }
+    std::size_t capacity() const { return cap; }
+    void clear() { items.clear(); }
+
+    /** Iteration support for draining logic and tests. */
+    auto begin() const { return items.begin(); }
+    auto end() const { return items.end(); }
+
+  private:
+    std::size_t cap;
+    std::deque<T> items;
+};
+
+} // namespace dcfb
+
+#endif // DCFB_COMMON_QUEUE_H

@@ -1,0 +1,23 @@
+#include "common/stats.h"
+
+#include <sstream>
+
+namespace dcfb {
+
+void
+StatSet::reset()
+{
+    for (auto &kv : counters)
+        kv.second = 0;
+}
+
+std::string
+StatSet::dump() const
+{
+    std::ostringstream os;
+    for (const auto &kv : counters)
+        os << kv.first << " = " << kv.second << '\n';
+    return os.str();
+}
+
+} // namespace dcfb

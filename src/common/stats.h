@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Lightweight named-counter statistics registry.
+ *
+ * Components register counters by name; the experiment harness dumps them
+ * or computes derived metrics (FSCR, CMAL, coverage).  Counters are plain
+ * uint64 accumulators; ratios are computed at reporting time.
+ */
+
+#ifndef DCFB_COMMON_STATS_H
+#define DCFB_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace dcfb {
+
+/**
+ * A bag of named 64-bit counters with insertion-ordered dump support.
+ */
+class StatSet
+{
+  public:
+    /** Add @p delta to counter @p name (creating it at zero if new). */
+    void
+    add(const std::string &name, std::uint64_t delta = 1)
+    {
+        counters[name] += delta;
+    }
+
+    /** Read counter @p name; absent counters read as zero. */
+    std::uint64_t
+    get(const std::string &name) const
+    {
+        auto it = counters.find(name);
+        return it == counters.end() ? 0 : it->second;
+    }
+
+    /** Ratio of two counters; 0 when the denominator is zero. */
+    double
+    ratio(const std::string &num, const std::string &den) const
+    {
+        std::uint64_t d = get(den);
+        return d == 0 ? 0.0 : static_cast<double>(get(num)) /
+            static_cast<double>(d);
+    }
+
+    /** Reset every counter to zero (used at the warmup/measure boundary). */
+    void reset();
+
+    /** Render "name = value" lines for debugging dumps. */
+    std::string dump() const;
+
+    /** All counters, sorted by name. */
+    const std::map<std::string, std::uint64_t> &all() const
+    {
+        return counters;
+    }
+
+  private:
+    std::map<std::string, std::uint64_t> counters;
+};
+
+} // namespace dcfb
+
+#endif // DCFB_COMMON_STATS_H

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Fundamental types and address arithmetic shared by every dcfb subsystem.
+ *
+ * The simulated machine follows Table III of the paper: 64-byte cache
+ * blocks, 2 GHz cores.  All address manipulation helpers live here so the
+ * block/offset conventions are defined exactly once.
+ */
+
+#ifndef DCFB_COMMON_TYPES_H
+#define DCFB_COMMON_TYPES_H
+
+#include <cstdint>
+
+namespace dcfb {
+
+/** Byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/** Simulation time in core clock cycles (2 GHz). */
+using Cycle = std::uint64_t;
+
+/** Cache-block geometry (64-byte blocks throughout the hierarchy). */
+constexpr unsigned kBlockShift = 6;
+constexpr unsigned kBlockBytes = 1u << kBlockShift;
+
+/** Fixed-length ISA geometry: 4-byte instructions, 16 per block. */
+constexpr unsigned kInstrBytes = 4;
+constexpr unsigned kInstrPerBlock = kBlockBytes / kInstrBytes;
+
+/** Sentinel for "no address". */
+constexpr Addr kInvalidAddr = ~Addr{0};
+
+/** Align @p addr down to its cache-block base. */
+constexpr Addr
+blockAlign(Addr addr)
+{
+    return addr & ~Addr{kBlockBytes - 1};
+}
+
+/** Cache-block number of @p addr (address divided by block size). */
+constexpr Addr
+blockNumber(Addr addr)
+{
+    return addr >> kBlockShift;
+}
+
+/** Byte offset of @p addr within its cache block. */
+constexpr unsigned
+blockOffset(Addr addr)
+{
+    return static_cast<unsigned>(addr & (kBlockBytes - 1));
+}
+
+/** Instruction-slot index of a fixed-length instruction within its block. */
+constexpr unsigned
+instrSlot(Addr addr)
+{
+    return blockOffset(addr) / kInstrBytes;
+}
+
+/** True when @p a and @p b fall in the same cache block. */
+constexpr bool
+sameBlock(Addr a, Addr b)
+{
+    return blockNumber(a) == blockNumber(b);
+}
+
+/** floor(log2(x)) for x > 0. */
+constexpr unsigned
+floorLog2(std::uint64_t x)
+{
+    unsigned r = 0;
+    while (x > 1) {
+        x >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+/** True when @p x is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+} // namespace dcfb
+
+#endif // DCFB_COMMON_TYPES_H

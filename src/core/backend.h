@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Simplified out-of-order backend (Table III): 3-wide dispatch and
+ * retirement, 128-entry ROB, 12 backend pipeline stages.
+ *
+ * The backend exists to convert instruction-supply gaps into cycles, so
+ * the model is deliberately latency-oriented: dispatched instructions
+ * enter the ROB with a completion cycle (ALU ops after a fixed latency,
+ * loads when the L1d/LLC round trip finishes) and retire in order.  It
+ * applies backpressure (ROB full) and exposes the dispatch-starvation
+ * signal the frontend-stall accounting needs.
+ */
+
+#ifndef DCFB_CORE_BACKEND_H
+#define DCFB_CORE_BACKEND_H
+
+#include <cstdint>
+#include <deque>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "isa/encoding.h"
+
+namespace dcfb::core {
+
+/** Backend configuration. */
+struct BackendConfig
+{
+    unsigned dispatchWidth = 3;
+    unsigned retireWidth = 3;
+    unsigned robEntries = 128;
+    unsigned pipelineDepth = 12; //!< dispatch-to-writeback depth
+    Cycle aluLatency = 1;
+};
+
+/**
+ * ROB-based retirement model.
+ */
+class Backend
+{
+  public:
+    explicit Backend(const BackendConfig &config = BackendConfig{})
+        : cfg(config)
+    {}
+
+    /** Can another instruction be dispatched this cycle? */
+    bool
+    canDispatch() const
+    {
+        return rob.size() < cfg.robEntries &&
+            dispatchedThisCycle < cfg.dispatchWidth;
+    }
+
+    /**
+     * Dispatch one instruction at cycle @p now.  @p data_ready is the
+     * completion cycle of its memory access (loads/stores), or 0 for
+     * non-memory instructions.
+     */
+    void
+    dispatch(isa::InstrKind kind, Cycle now, Cycle data_ready)
+    {
+        Cycle complete = now + cfg.pipelineDepth + cfg.aluLatency;
+        if (kind == isa::InstrKind::Load && data_ready > 0)
+            complete = std::max(complete, data_ready);
+        // Stores complete at writeback; the store buffer hides the miss.
+        rob.push_back(complete);
+        ++dispatchedThisCycle;
+        statSet.add("dispatched");
+    }
+
+    /**
+     * Advance one cycle: retire completed instructions in order.  Call
+     * once per cycle *before* dispatching into the new cycle.
+     */
+    void
+    beginCycle(Cycle now)
+    {
+        dispatchedThisCycle = 0;
+        unsigned retired_now = 0;
+        while (!rob.empty() && retired_now < cfg.retireWidth &&
+               rob.front() <= now) {
+            rob.pop_front();
+            ++retired_now;
+            ++retiredTotal;
+        }
+        if (rob.size() >= cfg.robEntries)
+            statSet.add("rob_full_cycles");
+    }
+
+    bool robFull() const { return rob.size() >= cfg.robEntries; }
+    bool robEmpty() const { return rob.empty(); }
+    std::size_t robOccupancy() const { return rob.size(); }
+    std::uint64_t retired() const { return retiredTotal; }
+
+    /** Squash everything younger than retirement (pipeline flush). */
+    void
+    squash()
+    {
+        statSet.add("squashes");
+    }
+
+    const StatSet &stats() const { return statSet; }
+    StatSet &stats() { return statSet; }
+    const BackendConfig &config() const { return cfg; }
+
+  private:
+    BackendConfig cfg;
+    std::deque<Cycle> rob; //!< in-order completion cycles
+    unsigned dispatchedThisCycle = 0;
+    std::uint64_t retiredTotal = 0;
+    StatSet statSet;
+};
+
+} // namespace dcfb::core
+
+#endif // DCFB_CORE_BACKEND_H

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Return address stack.
+ *
+ * Returns are predicted from the RAS rather than the BTB; the BTB's role
+ * for a return instruction is only to *identify* it as a branch before
+ * decode.  Fixed depth with wrap-around on overflow (older entries are
+ * clobbered, as in real hardware).
+ */
+
+#ifndef DCFB_FRONTEND_RAS_H
+#define DCFB_FRONTEND_RAS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dcfb::frontend {
+
+/**
+ * Circular return-address stack.
+ */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(unsigned depth = 32)
+        : entries(depth, kInvalidAddr)
+    {}
+
+    /** Push the return address of a call. */
+    void
+    push(Addr return_addr)
+    {
+        top = (top + 1) % entries.size();
+        entries[top] = return_addr;
+        if (occupancy < entries.size())
+            ++occupancy;
+    }
+
+    /** Pop the predicted return target; kInvalidAddr when empty. */
+    Addr
+    pop()
+    {
+        if (occupancy == 0)
+            return kInvalidAddr;
+        Addr addr = entries[top];
+        top = (top + entries.size() - 1) % entries.size();
+        --occupancy;
+        return addr;
+    }
+
+    /** Peek without popping. */
+    Addr
+    peek() const
+    {
+        return occupancy == 0 ? kInvalidAddr : entries[top];
+    }
+
+    std::size_t size() const { return occupancy; }
+    std::size_t depth() const { return entries.size(); }
+    void clear() { occupancy = 0; }
+
+  private:
+    std::vector<Addr> entries;
+    std::size_t top = 0;
+    std::size_t occupancy = 0;
+};
+
+} // namespace dcfb::frontend
+
+#endif // DCFB_FRONTEND_RAS_H

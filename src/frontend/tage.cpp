@@ -1,0 +1,192 @@
+#include "frontend/tage.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace dcfb::frontend {
+
+Tage::Tage(const TageConfig &config)
+    : cfg(config), base(std::size_t{1} << config.baseEntriesLog2,
+                        SatCounter(2, 2)),
+      useAltOnNa(4, 8)
+{
+    assert(cfg.numTables >= 2);
+    tables.resize(cfg.numTables);
+    histLengths.resize(cfg.numTables);
+    foldedIndex.resize(cfg.numTables);
+    foldedTag0.resize(cfg.numTables);
+    foldedTag1.resize(cfg.numTables);
+
+    double ratio = std::pow(
+        static_cast<double>(cfg.maxHistory) / cfg.minHistory,
+        1.0 / (cfg.numTables - 1));
+    double len = cfg.minHistory;
+    for (unsigned t = 0; t < cfg.numTables; ++t) {
+        histLengths[t] = static_cast<unsigned>(len + 0.5);
+        len *= ratio;
+        tables[t].assign(std::size_t{1} << cfg.taggedEntriesLog2,
+                         TaggedEntry{0, SatCounter(cfg.counterBits,
+                                                   1u << (cfg.counterBits - 1)),
+                                     0});
+        foldedIndex[t] = {0, histLengths[t], cfg.taggedEntriesLog2};
+        foldedTag0[t] = {0, histLengths[t], cfg.tagBits};
+        foldedTag1[t] = {0, histLengths[t], cfg.tagBits - 1};
+    }
+    history.assign(cfg.maxHistory + 1, false);
+}
+
+std::uint32_t
+Tage::baseIndex(Addr pc) const
+{
+    return static_cast<std::uint32_t>((pc >> 2) &
+                                      (base.size() - 1));
+}
+
+std::uint32_t
+Tage::taggedIndex(Addr pc, unsigned table) const
+{
+    std::uint32_t p = static_cast<std::uint32_t>(pc >> 2);
+    std::uint32_t idx = p ^ (p >> (cfg.taggedEntriesLog2 - table)) ^
+        foldedIndex[table].value;
+    return idx & ((1u << cfg.taggedEntriesLog2) - 1);
+}
+
+std::uint16_t
+Tage::taggedTag(Addr pc, unsigned table) const
+{
+    std::uint32_t p = static_cast<std::uint32_t>(pc >> 2);
+    std::uint32_t tag = p ^ foldedTag0[table].value ^
+        (foldedTag1[table].value << 1);
+    return static_cast<std::uint16_t>(tag & ((1u << cfg.tagBits) - 1));
+}
+
+void
+Tage::shiftHistory(bool bit)
+{
+    // history keeps the newest bit at index 0.
+    for (unsigned t = 0; t < cfg.numTables; ++t) {
+        bool out = history[histLengths[t] - 1];
+        foldedIndex[t].update(bit, out);
+        foldedTag0[t].update(bit, out);
+        foldedTag1[t].update(bit, out);
+    }
+    for (std::size_t i = history.size() - 1; i > 0; --i)
+        history[i] = history[i - 1];
+    history[0] = bit;
+}
+
+Tage::Lookup
+Tage::lookup(Addr pc)
+{
+    Lookup lk;
+    lk.indices.resize(cfg.numTables);
+    lk.tags.resize(cfg.numTables);
+    for (unsigned t = 0; t < cfg.numTables; ++t) {
+        lk.indices[t] = taggedIndex(pc, t);
+        lk.tags[t] = taggedTag(pc, t);
+    }
+    // Longest-history matching component provides; next match is altpred.
+    for (int t = static_cast<int>(cfg.numTables) - 1; t >= 0; --t) {
+        const auto &e = tables[t][lk.indices[t]];
+        if (e.tag == lk.tags[t]) {
+            if (lk.provider < 0) {
+                lk.provider = t;
+                lk.providerPred = e.ctr.taken();
+            } else if (lk.alt < 0) {
+                lk.alt = t;
+                lk.altPred = e.ctr.taken();
+                break;
+            }
+        }
+    }
+    bool base_pred = base[baseIndex(pc)].taken();
+    if (lk.alt < 0)
+        lk.altPred = base_pred;
+    if (lk.provider >= 0) {
+        const auto &e = tables[lk.provider][lk.indices[lk.provider]];
+        bool newly_alloc = e.useful == 0 && e.ctr.weak();
+        lk.pred = (newly_alloc && useAltOnNa.taken()) ? lk.altPred
+                                                      : lk.providerPred;
+    } else {
+        lk.pred = base_pred;
+    }
+    return lk;
+}
+
+bool
+Tage::predict(Addr pc)
+{
+    last = lookup(pc);
+    statSet.add("tage_predictions");
+    return last.pred;
+}
+
+void
+Tage::update(Addr pc, bool taken)
+{
+    // Recompute in case predict() was not the immediately preceding call
+    // for this PC (defensive; the fetch engine always pairs them).
+    Lookup lk = lookup(pc);
+    statSet.add(lk.pred == taken ? "tage_correct" : "tage_mispredict");
+
+    if (lk.provider >= 0) {
+        auto &e = tables[lk.provider][lk.indices[lk.provider]];
+        bool newly_alloc = e.useful == 0 && e.ctr.weak();
+        if (newly_alloc && lk.providerPred != lk.altPred)
+            useAltOnNa.update(lk.altPred == taken);
+        e.ctr.update(taken);
+        if (lk.providerPred != lk.altPred) {
+            if (lk.providerPred == taken) {
+                if (e.useful < ((1u << cfg.usefulBits) - 1))
+                    ++e.useful;
+            } else if (e.useful > 0) {
+                --e.useful;
+            }
+        }
+    } else {
+        base[baseIndex(pc)].update(taken);
+    }
+
+    // Allocate on misprediction into a longer-history component.
+    if (lk.pred != taken && lk.provider <
+        static_cast<int>(cfg.numTables) - 1) {
+        unsigned start = static_cast<unsigned>(lk.provider + 1);
+        // Pseudo-random start to avoid ping-pong allocation.
+        allocSeed = allocSeed * 6364136223846793005ull + 1442695040888963407ull;
+        if (start < cfg.numTables - 1 && (allocSeed >> 60) & 1)
+            ++start;
+        bool allocated = false;
+        for (unsigned t = start; t < cfg.numTables; ++t) {
+            auto &e = tables[t][lk.indices[t]];
+            if (e.useful == 0) {
+                e.tag = lk.tags[t];
+                e.ctr = SatCounter(cfg.counterBits,
+                                   taken ? (1u << (cfg.counterBits - 1))
+                                         : (1u << (cfg.counterBits - 1)) - 1);
+                allocated = true;
+                statSet.add("tage_allocations");
+                break;
+            }
+        }
+        if (!allocated) {
+            // Decay usefulness on the candidate entries.
+            for (unsigned t = start; t < cfg.numTables; ++t) {
+                auto &e = tables[t][lk.indices[t]];
+                if (e.useful > 0)
+                    --e.useful;
+            }
+        }
+    }
+
+    shiftHistory(taken);
+}
+
+void
+Tage::updateHistoryUnconditional(Addr pc)
+{
+    // Unconditional transfers inject a path bit so that history reflects
+    // call/return structure.
+    shiftHistory((pc >> 4) & 1);
+}
+
+} // namespace dcfb::frontend

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * TAGE conditional branch direction predictor (Table III cites Seznec &
+ * Michaud's partially-tagged geometric-history-length predictor).
+ *
+ * Implementation follows the canonical structure: a bimodal base table
+ * plus N partially-tagged components indexed by hashes of geometrically
+ * increasing global-history lengths, with folded-history registers for
+ * constant-time index/tag computation, provider/altpred selection,
+ * usefulness counters and the standard allocation policy on
+ * mispredictions.
+ */
+
+#ifndef DCFB_FRONTEND_TAGE_H
+#define DCFB_FRONTEND_TAGE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sat_counter.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace dcfb::frontend {
+
+/** TAGE geometry. */
+struct TageConfig
+{
+    unsigned numTables = 6;           //!< tagged components
+    unsigned baseEntriesLog2 = 12;    //!< bimodal size (4 K)
+    unsigned taggedEntriesLog2 = 10;  //!< per-component size (1 K)
+    unsigned tagBits = 9;
+    unsigned minHistory = 4;          //!< geometric series start
+    unsigned maxHistory = 128;        //!< geometric series end
+    unsigned counterBits = 3;
+    unsigned usefulBits = 2;
+};
+
+/**
+ * TAGE predictor.
+ */
+class Tage
+{
+  public:
+    explicit Tage(const TageConfig &config = TageConfig{});
+
+    /** Predict the direction of the conditional branch at @p pc. */
+    bool predict(Addr pc);
+
+    /**
+     * Train with the resolved outcome and advance the global history.
+     * Must be called once per conditional branch, after predict().
+     */
+    void update(Addr pc, bool taken);
+
+    /** Advance history for a non-conditional control transfer (calls,
+     *  jumps, returns shift path history too). */
+    void updateHistoryUnconditional(Addr pc);
+
+    const StatSet &stats() const { return statSet; }
+    StatSet &stats() { return statSet; }
+
+  private:
+    struct TaggedEntry
+    {
+        std::uint16_t tag = 0;
+        SatCounter ctr;
+        std::uint8_t useful = 0;
+    };
+
+    /** Circular-shift folded history register (Seznec's trick). */
+    struct FoldedHistory
+    {
+        std::uint32_t value = 0;
+        unsigned origLen = 0;   //!< history bits folded in
+        unsigned compLen = 0;   //!< folded width
+
+        void
+        update(bool new_bit, bool out_bit)
+        {
+            value = (value << 1) | (new_bit ? 1u : 0u);
+            // Bit leaving the history window folds out.
+            value ^= (out_bit ? 1u : 0u) << (origLen % compLen);
+            value ^= value >> compLen;
+            value &= (1u << compLen) - 1;
+        }
+    };
+
+    /** Per-component prediction bookkeeping from the last predict(). */
+    struct Lookup
+    {
+        int provider = -1;  //!< component index, -1 = bimodal
+        int alt = -1;
+        bool providerPred = false;
+        bool altPred = false;
+        bool pred = false;
+        std::vector<std::uint32_t> indices;
+        std::vector<std::uint16_t> tags;
+    };
+
+    std::uint32_t baseIndex(Addr pc) const;
+    std::uint32_t taggedIndex(Addr pc, unsigned table) const;
+    std::uint16_t taggedTag(Addr pc, unsigned table) const;
+    void shiftHistory(bool bit);
+    Lookup lookup(Addr pc);
+
+    TageConfig cfg;
+    std::vector<SatCounter> base;
+    std::vector<std::vector<TaggedEntry>> tables;
+    std::vector<unsigned> histLengths;
+    std::vector<FoldedHistory> foldedIndex;
+    std::vector<FoldedHistory> foldedTag0;
+    std::vector<FoldedHistory> foldedTag1;
+    std::vector<bool> history;   //!< global history, newest at back
+    SatCounter useAltOnNa;       //!< use-alt-on-newly-allocated policy
+    std::uint64_t allocSeed = 0x123456789abcdefull;
+    Lookup last;
+    StatSet statSet;
+};
+
+} // namespace dcfb::frontend
+
+#endif // DCFB_FRONTEND_TAGE_H

@@ -1,0 +1,57 @@
+#include "isa/encoding.h"
+
+#include <cassert>
+
+namespace dcfb::isa {
+
+std::uint32_t
+readWord(const std::uint8_t *bytes)
+{
+    return static_cast<std::uint32_t>(bytes[0]) |
+        (static_cast<std::uint32_t>(bytes[1]) << 8) |
+        (static_cast<std::uint32_t>(bytes[2]) << 16) |
+        (static_cast<std::uint32_t>(bytes[3]) << 24);
+}
+
+void
+writeWord(std::uint8_t *bytes, std::uint32_t word)
+{
+    bytes[0] = static_cast<std::uint8_t>(word);
+    bytes[1] = static_cast<std::uint8_t>(word >> 8);
+    bytes[2] = static_cast<std::uint8_t>(word >> 16);
+    bytes[3] = static_cast<std::uint8_t>(word >> 24);
+}
+
+std::uint32_t
+encodeInstr(Addr pc, const DecodedInstr &instr)
+{
+    std::uint32_t word = static_cast<std::uint32_t>(instr.kind) & 0xf;
+    if (instr.hasTarget) {
+        assert(hasEncodedTarget(instr.kind));
+        assert(instr.target % kInstrBytes == 0 && pc % kInstrBytes == 0);
+        std::int64_t delta =
+            (static_cast<std::int64_t>(instr.target) -
+             static_cast<std::int64_t>(pc)) / kInstrBytes;
+        assert(delta >= -(1 << 23) && delta < (1 << 23));
+        word |= static_cast<std::uint32_t>(delta & 0xffffff) << 8;
+    }
+    return word;
+}
+
+DecodedInstr
+decodeInstr(Addr pc, std::uint32_t word)
+{
+    DecodedInstr instr;
+    instr.kind = static_cast<InstrKind>(word & 0xf);
+    if (hasEncodedTarget(instr.kind)) {
+        // Sign-extend the 24-bit instruction-word offset.
+        std::int32_t delta = static_cast<std::int32_t>(word) >> 8;
+        instr.hasTarget = true;
+        instr.target = static_cast<Addr>(
+            static_cast<std::int64_t>(pc) +
+            static_cast<std::int64_t>(delta) * kInstrBytes);
+    }
+    return instr;
+}
+
+} // namespace dcfb::isa

@@ -1,0 +1,83 @@
+#include "isa/predecoder.h"
+
+#include "isa/vl_encoding.h"
+
+namespace dcfb::isa {
+
+namespace {
+
+/** Decode one instruction at (block, offset); VL instructions may straddle
+ *  into the next block, so reads go through the stitched image reader. */
+bool
+decodeOne(const workload::ProgramImage &image, bool variable_length,
+          Addr block_addr, unsigned byte_offset, PredecodedBranch &out)
+{
+    Addr pc = blockAlign(block_addr) + byte_offset;
+    if (!variable_length) {
+        if (byte_offset % kInstrBytes != 0)
+            return false;
+        const auto *blk = image.block(pc);
+        if (!blk)
+            return false;
+        std::uint32_t word = readWord(blk->data() + byte_offset);
+        DecodedInstr instr = decodeInstr(pc, word);
+        if (!isBranch(instr.kind))
+            return false;
+        out = {byte_offset, instr.kind, instr.hasTarget, instr.target, pc};
+        return true;
+    }
+    std::uint8_t buf[kVlMaxLength];
+    unsigned got = image.read(pc, buf, kVlMaxLength);
+    VlDecodedInstr instr = vlDecodeInstr(pc, buf, got);
+    if (instr.length == 0 || !isBranch(instr.kind))
+        return false;
+    out = {byte_offset, instr.kind, instr.hasTarget, instr.target, pc};
+    return true;
+}
+
+} // namespace
+
+std::vector<PredecodedBranch>
+Predecoder::predecodeBlock(Addr block_addr) const
+{
+    std::vector<PredecodedBranch> branches;
+    if (variableLength) {
+        // Boundaries unknown without a footprint: nothing decodable.
+        return branches;
+    }
+    for (unsigned slot = 0; slot < kInstrPerBlock; ++slot) {
+        PredecodedBranch b;
+        if (decodeOne(image, false, block_addr, slot * kInstrBytes, b))
+            branches.push_back(b);
+    }
+    return branches;
+}
+
+std::vector<PredecodedBranch>
+Predecoder::predecodeWithFootprint(
+    Addr block_addr, const std::vector<std::uint8_t> &footprint) const
+{
+    std::vector<PredecodedBranch> branches;
+    for (std::uint8_t off : footprint) {
+        PredecodedBranch b;
+        if (off < kBlockBytes &&
+            decodeOne(image, variableLength, block_addr, off, b)) {
+            branches.push_back(b);
+        }
+    }
+    return branches;
+}
+
+std::vector<PredecodedBranch>
+Predecoder::decodeAt(Addr block_addr, unsigned byte_offset) const
+{
+    std::vector<PredecodedBranch> branches;
+    PredecodedBranch b;
+    if (byte_offset < kBlockBytes &&
+        decodeOne(image, variableLength, block_addr, byte_offset, b)) {
+        branches.push_back(b);
+    }
+    return branches;
+}
+
+} // namespace dcfb::isa

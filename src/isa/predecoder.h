@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Instruction-block pre-decoder.
+ *
+ * The pre-decoder is the shared hardware unit that Confluence-style BTB
+ * prefetching, the Dis prefetcher, Boomerang and Shotgun all rely on
+ * (Section V.C): given the raw bytes of an instruction block it extracts
+ * the branch instructions and, for direct branches, their targets.
+ *
+ * Fixed-length mode decodes all 16 slots in parallel (one pass).  In
+ * variable-length mode instruction boundaries are unknown, so the
+ * pre-decoder must be *guided*: either by a single byte offset (DisTable)
+ * or by a branch footprint of up to four byte offsets (Section IV,
+ * Fig. 8) fetched from the DV-LLC.
+ */
+
+#ifndef DCFB_ISA_PREDECODER_H
+#define DCFB_ISA_PREDECODER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/encoding.h"
+#include "workload/image.h"
+
+namespace dcfb::isa {
+
+/** One branch discovered by pre-decoding a block. */
+struct PredecodedBranch
+{
+    unsigned byteOffset = 0; //!< first byte of the branch within the block
+    InstrKind kind = InstrKind::CondBranch;
+    bool hasTarget = false;
+    Addr target = kInvalidAddr;
+    Addr pc = kInvalidAddr;  //!< full PC of the branch instruction
+};
+
+/**
+ * Block pre-decoder bound to a program image.
+ */
+class Predecoder
+{
+  public:
+    /**
+     * @param image_ program bytes to decode
+     * @param variable_length true for the VL-ISA configuration
+     */
+    Predecoder(const workload::ProgramImage &image_, bool variable_length)
+        : image(image_), variableLength(variable_length)
+    {}
+
+    /**
+     * Extract every branch in the block at @p block_addr.
+     *
+     * In fixed-length mode this decodes all slots.  In variable-length
+     * mode full-block pre-decoding is only possible with a footprint, so
+     * this returns an empty vector (mirroring the hardware limitation the
+     * paper works around); use predecodeWithFootprint() instead.
+     */
+    std::vector<PredecodedBranch> predecodeBlock(Addr block_addr) const;
+
+    /**
+     * Variable-length mode: decode exactly the instructions whose starting
+     * byte offsets are listed in @p footprint (a branch footprint from the
+     * DV-LLC).  Offsets that do not decode to branches are skipped.
+     */
+    std::vector<PredecodedBranch>
+    predecodeWithFootprint(Addr block_addr,
+                           const std::vector<std::uint8_t> &footprint) const;
+
+    /**
+     * Decode a single instruction at @p byte_offset within the block
+     * (DisTable replay).  Returns a branch record only when the bytes at
+     * that offset decode to a branch instruction; stale DisTable entries
+     * thus yield no prefetch, exactly as in Section V.B "Replaying".
+     */
+    std::vector<PredecodedBranch> decodeAt(Addr block_addr,
+                                           unsigned byte_offset) const;
+
+    bool isVariableLength() const { return variableLength; }
+
+  private:
+    const workload::ProgramImage &image;
+    bool variableLength;
+};
+
+} // namespace dcfb::isa
+
+#endif // DCFB_ISA_PREDECODER_H

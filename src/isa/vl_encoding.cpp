@@ -1,0 +1,68 @@
+#include "isa/vl_encoding.h"
+
+#include <cassert>
+
+namespace dcfb::isa {
+
+void
+vlEncodeInstr(Addr pc, const VlDecodedInstr &instr,
+              std::vector<std::uint8_t> &out)
+{
+    assert(instr.length >= kVlMinLength && instr.length <= kVlMaxLength);
+    std::uint8_t header =
+        static_cast<std::uint8_t>(instr.length & 0xf) |
+        static_cast<std::uint8_t>(static_cast<unsigned>(instr.kind) << 4);
+    out.push_back(header);
+    unsigned emitted = 1;
+    if (instr.hasTarget) {
+        assert(hasEncodedTarget(instr.kind));
+        assert(instr.length >= kVlMinBranchLength);
+        std::int64_t delta = static_cast<std::int64_t>(instr.target) -
+            static_cast<std::int64_t>(pc);
+        auto delta32 = static_cast<std::int32_t>(delta);
+        assert(delta32 == delta);
+        auto u = static_cast<std::uint32_t>(delta32);
+        out.push_back(static_cast<std::uint8_t>(u));
+        out.push_back(static_cast<std::uint8_t>(u >> 8));
+        out.push_back(static_cast<std::uint8_t>(u >> 16));
+        out.push_back(static_cast<std::uint8_t>(u >> 24));
+        emitted += 4;
+    }
+    // Operand filler: deterministic non-zero pattern so that a decoder
+    // pointed at a filler byte sees garbage rather than accidental zeros.
+    for (; emitted < instr.length; ++emitted)
+        out.push_back(static_cast<std::uint8_t>(0xa0 | (emitted & 0xf)));
+}
+
+VlDecodedInstr
+vlDecodeInstr(Addr pc, const std::uint8_t *bytes, unsigned avail)
+{
+    VlDecodedInstr instr;
+    if (avail == 0) {
+        instr.length = 0;
+        return instr;
+    }
+    std::uint8_t header = bytes[0];
+    instr.length = header & 0xf;
+    instr.kind = static_cast<InstrKind>((header >> 4) & 0xf);
+    if (instr.length < kVlMinLength || instr.length > kVlMaxLength) {
+        instr.length = 0; // malformed: decoder pointed at a non-boundary
+        return instr;
+    }
+    if (hasEncodedTarget(instr.kind)) {
+        if (avail < kVlMinBranchLength) {
+            instr.length = 0;
+            return instr;
+        }
+        std::uint32_t u = static_cast<std::uint32_t>(bytes[1]) |
+            (static_cast<std::uint32_t>(bytes[2]) << 8) |
+            (static_cast<std::uint32_t>(bytes[3]) << 16) |
+            (static_cast<std::uint32_t>(bytes[4]) << 24);
+        instr.hasTarget = true;
+        instr.target = static_cast<Addr>(
+            static_cast<std::int64_t>(pc) + static_cast<std::int32_t>(u));
+    }
+    return instr;
+}
+
+} // namespace dcfb::isa

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Synthetic variable-length ISA encoding (Section V.D of the paper).
+ *
+ * On a variable-length ISA, instruction boundaries inside a cache block
+ * are unknown, so the paper's pre-decoder must be told *where* branches
+ * start (via DisTable byte offsets and per-block branch footprints).  This
+ * encoding makes that mechanic real:
+ *
+ *   byte 0:  bits [3:0] total instruction length in bytes (2..15)
+ *            bits [7:4] instruction kind (InstrKind)
+ *   bytes 1..4 (direct branches only): signed 32-bit little-endian target
+ *            offset in *bytes*, relative to the instruction's start PC.
+ *   remaining bytes: operand filler.
+ *
+ * Direct branches are therefore at least 5 bytes long; the workload
+ * generator guarantees that.
+ */
+
+#ifndef DCFB_ISA_VL_ENCODING_H
+#define DCFB_ISA_VL_ENCODING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/encoding.h"
+
+namespace dcfb::isa {
+
+/** Minimum/maximum encodable variable-length instruction sizes. */
+constexpr unsigned kVlMinLength = 2;
+constexpr unsigned kVlMaxLength = 15;
+/** Direct branches need 1 header + 4 target bytes. */
+constexpr unsigned kVlMinBranchLength = 5;
+
+/** A decoded variable-length instruction. */
+struct VlDecodedInstr
+{
+    InstrKind kind = InstrKind::Alu;
+    unsigned length = kVlMinLength;
+    bool hasTarget = false;
+    Addr target = kInvalidAddr;
+};
+
+/**
+ * Encode @p instr at @p pc into @p out (appends @c instr.length bytes).
+ *
+ * @pre instr.length is within [kVlMinLength, kVlMaxLength] and at least
+ *      kVlMinBranchLength for direct branches.
+ */
+void vlEncodeInstr(Addr pc, const VlDecodedInstr &instr,
+                   std::vector<std::uint8_t> &out);
+
+/**
+ * Decode the instruction starting at @p bytes (which points at its first
+ * byte) located at @p pc.  @p avail is the number of readable bytes; the
+ * caller must have stitched adjacent blocks together when an instruction
+ * straddles a block boundary.  Returns length 0 when @p avail is too
+ * small to decode.
+ */
+VlDecodedInstr vlDecodeInstr(Addr pc, const std::uint8_t *bytes,
+                             unsigned avail);
+
+} // namespace dcfb::isa
+
+#endif // DCFB_ISA_VL_ENCODING_H

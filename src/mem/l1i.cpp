@@ -1,0 +1,336 @@
+#include "mem/l1i.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dcfb::mem {
+
+L1iCache::L1iCache(const L1iConfig &config, Llc &llc_)
+    : cfg(config), llc(llc_),
+      array(SetAssocCache<L1iMeta>::fromBytes(config.capacityBytes,
+                                              config.assoc)),
+      buffer(config.prefetchBufferEntries)
+{
+}
+
+L1iCache::MshrEntry *
+L1iCache::findMshr(Addr block_addr)
+{
+    Addr key = blockAlign(block_addr);
+    for (auto &e : mshrs) {
+        if (e.blockAddr == key)
+            return &e;
+    }
+    return nullptr;
+}
+
+const L1iCache::MshrEntry *
+L1iCache::findMshr(Addr block_addr) const
+{
+    Addr key = blockAlign(block_addr);
+    for (const auto &e : mshrs) {
+        if (e.blockAddr == key)
+            return &e;
+    }
+    return nullptr;
+}
+
+L1iCache::MshrEntry &
+L1iCache::issueFill(Addr block_addr, Cycle now, bool is_prefetch)
+{
+    statSet.add("l1i_external_requests");
+    auto res = llc.access(blockAlign(block_addr), now, true,
+                          cfg.fetchFootprints);
+    MshrEntry entry;
+    entry.blockAddr = blockAlign(block_addr);
+    entry.issued = now;
+    entry.ready = res.ready;
+    entry.isPrefetch = is_prefetch;
+    entry.bfValid = res.bfValid;
+    entry.bf = res.bf;
+    mshrs.push_back(std::move(entry));
+    return mshrs.back();
+}
+
+void
+L1iCache::notePrefetchedLineUse(Addr block_addr, L1iMeta &meta)
+{
+    // First demand use of a prefetched line: the prefetch fully covered
+    // the fill latency (CMAL numerator == denominator), the prefetch was
+    // useful, and per Section V.A the prefetch flag is reset.
+    statSet.add("pf_useful");
+    statSet.add("cmal_covered_cycles", meta.fillLatency);
+    statSet.add("cmal_full_cycles", meta.fillLatency);
+    meta.prefetched = false;
+    meta.demanded = true;
+    if (listener)
+        listener->onPrefetchUsed(blockAlign(block_addr));
+    if (observer)
+        observer->onPrefetchUsed(blockAlign(block_addr));
+}
+
+L1iCache::DemandResult
+L1iCache::demandAccess(Addr addr, Cycle now, bool wrong_path)
+{
+    Addr block = blockAlign(addr);
+    DemandResult res;
+    statSet.add("l1i_lookups");
+    statSet.add(wrong_path ? "l1i_wp_accesses" : "l1i_accesses");
+
+    bool sequential = lastDemandBlock != kInvalidAddr &&
+        blockNumber(block) == blockNumber(lastDemandBlock) + 1;
+
+    if (auto *line = array.lookup(block)) {
+        res.hit = true;
+        res.ready = now;
+        if (!wrong_path)
+            statSet.add("l1i_hits");
+        if (line->meta.prefetched && !line->meta.demanded)
+            notePrefetchedLineUse(block, line->meta);
+        line->meta.demanded = true;
+        if (listener)
+            listener->onDemandAccess(block, true);
+        if (observer)
+            observer->onDemandAccess(block, true);
+        if (!wrong_path)
+            lastDemandBlock = block;
+        return res;
+    }
+
+    if (cfg.usePrefetchBuffer && buffer.extract(block)) {
+        // Move the block from the prefetch buffer into the cache proper.
+        res.hit = true;
+        res.fromPrefetchBuffer = true;
+        res.ready = now;
+        if (!wrong_path) {
+            statSet.add("l1i_hits");
+            statSet.add("l1i_pf_buffer_hits");
+        }
+        Cycle fill_latency = 0;
+        if (auto it = bufferFillLatency.find(block);
+            it != bufferFillLatency.end()) {
+            fill_latency = it->second;
+            bufferFillLatency.erase(it);
+        }
+        statSet.add("pf_useful");
+        statSet.add("cmal_covered_cycles", fill_latency);
+        statSet.add("cmal_full_cycles", fill_latency);
+        L1iMeta meta;
+        meta.demanded = true;
+        meta.fillLatency = fill_latency;
+        auto ev = array.insert(block, meta);
+        if (ev.valid) {
+            statSet.add("l1i_evictions");
+            if (ev.meta.prefetched && !ev.meta.demanded)
+                statSet.add("pf_useless");
+            if (listener) {
+                listener->onEvict(ev.blockAddr, ev.meta.prefetched,
+                                  ev.meta.demanded);
+            }
+            if (observer) {
+                observer->onEvict(ev.blockAddr, ev.meta.prefetched,
+                                  ev.meta.demanded);
+            }
+        }
+        if (listener) {
+            listener->onPrefetchUsed(block);
+            listener->onDemandAccess(block, true);
+        }
+        if (observer) {
+            observer->onPrefetchUsed(block);
+            observer->onDemandAccess(block, true);
+        }
+        if (!wrong_path)
+            lastDemandBlock = block;
+        return res;
+    }
+
+    // Miss path.
+    if (!wrong_path) {
+        statSet.add("l1i_misses");
+        statSet.add(sequential ? "l1i_seq_misses" : "l1i_disc_misses");
+    } else {
+        statSet.add("l1i_wp_misses");
+    }
+    if (listener) {
+        listener->onDemandAccess(block, false);
+        listener->onDemandMiss(block, sequential);
+    }
+    if (observer) {
+        observer->onDemandAccess(block, false);
+        observer->onDemandMiss(block, sequential);
+    }
+
+    if (MshrEntry *entry = findMshr(block)) {
+        res.hitInFlight = true;
+        res.ready = entry->ready;
+        if (entry->isPrefetch && !entry->demanded && !wrong_path) {
+            // Late prefetch: covers only the cycles elapsed since issue.
+            statSet.add("pf_late");
+            statSet.add("pf_useful");
+            statSet.add("cmal_covered_cycles", now - entry->issued);
+            statSet.add("cmal_full_cycles", entry->ready - entry->issued);
+        }
+        if (!wrong_path) {
+            entry->demanded = true;
+            entry->demandCycle = now;
+        }
+        if (!wrong_path)
+            lastDemandBlock = block;
+        return res;
+    }
+
+    if (mshrs.size() >= cfg.mshrs)
+        statSet.add("l1i_mshr_pressure"); // demand always gets a slot
+    MshrEntry &entry = issueFill(block, now, false);
+    entry.demanded = !wrong_path;
+    entry.demandCycle = now;
+    res.ready = entry.ready;
+    if (!wrong_path) {
+        statSet.add("demand_miss_cycles", entry.ready - now);
+        lastDemandBlock = block;
+    }
+    return res;
+}
+
+L1iCache::PfOutcome
+L1iCache::prefetch(Addr addr, Cycle now)
+{
+    Addr block = blockAlign(addr);
+    statSet.add("l1i_lookups");
+    statSet.add("pf_attempts");
+
+    if (array.lookup(block, false))
+        return PfOutcome::InCache;
+    if (cfg.usePrefetchBuffer && buffer.contains(block))
+        return PfOutcome::InBuffer;
+    if (findMshr(block))
+        return PfOutcome::InFlight;
+    if (mshrs.size() >= cfg.mshrs) {
+        statSet.add("pf_dropped_mshr");
+        return PfOutcome::NoMshr;
+    }
+    issueFill(block, now, true);
+    statSet.add("pf_issued");
+    return PfOutcome::Issued;
+}
+
+void
+L1iCache::installFill(const MshrEntry &entry)
+{
+    if (entry.bfValid)
+        footprints[entry.blockAddr] = entry.bf;
+
+    if (cfg.usePrefetchBuffer && entry.isPrefetch && !entry.demanded) {
+        buffer.insert(entry.blockAddr);
+        bufferFillLatency[entry.blockAddr] = entry.ready - entry.issued;
+        if (listener) {
+            listener->onFill(entry.blockAddr, true,
+                             entry.bfValid ? &entry.bf : nullptr);
+        }
+        if (observer) {
+            observer->onFill(entry.blockAddr, true,
+                             entry.bfValid ? &entry.bf : nullptr);
+        }
+        return;
+    }
+
+    L1iMeta meta;
+    meta.prefetched = entry.isPrefetch && !entry.demanded;
+    meta.demanded = entry.demanded;
+    meta.fillLatency = entry.ready - entry.issued;
+    auto ev = array.insert(entry.blockAddr, meta);
+    if (ev.valid) {
+        statSet.add("l1i_evictions");
+        if (ev.meta.prefetched && !ev.meta.demanded)
+            statSet.add("pf_useless");
+        if (listener) {
+            listener->onEvict(ev.blockAddr, ev.meta.prefetched,
+                              ev.meta.demanded);
+        }
+        if (observer) {
+            observer->onEvict(ev.blockAddr, ev.meta.prefetched,
+                              ev.meta.demanded);
+        }
+    }
+    if (listener) {
+        listener->onFill(entry.blockAddr, entry.isPrefetch,
+                         entry.bfValid ? &entry.bf : nullptr);
+    }
+    if (observer) {
+        observer->onFill(entry.blockAddr, entry.isPrefetch,
+                         entry.bfValid ? &entry.bf : nullptr);
+    }
+}
+
+void
+L1iCache::tick(Cycle now)
+{
+    for (std::size_t i = 0; i < mshrs.size();) {
+        if (mshrs[i].ready <= now) {
+            MshrEntry done = std::move(mshrs[i]);
+            mshrs.erase(mshrs.begin() + static_cast<std::ptrdiff_t>(i));
+            installFill(done);
+        } else {
+            ++i;
+        }
+    }
+}
+
+void
+L1iCache::warmInsert(Addr addr)
+{
+    Addr block = blockAlign(addr);
+    if (auto *line = array.lookup(block)) {
+        line->meta.demanded = true;
+        return;
+    }
+    L1iMeta meta;
+    meta.demanded = true;
+    array.insert(block, meta);
+    lastDemandBlock = block;
+}
+
+bool
+L1iCache::lookup(Addr addr)
+{
+    statSet.add("l1i_lookups");
+    return probe(addr);
+}
+
+bool
+L1iCache::probe(Addr addr) const
+{
+    if (array.lookup(addr))
+        return true;
+    return cfg.usePrefetchBuffer && buffer.contains(addr);
+}
+
+bool
+L1iCache::inFlight(Addr addr) const
+{
+    return findMshr(addr) != nullptr;
+}
+
+Cycle
+L1iCache::fillReadyCycle(Addr addr) const
+{
+    const MshrEntry *entry = findMshr(addr);
+    return entry ? entry->ready : 0;
+}
+
+L1iMeta *
+L1iCache::lineMeta(Addr addr)
+{
+    auto *line = array.lookup(addr, false);
+    return line ? &line->meta : nullptr;
+}
+
+const BranchFootprint *
+L1iCache::footprintFor(Addr addr) const
+{
+    auto it = footprints.find(blockAlign(addr));
+    return it == footprints.end() ? nullptr : &it->second;
+}
+
+} // namespace dcfb::mem

@@ -1,0 +1,210 @@
+#include "mem/llc.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dcfb::mem {
+
+Llc::Llc(const LlcConfig &config, noc::MeshModel &mesh_, MemoryModel &mem_,
+         unsigned core_tile)
+    : cfg(config), mesh(mesh_), memory(mem_), coreTile(core_tile),
+      array(SetAssocCache<LineMeta>::fromBytes(config.capacityBytes,
+                                               config.assoc)),
+      bfSets(array.sets())
+{
+    assert(core_tile < mesh.numTiles());
+    assert(cfg.banks <= mesh.numTiles());
+    assert(!cfg.dvllc || cfg.assoc >= 2);
+}
+
+unsigned
+Llc::effectiveWays(unsigned set_index) const
+{
+    if (cfg.dvllc && bfSets[set_index].holder)
+        return cfg.assoc - 1;
+    return cfg.assoc;
+}
+
+void
+Llc::updateHolderMode(unsigned set_index)
+{
+    if (!cfg.dvllc)
+        return;
+    BfSet &bfs = bfSets[set_index];
+    bool has_instr = false;
+    for (const auto &line : array.set(set_index)) {
+        if (line.valid && line.meta.isInstruction) {
+            has_instr = true;
+            break;
+        }
+    }
+    if (has_instr && !bfs.holder) {
+        // The LRU way flips to BF-holder: its resident block (if any) is
+        // evicted.  We model the holder as the last way of the set.
+        bfs.holder = true;
+        auto set = array.set(set_index);
+        auto &last = set[cfg.assoc - 1];
+        if (last.valid) {
+            // The block resident in the would-be holder way is moved into
+            // the LRU way of the remaining ways (displacing that block);
+            // this keeps the just-inserted instruction block alive when
+            // it happened to land in the last way.
+            auto *victim = array.lruWay(set_index, cfg.assoc - 1);
+            if (victim->valid)
+                statSet.add("dvllc_blocks_displaced");
+            *victim = last;
+            last.valid = false;
+        }
+        statSet.add("dvllc_holder_activations");
+    } else if (!has_instr && bfs.holder) {
+        bfs.holder = false;
+        bfs.slots.clear();
+        statSet.add("dvllc_holder_deactivations");
+    } else if (bfs.holder) {
+        // Drop BF slots whose block left the set.
+        std::erase_if(bfs.slots, [&](const BfSet::Slot &s) {
+            const auto *line = array.lookup(s.blockAddr);
+            return line == nullptr;
+        });
+    }
+}
+
+Llc::BfSet::Slot *
+Llc::bfSlot(Addr block_addr, bool allocate)
+{
+    unsigned si = array.setIndex(block_addr);
+    BfSet &bfs = bfSets[si];
+    for (auto &slot : bfs.slots) {
+        if (slot.blockAddr == blockAlign(block_addr)) {
+            slot.lastUse = ++bfTick;
+            return &slot;
+        }
+    }
+    if (!allocate || !bfs.holder)
+        return nullptr;
+    if (bfs.slots.size() < cfg.bfSlotsPerSet) {
+        bfs.slots.push_back({blockAlign(block_addr), {}, ++bfTick});
+        return &bfs.slots.back();
+    }
+    // Replace the LRU slot.
+    auto victim = std::min_element(
+        bfs.slots.begin(), bfs.slots.end(),
+        [](const BfSet::Slot &a, const BfSet::Slot &b) {
+            return a.lastUse < b.lastUse;
+        });
+    statSet.add("dvllc_bf_replacements");
+    victim->blockAddr = blockAlign(block_addr);
+    victim->bf.offsets.clear();
+    victim->lastUse = ++bfTick;
+    return &*victim;
+}
+
+void
+Llc::recordBranchOffset(Addr block_addr, std::uint8_t byte_offset)
+{
+    statSet.add("bf_record_attempts");
+    if (!cfg.dvllc) {
+        return;
+    }
+    // Footprints can only be constructed for blocks whose set is in
+    // holder mode (i.e. the block is instruction-tagged and resident).
+    BfSet::Slot *slot = bfSlot(block_addr, true);
+    if (!slot) {
+        statSet.add("bf_record_no_holder");
+        return;
+    }
+    auto &offs = slot->bf.offsets;
+    if (std::find(offs.begin(), offs.end(), byte_offset) != offs.end())
+        return;
+    if (offs.size() >= cfg.branchesPerBf) {
+        statSet.add("bf_branches_uncovered");
+        return;
+    }
+    offs.push_back(byte_offset);
+    statSet.add("bf_branches_recorded");
+}
+
+const BranchFootprint *
+Llc::findFootprint(Addr block_addr) const
+{
+    unsigned si = array.setIndex(block_addr);
+    for (const auto &slot : bfSets[si].slots) {
+        if (slot.blockAddr == blockAlign(block_addr))
+            return &slot.bf;
+    }
+    return nullptr;
+}
+
+std::size_t
+Llc::bfHolderSets() const
+{
+    std::size_t n = 0;
+    for (const auto &s : bfSets)
+        n += s.holder;
+    return n;
+}
+
+void
+Llc::warmTouch(Addr addr, bool is_instruction)
+{
+    unsigned si = array.setIndex(addr);
+    if (auto *line = array.lookup(addr)) {
+        line->meta.isInstruction |= is_instruction;
+    } else {
+        array.insert(addr, LineMeta{is_instruction},
+                     cfg.dvllc ? effectiveWays(si) : 0);
+    }
+    if (is_instruction)
+        updateHolderMode(si);
+}
+
+Llc::AccessResult
+Llc::access(Addr addr, Cycle now, bool is_instruction, bool want_bf)
+{
+    AccessResult res;
+    statSet.add("llc_accesses");
+    statSet.add(is_instruction ? "llc_instr_accesses" : "llc_data_accesses");
+
+    unsigned bank = static_cast<unsigned>(blockNumber(addr) % cfg.banks);
+    Cycle req_arrive =
+        mesh.traverse(coreTile, bank, now, cfg.requestFlits);
+    Cycle data_ready;
+
+    unsigned si = array.setIndex(addr);
+    if (auto *line = array.lookup(addr)) {
+        res.hit = true;
+        statSet.add("llc_hits");
+        statSet.add(is_instruction ? "llc_instr_hits" : "llc_data_hits");
+        line->meta.isInstruction |= is_instruction;
+        data_ready = req_arrive + cfg.accessLatency;
+        if (is_instruction)
+            updateHolderMode(si);
+    } else {
+        statSet.add("llc_misses");
+        Cycle mem_ready =
+            memory.access(addr, req_arrive + cfg.accessLatency);
+        auto evicted = array.insert(addr, LineMeta{is_instruction},
+                                    cfg.dvllc ? effectiveWays(si) : 0);
+        if (evicted.valid)
+            statSet.add("llc_evictions");
+        updateHolderMode(si);
+        data_ready = mem_ready;
+    }
+
+    if (want_bf && is_instruction && cfg.dvllc) {
+        statSet.add("bf_fetch_attempts");
+        if (const BranchFootprint *bf = findFootprint(addr)) {
+            res.bfValid = true;
+            res.bf = *bf;
+            statSet.add("bf_fetch_hits");
+        } else {
+            statSet.add("bf_fetch_uncovered");
+        }
+    }
+
+    res.ready = mesh.traverse(bank, coreTile, data_ready, cfg.replyFlits);
+    statSet.add("llc_latency_sum", res.ready - now);
+    return res;
+}
+
+} // namespace dcfb::mem

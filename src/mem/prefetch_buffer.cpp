@@ -1,0 +1,41 @@
+#include "mem/prefetch_buffer.h"
+
+namespace dcfb::mem {
+
+void
+PrefetchBuffer::insert(Addr block_addr)
+{
+    Addr key = blockAlign(block_addr);
+    auto it = map.find(key);
+    if (it != map.end()) {
+        order.erase(it->second);
+        order.push_front(key);
+        it->second = order.begin();
+        return;
+    }
+    if (map.size() >= cap) {
+        map.erase(order.back());
+        order.pop_back();
+    }
+    order.push_front(key);
+    map[key] = order.begin();
+}
+
+bool
+PrefetchBuffer::contains(Addr block_addr) const
+{
+    return map.count(blockAlign(block_addr)) != 0;
+}
+
+bool
+PrefetchBuffer::extract(Addr block_addr)
+{
+    auto it = map.find(blockAlign(block_addr));
+    if (it == map.end())
+        return false;
+    order.erase(it->second);
+    map.erase(it);
+    return true;
+}
+
+} // namespace dcfb::mem

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fully-associative L1i prefetch buffer.
+ *
+ * Used by the NXL side-effect study (Fig. 5 methodology: "a 64-entry
+ * prefetch buffer along with the L1i to immune it from cache pollution")
+ * and by Shotgun (64-entry L1i prefetch buffer).  SN4L and Dis prefetch
+ * directly into the cache and do not use one — that is one of the
+ * paper's Table II distinctions.
+ */
+
+#ifndef DCFB_MEM_PREFETCH_BUFFER_H
+#define DCFB_MEM_PREFETCH_BUFFER_H
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace dcfb::mem {
+
+/**
+ * Fully-associative LRU buffer of prefetched blocks.
+ */
+class PrefetchBuffer
+{
+  public:
+    explicit PrefetchBuffer(std::size_t entries_) : cap(entries_) {}
+
+    /** Insert a prefetched block (evicting LRU when full). */
+    void insert(Addr block_addr);
+
+    /** True when the block is buffered (does not refresh LRU). */
+    bool contains(Addr block_addr) const;
+
+    /**
+     * Demand lookup: when present, the block is removed (it moves into
+     * the cache proper) and true is returned.
+     */
+    bool extract(Addr block_addr);
+
+    std::size_t size() const { return map.size(); }
+    std::size_t capacity() const { return cap; }
+
+  private:
+    std::size_t cap;
+    std::list<Addr> order; //!< LRU order, most recent at front
+    std::unordered_map<Addr, std::list<Addr>::iterator> map;
+};
+
+} // namespace dcfb::mem
+
+#endif // DCFB_MEM_PREFETCH_BUFFER_H

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Confluence-like BTB prefetch buffer (Section V.C).
+ *
+ * Pre-decoded branches are stored next to the (unmodified) BTB in a
+ * 2-way set-associative, 32-entry buffer.  Entries are organized per
+ * cache block, so all branches of a block are installed in a single
+ * buffer access (the Confluence AirBTB-style organization).  On a BTB
+ * miss the fetch engine probes the buffer; a hit moves the entry into
+ * the BTB, avoiding the miss.  Shotgun uses the same structure (32
+ * entries, fully-associative) for its C-BTB prefills.
+ */
+
+#ifndef DCFB_PREFETCH_BTB_PREFETCH_BUFFER_H
+#define DCFB_PREFETCH_BTB_PREFETCH_BUFFER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "isa/encoding.h"
+#include "isa/predecoder.h"
+#include "mem/cache.h"
+
+namespace dcfb::prefetch {
+
+/** One buffered pre-decoded branch. */
+struct BufferedBranch
+{
+    std::uint8_t byteOffset = 0;
+    isa::InstrKind kind = isa::InstrKind::CondBranch;
+    Addr target = kInvalidAddr;
+    bool hasTarget = false;
+};
+
+/** All branches of one pre-decoded cache block. */
+struct BufferedBlock
+{
+    std::vector<BufferedBranch> branches;
+};
+
+/**
+ * Block-grained BTB prefetch buffer.
+ */
+class BtbPrefetchBuffer
+{
+  public:
+    /**
+     * @param entries_ block entries (paper: 32)
+     * @param assoc_   associativity (paper: 2-way; Shotgun: fully assoc.)
+     */
+    explicit BtbPrefetchBuffer(unsigned entries_ = 32, unsigned assoc_ = 2)
+        : array(entries_ / assoc_, assoc_)
+    {}
+
+    /** Install the pre-decoded branches of @p block_addr (one access). */
+    void
+    insertBlock(Addr block_addr,
+                const std::vector<isa::PredecodedBranch> &branches)
+    {
+        statSet.add("btbpb_inserts");
+        BufferedBlock blk;
+        for (const auto &b : branches) {
+            blk.branches.push_back({static_cast<std::uint8_t>(b.byteOffset),
+                                    b.kind, b.target, b.hasTarget});
+        }
+        if (auto *line = array.lookup(block_addr)) {
+            line->meta = std::move(blk);
+            return;
+        }
+        array.insert(blockAlign(block_addr), std::move(blk));
+    }
+
+    /**
+     * Probe for the branch at @p pc (called on a BTB miss).  On a hit the
+     * branch record is returned; the caller moves it into the BTB.
+     */
+    const BufferedBranch *
+    findBranch(Addr pc)
+    {
+        statSet.add("btbpb_probes");
+        auto *line = array.lookup(blockAlign(pc));
+        if (!line)
+            return nullptr;
+        unsigned off = blockOffset(pc);
+        for (const auto &b : line->meta.branches) {
+            if (b.byteOffset == off) {
+                statSet.add("btbpb_hits");
+                return &b;
+            }
+        }
+        return nullptr;
+    }
+
+    bool
+    containsBlock(Addr block_addr) const
+    {
+        return array.lookup(block_addr) != nullptr;
+    }
+
+    /** Storage: per entry, up to 4 branches x (6-bit offset + 32-bit
+     *  target + kind) plus the block tag: ~1 KB total at 32 entries. */
+    std::uint64_t
+    storageBits() const
+    {
+        return std::uint64_t{array.sets()} * array.ways() * (4 * 40 + 52);
+    }
+
+    const StatSet &stats() const { return statSet; }
+
+  private:
+    mem::SetAssocCache<BufferedBlock> array;
+    StatSet statSet;
+};
+
+} // namespace dcfb::prefetch
+
+#endif // DCFB_PREFETCH_BTB_PREFETCH_BUFFER_H

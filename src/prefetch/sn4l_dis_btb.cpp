@@ -1,0 +1,293 @@
+#include "prefetch/sn4l_dis_btb.h"
+
+#include <algorithm>
+
+namespace dcfb::prefetch {
+
+Sn4lDisBtb::Sn4lDisBtb(mem::L1iCache &l1i_,
+                       const isa::Predecoder &predecoder,
+                       frontend::Btb *btb_, const Sn4lDisBtbConfig &config)
+    : l1i(l1i_), pd(predecoder), btb(btb_), cfg(config),
+      seq(config.seqTableEntries), dis(config.disTable),
+      rluFilter(config.rluEntries),
+      btbPb(config.btbPbEntries, config.btbPbAssoc)
+{
+}
+
+std::string
+Sn4lDisBtb::name() const
+{
+    std::string n;
+    if (cfg.seqDepth > 0)
+        n = cfg.selective ? "SN4L" : "N4L";
+    if (cfg.enableDis)
+        n += n.empty() ? "Dis" : "+Dis";
+    if (cfg.enableBtbPrefetch)
+        n += "+BTB";
+    return n;
+}
+
+std::uint64_t
+Sn4lDisBtb::storageBits() const
+{
+    // SeqTable + DisTable + RLU + three 16-entry queues (block address +
+    // 2-bit depth each) + BTB prefetch buffer + the 5 per-L1i-line bits
+    // (4-bit local status + 1-bit prefetch flag) over 512 lines.
+    std::uint64_t bits = seq.storageBits() + dis.storageBits() +
+        rluFilter.storageBits() + 3ull * cfg.queueEntries * 54;
+    if (cfg.enableBtbPrefetch)
+        bits += btbPb.storageBits();
+    bits += 512 * 5;
+    return bits;
+}
+
+void
+Sn4lDisBtb::pushTrigger(Addr block_addr, unsigned depth)
+{
+    if (depth >= cfg.chainDepthLimit)
+        return;
+    if (seqQueue.size() < cfg.queueEntries)
+        seqQueue.push_back({block_addr, depth});
+    else
+        statSet.add("seqqueue_overflow");
+    if (cfg.enableDis) {
+        if (disQueue.size() < cfg.queueEntries)
+            disQueue.push_back({block_addr, depth});
+        else
+            statSet.add("disqueue_overflow");
+    }
+}
+
+void
+Sn4lDisBtb::emitCandidate(Addr block_addr, unsigned depth)
+{
+    if (rluQueue.size() < cfg.queueEntries)
+        rluQueue.push_back({block_addr, depth});
+    else
+        statSet.add("rluqueue_overflow");
+}
+
+void
+Sn4lDisBtb::onDemandAccess(Addr block_addr, bool hit)
+{
+    (void)hit;
+    // The demand stream counts as a lookup for RLU purposes, and every
+    // demanded block starts a fresh depth-0 chain.
+    rluFilter.touch(block_addr);
+    pushTrigger(block_addr, 0);
+}
+
+void
+Sn4lDisBtb::onDemandMiss(Addr block_addr, bool sequential)
+{
+    // SN4L metadata: a missed block would have been a useful prefetch.
+    if (cfg.selective) {
+        if (!seq.get(block_addr))
+            statSet.add("miss_with_status_off"); // filter mispredicted
+        seq.set(block_addr, true);
+    }
+
+    // Dis recording: decode the last two demanded instructions; if one
+    // is a taken branch that landed in the missed block, record its
+    // offset in the DisTable entry of the *branch's* block.
+    if (!cfg.enableDis || sequential)
+        return;
+    for (int i = 0; i < 2; ++i) {
+        if (!haveInstr[i])
+            continue;
+        const FetchedInstr &instr = lastInstr[i];
+        if (!isa::isBranch(instr.kind) || !instr.taken)
+            continue;
+        if (!sameBlock(instr.target, block_addr))
+            continue;
+        std::uint8_t offset = dis.config().byteOffsets
+            ? static_cast<std::uint8_t>(blockOffset(instr.pc))
+            : static_cast<std::uint8_t>(instrSlot(instr.pc));
+        dis.record(blockAlign(instr.pc), offset);
+        statSet.add("dis_recorded");
+        break;
+    }
+}
+
+void
+Sn4lDisBtb::onFill(Addr block_addr, bool was_prefetch,
+                   const mem::BranchFootprint *bf)
+{
+    (void)bf;
+    (void)was_prefetch;
+    // Copy the SeqTable status of the four subsequent blocks into the
+    // line's local prefetch status (Section V.A, "Decreasing SeqTable
+    // lookups").
+    if (auto *meta = l1i.lineMeta(block_addr)) {
+        meta->localStatus = seq.statusOfNextFour(block_addr);
+        statSet.add("local_status_fills");
+    }
+}
+
+void
+Sn4lDisBtb::onEvict(Addr block_addr, bool was_prefetch, bool demanded)
+{
+    if (cfg.selective && was_prefetch && !demanded)
+        seq.set(block_addr, false);
+}
+
+void
+Sn4lDisBtb::onPrefetchUsed(Addr block_addr)
+{
+    if (cfg.selective)
+        seq.set(block_addr, true);
+}
+
+void
+Sn4lDisBtb::onFetchInstr(const FetchedInstr &instr, Cycle now)
+{
+    (void)now;
+    lastInstr[1] = lastInstr[0];
+    haveInstr[1] = haveInstr[0];
+    lastInstr[0] = instr;
+    haveInstr[0] = true;
+}
+
+void
+Sn4lDisBtb::processSeq(const Trigger &t)
+{
+    if (cfg.seqDepth == 0)
+        return; // Dis-only ablation
+
+    // SN1L beyond a discontinuity region (depth > 0) trades accuracy for
+    // the timeliness the chain already provides (Section V.B).
+    unsigned depth_limit =
+        (t.depth > 0 && cfg.sn1lTails) ? 1 : cfg.seqDepth;
+    // Read the status bits; when the block is resident this uses the
+    // 4-bit local prefetch status, saving SeqTable reads.
+    std::uint8_t status;
+    if (auto *meta = l1i.lineMeta(t.blockAddr)) {
+        status = meta->localStatus;
+        statSet.add("local_status_hits");
+    } else {
+        status = seq.statusOfNextFour(t.blockAddr);
+        statSet.add("seqtable_reads");
+    }
+    for (unsigned i = 1; i <= depth_limit; ++i) {
+        bool useful = !cfg.selective || (status >> (i - 1)) & 1;
+        if (!useful) {
+            statSet.add("sn4l_filtered");
+            continue;
+        }
+        emitCandidate(t.blockAddr + Addr{i} * kBlockBytes, t.depth + 1);
+        statSet.add("sn4l_candidates");
+    }
+}
+
+void
+Sn4lDisBtb::processDis(const Trigger &t, Cycle now)
+{
+    (void)now;
+    // Section V.C: the DisQueue head's block goes to the shared pre-
+    // decoder, which extracts all its branches for the BTB prefetch
+    // buffer while checking the DisTable offset below.
+    if (cfg.enableBtbPrefetch)
+        prefillBtb(t.blockAddr);
+    auto offset = dis.lookup(t.blockAddr);
+    if (!offset)
+        return;
+    unsigned byte_offset = dis.config().byteOffsets
+        ? *offset
+        : *offset * kInstrBytes;
+    auto hits = pd.decodeAt(t.blockAddr, byte_offset);
+    if (hits.empty()) {
+        // Stale or aliased entry: the instruction there is not a branch.
+        statSet.add("dis_replay_not_branch");
+        return;
+    }
+    const auto &br = hits.front();
+    Addr target = kInvalidAddr;
+    if (br.hasTarget) {
+        target = br.target;
+    } else if (btb) {
+        // Indirect branch: consult the BTB (Section V.B "Replaying").
+        if (const auto *e = btb->lookup(br.pc))
+            target = e->target;
+    }
+    if (target == kInvalidAddr) {
+        statSet.add("dis_replay_no_target");
+        return;
+    }
+    emitCandidate(blockAlign(target), t.depth + 1);
+    statSet.add("dis_candidates");
+}
+
+void
+Sn4lDisBtb::prefillBtb(Addr block_addr)
+{
+    std::vector<isa::PredecodedBranch> branches;
+    if (pd.isVariableLength()) {
+        // VL-ISA: the pre-decoder needs the branch footprint fetched
+        // with the block from the DV-LLC.
+        if (const auto *bf = l1i.footprintFor(block_addr)) {
+            branches = pd.predecodeWithFootprint(block_addr, bf->offsets);
+        } else {
+            statSet.add("btb_prefill_no_footprint");
+            return;
+        }
+    } else {
+        branches = pd.predecodeBlock(block_addr);
+    }
+    if (!branches.empty()) {
+        btbPb.insertBlock(block_addr, branches);
+        statSet.add("btb_prefill_blocks");
+    }
+}
+
+void
+Sn4lDisBtb::processRluQueue(Cycle now)
+{
+    // drainPerCycle bounds *cache lookups* (the two L1i ports); RLU
+    // checks are single-cycle register compares and candidates filtered
+    // by the RLU do not consume a port - that is the point of the RLU.
+    unsigned budget = cfg.drainPerCycle;
+    while (budget > 0 && !rluQueue.empty()) {
+        Trigger t = rluQueue.front();
+        rluQueue.pop_front();
+        if (rluFilter.contains(t.blockAddr)) {
+            statSet.add("rlu_filtered");
+            continue;
+        }
+        --budget;
+        rluFilter.touch(t.blockAddr);
+        // RLU miss: this block is a fresh trigger for further chains,
+        // and the candidate proceeds to the cache lookup.
+        if (cfg.proactive)
+            pushTrigger(t.blockAddr, t.depth);
+        auto outcome = l1i.prefetch(t.blockAddr, now);
+        if (outcome == mem::L1iCache::PfOutcome::Issued)
+            statSet.add("issued");
+        // In non-proactive configurations the candidate never reaches
+        // the DisQueue, so the RLU-miss path feeds the pre-decoder
+        // directly (Section V.C: blocks missed in the RLU are sent to
+        // the pre-decoder).
+        if (cfg.enableBtbPrefetch && !cfg.proactive)
+            prefillBtb(t.blockAddr);
+    }
+}
+
+void
+Sn4lDisBtb::tick(Cycle now)
+{
+    // Two SeqQueue and two DisQueue triggers per cycle (metadata reads
+    // against small direct-mapped tables), plus the RLU queue bounded by
+    // the two L1i lookup ports.
+    for (int i = 0; i < 2 && !seqQueue.empty(); ++i) {
+        Trigger t = seqQueue.front();
+        seqQueue.pop_front();
+        processSeq(t);
+    }
+    for (int i = 0; i < 2 && cfg.enableDis && !disQueue.empty(); ++i) {
+        Trigger t = disQueue.front();
+        disQueue.pop_front();
+        processDis(t, now);
+    }
+    processRluQueue(now);
+}
+
+} // namespace dcfb::prefetch

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Decoupled (BTB-directed) fetch engine: Boomerang and Shotgun.
+ *
+ * A branch-prediction unit (BPU) runs ahead of fetch, discovering basic
+ * blocks with its BTB structures and pushing them into the FTQ; the
+ * fetch engine drains the FTQ.  Instruction prefetching falls out of the
+ * BPU's lookahead: blocks of discovered basic blocks (Boomerang) or of
+ * U-BTB footprints (Shotgun) are prefetched before fetch reaches them.
+ *
+ * The failure mode the paper dissects in Section III is modeled
+ * faithfully: a BTB miss *stalls the BPU* until the missing block is
+ * fetched and pre-decoded (reactive prefill), during which the fetch
+ * engine drains the FTQ dry and the core starves ("empty-FTQ" stalls,
+ * Table I).  Shotgun's U-BTB entries carry call/return footprints that
+ * only the retired stream can build: entries restored by prefill have
+ * no footprints, so no region prefetch and no proactive C-BTB prefill
+ * happen for them (footprint misses, Fig. 1).
+ */
+
+#ifndef DCFB_SIM_DECOUPLED_H
+#define DCFB_SIM_DECOUPLED_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "frontend/bb_btb.h"
+#include "frontend/ftq.h"
+#include "frontend/ras.h"
+#include "frontend/shotgun_btb.h"
+#include "frontend/tage.h"
+#include "isa/predecoder.h"
+#include "mem/l1i.h"
+#include "prefetch/btb_prefetch_buffer.h"
+#include "sim/fetch.h"
+#include "workload/trace.h"
+
+namespace dcfb::sim {
+
+/**
+ * BTB-directed frontend (Boomerang / Shotgun).
+ */
+class DecoupledFetchEngine : public FetchEngine, public mem::L1iListener
+{
+  public:
+    enum class Kind { Boomerang, Shotgun };
+
+    DecoupledFetchEngine(const FetchConfig &config, Kind kind_,
+                         workload::TraceWalker &walker, mem::L1iCache &l1i,
+                         frontend::Tage &tage,
+                         const isa::Predecoder &predecoder,
+                         unsigned boomerang_btb_entries,
+                         const frontend::ShotgunBtbConfig &shotgun_cfg);
+
+    void cycle(Cycle now) override;
+    StallReason stallReason(Cycle now) const override;
+
+    /** L1i fill hook: proactive BTB prefill from prefetched blocks. */
+    void onFill(Addr block_addr, bool was_prefetch,
+                const mem::BranchFootprint *bf) override;
+
+    frontend::ShotgunBtb &shotgunBtb() { return sgBtb; }
+    frontend::BbBtb &bbBtb() { return bbtb; }
+
+  private:
+    /** The retired-trace entry at absolute index @p idx. */
+    const workload::TraceEntry &entryAt(std::uint64_t idx);
+
+    /** Index of the terminating branch of the BB starting at @p idx. */
+    std::uint64_t scanTerminator(std::uint64_t idx);
+
+    /** One BPU step: discover the next basic block. */
+    void bpuStep(Cycle now);
+
+    /** Engine-specific BTB handling; returns false when the BPU must
+     *  stall (reactive prefill in progress). */
+    bool boomerangLookup(Addr bb_start, std::uint64_t term_idx, Cycle now);
+    bool shotgunLookup(Addr bb_start, std::uint64_t term_idx, Cycle now);
+
+    /** Begin a reactive prefill stall for the block at @p addr. */
+    void reactiveStall(Addr addr, Cycle now, const char *stat);
+
+    /** Prefetch + pre-decode the blocks named by a Shotgun footprint. */
+    void footprintPrefetch(Addr anchor_block, std::uint8_t bits, Cycle now);
+
+    /** Pre-decode @p block_addr into the 32-entry BTB prefetch buffer. */
+    void prefillFromBlock(Addr block_addr);
+
+    /** Install Boomerang BB entries derived from a pre-decoded block. */
+    void boomerangPrefill(Addr block_addr);
+
+    /** Fetch-side bookkeeping (footprint construction). */
+    void recordFetched(const workload::TraceEntry &e);
+
+    /** Fetch stage: drain the FTQ into the fetch buffer. */
+    void fetchStep(Cycle now);
+
+    Kind kind;
+    workload::TraceWalker &walker;
+    mem::L1iCache &l1i;
+    frontend::Tage &tage;
+    const isa::Predecoder &pd;
+    frontend::ReturnAddressStack ras;
+
+    frontend::BbBtb bbtb;
+    frontend::ShotgunBtb sgBtb;
+    prefetch::BtbPrefetchBuffer btbPb; //!< Shotgun: 32-entry prefill buffer
+
+    frontend::Ftq ftq;
+    std::deque<workload::TraceEntry> look;
+    std::uint64_t lookBase = 0;
+    std::uint64_t bpuIdx = 0;
+    std::uint64_t fetchIdx = 0;
+
+    Cycle bpuStalledUntil = 0;
+    bool targetMispredict = false; //!< stale stored target this BB
+    Addr wrongPathTarget = kInvalidAddr; //!< where the BPU went instead
+    bool blockedOnFill = false;
+    Cycle fillReady = 0;
+    Addr currentBlock = kInvalidAddr;
+    bool lastCycleEmptyFtq = false;
+
+    /** Shotgun footprint construction state. */
+    struct CallRecord
+    {
+        Addr callPc = kInvalidAddr;
+        Addr targetBlock = 0; //!< block number of the callee entry
+        std::uint8_t fp = 0;
+    };
+    std::vector<CallRecord> recStack;
+    struct RetRecord
+    {
+        Addr callPc = kInvalidAddr;
+        Addr retBlock = 0;
+        std::uint8_t fp = 0;
+        unsigned remaining = 0;
+    };
+    std::vector<RetRecord> retRecords;
+};
+
+} // namespace dcfb::sim
+
+#endif // DCFB_SIM_DECOUPLED_H

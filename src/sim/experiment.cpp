@@ -1,0 +1,76 @@
+#include "sim/experiment.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace dcfb::sim {
+
+ExperimentGrid::ExperimentGrid(std::vector<Preset> presets_,
+                               RunWindows windows_, ConfigHook hook_,
+                               bool vl)
+    : presets(std::move(presets_)), windows(windows_),
+      hook(std::move(hook_)), variableLength(vl)
+{
+}
+
+void
+ExperimentGrid::run()
+{
+    run(workload::serverWorkloadNames());
+}
+
+void
+ExperimentGrid::run(const std::vector<std::string> &workload_names)
+{
+    names = workload_names;
+    for (const auto &name : names) {
+        auto profile = workload::serverProfile(name, variableLength);
+        for (Preset preset : presets) {
+            SystemConfig cfg = makeConfig(profile, preset);
+            if (hook)
+                hook(cfg);
+            results.emplace(std::make_pair(name, preset),
+                            simulate(cfg, windows));
+            std::fprintf(stderr, "  [grid] %s / %s done\n", name.c_str(),
+                         presetName(preset).c_str());
+        }
+    }
+}
+
+const RunResult &
+ExperimentGrid::at(const std::string &workload_name, Preset preset) const
+{
+    auto it = results.find(std::make_pair(workload_name, preset));
+    if (it == results.end())
+        throw std::out_of_range("no result for " + workload_name);
+    return it->second;
+}
+
+double
+ExperimentGrid::mean(
+    Preset preset,
+    const std::function<double(const RunResult &)> &metric) const
+{
+    if (names.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &name : names)
+        sum += metric(at(name, preset));
+    return sum / static_cast<double>(names.size());
+}
+
+double
+ExperimentGrid::gmeanSpeedup(Preset design, Preset baseline) const
+{
+    if (names.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (const auto &name : names) {
+        double s = speedup(at(name, design), at(name, baseline));
+        log_sum += std::log(s > 0 ? s : 1e-9);
+    }
+    return std::exp(log_sum / static_cast<double>(names.size()));
+}
+
+} // namespace dcfb::sim

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Experiment grid runner: run (workload x design) matrices with shared
+ * windows and cache results, plus the geometric/arithmetic means the
+ * paper's "Average" bars use.
+ */
+
+#ifndef DCFB_SIM_EXPERIMENT_H
+#define DCFB_SIM_EXPERIMENT_H
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "workload/profiles.h"
+
+namespace dcfb::sim {
+
+/** Keyed results of a (workload x design) sweep. */
+class ExperimentGrid
+{
+  public:
+    using ConfigHook = std::function<void(SystemConfig &)>;
+
+    /**
+     * @param presets   designs to evaluate
+     * @param windows   warmup/measure windows
+     * @param hook      optional per-config tweak (sweeps)
+     * @param vl        build variable-length-ISA workloads
+     */
+    ExperimentGrid(std::vector<Preset> presets,
+                   RunWindows windows = RunWindows{},
+                   ConfigHook hook = nullptr, bool vl = false);
+
+    /** Run the full 7-workload grid. */
+    void run();
+
+    /** Run a subset of workloads (faster benches). */
+    void run(const std::vector<std::string> &workloads);
+
+    const RunResult &at(const std::string &workload, Preset preset) const;
+    const std::vector<std::string> &workloads() const { return names; }
+
+    /** Arithmetic mean of a per-workload metric. */
+    double
+    mean(Preset preset,
+         const std::function<double(const RunResult &)> &metric) const;
+
+    /** Geometric mean of per-workload speedups over a baseline preset. */
+    double gmeanSpeedup(Preset design, Preset baseline) const;
+
+  private:
+    std::vector<Preset> presets;
+    RunWindows windows;
+    ConfigHook hook;
+    bool variableLength;
+    std::vector<std::string> names;
+    std::map<std::pair<std::string, Preset>, RunResult> results;
+};
+
+} // namespace dcfb::sim
+
+#endif // DCFB_SIM_EXPERIMENT_H

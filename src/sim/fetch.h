@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Fetch engines.
+ *
+ * Two frontend organizations are modeled:
+ *
+ *  - **CoupledFetchEngine**: the conventional frontend used by the
+ *    baseline, the NXL family, SN4L+Dis+BTB and Confluence.  Fetch
+ *    follows the predicted stream; on a BTB miss for a taken branch or a
+ *    direction/target misprediction the frontend runs down the wrong
+ *    path for the redirect penalty (issuing real wrong-path I-cache
+ *    accesses) before resuming.
+ *
+ *  - **DecoupledFetchEngine** (sim/decoupled.h): the BTB-directed
+ *    frontend of Boomerang and Shotgun, with a branch-prediction unit
+ *    that runs ahead of fetch through the FTQ.
+ *
+ * Both deliver fetched instructions into a bounded fetch buffer that the
+ * simulator's dispatch stage drains, and both expose a per-cycle stall
+ * reason for the frontend-stall accounting behind FSCR (Fig. 15).
+ */
+
+#ifndef DCFB_SIM_FETCH_H
+#define DCFB_SIM_FETCH_H
+
+#include <cstdint>
+#include <deque>
+
+#include "common/stats.h"
+#include "frontend/btb.h"
+#include "frontend/ras.h"
+#include "frontend/tage.h"
+#include "mem/l1i.h"
+#include "prefetch/prefetcher.h"
+#include "sim/config.h"
+#include "workload/trace.h"
+
+namespace dcfb::sim {
+
+/** Why the frontend failed to deliver instructions this cycle. */
+enum class StallReason {
+    None,
+    ICacheMiss,
+    BtbMissRedirect,
+    MispredictRedirect,
+    EmptyFtq,
+    FetchPipe, //!< buffer momentarily empty (pipeline fill)
+};
+
+/** An instruction sitting in the fetch buffer. */
+struct FetchedSlot
+{
+    workload::TraceEntry entry;
+    Cycle ready = 0; //!< cycle it becomes visible to dispatch
+};
+
+/**
+ * Common fetch-engine interface.
+ */
+class FetchEngine
+{
+  public:
+    explicit FetchEngine(const FetchConfig &config)
+        : cfg(config), fetchBuffer()
+    {}
+    virtual ~FetchEngine() = default;
+
+    /** Produce instructions for cycle @p now. */
+    virtual void cycle(Cycle now) = 0;
+
+    /** Why nothing (more) was delivered as of @p now. */
+    virtual StallReason stallReason(Cycle now) const = 0;
+
+    std::deque<FetchedSlot> &buffer() { return fetchBuffer; }
+    const StatSet &stats() const { return statSet; }
+    StatSet &stats() { return statSet; }
+
+  protected:
+    FetchConfig cfg;
+    std::deque<FetchedSlot> fetchBuffer;
+    StatSet statSet;
+};
+
+/**
+ * Conventional (coupled) frontend.
+ */
+class CoupledFetchEngine : public FetchEngine
+{
+  public:
+    /**
+     * @param config     fetch parameters (incl. perfect-frontend flags)
+     * @param walker     retired-instruction source
+     * @param l1i        instruction cache
+     * @param btb        conventional BTB
+     * @param tage       direction predictor
+     * @param image      program image (wrong-path reconstruction)
+     * @param prefetcher bound prefetcher (never null; NullPrefetcher ok)
+     */
+    CoupledFetchEngine(const FetchConfig &config,
+                       workload::TraceWalker &walker, mem::L1iCache &l1i,
+                       frontend::Btb &btb, frontend::Tage &tage,
+                       const workload::ProgramImage &image,
+                       prefetch::InstrPrefetcher &prefetcher);
+
+    void cycle(Cycle now) override;
+    StallReason stallReason(Cycle now) const override;
+
+  private:
+    /** Handle the branch just fetched; returns true when fetch must stop
+     *  (taken branch or redirect). */
+    bool handleBranch(const workload::TraceEntry &e, Cycle now);
+
+    /** Begin a redirect window. */
+    void redirect(Cycle now, Cycle penalty, Addr wrong_path_pc,
+                  StallReason reason);
+
+    /** Issue wrong-path fetches during a redirect window. */
+    void wrongPathFetch(Cycle now);
+
+    workload::TraceWalker &walker;
+    mem::L1iCache &l1i;
+    frontend::Btb &btb;
+    frontend::Tage &tage;
+    const workload::ProgramImage &image;
+    prefetch::InstrPrefetcher &pf;
+    frontend::ReturnAddressStack ras;
+
+    std::deque<workload::TraceEntry> look; //!< trace lookahead
+    Addr currentBlock = kInvalidAddr;      //!< last block fetch accessed
+
+    bool blockedOnFill = false;
+    Cycle fillReady = 0;
+
+    Cycle redirectUntil = 0;
+    StallReason redirectReason = StallReason::None;
+    Addr wrongPathPc = kInvalidAddr;
+    Addr wrongPathBlock = kInvalidAddr;
+
+    void refill();
+};
+
+} // namespace dcfb::sim
+
+#endif // DCFB_SIM_FETCH_H

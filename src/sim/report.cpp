@@ -1,0 +1,70 @@
+#include "sim/report.h"
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+namespace dcfb::sim {
+
+Table::Table(std::vector<std::string> header)
+{
+    rows.push_back(std::move(header));
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    rows.push_back(std::move(row));
+}
+
+std::string
+Table::pct(double fraction, int decimals)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(decimals) << fraction * 100.0
+       << "%";
+    return os.str();
+}
+
+std::string
+Table::num(double value, int decimals)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(decimals) << value;
+    return os.str();
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths;
+    for (const auto &row : rows) {
+        if (widths.size() < row.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+    std::ostringstream os;
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        for (std::size_t c = 0; c < rows[r].size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << rows[r][c];
+        }
+        os << '\n';
+        if (r == 0) {
+            for (std::size_t c = 0; c < widths.size(); ++c)
+                os << std::string(widths[c], '-') << "  ";
+            os << '\n';
+        }
+    }
+    return os.str();
+}
+
+void
+Table::print(const std::string &title) const
+{
+    std::cout << "\n== " << title << " ==\n" << render() << std::flush;
+}
+
+} // namespace dcfb::sim

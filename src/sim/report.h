@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Plain-text table rendering for the bench harnesses.
+ *
+ * Every bench prints the same rows/series the paper's figures report;
+ * these helpers keep the formatting consistent and aligned.
+ */
+
+#ifndef DCFB_SIM_REPORT_H
+#define DCFB_SIM_REPORT_H
+
+#include <string>
+#include <vector>
+
+namespace dcfb::sim {
+
+/**
+ * Column-aligned text table.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a row (must match the header's column count). */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: formatted numeric cells. */
+    static std::string pct(double fraction, int decimals = 1);
+    static std::string num(double value, int decimals = 2);
+
+    /** Render with padded columns. */
+    std::string render() const;
+
+    /** Render and print to stdout with a title line. */
+    void print(const std::string &title) const;
+
+  private:
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace dcfb::sim
+
+#endif // DCFB_SIM_REPORT_H

@@ -1,0 +1,84 @@
+#include "sim/simulator.h"
+
+namespace dcfb::sim {
+
+namespace {
+
+/** Merge a component's counters under a prefix. */
+void
+merge(std::map<std::string, std::uint64_t> &out, const std::string &prefix,
+      const StatSet &stats)
+{
+    for (const auto &kv : stats.all())
+        out[prefix + "." + kv.first] += kv.second;
+}
+
+} // namespace
+
+RunResult
+simulate(const SystemConfig &config, const RunWindows &windows)
+{
+    System system(config);
+
+    for (Cycle c = 0; c < windows.warm; ++c)
+        system.step();
+
+    std::uint64_t instr_before = system.instructions();
+    system.resetStats();
+
+    for (Cycle c = 0; c < windows.measure; ++c)
+        system.step();
+
+    RunResult res;
+    res.workload = config.profile.name;
+    res.design = presetName(config.preset);
+    res.cycles = windows.measure;
+    res.instructions = system.instructions() - instr_before;
+
+    merge(res.stats, "sim", system.simStats);
+    merge(res.stats, "fe", system.fetch->stats());
+    merge(res.stats, "l1i", system.l1i->stats());
+    merge(res.stats, "l1d", system.l1d->stats());
+    merge(res.stats, "llc", system.llc->stats());
+    merge(res.stats, "mem", system.memory->stats());
+    merge(res.stats, "noc", system.mesh->stats());
+    merge(res.stats, "btb", system.btb->stats());
+    merge(res.stats, "tage", system.tage->stats());
+    merge(res.stats, "be", system.backend->stats());
+    if (system.decoupled) {
+        merge(res.stats, "sg", system.decoupled->shotgunBtb().stats());
+        merge(res.stats, "bb", system.decoupled->bbBtb().stats());
+    }
+    if (auto *p = dynamic_cast<prefetch::Sn4lDisBtb *>(
+            system.prefetcher.get())) {
+        merge(res.stats, "pf", p->stats());
+        merge(res.stats, "pf", p->seqTable().stats());
+        merge(res.stats, "pf", p->disTable().stats());
+        merge(res.stats, "pf", p->rlu().stats());
+    }
+    if (auto *p = dynamic_cast<prefetch::ConfluencePrefetcher *>(
+            system.prefetcher.get())) {
+        merge(res.stats, "pf", p->stats());
+    }
+    return res;
+}
+
+double
+fscr(const RunResult &design, const RunResult &baseline)
+{
+    std::uint64_t base = baseline.frontendStalls();
+    if (base == 0)
+        return 0.0;
+    std::uint64_t mine = design.frontendStalls();
+    if (mine >= base)
+        return 0.0;
+    return 1.0 - static_cast<double>(mine) / static_cast<double>(base);
+}
+
+double
+speedup(const RunResult &design, const RunResult &baseline)
+{
+    return baseline.ipc() > 0 ? design.ipc() / baseline.ipc() : 0.0;
+}
+
+} // namespace dcfb::sim

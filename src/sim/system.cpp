@@ -1,0 +1,225 @@
+#include "sim/system.h"
+
+#include "prefetch/classic_discontinuity.h"
+#include "prefetch/confluence.h"
+#include "prefetch/nextline.h"
+#include "prefetch/sn4l_dis_btb.h"
+
+namespace dcfb::sim {
+
+System::System(const SystemConfig &config)
+    : cfg(config), program(workload::buildProgram(config.profile))
+{
+    walker = std::make_unique<workload::TraceWalker>(program, cfg.runSeed);
+    predecoder = std::make_unique<isa::Predecoder>(
+        program.image, cfg.profile.variableLength);
+
+    mesh = std::make_unique<noc::MeshModel>(cfg.mesh);
+    memory = std::make_unique<mem::MemoryModel>(cfg.memory);
+    llc = std::make_unique<mem::Llc>(cfg.llc, *mesh, *memory, cfg.coreTile);
+    l1i = std::make_unique<mem::L1iCache>(cfg.l1i, *llc);
+    l1d = std::make_unique<mem::L1dCache>(cfg.l1d, *llc);
+
+    tage = std::make_unique<frontend::Tage>();
+    btb = std::make_unique<frontend::Btb>(cfg.btbEntries, cfg.btbAssoc);
+    backend = std::make_unique<core::Backend>(cfg.backend);
+
+    switch (cfg.preset) {
+      case Preset::NL:
+        prefetcher =
+            std::make_unique<prefetch::NextLinePrefetcher>(*l1i, 1);
+        break;
+      case Preset::N2L:
+        prefetcher =
+            std::make_unique<prefetch::NextLinePrefetcher>(*l1i, 2);
+        break;
+      case Preset::N4L:
+        prefetcher =
+            std::make_unique<prefetch::NextLinePrefetcher>(*l1i, 4);
+        break;
+      case Preset::N8L:
+        prefetcher =
+            std::make_unique<prefetch::NextLinePrefetcher>(*l1i, 8);
+        break;
+      case Preset::N4LPlain:
+      case Preset::SN4L:
+      case Preset::DisOnly:
+      case Preset::SN4LDis:
+      case Preset::SN4LDisBtb:
+        prefetcher = std::make_unique<prefetch::Sn4lDisBtb>(
+            *l1i, *predecoder, btb.get(), cfg.sn4l);
+        break;
+      case Preset::ClassicDis:
+        prefetcher =
+            std::make_unique<prefetch::ClassicDiscontinuity>(*l1i);
+        break;
+      case Preset::Confluence:
+        prefetcher = std::make_unique<prefetch::ConfluencePrefetcher>(
+            *l1i, cfg.confluence);
+        break;
+      default:
+        prefetcher = std::make_unique<prefetch::NullPrefetcher>();
+        break;
+    }
+
+    // Functional warmup: replay the retired stream into the long-term
+    // structures (LLC, L1s, BTB, TAGE) without timing, mirroring the
+    // checkpoint state of the paper's SimFlex methodology.  Branch PCs
+    // are remembered so the BTB-directed engines' structures can be
+    // primed after construction.
+    std::vector<workload::TraceEntry> warm_branches;
+    bool decoupled_preset =
+        cfg.preset == Preset::Boomerang || cfg.preset == Preset::Shotgun;
+    for (std::uint64_t i = 0; i < cfg.functionalWarmInstrs; ++i) {
+        workload::TraceEntry e = walker->next();
+        llc->warmTouch(e.pc, true);
+        l1i->warmInsert(e.pc);
+        if (e.dataAddr != kInvalidAddr) {
+            llc->warmTouch(e.dataAddr, false);
+            l1d->warmInsert(e.dataAddr);
+        }
+        if (e.isBranch()) {
+            if (e.kind == isa::InstrKind::CondBranch) {
+                tage->predict(e.pc);
+                tage->update(e.pc, e.taken);
+            } else {
+                tage->updateHistoryUnconditional(e.pc);
+            }
+            if (e.taken)
+                btb->update(e.pc, e.target, e.kind);
+            if (decoupled_preset)
+                warm_branches.push_back(e);
+        }
+        recordRetiredFootprints(e);
+    }
+
+    if (cfg.preset == Preset::Boomerang || cfg.preset == Preset::Shotgun) {
+        auto engine = std::make_unique<DecoupledFetchEngine>(
+            cfg.fetch,
+            cfg.preset == Preset::Boomerang
+                ? DecoupledFetchEngine::Kind::Boomerang
+                : DecoupledFetchEngine::Kind::Shotgun,
+            *walker, *l1i, *tage, *predecoder, cfg.boomerangBtbEntries,
+            cfg.shotgunBtb);
+        decoupled = engine.get();
+        l1i->setListener(decoupled);
+        // Prime the Shotgun BTB from the warm branch stream (footprints
+        // still build during the timed warm window: only the retired
+        // stream can construct them, Section III).
+        for (const auto &e : warm_branches) {
+            if (cfg.preset == Preset::Shotgun) {
+                auto &sg = engine->shotgunBtb();
+                switch (e.kind) {
+                  case isa::InstrKind::CondBranch:
+                    sg.updateC(e.pc, e.target);
+                    break;
+                  case isa::InstrKind::Return:
+                    sg.updateRib(e.pc);
+                    break;
+                  default:
+                    sg.updateU(e.pc, e.target, e.kind, false);
+                    break;
+                }
+            }
+        }
+        fetch = std::move(engine);
+    } else {
+        l1i->setListener(prefetcher.get());
+        fetch = std::make_unique<CoupledFetchEngine>(
+            cfg.fetch, *walker, *l1i, *btb, *tage, program.image,
+            *prefetcher);
+    }
+}
+
+void
+System::resetStats()
+{
+    mesh->stats().reset();
+    memory->stats().reset();
+    llc->stats().reset();
+    l1i->stats().reset();
+    l1d->stats().reset();
+    tage->stats().reset();
+    btb->stats().reset();
+    backend->stats().reset();
+    fetch->stats().reset();
+    if (decoupled)
+        decoupled->shotgunBtb().stats().reset();
+    if (auto *p = dynamic_cast<prefetch::Sn4lDisBtb *>(prefetcher.get()))
+        p->stats().reset();
+    simStats.reset();
+}
+
+void
+System::recordRetiredFootprints(const workload::TraceEntry &e)
+{
+    if (!cfg.llc.dvllc)
+        return;
+    if (e.isBranch()) {
+        llc->recordBranchOffset(blockAlign(e.pc),
+                                static_cast<std::uint8_t>(blockOffset(e.pc)));
+    }
+}
+
+void
+System::dispatchStage()
+{
+    auto &buffer = fetch->buffer();
+    unsigned dispatched = 0;
+    while (backend->canDispatch() && !buffer.empty() &&
+           buffer.front().ready <= cycleCount) {
+        const workload::TraceEntry &e = buffer.front().entry;
+        Cycle data_ready = 0;
+        if (e.kind == isa::InstrKind::Load ||
+            e.kind == isa::InstrKind::Store) {
+            data_ready = l1d->access(e.dataAddr, cycleCount,
+                                     e.kind == isa::InstrKind::Store);
+        }
+        backend->dispatch(e.kind, cycleCount, data_ready);
+        recordRetiredFootprints(e);
+        buffer.pop_front();
+        ++dispatched;
+    }
+
+    if (dispatched > 0) {
+        simStats.add("dispatch_active_cycles");
+        return;
+    }
+    if (backend->robFull()) {
+        simStats.add("stall_backend");
+        return;
+    }
+    switch (fetch->stallReason(cycleCount)) {
+      case StallReason::ICacheMiss:
+        simStats.add("stall_icache");
+        simStats.add("stall_frontend");
+        break;
+      case StallReason::BtbMissRedirect:
+        simStats.add("stall_btb");
+        simStats.add("stall_frontend");
+        break;
+      case StallReason::EmptyFtq:
+        simStats.add("stall_empty_ftq");
+        simStats.add("stall_frontend");
+        break;
+      case StallReason::MispredictRedirect:
+        simStats.add("stall_mispredict");
+        break;
+      default:
+        simStats.add("stall_other");
+        break;
+    }
+}
+
+void
+System::step()
+{
+    backend->beginCycle(cycleCount);
+    l1i->tick(cycleCount);
+    prefetcher->tick(cycleCount);
+    dispatchStage();
+    fetch->cycle(cycleCount);
+    ++cycleCount;
+}
+
+} // namespace dcfb::sim

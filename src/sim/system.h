@@ -1,0 +1,83 @@
+/**
+ * @file
+ * System: one fully-wired simulated node (program + walker + memory
+ * hierarchy + frontend + backend + the configured prefetcher/engine).
+ */
+
+#ifndef DCFB_SIM_SYSTEM_H
+#define DCFB_SIM_SYSTEM_H
+
+#include <memory>
+
+#include "core/backend.h"
+#include "frontend/btb.h"
+#include "frontend/tage.h"
+#include "isa/predecoder.h"
+#include "mem/l1d.h"
+#include "mem/l1i.h"
+#include "mem/llc.h"
+#include "mem/memory.h"
+#include "noc/mesh.h"
+#include "prefetch/prefetcher.h"
+#include "sim/config.h"
+#include "sim/decoupled.h"
+#include "sim/fetch.h"
+#include "workload/cfg.h"
+#include "workload/trace.h"
+
+namespace dcfb::sim {
+
+/**
+ * Owns and wires every component of one simulated node.
+ */
+class System
+{
+  public:
+    explicit System(const SystemConfig &config);
+
+    /** Advance the machine by one cycle. */
+    void step();
+
+    /** Current cycle. */
+    Cycle now() const { return cycleCount; }
+
+    /** Reset statistics at the warmup/measure boundary. */
+    void resetStats();
+
+    /** BF construction from the retired stream (VL-ISA mode). */
+    void recordRetiredFootprints(const workload::TraceEntry &e);
+
+    SystemConfig cfg;
+    workload::Program program;
+    std::unique_ptr<workload::TraceWalker> walker;
+    std::unique_ptr<isa::Predecoder> predecoder;
+
+    std::unique_ptr<noc::MeshModel> mesh;
+    std::unique_ptr<mem::MemoryModel> memory;
+    std::unique_ptr<mem::Llc> llc;
+    std::unique_ptr<mem::L1iCache> l1i;
+    std::unique_ptr<mem::L1dCache> l1d;
+
+    std::unique_ptr<frontend::Tage> tage;
+    std::unique_ptr<frontend::Btb> btb;
+    std::unique_ptr<core::Backend> backend;
+
+    std::unique_ptr<prefetch::InstrPrefetcher> prefetcher;
+    std::unique_ptr<FetchEngine> fetch;
+    DecoupledFetchEngine *decoupled = nullptr; //!< non-null for BTB-directed
+
+    StatSet simStats;
+
+  private:
+    void dispatchStage();
+
+    Cycle cycleCount = 0;
+    std::uint64_t instructionsRetired = 0;
+
+  public:
+    std::uint64_t instructions() const { return backend->retired(); }
+};
+
+} // namespace dcfb::sim
+
+#endif // DCFB_SIM_SYSTEM_H

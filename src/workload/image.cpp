@@ -1,0 +1,47 @@
+#include "workload/image.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dcfb::workload {
+
+void
+ProgramImage::write(Addr addr, const std::uint8_t *data, std::size_t n)
+{
+    while (n > 0) {
+        Addr bn = blockNumber(addr);
+        unsigned off = blockOffset(addr);
+        std::size_t chunk = std::min<std::size_t>(n, kBlockBytes - off);
+        auto &blk = blocks[bn]; // zero-initialized std::array on insert
+        std::memcpy(blk.data() + off, data, chunk);
+        addr += chunk;
+        data += chunk;
+        n -= chunk;
+    }
+}
+
+unsigned
+ProgramImage::read(Addr addr, std::uint8_t *out, unsigned n) const
+{
+    unsigned done = 0;
+    while (done < n) {
+        auto it = blocks.find(blockNumber(addr));
+        if (it == blocks.end())
+            break;
+        unsigned off = blockOffset(addr);
+        unsigned chunk = std::min(n - done, kBlockBytes - off);
+        std::memcpy(out + done, it->second.data() + off, chunk);
+        addr += chunk;
+        done += chunk;
+    }
+    return done;
+}
+
+const ProgramImage::Block *
+ProgramImage::block(Addr addr) const
+{
+    auto it = blocks.find(blockNumber(addr));
+    return it == blocks.end() ? nullptr : &it->second;
+}
+
+} // namespace dcfb::workload

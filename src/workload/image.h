@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Program image: the raw bytes of the synthetic program.
+ *
+ * The image is the ground truth that pre-decoders read.  The simulator
+ * never attaches instruction semantics to cache blocks directly; every
+ * component that claims to "pre-decode a block" (Dis, the BTB prefetcher,
+ * Boomerang, Shotgun) reads these bytes and runs a real decoder over
+ * them, so metadata-miss behaviour is faithful.
+ */
+
+#ifndef DCFB_WORKLOAD_IMAGE_H
+#define DCFB_WORKLOAD_IMAGE_H
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace dcfb::workload {
+
+/**
+ * Sparse byte-addressable memory image keyed by cache block.
+ */
+class ProgramImage
+{
+  public:
+    using Block = std::array<std::uint8_t, kBlockBytes>;
+
+    /** Copy @p n bytes to @p addr, allocating blocks as needed. */
+    void write(Addr addr, const std::uint8_t *data, std::size_t n);
+
+    /**
+     * Read up to @p n bytes from @p addr into @p out, stitching across
+     * blocks.  Stops early at the first unmapped block.
+     * @return the number of bytes actually read.
+     */
+    unsigned read(Addr addr, std::uint8_t *out, unsigned n) const;
+
+    /** Raw bytes of the block containing @p addr, or nullptr. */
+    const Block *block(Addr addr) const;
+
+    /** True when the block containing @p addr is mapped. */
+    bool contains(Addr addr) const { return block(addr) != nullptr; }
+
+    /** Number of mapped 64-byte blocks. */
+    std::size_t numBlocks() const { return blocks.size(); }
+
+    /** Total mapped code bytes (block granularity). */
+    std::size_t sizeBytes() const { return blocks.size() * kBlockBytes; }
+
+  private:
+    std::unordered_map<Addr, Block> blocks; //!< keyed by block number
+};
+
+} // namespace dcfb::workload
+
+#endif // DCFB_WORKLOAD_IMAGE_H

@@ -1,0 +1,92 @@
+#include "workload/profiles.h"
+
+#include <stdexcept>
+
+namespace dcfb::workload {
+
+namespace {
+
+/** Build one profile from the per-workload shape knobs. */
+WorkloadProfile
+makeProfile(const std::string &name, std::uint32_t functions, double skew,
+            std::uint32_t min_blocks, std::uint32_t max_blocks,
+            double cond, double call, double jump, std::uint64_t seed)
+{
+    WorkloadProfile p;
+    p.name = name;
+    p.numFunctions = functions;
+    p.zipfSkew = skew;
+    p.minBlocks = min_blocks;
+    p.maxBlocks = max_blocks;
+    p.condProb = cond;
+    p.callProb = call;
+    p.jumpProb = jump;
+    p.seed = seed;
+    return p;
+}
+
+} // namespace
+
+std::vector<std::string>
+serverWorkloadNames()
+{
+    return {"Media Streaming", "OLTP (DB A)", "OLTP (DB B)",
+            "Web (Apache)",    "Web (Zeus)",  "Web Frontend",
+            "Web Search"};
+}
+
+WorkloadProfile
+serverProfile(const std::string &name, bool variable_length)
+{
+    WorkloadProfile p;
+    if (name == "Media Streaming") {
+        // Streaming server: very large i-footprint, long straight-line
+        // codec/protocol paths -> the biggest prefetcher upside (Fig. 16).
+        p = makeProfile(name, 3200, 0.66, 5, 16, 0.34, 0.16, 0.08, 11);
+        p.callSkew = 0.68;
+        p.minInstrs = 8;
+        p.maxInstrs = 22;
+    } else if (name == "OLTP (DB A)") {
+        // Oracle TPC-C: the largest active footprint and the flattest
+        // function popularity -> worst Shotgun footprint miss ratio
+        // (Fig. 1: 31 %).
+        p = makeProfile(name, 3400, 0.72, 4, 12, 0.44, 0.20, 0.08, 12);
+        p.callSkew = 0.70;
+    } else if (name == "OLTP (DB B)") {
+        // DB2 TPC-C: big but with a hotter core loop than DB A.
+        p = makeProfile(name, 1800, 0.82, 4, 12, 0.44, 0.18, 0.07, 13);
+        p.callSkew = 0.82;
+    } else if (name == "Web (Apache)") {
+        p = makeProfile(name, 1700, 0.82, 3, 11, 0.46, 0.18, 0.08, 14);
+        p.callSkew = 0.82;
+    } else if (name == "Web (Zeus)") {
+        p = makeProfile(name, 1500, 0.83, 3, 11, 0.44, 0.18, 0.08, 15);
+        p.callSkew = 0.83;
+    } else if (name == "Web Frontend") {
+        // Nginx+PHP: smallest active footprint -> smallest speedup (7 %).
+        p = makeProfile(name, 800, 0.92, 3, 9, 0.46, 0.16, 0.06, 16);
+        p.callSkew = 0.90;
+        p.dataFootprint = 4ull << 20;
+    } else if (name == "Web Search") {
+        // Nutch/Lucene: moderate footprint, data-heavy.
+        p = makeProfile(name, 1100, 0.87, 4, 12, 0.42, 0.16, 0.06, 17);
+        p.callSkew = 0.87;
+        p.loadFrac = 0.30;
+        p.dataFootprint = 16ull << 20;
+    } else {
+        throw std::out_of_range("unknown workload profile: " + name);
+    }
+    p.variableLength = variable_length;
+    return p;
+}
+
+std::vector<WorkloadProfile>
+allServerProfiles(bool variable_length)
+{
+    std::vector<WorkloadProfile> out;
+    for (const auto &name : serverWorkloadNames())
+        out.push_back(serverProfile(name, variable_length));
+    return out;
+}
+
+} // namespace dcfb::workload

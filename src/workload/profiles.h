@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The seven server-workload profiles of Table IV.
+ *
+ * Each profile is a parameterization of the synthetic program generator
+ * tuned so that the *motivation* characteristics the paper reports land
+ * in the right bands (sequential-miss fraction 65-80 %, Fig. 2;
+ * dominant-discontinuity-branch rate ~80 %, Fig. 7; Shotgun footprint
+ * miss ratio 4-31 %, Fig. 1).  Knobs are then held fixed for every
+ * evaluation experiment.  EXPERIMENTS.md records paper-vs-measured.
+ */
+
+#ifndef DCFB_WORKLOAD_PROFILES_H
+#define DCFB_WORKLOAD_PROFILES_H
+
+#include <string>
+#include <vector>
+
+#include "workload/cfg.h"
+
+namespace dcfb::workload {
+
+/** Names follow the paper's figures. */
+std::vector<std::string> serverWorkloadNames();
+
+/**
+ * Profile for @p name; throws std::out_of_range for unknown names.
+ * @param variable_length build the VL-ISA flavour of the workload
+ */
+WorkloadProfile serverProfile(const std::string &name,
+                              bool variable_length = false);
+
+/** All seven profiles, paper order. */
+std::vector<WorkloadProfile> allServerProfiles(bool variable_length = false);
+
+} // namespace dcfb::workload
+
+#endif // DCFB_WORKLOAD_PROFILES_H

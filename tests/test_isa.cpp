@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Tests for the synthetic fixed- and variable-length encodings and the
+ * block pre-decoder, including the round-trip property decode(encode(x))
+ * == x on randomized instructions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "isa/encoding.h"
+#include "isa/predecoder.h"
+#include "isa/vl_encoding.h"
+#include "workload/image.h"
+
+namespace dcfb::isa {
+namespace {
+
+TEST(Encoding, BranchPredicates)
+{
+    EXPECT_FALSE(isBranch(InstrKind::Alu));
+    EXPECT_FALSE(isBranch(InstrKind::Load));
+    EXPECT_FALSE(isBranch(InstrKind::Store));
+    EXPECT_TRUE(isBranch(InstrKind::CondBranch));
+    EXPECT_TRUE(isBranch(InstrKind::Jump));
+    EXPECT_TRUE(isBranch(InstrKind::Call));
+    EXPECT_TRUE(isBranch(InstrKind::Return));
+    EXPECT_TRUE(isBranch(InstrKind::IndirectCall));
+
+    EXPECT_TRUE(hasEncodedTarget(InstrKind::CondBranch));
+    EXPECT_TRUE(hasEncodedTarget(InstrKind::Jump));
+    EXPECT_TRUE(hasEncodedTarget(InstrKind::Call));
+    EXPECT_FALSE(hasEncodedTarget(InstrKind::Return));
+    EXPECT_FALSE(hasEncodedTarget(InstrKind::IndirectCall));
+
+    EXPECT_FALSE(isUnconditional(InstrKind::CondBranch));
+    EXPECT_TRUE(isUnconditional(InstrKind::Jump));
+    EXPECT_TRUE(isUnconditional(InstrKind::Return));
+    EXPECT_FALSE(isUnconditional(InstrKind::Alu));
+}
+
+TEST(Encoding, RoundTripForwardBranch)
+{
+    Addr pc = 0x40000;
+    DecodedInstr in{InstrKind::CondBranch, true, 0x40080};
+    auto word = encodeInstr(pc, in);
+    auto out = decodeInstr(pc, word);
+    EXPECT_EQ(out.kind, InstrKind::CondBranch);
+    EXPECT_TRUE(out.hasTarget);
+    EXPECT_EQ(out.target, 0x40080u);
+}
+
+TEST(Encoding, RoundTripBackwardBranch)
+{
+    Addr pc = 0x40100;
+    DecodedInstr in{InstrKind::Jump, true, 0x40000};
+    auto out = decodeInstr(pc, encodeInstr(pc, in));
+    EXPECT_EQ(out.kind, InstrKind::Jump);
+    EXPECT_EQ(out.target, 0x40000u);
+}
+
+TEST(Encoding, NonBranchHasNoTarget)
+{
+    Addr pc = 0x40000;
+    DecodedInstr in{InstrKind::Load, false, kInvalidAddr};
+    auto out = decodeInstr(pc, encodeInstr(pc, in));
+    EXPECT_EQ(out.kind, InstrKind::Load);
+    EXPECT_FALSE(out.hasTarget);
+}
+
+TEST(Encoding, WordReadWriteLittleEndian)
+{
+    std::uint8_t buf[4];
+    writeWord(buf, 0x12345678);
+    EXPECT_EQ(buf[0], 0x78);
+    EXPECT_EQ(buf[3], 0x12);
+    EXPECT_EQ(readWord(buf), 0x12345678u);
+}
+
+/** Property: random direct branches round-trip across a wide PC range. */
+class EncodingRoundTrip : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(EncodingRoundTrip, RandomizedBranches)
+{
+    dcfb::Rng rng(GetParam());
+    for (int i = 0; i < 2000; ++i) {
+        Addr pc = 0x40000 + rng.below(1 << 20) * kInstrBytes;
+        std::int64_t delta =
+            static_cast<std::int64_t>(rng.below(1 << 18)) - (1 << 17);
+        Addr target = static_cast<Addr>(
+            static_cast<std::int64_t>(pc) + delta * kInstrBytes);
+        static const InstrKind kinds[] = {InstrKind::CondBranch,
+                                          InstrKind::Jump, InstrKind::Call};
+        DecodedInstr in{kinds[rng.below(3)], true, target};
+        auto out = decodeInstr(pc, encodeInstr(pc, in));
+        ASSERT_EQ(out.kind, in.kind);
+        ASSERT_EQ(out.target, in.target);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncodingRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(VlEncoding, RoundTripBranch)
+{
+    std::vector<std::uint8_t> bytes;
+    Addr pc = 0x50003;
+    VlDecodedInstr in;
+    in.kind = InstrKind::CondBranch;
+    in.length = 6;
+    in.hasTarget = true;
+    in.target = 0x4f000;
+    vlEncodeInstr(pc, in, bytes);
+    ASSERT_EQ(bytes.size(), 6u);
+    auto out = vlDecodeInstr(pc, bytes.data(),
+                             static_cast<unsigned>(bytes.size()));
+    EXPECT_EQ(out.kind, InstrKind::CondBranch);
+    EXPECT_EQ(out.length, 6u);
+    EXPECT_TRUE(out.hasTarget);
+    EXPECT_EQ(out.target, 0x4f000u);
+}
+
+TEST(VlEncoding, RoundTripBodyLengths)
+{
+    for (unsigned len = kVlMinLength; len <= kVlMaxLength; ++len) {
+        std::vector<std::uint8_t> bytes;
+        VlDecodedInstr in;
+        in.kind = InstrKind::Alu;
+        in.length = len;
+        vlEncodeInstr(0x60000, in, bytes);
+        ASSERT_EQ(bytes.size(), len);
+        auto out = vlDecodeInstr(0x60000, bytes.data(), len);
+        EXPECT_EQ(out.length, len);
+        EXPECT_EQ(out.kind, InstrKind::Alu);
+    }
+}
+
+TEST(VlEncoding, TruncatedBranchFailsToDecode)
+{
+    std::vector<std::uint8_t> bytes;
+    VlDecodedInstr in;
+    in.kind = InstrKind::Jump;
+    in.length = 6;
+    in.hasTarget = true;
+    in.target = 0x60010;
+    vlEncodeInstr(0x60000, in, bytes);
+    auto out = vlDecodeInstr(0x60000, bytes.data(), 3); // too few bytes
+    EXPECT_EQ(out.length, 0u);
+}
+
+TEST(VlEncoding, FillerByteIsMalformedBoundary)
+{
+    // Decoding from a filler byte must not look like a valid instruction
+    // most of the time; our filler encodes length 0xa..0xf with kinds
+    // >= 10, i.e. length is in range but the kind is out of the enum.
+    std::vector<std::uint8_t> bytes;
+    VlDecodedInstr in;
+    in.kind = InstrKind::Alu;
+    in.length = 8;
+    vlEncodeInstr(0x60000, in, bytes);
+    auto out = vlDecodeInstr(0x60001, bytes.data() + 1, 7);
+    // Filler 0xa1 decodes to kind 10 (invalid enum) - it must at least not
+    // decode to a branch with a target.
+    EXPECT_FALSE(out.hasTarget);
+}
+
+class PredecoderTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        // Lay out a block at 0x40000 with branches in slots 3 and 9.
+        Addr base = 0x40000;
+        for (unsigned slot = 0; slot < kInstrPerBlock; ++slot) {
+            Addr pc = base + slot * kInstrBytes;
+            DecodedInstr di{InstrKind::Alu, false, kInvalidAddr};
+            if (slot == 3)
+                di = {InstrKind::CondBranch, true, 0x40400};
+            if (slot == 9)
+                di = {InstrKind::Call, true, 0x41000};
+            if (slot == 15)
+                di = {InstrKind::Return, false, kInvalidAddr};
+            std::uint8_t buf[kInstrBytes];
+            writeWord(buf, encodeInstr(pc, di));
+            image.write(pc, buf, kInstrBytes);
+        }
+    }
+
+    workload::ProgramImage image;
+};
+
+TEST_F(PredecoderTest, FixedLengthFindsAllBranches)
+{
+    Predecoder pd(image, false);
+    auto branches = pd.predecodeBlock(0x40000);
+    ASSERT_EQ(branches.size(), 3u);
+    EXPECT_EQ(branches[0].byteOffset, 12u);
+    EXPECT_EQ(branches[0].kind, InstrKind::CondBranch);
+    EXPECT_EQ(branches[0].target, 0x40400u);
+    EXPECT_EQ(branches[1].byteOffset, 36u);
+    EXPECT_EQ(branches[1].kind, InstrKind::Call);
+    EXPECT_EQ(branches[1].target, 0x41000u);
+    EXPECT_EQ(branches[2].kind, InstrKind::Return);
+    EXPECT_FALSE(branches[2].hasTarget);
+}
+
+TEST_F(PredecoderTest, DecodeAtBranchOffset)
+{
+    Predecoder pd(image, false);
+    auto hit = pd.decodeAt(0x40000, 12);
+    ASSERT_EQ(hit.size(), 1u);
+    EXPECT_EQ(hit[0].target, 0x40400u);
+}
+
+TEST_F(PredecoderTest, DecodeAtNonBranchOffsetIsEmpty)
+{
+    Predecoder pd(image, false);
+    EXPECT_TRUE(pd.decodeAt(0x40000, 0).empty());
+    EXPECT_TRUE(pd.decodeAt(0x40000, 13).empty()); // misaligned
+}
+
+TEST_F(PredecoderTest, UnmappedBlockIsEmpty)
+{
+    Predecoder pd(image, false);
+    EXPECT_TRUE(pd.predecodeBlock(0x99000).empty());
+}
+
+TEST(PredecoderVl, FootprintGuidedDecode)
+{
+    workload::ProgramImage image;
+    // Hand-assemble a VL block: ALU(3) at 0, Jump(6) at 3, ALU(4) at 9.
+    std::vector<std::uint8_t> bytes;
+    VlDecodedInstr alu3{InstrKind::Alu, 3, false, kInvalidAddr};
+    vlEncodeInstr(0x70000, alu3, bytes);
+    VlDecodedInstr jmp{InstrKind::Jump, 6, true, 0x70040};
+    vlEncodeInstr(0x70003, jmp, bytes);
+    VlDecodedInstr alu4{InstrKind::Alu, 4, false, kInvalidAddr};
+    vlEncodeInstr(0x70009, alu4, bytes);
+    image.write(0x70000, bytes.data(), bytes.size());
+
+    Predecoder pd(image, true);
+    // Without a footprint, a VL block cannot be pre-decoded.
+    EXPECT_TRUE(pd.predecodeBlock(0x70000).empty());
+    // With the footprint, exactly the branch is found.
+    auto branches = pd.predecodeWithFootprint(0x70000, {3});
+    ASSERT_EQ(branches.size(), 1u);
+    EXPECT_EQ(branches[0].kind, InstrKind::Jump);
+    EXPECT_EQ(branches[0].target, 0x70040u);
+    // A footprint entry pointing at a non-branch yields nothing.
+    EXPECT_TRUE(pd.predecodeWithFootprint(0x70000, {0}).empty());
+}
+
+TEST(PredecoderVl, StraddlingInstruction)
+{
+    workload::ProgramImage image;
+    // Branch starting 2 bytes before a block boundary.
+    Addr pc = 0x7003e;
+    std::vector<std::uint8_t> bytes;
+    VlDecodedInstr jmp{InstrKind::Call, 7, true, 0x70100};
+    vlEncodeInstr(pc, jmp, bytes);
+    image.write(pc, bytes.data(), bytes.size());
+
+    Predecoder pd(image, true);
+    auto branches = pd.decodeAt(0x70000, 0x3e);
+    ASSERT_EQ(branches.size(), 1u);
+    EXPECT_EQ(branches[0].kind, InstrKind::Call);
+    EXPECT_EQ(branches[0].target, 0x70100u);
+}
+
+} // namespace
+} // namespace dcfb::isa
