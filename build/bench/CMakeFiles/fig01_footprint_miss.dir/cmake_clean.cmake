@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_footprint_miss.dir/fig01_footprint_miss.cpp.o"
+  "CMakeFiles/fig01_footprint_miss.dir/fig01_footprint_miss.cpp.o.d"
+  "fig01_footprint_miss"
+  "fig01_footprint_miss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_footprint_miss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig01_footprint_miss.
+# This may be replaced when dependencies are built.

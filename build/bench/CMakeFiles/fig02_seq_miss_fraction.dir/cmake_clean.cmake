@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_seq_miss_fraction.dir/fig02_seq_miss_fraction.cpp.o"
+  "CMakeFiles/fig02_seq_miss_fraction.dir/fig02_seq_miss_fraction.cpp.o.d"
+  "fig02_seq_miss_fraction"
+  "fig02_seq_miss_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_seq_miss_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

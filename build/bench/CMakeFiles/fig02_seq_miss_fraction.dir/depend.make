@@ -1,0 +1,2 @@
+# Empty dependencies file for fig02_seq_miss_fraction.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_nl_seq_coverage.dir/fig03_nl_seq_coverage.cpp.o"
+  "CMakeFiles/fig03_nl_seq_coverage.dir/fig03_nl_seq_coverage.cpp.o.d"
+  "fig03_nl_seq_coverage"
+  "fig03_nl_seq_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_nl_seq_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

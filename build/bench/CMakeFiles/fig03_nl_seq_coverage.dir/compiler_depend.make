@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig03_nl_seq_coverage.
+# This may be replaced when dependencies are built.

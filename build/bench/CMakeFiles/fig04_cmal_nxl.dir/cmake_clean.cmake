@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_cmal_nxl.dir/fig04_cmal_nxl.cpp.o"
+  "CMakeFiles/fig04_cmal_nxl.dir/fig04_cmal_nxl.cpp.o.d"
+  "fig04_cmal_nxl"
+  "fig04_cmal_nxl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_cmal_nxl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_side_effects.dir/fig05_side_effects.cpp.o"
+  "CMakeFiles/fig05_side_effects.dir/fig05_side_effects.cpp.o.d"
+  "fig05_side_effects"
+  "fig05_side_effects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_side_effects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

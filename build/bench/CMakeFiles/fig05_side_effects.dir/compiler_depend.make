@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig05_side_effects.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_pattern_predictability.dir/fig06_pattern_predictability.cpp.o"
+  "CMakeFiles/fig06_pattern_predictability.dir/fig06_pattern_predictability.cpp.o.d"
+  "fig06_pattern_predictability"
+  "fig06_pattern_predictability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_pattern_predictability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig06_pattern_predictability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_disc_predictability.dir/fig07_disc_predictability.cpp.o"
+  "CMakeFiles/fig07_disc_predictability.dir/fig07_disc_predictability.cpp.o.d"
+  "fig07_disc_predictability"
+  "fig07_disc_predictability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_disc_predictability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_disc_predictability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_branches_per_bf.dir/fig08_branches_per_bf.cpp.o"
+  "CMakeFiles/fig08_branches_per_bf.dir/fig08_branches_per_bf.cpp.o.d"
+  "fig08_branches_per_bf"
+  "fig08_branches_per_bf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_branches_per_bf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig08_branches_per_bf.
+# This may be replaced when dependencies are built.

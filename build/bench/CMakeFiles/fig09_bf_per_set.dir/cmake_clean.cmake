@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_bf_per_set.dir/fig09_bf_per_set.cpp.o"
+  "CMakeFiles/fig09_bf_per_set.dir/fig09_bf_per_set.cpp.o.d"
+  "fig09_bf_per_set"
+  "fig09_bf_per_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_bf_per_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

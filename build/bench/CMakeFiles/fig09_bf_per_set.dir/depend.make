@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_bf_per_set.
+# This may be replaced when dependencies are built.

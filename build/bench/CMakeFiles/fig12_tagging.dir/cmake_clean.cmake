@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_tagging.dir/fig12_tagging.cpp.o"
+  "CMakeFiles/fig12_tagging.dir/fig12_tagging.cpp.o.d"
+  "fig12_tagging"
+  "fig12_tagging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_tagging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

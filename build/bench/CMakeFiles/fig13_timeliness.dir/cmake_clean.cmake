@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_timeliness.dir/fig13_timeliness.cpp.o"
+  "CMakeFiles/fig13_timeliness.dir/fig13_timeliness.cpp.o.d"
+  "fig13_timeliness"
+  "fig13_timeliness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_timeliness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_cache_lookups.dir/fig14_cache_lookups.cpp.o"
+  "CMakeFiles/fig14_cache_lookups.dir/fig14_cache_lookups.cpp.o.d"
+  "fig14_cache_lookups"
+  "fig14_cache_lookups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_cache_lookups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

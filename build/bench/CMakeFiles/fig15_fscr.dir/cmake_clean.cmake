@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_fscr.dir/fig15_fscr.cpp.o"
+  "CMakeFiles/fig15_fscr.dir/fig15_fscr.cpp.o.d"
+  "fig15_fscr"
+  "fig15_fscr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_fscr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

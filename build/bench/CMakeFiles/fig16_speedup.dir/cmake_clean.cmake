@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_speedup.dir/fig16_speedup.cpp.o"
+  "CMakeFiles/fig16_speedup.dir/fig16_speedup.cpp.o.d"
+  "fig16_speedup"
+  "fig16_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_breakdown.dir/fig17_breakdown.cpp.o"
+  "CMakeFiles/fig17_breakdown.dir/fig17_breakdown.cpp.o.d"
+  "fig17_breakdown"
+  "fig17_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_btb_sweep.dir/fig18_btb_sweep.cpp.o"
+  "CMakeFiles/fig18_btb_sweep.dir/fig18_btb_sweep.cpp.o.d"
+  "fig18_btb_sweep"
+  "fig18_btb_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_btb_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_structures.dir/micro_structures.cpp.o"
+  "CMakeFiles/micro_structures.dir/micro_structures.cpp.o.d"
+  "micro_structures"
+  "micro_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec7j_dvllc.dir/sec7j_dvllc.cpp.o"
+  "CMakeFiles/sec7j_dvllc.dir/sec7j_dvllc.cpp.o.d"
+  "sec7j_dvllc"
+  "sec7j_dvllc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec7j_dvllc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec7j_dvllc.
+# This may be replaced when dependencies are built.

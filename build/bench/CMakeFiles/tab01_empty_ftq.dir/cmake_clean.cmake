@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_empty_ftq.dir/tab01_empty_ftq.cpp.o"
+  "CMakeFiles/tab01_empty_ftq.dir/tab01_empty_ftq.cpp.o.d"
+  "tab01_empty_ftq"
+  "tab01_empty_ftq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_empty_ftq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab01_empty_ftq.
+# This may be replaced when dependencies are built.

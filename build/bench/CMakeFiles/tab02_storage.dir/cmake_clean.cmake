@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_storage.dir/tab02_storage.cpp.o"
+  "CMakeFiles/tab02_storage.dir/tab02_storage.cpp.o.d"
+  "tab02_storage"
+  "tab02_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

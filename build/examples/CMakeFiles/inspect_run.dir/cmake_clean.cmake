@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_run.dir/inspect_run.cpp.o"
+  "CMakeFiles/inspect_run.dir/inspect_run.cpp.o.d"
+  "inspect_run"
+  "inspect_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

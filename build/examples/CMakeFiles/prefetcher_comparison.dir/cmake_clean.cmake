@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetcher_comparison.dir/prefetcher_comparison.cpp.o"
+  "CMakeFiles/prefetcher_comparison.dir/prefetcher_comparison.cpp.o.d"
+  "prefetcher_comparison"
+  "prefetcher_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetcher_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

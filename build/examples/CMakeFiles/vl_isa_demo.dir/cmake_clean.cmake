@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vl_isa_demo.dir/vl_isa_demo.cpp.o"
+  "CMakeFiles/vl_isa_demo.dir/vl_isa_demo.cpp.o.d"
+  "vl_isa_demo"
+  "vl_isa_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vl_isa_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_explorer.dir/workload_explorer.cpp.o"
+  "CMakeFiles/workload_explorer.dir/workload_explorer.cpp.o.d"
+  "workload_explorer"
+  "workload_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/dcfb.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/dcfb.dir/common/stats.cpp.o.d"
+  "/root/repo/src/frontend/tage.cpp" "src/CMakeFiles/dcfb.dir/frontend/tage.cpp.o" "gcc" "src/CMakeFiles/dcfb.dir/frontend/tage.cpp.o.d"
+  "/root/repo/src/isa/encoding.cpp" "src/CMakeFiles/dcfb.dir/isa/encoding.cpp.o" "gcc" "src/CMakeFiles/dcfb.dir/isa/encoding.cpp.o.d"
+  "/root/repo/src/isa/predecoder.cpp" "src/CMakeFiles/dcfb.dir/isa/predecoder.cpp.o" "gcc" "src/CMakeFiles/dcfb.dir/isa/predecoder.cpp.o.d"
+  "/root/repo/src/isa/vl_encoding.cpp" "src/CMakeFiles/dcfb.dir/isa/vl_encoding.cpp.o" "gcc" "src/CMakeFiles/dcfb.dir/isa/vl_encoding.cpp.o.d"
+  "/root/repo/src/mem/l1i.cpp" "src/CMakeFiles/dcfb.dir/mem/l1i.cpp.o" "gcc" "src/CMakeFiles/dcfb.dir/mem/l1i.cpp.o.d"
+  "/root/repo/src/mem/llc.cpp" "src/CMakeFiles/dcfb.dir/mem/llc.cpp.o" "gcc" "src/CMakeFiles/dcfb.dir/mem/llc.cpp.o.d"
+  "/root/repo/src/mem/prefetch_buffer.cpp" "src/CMakeFiles/dcfb.dir/mem/prefetch_buffer.cpp.o" "gcc" "src/CMakeFiles/dcfb.dir/mem/prefetch_buffer.cpp.o.d"
+  "/root/repo/src/noc/mesh.cpp" "src/CMakeFiles/dcfb.dir/noc/mesh.cpp.o" "gcc" "src/CMakeFiles/dcfb.dir/noc/mesh.cpp.o.d"
+  "/root/repo/src/prefetch/confluence.cpp" "src/CMakeFiles/dcfb.dir/prefetch/confluence.cpp.o" "gcc" "src/CMakeFiles/dcfb.dir/prefetch/confluence.cpp.o.d"
+  "/root/repo/src/prefetch/sn4l_dis_btb.cpp" "src/CMakeFiles/dcfb.dir/prefetch/sn4l_dis_btb.cpp.o" "gcc" "src/CMakeFiles/dcfb.dir/prefetch/sn4l_dis_btb.cpp.o.d"
+  "/root/repo/src/sim/config.cpp" "src/CMakeFiles/dcfb.dir/sim/config.cpp.o" "gcc" "src/CMakeFiles/dcfb.dir/sim/config.cpp.o.d"
+  "/root/repo/src/sim/decoupled.cpp" "src/CMakeFiles/dcfb.dir/sim/decoupled.cpp.o" "gcc" "src/CMakeFiles/dcfb.dir/sim/decoupled.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/CMakeFiles/dcfb.dir/sim/experiment.cpp.o" "gcc" "src/CMakeFiles/dcfb.dir/sim/experiment.cpp.o.d"
+  "/root/repo/src/sim/fetch.cpp" "src/CMakeFiles/dcfb.dir/sim/fetch.cpp.o" "gcc" "src/CMakeFiles/dcfb.dir/sim/fetch.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "src/CMakeFiles/dcfb.dir/sim/report.cpp.o" "gcc" "src/CMakeFiles/dcfb.dir/sim/report.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/dcfb.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/dcfb.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/system.cpp" "src/CMakeFiles/dcfb.dir/sim/system.cpp.o" "gcc" "src/CMakeFiles/dcfb.dir/sim/system.cpp.o.d"
+  "/root/repo/src/workload/cfg.cpp" "src/CMakeFiles/dcfb.dir/workload/cfg.cpp.o" "gcc" "src/CMakeFiles/dcfb.dir/workload/cfg.cpp.o.d"
+  "/root/repo/src/workload/image.cpp" "src/CMakeFiles/dcfb.dir/workload/image.cpp.o" "gcc" "src/CMakeFiles/dcfb.dir/workload/image.cpp.o.d"
+  "/root/repo/src/workload/profiles.cpp" "src/CMakeFiles/dcfb.dir/workload/profiles.cpp.o" "gcc" "src/CMakeFiles/dcfb.dir/workload/profiles.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/CMakeFiles/dcfb.dir/workload/trace.cpp.o" "gcc" "src/CMakeFiles/dcfb.dir/workload/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/dcfb_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/dcfb_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_fetch.cpp" "tests/CMakeFiles/dcfb_tests.dir/test_fetch.cpp.o" "gcc" "tests/CMakeFiles/dcfb_tests.dir/test_fetch.cpp.o.d"
+  "/root/repo/tests/test_frontend.cpp" "tests/CMakeFiles/dcfb_tests.dir/test_frontend.cpp.o" "gcc" "tests/CMakeFiles/dcfb_tests.dir/test_frontend.cpp.o.d"
+  "/root/repo/tests/test_isa.cpp" "tests/CMakeFiles/dcfb_tests.dir/test_isa.cpp.o" "gcc" "tests/CMakeFiles/dcfb_tests.dir/test_isa.cpp.o.d"
+  "/root/repo/tests/test_mem.cpp" "tests/CMakeFiles/dcfb_tests.dir/test_mem.cpp.o" "gcc" "tests/CMakeFiles/dcfb_tests.dir/test_mem.cpp.o.d"
+  "/root/repo/tests/test_prefetch.cpp" "tests/CMakeFiles/dcfb_tests.dir/test_prefetch.cpp.o" "gcc" "tests/CMakeFiles/dcfb_tests.dir/test_prefetch.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/dcfb_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/dcfb_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/dcfb_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/dcfb_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/dcfb_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/dcfb_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dcfb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcfb_tests.dir/test_common.cpp.o"
+  "CMakeFiles/dcfb_tests.dir/test_common.cpp.o.d"
+  "CMakeFiles/dcfb_tests.dir/test_fetch.cpp.o"
+  "CMakeFiles/dcfb_tests.dir/test_fetch.cpp.o.d"
+  "CMakeFiles/dcfb_tests.dir/test_frontend.cpp.o"
+  "CMakeFiles/dcfb_tests.dir/test_frontend.cpp.o.d"
+  "CMakeFiles/dcfb_tests.dir/test_isa.cpp.o"
+  "CMakeFiles/dcfb_tests.dir/test_isa.cpp.o.d"
+  "CMakeFiles/dcfb_tests.dir/test_mem.cpp.o"
+  "CMakeFiles/dcfb_tests.dir/test_mem.cpp.o.d"
+  "CMakeFiles/dcfb_tests.dir/test_prefetch.cpp.o"
+  "CMakeFiles/dcfb_tests.dir/test_prefetch.cpp.o.d"
+  "CMakeFiles/dcfb_tests.dir/test_properties.cpp.o"
+  "CMakeFiles/dcfb_tests.dir/test_properties.cpp.o.d"
+  "CMakeFiles/dcfb_tests.dir/test_sim.cpp.o"
+  "CMakeFiles/dcfb_tests.dir/test_sim.cpp.o.d"
+  "CMakeFiles/dcfb_tests.dir/test_workload.cpp.o"
+  "CMakeFiles/dcfb_tests.dir/test_workload.cpp.o.d"
+  "dcfb_tests"
+  "dcfb_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcfb_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
