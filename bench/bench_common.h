@@ -6,15 +6,30 @@
  * rows/series, measured on the synthetic server workloads.  Absolute
  * numbers differ from the paper's testbed; EXPERIMENTS.md records the
  * paper-vs-measured comparison.
+ *
+ * Every bench routes its output through a bench::Harness, which adds two
+ * flags on top of the text tables (see EXPERIMENTS.md for the schemas):
+ *
+ *   --json <file>   also write every reported table (same cells as the
+ *                   text output) plus recorded scalars as one JSON
+ *                   document -- the BENCH_*.json regression format
+ *   --trace <file>  stream miss-attribution events from every simulated
+ *                   run into <file> (*.jsonl -> JSONL, else Chrome
+ *                   trace-event format)
  */
 
 #ifndef DCFB_BENCH_COMMON_H
 #define DCFB_BENCH_COMMON_H
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "obs/json.h"
+#include "obs/trace.h"
 #include "sim/experiment.h"
 #include "sim/report.h"
 #include "sim/simulator.h"
@@ -51,6 +66,120 @@ banner(const char *figure, const char *claim)
 {
     std::printf("%s\n  paper: %s\n", figure, claim);
 }
+
+/**
+ * Per-bench output harness: prints the banner, parses the shared
+ * flags, mirrors reported tables/scalars into the JSON document, and
+ * flushes everything on destruction.
+ */
+class Harness
+{
+  public:
+    Harness(int argc, char **argv, const char *figure_, const char *claim_)
+        : figure(figure_), claim(claim_)
+    {
+        parseArgs(argc, argv);
+        banner(figure_, claim_);
+        if (!tracePath.empty() && obs::Tracing::open(tracePath))
+            traceOpened = true;
+    }
+
+    ~Harness()
+    {
+        if (traceOpened)
+            obs::Tracing::close();
+        if (!jsonPath.empty())
+            writeJson();
+    }
+
+    Harness(const Harness &) = delete;
+    Harness &operator=(const Harness &) = delete;
+
+    /** Print @p table and mirror it into the JSON document. */
+    void
+    report(const sim::Table &table, const std::string &title)
+    {
+        table.print(title);
+        tables.push(table.toJson(title));
+    }
+
+    /** Record a derived scalar in the JSON document (callers print
+     *  their own text form; this only feeds the machine output). */
+    void
+    note(const std::string &key, double value)
+    {
+        notes[key] = value;
+    }
+
+    /** Attach a full RunResult (counters + histograms) to the JSON
+     *  document, keyed under "runs". */
+    void
+    attachRun(const sim::RunResult &result)
+    {
+        runs.push(sim::toJson(result));
+    }
+
+  private:
+    void
+    parseArgs(int argc, char **argv)
+    {
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            auto value = [&](const char *flag) -> std::string {
+                std::string prefix = std::string(flag) + "=";
+                if (arg.rfind(prefix, 0) == 0 &&
+                    arg.size() > prefix.size())
+                    return arg.substr(prefix.size());
+                if (arg == flag && i + 1 < argc)
+                    return argv[++i];
+                std::fprintf(stderr, "%s requires a value\n", flag);
+                std::exit(2);
+            };
+            if (arg == "--help" || arg == "-h") {
+                std::printf("usage: %s [--json <file>] [--trace <file>]\n",
+                            argv[0]);
+                std::exit(0);
+            } else if (arg.rfind("--json", 0) == 0) {
+                jsonPath = value("--json");
+            } else if (arg.rfind("--trace", 0) == 0) {
+                tracePath = value("--trace");
+            } else {
+                std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+                std::exit(2);
+            }
+        }
+    }
+
+    void
+    writeJson()
+    {
+        obs::JsonValue doc = obs::JsonValue::object();
+        doc["schema"] = "dcfb-bench-v1";
+        doc["figure"] = figure;
+        doc["claim"] = claim;
+        doc["tables"] = std::move(tables);
+        if (!notes.members().empty())
+            doc["notes"] = std::move(notes);
+        if (!runs.items().empty())
+            doc["runs"] = std::move(runs);
+        std::ofstream out(jsonPath, std::ios::out | std::ios::trunc);
+        if (!out.is_open()) {
+            std::fprintf(stderr, "cannot open %s\n", jsonPath.c_str());
+            return;
+        }
+        out << doc.dump(2) << '\n';
+        std::printf("\n[json report written to %s]\n", jsonPath.c_str());
+    }
+
+    std::string figure;
+    std::string claim;
+    std::string jsonPath;
+    std::string tracePath;
+    bool traceOpened = false;
+    obs::JsonValue tables = obs::JsonValue::array();
+    obs::JsonValue notes = obs::JsonValue::object();
+    obs::JsonValue runs = obs::JsonValue::array();
+};
 
 } // namespace dcfb::bench
 

@@ -7,10 +7,10 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace dcfb;
-    bench::banner("Fig. 1 - Shotgun U-BTB footprint miss ratio",
+    bench::Harness h(argc, argv, "Fig. 1 - Shotgun U-BTB footprint miss ratio",
                   "4-31% across workloads; OLTP (DB A) worst (31%)");
 
     sim::Table table({"workload", "U-BTB lookups", "footprint misses",
@@ -25,6 +25,6 @@ main()
                       sim::Table::pct(res.ratio(
                           "sg.ubtb_footprint_misses", "sg.ubtb_lookups"))});
     }
-    table.print("Footprint miss ratio in Shotgun");
+    h.report(table, "Footprint miss ratio in Shotgun");
     return 0;
 }

@@ -7,10 +7,10 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace dcfb;
-    bench::banner("Fig. 2 - fraction of sequential L1i misses",
+    bench::Harness h(argc, argv, "Fig. 2 - fraction of sequential L1i misses",
                   "65-80% of misses are sequential");
 
     sim::Table table({"workload", "L1i misses", "sequential",
@@ -29,6 +29,6 @@ main()
     }
     table.addRow({"Average", "", "",
                   sim::Table::pct(sum / static_cast<double>(names.size()))});
-    table.print("Fraction of sequential cache misses");
+    h.report(table, "Fraction of sequential cache misses");
     return 0;
 }

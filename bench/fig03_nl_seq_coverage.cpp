@@ -8,10 +8,10 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace dcfb;
-    bench::banner("Fig. 3 - NL sequential miss coverage",
+    bench::Harness h(argc, argv, "Fig. 3 - NL sequential miss coverage",
                   "average 63%; the remainder is NL's poor timeliness");
 
     sim::Table table({"workload", "base seq misses", "NL seq misses",
@@ -35,6 +35,6 @@ main()
     }
     table.addRow({"Average", "", "",
                   sim::Table::pct(sum / static_cast<double>(names.size()))});
-    table.print("NL sequential miss coverage");
+    h.report(table, "NL sequential miss coverage");
     return 0;
 }

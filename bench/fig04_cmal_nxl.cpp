@@ -8,10 +8,10 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace dcfb;
-    bench::banner("Fig. 4 - CMAL for sequential prefetchers",
+    bench::Harness h(argc, argv, "Fig. 4 - CMAL for sequential prefetchers",
                   "NL 65%, N2L 80%, N4L 88%, N8L 85% (N8L inverts)");
 
     const sim::Preset depths[] = {sim::Preset::NL, sim::Preset::N2L,
@@ -33,6 +33,6 @@ main()
                       sim::Table::pct(sum / 7.0),
                       std::to_string(reqs / 7)});
     }
-    table.print("Covered Memory Access Latency (CMAL)");
+    h.report(table, "Covered Memory Access Latency (CMAL)");
     return 0;
 }

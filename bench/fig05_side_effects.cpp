@@ -10,10 +10,10 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace dcfb;
-    bench::banner("Fig. 5 - useless-prefetch side effects",
+    bench::Harness h(argc, argv, "Fig. 5 - useless-prefetch side effects",
                   "N8L: LLC latency +28%, L1i ext. bandwidth 7.2x");
 
     auto names = bench::allWorkloads();
@@ -46,6 +46,6 @@ main()
                       sim::Table::num(lat / base_lat),
                       sim::Table::num(bw / base_bw)});
     }
-    table.print("LLC latency and L1i external bandwidth (normalized)");
+    h.report(table, "LLC latency and L1i external bandwidth (normalized)");
     return 0;
 }

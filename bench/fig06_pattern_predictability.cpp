@@ -69,9 +69,9 @@ class PatternObserver : public mem::L1iListener
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::banner("Fig. 6 - next-4-block access-pattern predictability",
+    bench::Harness h(argc, argv, "Fig. 6 - next-4-block access-pattern predictability",
                   "92% average accuracy");
 
     sim::Table table({"workload", "predictability"});
@@ -90,6 +90,6 @@ main()
     }
     table.addRow({"Average",
                   sim::Table::pct(sum / static_cast<double>(names.size()))});
-    table.print("Predictability of the next-4-block access pattern");
+    h.report(table, "Predictability of the next-4-block access pattern");
     return 0;
 }

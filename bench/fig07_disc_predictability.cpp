@@ -13,10 +13,10 @@
 #include "workload/trace.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace dcfb;
-    bench::banner("Fig. 7 - dominant discontinuity branch per block",
+    bench::Harness h(argc, argv, "Fig. 7 - dominant discontinuity branch per block",
                   "78-83% of discontinuities repeat the same branch");
 
     sim::Table table({"workload", "discontinuities", "same-branch rate"});
@@ -53,6 +53,6 @@ main()
     }
     table.addRow({"Average", "",
                   sim::Table::pct(sum / static_cast<double>(names.size()))});
-    table.print("Predictability of the discontinuity branch");
+    h.report(table, "Predictability of the discontinuity branch");
     return 0;
 }

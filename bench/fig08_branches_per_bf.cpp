@@ -12,10 +12,10 @@
 #include "workload/trace.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace dcfb;
-    bench::banner("Fig. 8 - uncovered branches vs. branches per BF",
+    bench::Harness h(argc, argv, "Fig. 8 - uncovered branches vs. branches per BF",
                   "4 branch slots per 64B block cover ~all branches");
 
     sim::Table table({"workload", "1", "2", "3", "4", "5"});
@@ -64,6 +64,6 @@ main()
         }
         table.addRow(row);
     }
-    table.print("Uncovered branches vs. branch slots per footprint");
+    h.report(table, "Uncovered branches vs. branch slots per footprint");
     return 0;
 }

@@ -8,10 +8,10 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace dcfb;
-    bench::banner("Fig. 9 - uncovered BFs vs. BF slots per LLC set",
+    bench::Harness h(argc, argv, "Fig. 9 - uncovered BFs vs. BF slots per LLC set",
                   "2 slots ~2%, 3 ~0.4%, 4 ~0.2% uncovered");
 
     sim::Table table({"BF slots/set", "BF fetches", "uncovered",
@@ -37,7 +37,7 @@ main()
         table.addRow({std::to_string(slots), std::to_string(fetches),
                       std::to_string(uncovered), sim::Table::pct(frac, 2)});
     }
-    table.print("Uncovered branch footprints per BF-slot budget "
+    h.report(table, "Uncovered branch footprints per BF-slot budget "
                 "(VL-ISA workloads)");
     return 0;
 }

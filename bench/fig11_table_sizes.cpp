@@ -27,9 +27,9 @@ coverageFor(const std::string &name, sim::Preset preset,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::banner("Fig. 11 - miss coverage vs. metadata table size",
+    bench::Harness h(argc, argv, "Fig. 11 - miss coverage vs. metadata table size",
                   "16K SeqTable ~ 96% of unlimited; 4K DisTable ~ 97%");
 
     auto names = bench::sweepWorkloads();
@@ -52,7 +52,7 @@ main()
         seq.addRow({entries ? std::to_string(entries) : "unlimited",
                     sim::Table::pct(sum / names.size())});
     }
-    seq.print("SN4L miss coverage vs. SeqTable size");
+    h.report(seq, "SN4L miss coverage vs. SeqTable size");
 
     sim::Table dis({"DisTable entries", "SN4L+Dis coverage (avg)"});
     for (std::size_t entries : {64u, 128u, 256u, 1024u, 4096u, 0u}) {
@@ -64,6 +64,6 @@ main()
         dis.addRow({entries ? std::to_string(entries) : "unlimited",
                     sim::Table::pct(sum / names.size())});
     }
-    dis.print("SN4L+Dis miss coverage vs. DisTable size");
+    h.report(dis, "SN4L+Dis miss coverage vs. DisTable size");
     return 0;
 }

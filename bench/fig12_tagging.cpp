@@ -8,10 +8,10 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace dcfb;
-    bench::banner("Fig. 12 - DisTable tagging policy overprediction",
+    bench::Harness h(argc, argv, "Fig. 12 - DisTable tagging policy overprediction",
                   "tagless >> 4-bit partial ~ full tag");
 
     const std::pair<const char *, prefetch::DisTagPolicy> policies[] = {
@@ -41,7 +41,7 @@ main()
         table.addRow({label, std::to_string(hits), std::to_string(wrong),
                       sim::Table::pct(rate, 2)});
     }
-    table.print("DisTable overprediction by tagging policy");
+    h.report(table, "DisTable overprediction by tagging policy");
 
     // Section VII.C companion: SeqTable conflict behaviour.
     std::uint64_t writes = 0, conflicts = 0;
@@ -57,6 +57,6 @@ main()
                 sim::Table::pct(writes ? static_cast<double>(conflicts) /
                                         static_cast<double>(writes)
                                        : 0.0)});
-    seq.print("Section VII.C - SeqTable conflict ratio (paper: 28%)");
+    h.report(seq, "Section VII.C - SeqTable conflict ratio (paper: 28%)");
     return 0;
 }

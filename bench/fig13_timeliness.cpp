@@ -8,10 +8,10 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace dcfb;
-    bench::banner("Fig. 13 - timeliness (CMAL) of the proposed designs",
+    bench::Harness h(argc, argv, "Fig. 13 - timeliness (CMAL) of the proposed designs",
                   "N4L 88%, SN4L 93%, Dis 89%, SN4L+Dis+BTB 91%");
 
     sim::Table table({"design", "CMAL (avg)"});
@@ -26,7 +26,7 @@ main()
         }
         table.addRow({sim::presetName(preset), sim::Table::pct(sum / 7.0)});
     }
-    table.print("Timeliness of different prefetchers");
+    h.report(table, "Timeliness of different prefetchers");
 
     // Ablation: proactive chain depth limit (paper picks 4).
     sim::Table depth({"chain depth limit", "CMAL (avg)", "speedup (avg)"});
@@ -47,7 +47,7 @@ main()
                       sim::Table::pct(cmal_sum / 3.0),
                       sim::Table::num(speed_sum / 3.0, 3)});
     }
-    depth.print("Ablation: proactive chain depth limit");
+    h.report(depth, "Ablation: proactive chain depth limit");
 
     // Ablation: SN1L vs. SN4L for the sequential tails of discontinuity
     // regions (the paper chooses SN1L to protect accuracy at depth).
@@ -69,6 +69,6 @@ main()
                       sim::Table::pct(acc_sum / 3.0),
                       sim::Table::num(speed_sum / 3.0, 3)});
     }
-    tails.print("Ablation: sequential-tail depth beyond discontinuities");
+    h.report(tails, "Ablation: sequential-tail depth beyond discontinuities");
     return 0;
 }

@@ -8,10 +8,10 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace dcfb;
-    bench::banner("Fig. 14 - cache lookups, normalized to baseline",
+    bench::Harness h(argc, argv, "Fig. 14 - cache lookups, normalized to baseline",
                   "Confluence lowest; SN4L+Dis+BTB ~ Shotgun; RLU=8 enough");
 
     auto names = bench::allWorkloads();
@@ -49,6 +49,6 @@ main()
     table.addRow({"Confluence",
                   sim::Table::num(
                       avg_lookups(sim::Preset::Confluence, 8) / base)});
-    table.print("Number of cache lookups, normalized to baseline");
+    h.report(table, "Number of cache lookups, normalized to baseline");
     return 0;
 }

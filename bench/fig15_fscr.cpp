@@ -7,10 +7,10 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace dcfb;
-    bench::banner("Fig. 15 - Frontend Stall Cycle Reduction",
+    bench::Harness h(argc, argv, "Fig. 15 - Frontend Stall Cycle Reduction",
                   "SN4L+Dis+BTB 61%, Shotgun 35%, Confluence 32% (avg)");
 
     std::vector<sim::Preset> designs = {sim::Preset::SN4LDisBtb,
@@ -39,6 +39,6 @@ main()
             sim::Table::pct(s / static_cast<double>(
                                     grid.workloads().size())));
     table.addRow(avg);
-    table.print("Frontend Stall Cycle Reduction (FSCR)");
+    h.report(table, "Frontend Stall Cycle Reduction (FSCR)");
     return 0;
 }

@@ -9,10 +9,10 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace dcfb;
-    bench::banner("Fig. 16 - speedup over no-prefetcher baseline",
+    bench::Harness h(argc, argv, "Fig. 16 - speedup over no-prefetcher baseline",
                   "ours 1.19 avg (1.07-1.50); +5% vs Shotgun, +16% on DB A");
 
     std::vector<sim::Preset> designs = {
@@ -40,7 +40,7 @@ main()
             grid.gmeanSpeedup(d, sim::Preset::Baseline), 3));
     }
     table.addRow(avg);
-    table.print("Speedup over baseline without instruction/BTB prefetch");
+    h.report(table, "Speedup over baseline without instruction/BTB prefetch");
 
     double ours = grid.gmeanSpeedup(sim::Preset::SN4LDisBtb,
                                     sim::Preset::Baseline);
@@ -48,9 +48,12 @@ main()
         grid.gmeanSpeedup(sim::Preset::Shotgun, sim::Preset::Baseline);
     std::printf("\nSN4L+Dis+BTB over Shotgun (avg): %.1f%%\n",
                 (ours / shotgun - 1.0) * 100.0);
+    h.note("sn4l_over_shotgun_avg_pct", (ours / shotgun - 1.0) * 100.0);
     const auto &dba_ours = grid.at("OLTP (DB A)", sim::Preset::SN4LDisBtb);
     const auto &dba_sg = grid.at("OLTP (DB A)", sim::Preset::Shotgun);
     std::printf("SN4L+Dis+BTB over Shotgun (OLTP DB A): %.1f%%\n",
                 (dba_ours.ipc() / dba_sg.ipc() - 1.0) * 100.0);
+    h.note("sn4l_over_shotgun_dba_pct",
+           (dba_ours.ipc() / dba_sg.ipc() - 1.0) * 100.0);
     return 0;
 }

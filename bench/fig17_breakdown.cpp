@@ -8,10 +8,10 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace dcfb;
-    bench::banner("Fig. 17 - performance breakdown vs. perfect frontend",
+    bench::Harness h(argc, argv, "Fig. 17 - performance breakdown vs. perfect frontend",
                   "N4L < SN4L 13% < +Dis 15% < +BTB 19% <= PerfectL1i; "
                   "PerfectL1i+BTBinf 29%");
 
@@ -30,6 +30,6 @@ main()
                       sim::Table::num(
                           grid.gmeanSpeedup(d, sim::Preset::Baseline), 3)});
     }
-    table.print("Performance breakdown of SN4L+Dis+BTB");
+    h.report(table, "Performance breakdown of SN4L+Dis+BTB");
     return 0;
 }

@@ -10,10 +10,10 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace dcfb;
-    bench::banner("Fig. 18 - ours vs. Shotgun with shrinking BTBs",
+    bench::Harness h(argc, argv, "Fig. 18 - ours vs. Shotgun with shrinking BTBs",
                   "the gap over Shotgun grows as BTB size decreases");
 
     sim::Table table({"BTB scale", "ours BTB", "Shotgun U-BTB",
@@ -40,6 +40,6 @@ main()
                       std::to_string(ours_btb), std::to_string(sg_ubtb),
                       sim::Table::num(gmean, 3)});
     }
-    table.print("Speedup of SN4L+Dis+BTB over Shotgun, varying BTB size");
+    h.report(table, "Speedup of SN4L+Dis+BTB over Shotgun, varying BTB size");
     return 0;
 }

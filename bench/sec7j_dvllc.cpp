@@ -9,10 +9,10 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace dcfb;
-    bench::banner("Sec. VII.J - DV-LLC on the variable-length ISA",
+    bench::Harness h(argc, argv, "Sec. VII.J - DV-LLC on the variable-length ISA",
                   "instr hit ratio unchanged; data hit ratio -0.1% worst; "
                   "same speedup");
 
@@ -48,6 +48,6 @@ main()
              sim::Table::num(sim::speedup(conv, base), 3),
              sim::Table::num(sim::speedup(dv, base), 3)});
     }
-    table.print("DV-LLC vs. conventional LLC (VL-ISA workloads)");
+    h.report(table, "DV-LLC vs. conventional LLC (VL-ISA workloads)");
     return 0;
 }

@@ -7,10 +7,10 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace dcfb;
-    bench::banner("Table I - empty-FTQ stall cycles in Shotgun",
+    bench::Harness h(argc, argv, "Table I - empty-FTQ stall cycles in Shotgun",
                   "1.6-18.9% of cycles; OLTP (DB A) worst");
 
     sim::Table table({"workload", "empty-FTQ stall fraction",
@@ -25,6 +25,6 @@ main()
         table.addRow({name, sim::Table::pct(frac),
                       std::to_string(res.stat("fe.bpu_stall_cycles"))});
     }
-    table.print("Empty-FTQ stall cycles in Shotgun");
+    h.report(table, "Empty-FTQ stall cycles in Shotgun");
     return 0;
 }

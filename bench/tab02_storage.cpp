@@ -15,10 +15,10 @@
 #include "sim/system.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace dcfb;
-    bench::banner("Table II - storage/complexity comparison",
+    bench::Harness h(argc, argv, "Table II - storage/complexity comparison",
                   "ours 7.6KB; Shotgun 6KB; Confluence ~200KB in LLC");
 
     // Audit our proposal from a live instance.
@@ -67,6 +67,6 @@ main()
                   "High (3 BTBs + FA buffers)", "High (LLC indirection)"});
     table.addRow({"Modular", "Yes", "No", "No"});
     table.addRow({"Handles huge footprints", "Yes", "No", "Yes"});
-    table.print("SN4L+Dis+BTB and prior work");
+    h.report(table, "SN4L+Dis+BTB and prior work");
     return 0;
 }

@@ -7,15 +7,14 @@ namespace dcfb {
 void
 StatSet::reset()
 {
-    for (auto &kv : counters)
-        kv.second = 0;
+    registry.reset();
 }
 
 std::string
 StatSet::dump() const
 {
     std::ostringstream os;
-    for (const auto &kv : counters)
+    for (const auto &kv : registry.counters())
         os << kv.first << " = " << kv.second << '\n';
     return os.str();
 }

@@ -1,10 +1,17 @@
 /**
  * @file
- * Lightweight named-counter statistics registry.
+ * Per-component statistics facade over the typed obs registry.
  *
  * Components register counters by name; the experiment harness dumps them
  * or computes derived metrics (FSCR, CMAL, coverage).  Counters are plain
  * uint64 accumulators; ratios are computed at reporting time.
+ *
+ * Two access styles:
+ *  - **Typed handles** (hot paths): register once with counter() /
+ *    histogram() and bump the returned obs::Counter / obs::Histogram --
+ *    no per-event string hashing.
+ *  - **String adds** (cold paths): add(name) interns on first use; fine
+ *    for redirects, overflows and other rare events.
  */
 
 #ifndef DCFB_COMMON_STATS_H
@@ -13,53 +20,80 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
+
+#include "obs/registry.h"
 
 namespace dcfb {
 
 /**
- * A bag of named 64-bit counters with insertion-ordered dump support.
+ * A bag of named 64-bit counters and log2 histograms.  Dumps and all()
+ * render counters sorted by name (ordering is part of the report
+ * contract: stable diffs and stable JSON).
  */
 class StatSet
 {
   public:
+    /** Register (or re-find) a typed counter handle for @p name. */
+    obs::Counter
+    counter(std::string_view name)
+    {
+        return registry.counter(name);
+    }
+
+    /** Register (or re-find) a typed log2-histogram handle. */
+    obs::Histogram
+    histogram(std::string_view name)
+    {
+        return registry.histogram(name);
+    }
+
     /** Add @p delta to counter @p name (creating it at zero if new). */
     void
-    add(const std::string &name, std::uint64_t delta = 1)
+    add(std::string_view name, std::uint64_t delta = 1)
     {
-        counters[name] += delta;
+        registry.add(name, delta);
     }
 
     /** Read counter @p name; absent counters read as zero. */
     std::uint64_t
-    get(const std::string &name) const
+    get(std::string_view name) const
     {
-        auto it = counters.find(name);
-        return it == counters.end() ? 0 : it->second;
+        return registry.get(name);
     }
 
     /** Ratio of two counters; 0 when the denominator is zero. */
     double
-    ratio(const std::string &num, const std::string &den) const
+    ratio(std::string_view num, std::string_view den) const
     {
         std::uint64_t d = get(den);
         return d == 0 ? 0.0 : static_cast<double>(get(num)) /
             static_cast<double>(d);
     }
 
-    /** Reset every counter to zero (used at the warmup/measure boundary). */
+    /** Reset every counter and histogram to zero (used at the
+     *  warmup/measure boundary).  Registered names survive. */
     void reset();
 
-    /** Render "name = value" lines for debugging dumps. */
+    /** Render "name = value" lines for debugging dumps (sorted). */
     std::string dump() const;
 
     /** All counters, sorted by name. */
-    const std::map<std::string, std::uint64_t> &all() const
+    std::map<std::string, std::uint64_t>
+    all() const
     {
-        return counters;
+        return registry.counters();
+    }
+
+    /** All histograms, sorted by name, as snapshots. */
+    std::map<std::string, obs::HistogramSnapshot>
+    histograms() const
+    {
+        return registry.histograms();
     }
 
   private:
-    std::map<std::string, std::uint64_t> counters;
+    obs::StatRegistry registry;
 };
 
 } // namespace dcfb

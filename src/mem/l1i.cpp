@@ -3,7 +3,20 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.h"
+
 namespace dcfb::mem {
+
+namespace {
+
+inline obs::MissClass
+missClassOf(bool sequential)
+{
+    return sequential ? obs::MissClass::Sequential
+                      : obs::MissClass::Discontinuity;
+}
+
+} // namespace
 
 L1iCache::L1iCache(const L1iConfig &config, Llc &llc_)
     : cfg(config), llc(llc_),
@@ -11,6 +24,30 @@ L1iCache::L1iCache(const L1iConfig &config, Llc &llc_)
                                               config.assoc)),
       buffer(config.prefetchBufferEntries)
 {
+    cLookups = statSet.counter("l1i_lookups");
+    cAccesses = statSet.counter("l1i_accesses");
+    cWpAccesses = statSet.counter("l1i_wp_accesses");
+    cHits = statSet.counter("l1i_hits");
+    cPfBufferHits = statSet.counter("l1i_pf_buffer_hits");
+    cMisses = statSet.counter("l1i_misses");
+    cSeqMisses = statSet.counter("l1i_seq_misses");
+    cDiscMisses = statSet.counter("l1i_disc_misses");
+    cWpMisses = statSet.counter("l1i_wp_misses");
+    cEvictions = statSet.counter("l1i_evictions");
+    cExternalRequests = statSet.counter("l1i_external_requests");
+    cPfAttempts = statSet.counter("pf_attempts");
+    cPfIssued = statSet.counter("pf_issued");
+    cPfUseful = statSet.counter("pf_useful");
+    cPfLate = statSet.counter("pf_late");
+    cPfUseless = statSet.counter("pf_useless");
+    cPfDroppedMshr = statSet.counter("pf_dropped_mshr");
+    cMshrPressure = statSet.counter("l1i_mshr_pressure");
+    cCmalCovered = statSet.counter("cmal_covered_cycles");
+    cCmalFull = statSet.counter("cmal_full_cycles");
+    cDemandMissCycles = statSet.counter("demand_miss_cycles");
+    hMissLatency = statSet.histogram("miss_latency");
+    hPfToUse = statSet.histogram("pf_to_use_distance");
+    hMshrOccupancy = statSet.histogram("mshr_occupancy");
 }
 
 L1iCache::MshrEntry *
@@ -38,7 +75,8 @@ L1iCache::findMshr(Addr block_addr) const
 L1iCache::MshrEntry &
 L1iCache::issueFill(Addr block_addr, Cycle now, bool is_prefetch)
 {
-    statSet.add("l1i_external_requests");
+    cExternalRequests.add();
+    hMshrOccupancy.sample(mshrs.size());
     auto res = llc.access(blockAlign(block_addr), now, true,
                           cfg.fetchFootprints);
     MshrEntry entry;
@@ -53,14 +91,21 @@ L1iCache::issueFill(Addr block_addr, Cycle now, bool is_prefetch)
 }
 
 void
-L1iCache::notePrefetchedLineUse(Addr block_addr, L1iMeta &meta)
+L1iCache::notePrefetchedLineUse(Addr block_addr, L1iMeta &meta, Cycle now,
+                                bool sequential)
 {
     // First demand use of a prefetched line: the prefetch fully covered
     // the fill latency (CMAL numerator == denominator), the prefetch was
     // useful, and per Section V.A the prefetch flag is reset.
-    statSet.add("pf_useful");
-    statSet.add("cmal_covered_cycles", meta.fillLatency);
-    statSet.add("cmal_full_cycles", meta.fillLatency);
+    cPfUseful.add();
+    cCmalCovered.add(meta.fillLatency);
+    cCmalFull.add(meta.fillLatency);
+    hPfToUse.sample(now >= meta.filledAt ? now - meta.filledAt : 0);
+    if (obs::Tracing::enabled()) {
+        obs::Tracing::record("l1i", now, blockAlign(block_addr),
+                             missClassOf(sequential),
+                             obs::MissOutcome::Covered);
+    }
     meta.prefetched = false;
     meta.demanded = true;
     if (listener)
@@ -69,13 +114,31 @@ L1iCache::notePrefetchedLineUse(Addr block_addr, L1iMeta &meta)
         observer->onPrefetchUsed(blockAlign(block_addr));
 }
 
+void
+L1iCache::noteEviction(Addr block_addr, const L1iMeta &meta, Cycle now)
+{
+    cEvictions.add();
+    if (meta.prefetched && !meta.demanded) {
+        cPfUseless.add();
+        if (obs::Tracing::enabled()) {
+            obs::Tracing::record("l1i", now, block_addr,
+                                 obs::MissClass::None,
+                                 obs::MissOutcome::Wasted);
+        }
+    }
+    if (listener)
+        listener->onEvict(block_addr, meta.prefetched, meta.demanded);
+    if (observer)
+        observer->onEvict(block_addr, meta.prefetched, meta.demanded);
+}
+
 L1iCache::DemandResult
 L1iCache::demandAccess(Addr addr, Cycle now, bool wrong_path)
 {
     Addr block = blockAlign(addr);
     DemandResult res;
-    statSet.add("l1i_lookups");
-    statSet.add(wrong_path ? "l1i_wp_accesses" : "l1i_accesses");
+    cLookups.add();
+    (wrong_path ? cWpAccesses : cAccesses).add();
 
     bool sequential = lastDemandBlock != kInvalidAddr &&
         blockNumber(block) == blockNumber(lastDemandBlock) + 1;
@@ -84,9 +147,9 @@ L1iCache::demandAccess(Addr addr, Cycle now, bool wrong_path)
         res.hit = true;
         res.ready = now;
         if (!wrong_path)
-            statSet.add("l1i_hits");
+            cHits.add();
         if (line->meta.prefetched && !line->meta.demanded)
-            notePrefetchedLineUse(block, line->meta);
+            notePrefetchedLineUse(block, line->meta, now, sequential);
         line->meta.demanded = true;
         if (listener)
             listener->onDemandAccess(block, true);
@@ -103,35 +166,30 @@ L1iCache::demandAccess(Addr addr, Cycle now, bool wrong_path)
         res.fromPrefetchBuffer = true;
         res.ready = now;
         if (!wrong_path) {
-            statSet.add("l1i_hits");
-            statSet.add("l1i_pf_buffer_hits");
+            cHits.add();
+            cPfBufferHits.add();
         }
-        Cycle fill_latency = 0;
+        BufferFill fill;
         if (auto it = bufferFillLatency.find(block);
             it != bufferFillLatency.end()) {
-            fill_latency = it->second;
+            fill = it->second;
             bufferFillLatency.erase(it);
         }
-        statSet.add("pf_useful");
-        statSet.add("cmal_covered_cycles", fill_latency);
-        statSet.add("cmal_full_cycles", fill_latency);
+        cPfUseful.add();
+        cCmalCovered.add(fill.latency);
+        cCmalFull.add(fill.latency);
+        hPfToUse.sample(now >= fill.filledAt ? now - fill.filledAt : 0);
+        if (obs::Tracing::enabled()) {
+            obs::Tracing::record("l1i", now, block, missClassOf(sequential),
+                                 obs::MissOutcome::Covered);
+        }
         L1iMeta meta;
         meta.demanded = true;
-        meta.fillLatency = fill_latency;
+        meta.fillLatency = fill.latency;
+        meta.filledAt = fill.filledAt;
         auto ev = array.insert(block, meta);
-        if (ev.valid) {
-            statSet.add("l1i_evictions");
-            if (ev.meta.prefetched && !ev.meta.demanded)
-                statSet.add("pf_useless");
-            if (listener) {
-                listener->onEvict(ev.blockAddr, ev.meta.prefetched,
-                                  ev.meta.demanded);
-            }
-            if (observer) {
-                observer->onEvict(ev.blockAddr, ev.meta.prefetched,
-                                  ev.meta.demanded);
-            }
-        }
+        if (ev.valid)
+            noteEviction(ev.blockAddr, ev.meta, now);
         if (listener) {
             listener->onPrefetchUsed(block);
             listener->onDemandAccess(block, true);
@@ -147,10 +205,10 @@ L1iCache::demandAccess(Addr addr, Cycle now, bool wrong_path)
 
     // Miss path.
     if (!wrong_path) {
-        statSet.add("l1i_misses");
-        statSet.add(sequential ? "l1i_seq_misses" : "l1i_disc_misses");
+        cMisses.add();
+        (sequential ? cSeqMisses : cDiscMisses).add();
     } else {
-        statSet.add("l1i_wp_misses");
+        cWpMisses.add();
     }
     if (listener) {
         listener->onDemandAccess(block, false);
@@ -164,30 +222,45 @@ L1iCache::demandAccess(Addr addr, Cycle now, bool wrong_path)
     if (MshrEntry *entry = findMshr(block)) {
         res.hitInFlight = true;
         res.ready = entry->ready;
-        if (entry->isPrefetch && !entry->demanded && !wrong_path) {
+        bool late_prefetch =
+            entry->isPrefetch && !entry->demanded && !wrong_path;
+        if (late_prefetch) {
             // Late prefetch: covers only the cycles elapsed since issue.
-            statSet.add("pf_late");
-            statSet.add("pf_useful");
-            statSet.add("cmal_covered_cycles", now - entry->issued);
-            statSet.add("cmal_full_cycles", entry->ready - entry->issued);
+            cPfLate.add();
+            cPfUseful.add();
+            cCmalCovered.add(now - entry->issued);
+            cCmalFull.add(entry->ready - entry->issued);
         }
         if (!wrong_path) {
+            hMissLatency.sample(entry->ready > now ? entry->ready - now
+                                                   : 0);
+            if (obs::Tracing::enabled()) {
+                obs::Tracing::record("l1i", now, block,
+                                     missClassOf(sequential),
+                                     late_prefetch
+                                         ? obs::MissOutcome::Late
+                                         : obs::MissOutcome::Uncovered);
+            }
             entry->demanded = true;
             entry->demandCycle = now;
-        }
-        if (!wrong_path)
             lastDemandBlock = block;
+        }
         return res;
     }
 
     if (mshrs.size() >= cfg.mshrs)
-        statSet.add("l1i_mshr_pressure"); // demand always gets a slot
+        cMshrPressure.add(); // demand always gets a slot
     MshrEntry &entry = issueFill(block, now, false);
     entry.demanded = !wrong_path;
     entry.demandCycle = now;
     res.ready = entry.ready;
     if (!wrong_path) {
-        statSet.add("demand_miss_cycles", entry.ready - now);
+        cDemandMissCycles.add(entry.ready - now);
+        hMissLatency.sample(entry.ready - now);
+        if (obs::Tracing::enabled()) {
+            obs::Tracing::record("l1i", now, block, missClassOf(sequential),
+                                 obs::MissOutcome::Uncovered);
+        }
         lastDemandBlock = block;
     }
     return res;
@@ -197,8 +270,8 @@ L1iCache::PfOutcome
 L1iCache::prefetch(Addr addr, Cycle now)
 {
     Addr block = blockAlign(addr);
-    statSet.add("l1i_lookups");
-    statSet.add("pf_attempts");
+    cLookups.add();
+    cPfAttempts.add();
 
     if (array.lookup(block, false))
         return PfOutcome::InCache;
@@ -207,11 +280,11 @@ L1iCache::prefetch(Addr addr, Cycle now)
     if (findMshr(block))
         return PfOutcome::InFlight;
     if (mshrs.size() >= cfg.mshrs) {
-        statSet.add("pf_dropped_mshr");
+        cPfDroppedMshr.add();
         return PfOutcome::NoMshr;
     }
     issueFill(block, now, true);
-    statSet.add("pf_issued");
+    cPfIssued.add();
     return PfOutcome::Issued;
 }
 
@@ -223,7 +296,8 @@ L1iCache::installFill(const MshrEntry &entry)
 
     if (cfg.usePrefetchBuffer && entry.isPrefetch && !entry.demanded) {
         buffer.insert(entry.blockAddr);
-        bufferFillLatency[entry.blockAddr] = entry.ready - entry.issued;
+        bufferFillLatency[entry.blockAddr] =
+            BufferFill{entry.ready - entry.issued, entry.ready};
         if (listener) {
             listener->onFill(entry.blockAddr, true,
                              entry.bfValid ? &entry.bf : nullptr);
@@ -239,20 +313,10 @@ L1iCache::installFill(const MshrEntry &entry)
     meta.prefetched = entry.isPrefetch && !entry.demanded;
     meta.demanded = entry.demanded;
     meta.fillLatency = entry.ready - entry.issued;
+    meta.filledAt = entry.ready;
     auto ev = array.insert(entry.blockAddr, meta);
-    if (ev.valid) {
-        statSet.add("l1i_evictions");
-        if (ev.meta.prefetched && !ev.meta.demanded)
-            statSet.add("pf_useless");
-        if (listener) {
-            listener->onEvict(ev.blockAddr, ev.meta.prefetched,
-                              ev.meta.demanded);
-        }
-        if (observer) {
-            observer->onEvict(ev.blockAddr, ev.meta.prefetched,
-                              ev.meta.demanded);
-        }
-    }
+    if (ev.valid)
+        noteEviction(ev.blockAddr, ev.meta, entry.ready);
     if (listener) {
         listener->onFill(entry.blockAddr, entry.isPrefetch,
                          entry.bfValid ? &entry.bf : nullptr);
@@ -294,7 +358,7 @@ L1iCache::warmInsert(Addr addr)
 bool
 L1iCache::lookup(Addr addr)
 {
-    statSet.add("l1i_lookups");
+    cLookups.add();
     return probe(addr);
 }
 

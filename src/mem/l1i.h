@@ -50,6 +50,7 @@ struct L1iMeta
     bool demanded = false;       //!< demand-accessed at least once
     std::uint8_t localStatus = 0xf; //!< SN4L 4-bit local prefetch status
     Cycle fillLatency = 0;       //!< LLC round trip that filled the line
+    Cycle filledAt = 0;          //!< cycle the fill completed
 };
 
 /**
@@ -195,19 +196,39 @@ class L1iCache
 
     /** Handle the CMAL/use bookkeeping for a demand hit on a
      *  prefetched resident line. */
-    void notePrefetchedLineUse(Addr block_addr, L1iMeta &meta);
+    void notePrefetchedLineUse(Addr block_addr, L1iMeta &meta, Cycle now,
+                               bool sequential);
+
+    /** Record eviction statistics/attribution for a victim line. */
+    void noteEviction(Addr block_addr, const L1iMeta &meta, Cycle now);
+
+    /** Timing of a fill that landed in the prefetch buffer. */
+    struct BufferFill
+    {
+        Cycle latency = 0;
+        Cycle filledAt = 0;
+    };
 
     L1iConfig cfg;
     Llc &llc;
     SetAssocCache<L1iMeta> array;
     PrefetchBuffer buffer;
-    std::unordered_map<Addr, Cycle> bufferFillLatency;
+    std::unordered_map<Addr, BufferFill> bufferFillLatency;
     std::unordered_map<Addr, BranchFootprint> footprints;
     std::vector<MshrEntry> mshrs;
     L1iListener *listener = nullptr;
     L1iListener *observer = nullptr;
     Addr lastDemandBlock = kInvalidAddr;
     StatSet statSet;
+
+    // Typed handles for the per-access hot path (registered once in the
+    // constructor; no string hashing per event).
+    obs::Counter cLookups, cAccesses, cWpAccesses, cHits, cPfBufferHits,
+        cMisses, cSeqMisses, cDiscMisses, cWpMisses, cEvictions,
+        cExternalRequests, cPfAttempts, cPfIssued, cPfUseful, cPfLate,
+        cPfUseless, cPfDroppedMshr, cMshrPressure, cCmalCovered, cCmalFull,
+        cDemandMissCycles;
+    obs::Histogram hMissLatency, hPfToUse, hMshrOccupancy;
 };
 
 } // namespace dcfb::mem

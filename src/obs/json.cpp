@@ -1,0 +1,413 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace dcfb::obs {
+
+JsonValue &
+JsonValue::operator[](const std::string &key)
+{
+    k = Kind::Object;
+    for (auto &kv : objectVal) {
+        if (kv.first == key)
+            return kv.second;
+    }
+    objectVal.emplace_back(key, JsonValue());
+    return objectVal.back().second;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    for (const auto &kv : objectVal) {
+        if (kv.first == key)
+            return &kv.second;
+    }
+    return nullptr;
+}
+
+std::string
+JsonValue::quote(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+void
+JsonValue::dumpTo(std::string &out, int indent, int depth) const
+{
+    auto newline = [&](int d) {
+        if (indent <= 0)
+            return;
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent * d), ' ');
+    };
+
+    switch (k) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += boolVal ? "true" : "false";
+        break;
+      case Kind::Uint: {
+        char buf[24];
+        auto res = std::to_chars(buf, buf + sizeof(buf), uintVal);
+        out.append(buf, res.ptr);
+        break;
+      }
+      case Kind::Double: {
+        if (!std::isfinite(doubleVal)) {
+            out += "null"; // JSON has no inf/nan
+            break;
+        }
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", doubleVal);
+        out += buf;
+        break;
+      }
+      case Kind::String:
+        out += quote(stringVal);
+        break;
+      case Kind::Array: {
+        if (arrayVal.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (std::size_t i = 0; i < arrayVal.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            arrayVal[i].dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += ']';
+        break;
+      }
+      case Kind::Object: {
+        if (objectVal.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (std::size_t i = 0; i < objectVal.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            out += quote(objectVal[i].first);
+            out += indent > 0 ? ": " : ":";
+            objectVal[i].second.dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace {
+
+/** Recursive-descent JSON parser over a string_view. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : s(text) {}
+
+    std::optional<JsonValue>
+    document()
+    {
+        auto v = value();
+        if (!v)
+            return std::nullopt;
+        skipWs();
+        if (pos != s.size())
+            return std::nullopt; // trailing junk
+        return v;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                s[pos] == '\r')) {
+            ++pos;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos < s.size() && s[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (s.substr(pos, word.size()) != word)
+            return false;
+        pos += word.size();
+        return true;
+    }
+
+    std::optional<JsonValue>
+    value()
+    {
+        skipWs();
+        if (pos >= s.size())
+            return std::nullopt;
+        switch (s[pos]) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"': {
+            auto str = string();
+            if (!str)
+                return std::nullopt;
+            return JsonValue(std::move(*str));
+          }
+          case 't':
+            return literal("true") ? std::optional(JsonValue(true))
+                                   : std::nullopt;
+          case 'f':
+            return literal("false") ? std::optional(JsonValue(false))
+                                    : std::nullopt;
+          case 'n':
+            return literal("null") ? std::optional(JsonValue())
+                                   : std::nullopt;
+          default:
+            return number();
+        }
+    }
+
+    std::optional<JsonValue>
+    object()
+    {
+        ++pos; // '{'
+        JsonValue out = JsonValue::object();
+        skipWs();
+        if (consume('}'))
+            return out;
+        while (true) {
+            skipWs();
+            if (pos >= s.size() || s[pos] != '"')
+                return std::nullopt;
+            auto key = string();
+            if (!key || !consume(':'))
+                return std::nullopt;
+            auto v = value();
+            if (!v)
+                return std::nullopt;
+            out[*key] = std::move(*v);
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return out;
+            return std::nullopt;
+        }
+    }
+
+    std::optional<JsonValue>
+    array()
+    {
+        ++pos; // '['
+        JsonValue out = JsonValue::array();
+        skipWs();
+        if (consume(']'))
+            return out;
+        while (true) {
+            auto v = value();
+            if (!v)
+                return std::nullopt;
+            out.push(std::move(*v));
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return out;
+            return std::nullopt;
+        }
+    }
+
+    std::optional<std::string>
+    string()
+    {
+        ++pos; // opening quote
+        std::string out;
+        while (pos < s.size()) {
+            char c = s[pos];
+            if (c == '"') {
+                ++pos;
+                return out;
+            }
+            if (c == '\\') {
+                if (pos + 1 >= s.size())
+                    return std::nullopt;
+                char e = s[pos + 1];
+                pos += 2;
+                switch (e) {
+                  case '"':
+                    out += '"';
+                    break;
+                  case '\\':
+                    out += '\\';
+                    break;
+                  case '/':
+                    out += '/';
+                    break;
+                  case 'b':
+                    out += '\b';
+                    break;
+                  case 'f':
+                    out += '\f';
+                    break;
+                  case 'n':
+                    out += '\n';
+                    break;
+                  case 'r':
+                    out += '\r';
+                    break;
+                  case 't':
+                    out += '\t';
+                    break;
+                  case 'u': {
+                    if (pos + 4 > s.size())
+                        return std::nullopt;
+                    unsigned cp = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = s[pos + static_cast<std::size_t>(i)];
+                        cp <<= 4;
+                        if (h >= '0' && h <= '9')
+                            cp |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            cp |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            cp |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return std::nullopt;
+                    }
+                    pos += 4;
+                    // Encode the BMP code point as UTF-8 (surrogate
+                    // pairs are not needed for our ASCII schemas).
+                    if (cp < 0x80) {
+                        out += static_cast<char>(cp);
+                    } else if (cp < 0x800) {
+                        out += static_cast<char>(0xc0 | (cp >> 6));
+                        out += static_cast<char>(0x80 | (cp & 0x3f));
+                    } else {
+                        out += static_cast<char>(0xe0 | (cp >> 12));
+                        out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+                        out += static_cast<char>(0x80 | (cp & 0x3f));
+                    }
+                    break;
+                  }
+                  default:
+                    return std::nullopt;
+                }
+                continue;
+            }
+            out += c;
+            ++pos;
+        }
+        return std::nullopt; // unterminated
+    }
+
+    std::optional<JsonValue>
+    number()
+    {
+        std::size_t start = pos;
+        if (pos < s.size() && s[pos] == '-')
+            ++pos;
+        bool integral = true;
+        while (pos < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[pos])) ||
+                s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E' ||
+                s[pos] == '+' || s[pos] == '-')) {
+            if (s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E')
+                integral = false;
+            ++pos;
+        }
+        std::string_view tok = s.substr(start, pos - start);
+        if (tok.empty() || tok == "-")
+            return std::nullopt;
+        if (integral && tok[0] != '-') {
+            std::uint64_t u = 0;
+            auto res = std::from_chars(tok.data(), tok.data() + tok.size(),
+                                       u);
+            if (res.ec == std::errc() && res.ptr == tok.data() + tok.size())
+                return JsonValue(u);
+        }
+        double d = 0.0;
+        auto res = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+        if (res.ec != std::errc() || res.ptr != tok.data() + tok.size())
+            return std::nullopt;
+        return JsonValue(d);
+    }
+
+    std::string_view s;
+    std::size_t pos = 0;
+};
+
+} // namespace
+
+std::optional<JsonValue>
+JsonValue::parse(std::string_view text)
+{
+    return Parser(text).document();
+}
+
+} // namespace dcfb::obs

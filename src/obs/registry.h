@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Typed, hierarchical statistics registry.
+ *
+ * Counters and histograms are registered once, by name, against a
+ * StatRegistry; registration interns the name to a stable slot and hands
+ * back a trivially-copyable handle.  Hot paths bump the handle -- a
+ * single pointer-indirect add, no per-event string hashing -- while the
+ * registry keeps the name -> slot mapping for reporting.
+ *
+ * Hierarchical scoping uses dotted names ("l1i.misses", "pf.chain_depth");
+ * the Scope helper prepends a component prefix so subsystems can register
+ * against a shared registry without repeating their prefix.
+ *
+ * Histograms are log2-bucketed: bucket 0 holds exactly the value 0 and
+ * bucket i (i >= 1) holds [2^(i-1), 2^i - 1].  That gives cheap constant
+ * cost per sample (std::bit_width) and bounded storage for unbounded
+ * quantities such as miss latencies, prefetch-to-use distances, proactive
+ * chain depths and queue occupancies.
+ */
+
+#ifndef DCFB_OBS_REGISTRY_H
+#define DCFB_OBS_REGISTRY_H
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dcfb::obs {
+
+/** Number of log2 buckets: one for zero plus one per uint64 bit width. */
+inline constexpr unsigned kHistBuckets = 65;
+
+/** Bucket index of @p value: 0 for 0, otherwise bit_width(value). */
+constexpr unsigned
+histBucket(std::uint64_t value)
+{
+    return value == 0 ? 0u : static_cast<unsigned>(std::bit_width(value));
+}
+
+/** Smallest value in bucket @p i. */
+constexpr std::uint64_t
+histBucketLow(unsigned i)
+{
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+}
+
+/** Largest value in bucket @p i. */
+constexpr std::uint64_t
+histBucketHigh(unsigned i)
+{
+    if (i == 0)
+        return 0;
+    if (i >= 64)
+        return ~std::uint64_t{0};
+    return (std::uint64_t{1} << i) - 1;
+}
+
+/**
+ * Typed counter handle.  Trivially copyable; a default-constructed
+ * handle accumulates into a shared discard slot so components can hold
+ * handles as members before registration.
+ */
+class Counter
+{
+  public:
+    Counter() : slot(&discard) {}
+
+    void add(std::uint64_t delta = 1) { *slot += delta; }
+    std::uint64_t value() const { return *slot; }
+
+  private:
+    friend class StatRegistry;
+    explicit Counter(std::uint64_t *s) : slot(s) {}
+
+    static inline std::uint64_t discard = 0;
+    std::uint64_t *slot;
+};
+
+/** Raw accumulation state of one histogram. */
+struct HistData
+{
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t max = 0;
+    std::array<std::uint64_t, kHistBuckets> buckets{};
+
+    void
+    reset()
+    {
+        count = sum = max = 0;
+        buckets.fill(0);
+    }
+};
+
+/** Typed histogram handle (same conventions as Counter). */
+class Histogram
+{
+  public:
+    Histogram() : data(&discard) {}
+
+    void
+    sample(std::uint64_t value)
+    {
+        HistData &d = *data;
+        ++d.count;
+        d.sum += value;
+        if (value > d.max)
+            d.max = value;
+        ++d.buckets[histBucket(value)];
+    }
+
+    const HistData &raw() const { return *data; }
+
+  private:
+    friend class StatRegistry;
+    explicit Histogram(HistData *d) : data(d) {}
+
+    static inline HistData discard{};
+    HistData *data;
+};
+
+/**
+ * Value-type histogram snapshot used by RunResult and the JSON report
+ * writer.  Only non-empty buckets are kept, as (bucket index, count)
+ * pairs in ascending index order.
+ */
+struct HistogramSnapshot
+{
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t max = 0;
+    std::vector<std::pair<unsigned, std::uint64_t>> buckets;
+
+    double
+    mean() const
+    {
+        return count ? static_cast<double>(sum) / static_cast<double>(count)
+                     : 0.0;
+    }
+
+    static HistogramSnapshot from(const HistData &d);
+
+    /** Accumulate another snapshot (per-component merge). */
+    void merge(const HistogramSnapshot &other);
+
+    bool operator==(const HistogramSnapshot &) const = default;
+};
+
+/**
+ * The registry: interns names to stable slots and hands out handles.
+ * Re-registering a name returns a handle to the same slot, so IDs are
+ * stable across components and across calls.
+ */
+class StatRegistry
+{
+  public:
+    /** Register (or re-find) counter @p name. */
+    Counter counter(std::string_view name);
+
+    /** Register (or re-find) histogram @p name. */
+    Histogram histogram(std::string_view name);
+
+    /** Slot index of counter @p name (registering it if new).  Exposed
+     *  so tests can assert interning stability. */
+    std::size_t counterIndex(std::string_view name);
+
+    /** Cold-path string add: interns on first use. */
+    void add(std::string_view name, std::uint64_t delta = 1);
+
+    /** Cold-path read; absent counters read as zero. */
+    std::uint64_t get(std::string_view name) const;
+
+    /** Zero every counter and histogram; names and slots survive. */
+    void reset();
+
+    std::size_t counterCount() const { return counterSlots.size(); }
+    std::size_t histogramCount() const { return histSlots.size(); }
+
+    /** All counters, sorted by name. */
+    std::map<std::string, std::uint64_t> counters() const;
+
+    /** All histograms, sorted by name, as snapshots. */
+    std::map<std::string, HistogramSnapshot> histograms() const;
+
+  private:
+    // Deques give stable element addresses across growth.
+    std::deque<std::uint64_t> counterSlots;
+    std::deque<HistData> histSlots;
+    std::map<std::string, std::size_t, std::less<>> counterIds;
+    std::map<std::string, std::size_t, std::less<>> histIds;
+};
+
+/**
+ * Dotted-prefix view of a registry: Scope(reg, "l1i").counter("misses")
+ * registers "l1i.misses".
+ */
+class Scope
+{
+  public:
+    Scope(StatRegistry &registry, std::string prefix_)
+        : reg(registry), prefix(std::move(prefix_))
+    {
+    }
+
+    Counter
+    counter(std::string_view name) const
+    {
+        return reg.counter(qualified(name));
+    }
+
+    Histogram
+    histogram(std::string_view name) const
+    {
+        return reg.histogram(qualified(name));
+    }
+
+    Scope
+    scope(std::string_view sub) const
+    {
+        return Scope(reg, qualified(sub));
+    }
+
+    std::string
+    qualified(std::string_view name) const
+    {
+        return prefix.empty() ? std::string(name)
+                              : prefix + "." + std::string(name);
+    }
+
+  private:
+    StatRegistry &reg;
+    std::string prefix;
+};
+
+} // namespace dcfb::obs
+
+#endif // DCFB_OBS_REGISTRY_H

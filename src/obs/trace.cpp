@@ -1,0 +1,227 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "obs/json.h"
+
+namespace dcfb::obs {
+
+const char *
+missClassName(MissClass cls)
+{
+    switch (cls) {
+      case MissClass::Sequential:
+        return "seq";
+      case MissClass::Discontinuity:
+        return "disc";
+      case MissClass::Btb:
+        return "btb";
+      case MissClass::None:
+        return "-";
+    }
+    return "?";
+}
+
+const char *
+missOutcomeName(MissOutcome outcome)
+{
+    switch (outcome) {
+      case MissOutcome::Covered:
+        return "covered";
+      case MissOutcome::Late:
+        return "late";
+      case MissOutcome::Uncovered:
+        return "uncovered";
+      case MissOutcome::Wasted:
+        return "wasted";
+    }
+    return "?";
+}
+
+TraceFormat
+traceFormatForPath(const std::string &path)
+{
+    return path.ends_with(".jsonl") ? TraceFormat::Jsonl
+                                    : TraceFormat::ChromeTrace;
+}
+
+struct Tracing::State
+{
+    Config cfg;
+    std::ofstream out;
+    std::uint64_t written = 0;
+    std::uint64_t droppedEvents = 0;
+    std::uint64_t runIndex = 0;
+    bool firstChromeRecord = true;
+    std::string workload = "-";
+    std::string design = "-";
+
+    void
+    emit(const JsonValue &record)
+    {
+        if (cfg.format == TraceFormat::Jsonl) {
+            out << record.dump() << '\n';
+        } else {
+            out << (firstChromeRecord ? "\n" : ",\n") << record.dump();
+            firstChromeRecord = false;
+        }
+    }
+};
+
+Tracing::State *Tracing::state = nullptr;
+bool Tracing::runActive = false;
+
+bool
+Tracing::open(const std::string &path)
+{
+    Config cfg;
+    cfg.path = path;
+    cfg.format = traceFormatForPath(path);
+    return open(cfg);
+}
+
+bool
+Tracing::open(const Config &config)
+{
+    close();
+    auto *s = new State;
+    s->cfg = config;
+    s->out.open(config.path, std::ios::out | std::ios::trunc);
+    if (!s->out.is_open()) {
+        std::fprintf(stderr, "[obs] cannot open trace file %s\n",
+                     config.path.c_str());
+        delete s;
+        return false;
+    }
+    if (s->cfg.format == TraceFormat::ChromeTrace)
+        s->out << "[";
+    state = s;
+    runActive = false;
+    return true;
+}
+
+void
+Tracing::close()
+{
+    if (!state)
+        return;
+    State *s = state;
+    // Closing summary record: how complete is the stream?
+    JsonValue summary = JsonValue::object();
+    if (s->cfg.format == TraceFormat::Jsonl) {
+        summary["type"] = "summary";
+        summary["events"] = s->written;
+        summary["dropped"] = s->droppedEvents;
+        s->emit(summary);
+    } else {
+        summary["name"] = "trace_summary";
+        summary["ph"] = "i";
+        summary["ts"] = std::uint64_t{0};
+        summary["pid"] = s->runIndex;
+        summary["tid"] = std::uint64_t{0};
+        summary["s"] = "g";
+        JsonValue args = JsonValue::object();
+        args["events"] = s->written;
+        args["dropped"] = s->droppedEvents;
+        summary["args"] = std::move(args);
+        s->emit(summary);
+        s->out << "\n]\n";
+    }
+    s->out.close();
+    state = nullptr;
+    runActive = false;
+    delete s;
+}
+
+void
+Tracing::beginRun(const std::string &workload, const std::string &design)
+{
+    if (!state)
+        return;
+    State *s = state;
+    ++s->runIndex;
+    s->workload = workload;
+    s->design = design;
+    JsonValue rec = JsonValue::object();
+    if (s->cfg.format == TraceFormat::Jsonl) {
+        rec["type"] = "run";
+        rec["run"] = s->runIndex;
+        rec["workload"] = workload;
+        rec["design"] = design;
+    } else {
+        // Chrome metadata event naming the per-run "process".
+        rec["name"] = "process_name";
+        rec["ph"] = "M";
+        rec["pid"] = s->runIndex;
+        rec["tid"] = std::uint64_t{0};
+        JsonValue args = JsonValue::object();
+        args["name"] = workload + " / " + design;
+        rec["args"] = std::move(args);
+    }
+    s->emit(rec);
+    runActive = true;
+}
+
+void
+Tracing::endRun()
+{
+    runActive = false;
+}
+
+void
+Tracing::record(const char *unit, Cycle cycle, Addr addr, MissClass cls,
+                MissOutcome outcome)
+{
+    if (!enabled())
+        return;
+    State *s = state;
+    if (s->written >= s->cfg.maxEvents) {
+        ++s->droppedEvents;
+        return;
+    }
+    ++s->written;
+
+    char addrBuf[24];
+    std::snprintf(addrBuf, sizeof(addrBuf), "0x%llx",
+                  static_cast<unsigned long long>(addr));
+
+    JsonValue rec = JsonValue::object();
+    if (s->cfg.format == TraceFormat::Jsonl) {
+        rec["type"] = "miss";
+        rec["run"] = s->runIndex;
+        rec["cycle"] = cycle;
+        rec["unit"] = unit;
+        rec["addr"] = addrBuf;
+        rec["class"] = missClassName(cls);
+        rec["outcome"] = missOutcomeName(outcome);
+    } else {
+        rec["name"] =
+            std::string(unit) + "." + missOutcomeName(outcome);
+        rec["ph"] = "i";
+        rec["ts"] = cycle;
+        rec["pid"] = s->runIndex;
+        rec["tid"] = std::uint64_t{0};
+        rec["s"] = "t";
+        JsonValue args = JsonValue::object();
+        args["addr"] = addrBuf;
+        args["class"] = missClassName(cls);
+        args["outcome"] = missOutcomeName(outcome);
+        rec["args"] = std::move(args);
+    }
+    s->emit(rec);
+}
+
+std::uint64_t
+Tracing::emitted()
+{
+    return state ? state->written : 0;
+}
+
+std::uint64_t
+Tracing::dropped()
+{
+    return state ? state->droppedEvents : 0;
+}
+
+} // namespace dcfb::obs

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Miss-attribution tracer.
+ *
+ * Every L1i and BTB miss the simulator observes can be tagged with the
+ * paper's taxonomy class (sequential / discontinuity / BTB) and its
+ * prefetch outcome (covered / late / uncovered / wasted) and streamed to
+ * a bounded JSONL or Chrome trace-event file.
+ *
+ * The tracer is process-global and off by default.  Instrumentation
+ * sites guard with the inline Tracing::enabled() check -- a single
+ * pointer compare -- so the disabled cost is effectively zero; all
+ * formatting and I/O live out of line and only run when a sink is open
+ * AND a run is active (Tracing::beginRun), which keeps warmup windows
+ * out of the stream.
+ *
+ * Output format is chosen from the file extension: "*.jsonl" emits one
+ * JSON object per line; anything else emits a Chrome trace-event array
+ * loadable in chrome://tracing / Perfetto (instant events, ts = cycle).
+ * The stream is bounded (default 1 M events); overflow increments a
+ * dropped-event count reported in the closing summary record.
+ */
+
+#ifndef DCFB_OBS_TRACE_H
+#define DCFB_OBS_TRACE_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace dcfb::obs {
+
+/** Paper taxonomy of frontend misses (Section II). */
+enum class MissClass : std::uint8_t {
+    Sequential,    //!< spatially next to the previous demanded block
+    Discontinuity, //!< control transfer into a non-resident block
+    Btb,           //!< the frontend did not know the branch
+    None,          //!< not a miss (e.g. a wasted-prefetch event)
+};
+
+/** Prefetch outcome attributed to the event. */
+enum class MissOutcome : std::uint8_t {
+    Covered,   //!< prefetch fully hid the fill (or avoided the BTB miss)
+    Late,      //!< prefetch in flight: latency partially hidden
+    Uncovered, //!< no prefetch; full penalty paid
+    Wasted,    //!< prefetched block evicted without any demand use
+};
+
+const char *missClassName(MissClass cls);
+const char *missOutcomeName(MissOutcome outcome);
+
+enum class TraceFormat : std::uint8_t { Jsonl, ChromeTrace };
+
+/** Format implied by @p path ("*.jsonl" -> Jsonl, else ChromeTrace). */
+TraceFormat traceFormatForPath(const std::string &path);
+
+/**
+ * Process-global trace sink.
+ */
+class Tracing
+{
+  public:
+    struct Config
+    {
+        std::string path;
+        TraceFormat format = TraceFormat::Jsonl;
+        std::uint64_t maxEvents = 1u << 20;
+    };
+
+    /** Open a sink at @p path, format inferred from the extension.
+     *  Returns false (and stays disabled) when the file cannot be
+     *  created. */
+    static bool open(const std::string &path);
+    static bool open(const Config &config);
+
+    /** Flush the closing summary record and disable tracing. */
+    static void close();
+
+    /** True while a sink is open and a run is active.  Inline so
+     *  instrumentation sites pay one pointer compare when disabled. */
+    static bool
+    enabled()
+    {
+        return state != nullptr && runActive;
+    }
+
+    /** True while a sink is open (independent of run state). */
+    static bool
+    sinkOpen()
+    {
+        return state != nullptr;
+    }
+
+    /** Mark the start of a measured run; emits a run-metadata record and
+     *  enables event recording. */
+    static void beginRun(const std::string &workload,
+                         const std::string &design);
+
+    /** Mark the end of the measured run; disables event recording. */
+    static void endRun();
+
+    /**
+     * Record one attribution event.
+     * @param unit  emitting component ("l1i" or "btb")
+     * @param cycle simulation cycle of the event
+     * @param addr  block or branch address
+     */
+    static void record(const char *unit, Cycle cycle, Addr addr,
+                       MissClass cls, MissOutcome outcome);
+
+    /** Events written so far (excludes dropped). */
+    static std::uint64_t emitted();
+
+    /** Events dropped after the bound was hit. */
+    static std::uint64_t dropped();
+
+  private:
+    struct State;
+    static State *state;
+    static bool runActive;
+};
+
+} // namespace dcfb::obs
+
+#endif // DCFB_OBS_TRACE_H

@@ -12,6 +12,15 @@ Sn4lDisBtb::Sn4lDisBtb(mem::L1iCache &l1i_,
       rluFilter(config.rluEntries),
       btbPb(config.btbPbEntries, config.btbPbAssoc)
 {
+    cLocalStatusHits = statSet.counter("local_status_hits");
+    cLocalStatusFills = statSet.counter("local_status_fills");
+    cSeqTableReads = statSet.counter("seqtable_reads");
+    cSn4lFiltered = statSet.counter("sn4l_filtered");
+    cSn4lCandidates = statSet.counter("sn4l_candidates");
+    cRluFiltered = statSet.counter("rlu_filtered");
+    cIssued = statSet.counter("issued");
+    hChainDepth = statSet.histogram("chain_depth");
+    hRluQueueOcc = statSet.histogram("rluq_occ");
 }
 
 std::string
@@ -61,6 +70,7 @@ Sn4lDisBtb::pushTrigger(Addr block_addr, unsigned depth)
 void
 Sn4lDisBtb::emitCandidate(Addr block_addr, unsigned depth)
 {
+    hChainDepth.sample(depth);
     if (rluQueue.size() < cfg.queueEntries)
         rluQueue.push_back({block_addr, depth});
     else
@@ -120,7 +130,7 @@ Sn4lDisBtb::onFill(Addr block_addr, bool was_prefetch,
     // lookups").
     if (auto *meta = l1i.lineMeta(block_addr)) {
         meta->localStatus = seq.statusOfNextFour(block_addr);
-        statSet.add("local_status_fills");
+        cLocalStatusFills.add();
     }
 }
 
@@ -163,19 +173,19 @@ Sn4lDisBtb::processSeq(const Trigger &t)
     std::uint8_t status;
     if (auto *meta = l1i.lineMeta(t.blockAddr)) {
         status = meta->localStatus;
-        statSet.add("local_status_hits");
+        cLocalStatusHits.add();
     } else {
         status = seq.statusOfNextFour(t.blockAddr);
-        statSet.add("seqtable_reads");
+        cSeqTableReads.add();
     }
     for (unsigned i = 1; i <= depth_limit; ++i) {
         bool useful = !cfg.selective || (status >> (i - 1)) & 1;
         if (!useful) {
-            statSet.add("sn4l_filtered");
+            cSn4lFiltered.add();
             continue;
         }
         emitCandidate(t.blockAddr + Addr{i} * kBlockBytes, t.depth + 1);
-        statSet.add("sn4l_candidates");
+        cSn4lCandidates.add();
     }
 }
 
@@ -245,12 +255,13 @@ Sn4lDisBtb::processRluQueue(Cycle now)
     // drainPerCycle bounds *cache lookups* (the two L1i ports); RLU
     // checks are single-cycle register compares and candidates filtered
     // by the RLU do not consume a port - that is the point of the RLU.
+    hRluQueueOcc.sample(rluQueue.size());
     unsigned budget = cfg.drainPerCycle;
     while (budget > 0 && !rluQueue.empty()) {
         Trigger t = rluQueue.front();
         rluQueue.pop_front();
         if (rluFilter.contains(t.blockAddr)) {
-            statSet.add("rlu_filtered");
+            cRluFiltered.add();
             continue;
         }
         --budget;
@@ -261,7 +272,7 @@ Sn4lDisBtb::processRluQueue(Cycle now)
             pushTrigger(t.blockAddr, t.depth);
         auto outcome = l1i.prefetch(t.blockAddr, now);
         if (outcome == mem::L1iCache::PfOutcome::Issued)
-            statSet.add("issued");
+            cIssued.add();
         // In non-proactive configurations the candidate never reaches
         // the DisQueue, so the RLU-miss path feeds the pre-decoder
         // directly (Section V.C: blocks missed in the RLU are sent to

@@ -152,6 +152,11 @@ class Sn4lDisBtb : public InstrPrefetcher
     bool haveInstr[2] = {false, false};
 
     StatSet statSet;
+
+    // Typed handles for the per-trigger hot path.
+    obs::Counter cLocalStatusHits, cLocalStatusFills, cSeqTableReads,
+        cSn4lFiltered, cSn4lCandidates, cRluFiltered, cIssued;
+    obs::Histogram hChainDepth, hRluQueueOcc;
 };
 
 } // namespace dcfb::prefetch

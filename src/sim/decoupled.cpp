@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace dcfb::sim {
 
 using isa::InstrKind;
@@ -21,6 +23,13 @@ DecoupledFetchEngine::DecoupledFetchEngine(
       tage(tage_), pd(predecoder), bbtb(boomerang_btb_entries, 4),
       sgBtb(shotgun_cfg), btbPb(32, 32), ftq(config.ftqEntries)
 {
+    cFetched = statSet.counter("fe_fetched");
+    cIcacheStallCycles = statSet.counter("fe_icache_stall_cycles");
+    cEmptyFtqStallCycles = statSet.counter("fe_empty_ftq_stall_cycles");
+    cBpuStallCycles = statSet.counter("bpu_stall_cycles");
+    cFtqPushes = statSet.counter("ftq_pushes");
+    hFtqOcc = statSet.histogram("ftq_occ");
+    hBufferOcc = statSet.histogram("fetch_buffer_occ");
 }
 
 const TraceEntry &
@@ -45,6 +54,10 @@ void
 DecoupledFetchEngine::reactiveStall(Addr addr, Cycle now, const char *stat)
 {
     statSet.add(stat);
+    if (obs::Tracing::enabled()) {
+        obs::Tracing::record("btb", now, addr, obs::MissClass::Btb,
+                             obs::MissOutcome::Uncovered);
+    }
     Addr block = blockAlign(addr);
     Cycle ready;
     if (l1i.probe(block)) {
@@ -177,6 +190,11 @@ DecoupledFetchEngine::shotgunLookup(Addr bb_start, std::uint64_t term_idx,
         if (const auto *b = btbPb.findBranch(term.pc)) {
             sgBtb.updateC(term.pc, b->hasTarget ? b->target : term.target);
             statSet.add("sg_cbtb_buffer_fills");
+            if (obs::Tracing::enabled()) {
+                obs::Tracing::record("btb", now, term.pc,
+                                     obs::MissClass::Btb,
+                                     obs::MissOutcome::Covered);
+            }
             return true;
         }
         reactiveStall(term.pc, now, "sg_cbtb_miss");
@@ -238,8 +256,9 @@ DecoupledFetchEngine::shotgunLookup(Addr bb_start, std::uint64_t term_idx,
 void
 DecoupledFetchEngine::bpuStep(Cycle now)
 {
+    hFtqOcc.sample(ftq.size());
     if (now < bpuStalledUntil) {
-        statSet.add("bpu_stall_cycles");
+        cBpuStallCycles.add();
         return;
     }
     if (ftq.full())
@@ -289,7 +308,7 @@ DecoupledFetchEngine::bpuStep(Cycle now)
     }
 
     ftq.push(frontend::FtqEntry{bpuIdx, term_idx + 1, bb_start});
-    statSet.add("ftq_pushes");
+    cFtqPushes.add();
 
     // Instruction prefetch from the FTQ contents: this is Boomerang's
     // L1i prefetcher.  Shotgun deliberately does NOT get this path -
@@ -379,9 +398,10 @@ DecoupledFetchEngine::recordFetched(const TraceEntry &e)
 void
 DecoupledFetchEngine::fetchStep(Cycle now)
 {
+    hBufferOcc.sample(fetchBuffer.size());
     if (blockedOnFill) {
         if (now < fillReady) {
-            statSet.add("fe_icache_stall_cycles");
+            cIcacheStallCycles.add();
             return;
         }
         blockedOnFill = false;
@@ -393,7 +413,7 @@ DecoupledFetchEngine::fetchStep(Cycle now)
         if (ftq.empty()) {
             if (budget == cfg.fetchWidth) {
                 lastCycleEmptyFtq = true;
-                statSet.add("fe_empty_ftq_stall_cycles");
+                cEmptyFtqStallCycles.add();
             }
             break;
         }
@@ -415,7 +435,7 @@ DecoupledFetchEngine::fetchStep(Cycle now)
             if (!res.hit) {
                 blockedOnFill = true;
                 fillReady = res.ready;
-                statSet.add("fe_icache_stall_cycles");
+                cIcacheStallCycles.add();
                 missed = true;
                 break;
             }
@@ -427,7 +447,7 @@ DecoupledFetchEngine::fetchStep(Cycle now)
         recordFetched(e);
         ++fetchIdx;
         --budget;
-        statSet.add("fe_fetched");
+        cFetched.add();
         if (fetchIdx >= cur.traceEnd)
             ftq.pop();
         if (e.isBranch() && e.taken)

@@ -137,6 +137,11 @@ class DecoupledFetchEngine : public FetchEngine, public mem::L1iListener
         unsigned remaining = 0;
     };
     std::vector<RetRecord> retRecords;
+
+    // Typed handles for the per-cycle hot path.
+    obs::Counter cFetched, cIcacheStallCycles, cEmptyFtqStallCycles,
+        cBpuStallCycles, cFtqPushes;
+    obs::Histogram hFtqOcc, hBufferOcc;
 };
 
 } // namespace dcfb::sim

@@ -1,5 +1,6 @@
 #include "sim/fetch.h"
 
+#include "obs/trace.h"
 #include "prefetch/btb_prefetch_buffer.h"
 
 namespace dcfb::sim {
@@ -15,6 +16,12 @@ CoupledFetchEngine::CoupledFetchEngine(
     : FetchEngine(config), walker(walker_), l1i(l1i_), btb(btb_),
       tage(tage_), image(image_), pf(prefetcher)
 {
+    cFetched = statSet.counter("fe_fetched");
+    cIcacheStallCycles = statSet.counter("fe_icache_stall_cycles");
+    cBtbStallCycles = statSet.counter("fe_btb_stall_cycles");
+    cMispredictStallCycles = statSet.counter("fe_mispredict_stall_cycles");
+    cWrongPathBlocks = statSet.counter("fe_wrong_path_blocks");
+    hBufferOcc = statSet.histogram("fetch_buffer_occ");
     refill();
 }
 
@@ -65,7 +72,7 @@ CoupledFetchEngine::wrongPathFetch(Cycle now)
     if (block != wrongPathBlock) {
         wrongPathBlock = block;
         l1i.demandAccess(wrongPathPc, now, /*wrong_path=*/true);
-        statSet.add("fe_wrong_path_blocks");
+        cWrongPathBlocks.add();
     }
     wrongPathPc += cfg.fetchWidth * kInstrBytes;
 }
@@ -111,6 +118,11 @@ CoupledFetchEngine::handleBranch(const TraceEntry &e, Cycle now)
                                    b->kind};
                     entry = &from_buffer;
                     statSet.add("fe_btb_buffer_fills");
+                    if (obs::Tracing::enabled()) {
+                        obs::Tracing::record("btb", now, e.pc,
+                                             obs::MissClass::Btb,
+                                             obs::MissOutcome::Covered);
+                    }
                 }
             }
         }
@@ -122,6 +134,10 @@ CoupledFetchEngine::handleBranch(const TraceEntry &e, Cycle now)
         // anything taken costs a decode-time redirect.
         if (e.taken) {
             statSet.add("fe_btb_miss_taken");
+            if (obs::Tracing::enabled()) {
+                obs::Tracing::record("btb", now, e.pc, obs::MissClass::Btb,
+                                     obs::MissOutcome::Uncovered);
+            }
             redirect(now, cfg.decodeRedirectPenalty, e.pc + e.len,
                      StallReason::BtbMissRedirect);
             btb.update(e.pc, e.target, e.kind);
@@ -188,26 +204,30 @@ void
 CoupledFetchEngine::cycle(Cycle now)
 {
     refill();
+    hBufferOcc.sample(fetchBuffer.size());
 
     if (blockedOnFill) {
         if (now < fillReady) {
-            statSet.add("fe_icache_stall_cycles");
+            cIcacheStallCycles.add();
             return;
         }
         blockedOnFill = false;
     }
 
     if (now < redirectUntil) {
-        statSet.add(redirectReason == StallReason::BtbMissRedirect
-                        ? "fe_btb_stall_cycles"
-                        : "fe_mispredict_stall_cycles");
+        (redirectReason == StallReason::BtbMissRedirect
+             ? cBtbStallCycles
+             : cMispredictStallCycles)
+            .add();
         wrongPathFetch(now);
         return;
     }
 
     unsigned budget = cfg.fetchWidth;
     while (budget > 0 && fetchBuffer.size() < cfg.fetchBufferEntries) {
-        const TraceEntry &e = look.front();
+        // Copy: pop_front() below invalidates references into the queue,
+        // and e is still needed for the branch handling afterwards.
+        const TraceEntry e = look.front();
 
         // Block transition: access the I-cache (VL instructions may
         // straddle two blocks; both must be present).
@@ -225,7 +245,7 @@ CoupledFetchEngine::cycle(Cycle now)
             if (!res.hit) {
                 blockedOnFill = true;
                 fillReady = res.ready;
-                statSet.add("fe_icache_stall_cycles");
+                cIcacheStallCycles.add();
                 return;
             }
         }
@@ -234,7 +254,7 @@ CoupledFetchEngine::cycle(Cycle now)
         pf.onFetchInstr({e.pc, e.len, e.kind, e.taken, e.target}, now);
         look.pop_front();
         --budget;
-        statSet.add("fe_fetched");
+        cFetched.add();
 
         if (e.isBranch()) {
             bool stop = handleBranch(e, now);

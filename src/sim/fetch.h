@@ -125,6 +125,11 @@ class CoupledFetchEngine : public FetchEngine
     prefetch::InstrPrefetcher &pf;
     frontend::ReturnAddressStack ras;
 
+    // Typed handles for the per-cycle hot path.
+    obs::Counter cFetched, cIcacheStallCycles, cBtbStallCycles,
+        cMispredictStallCycles, cWrongPathBlocks;
+    obs::Histogram hBufferOcc;
+
     std::deque<workload::TraceEntry> look; //!< trace lookahead
     Addr currentBlock = kInvalidAddr;      //!< last block fetch accessed
 

@@ -67,4 +67,103 @@ Table::print(const std::string &title) const
     std::cout << "\n== " << title << " ==\n" << render() << std::flush;
 }
 
+obs::JsonValue
+Table::toJson(const std::string &title) const
+{
+    obs::JsonValue out = obs::JsonValue::object();
+    out["title"] = title;
+    obs::JsonValue columns = obs::JsonValue::array();
+    const auto &header = rows.front();
+    for (const auto &col : header)
+        columns.push(col);
+    out["columns"] = std::move(columns);
+    obs::JsonValue body = obs::JsonValue::array();
+    for (std::size_t r = 1; r < rows.size(); ++r) {
+        obs::JsonValue row = obs::JsonValue::object();
+        for (std::size_t c = 0; c < rows[r].size(); ++c)
+            row[header[c]] = rows[r][c];
+        body.push(std::move(row));
+    }
+    out["rows"] = std::move(body);
+    return out;
+}
+
+obs::JsonValue
+toJson(const RunResult &result)
+{
+    obs::JsonValue out = obs::JsonValue::object();
+    out["workload"] = result.workload;
+    out["design"] = result.design;
+    out["cycles"] = result.cycles;
+    out["instructions"] = result.instructions;
+    obs::JsonValue stats = obs::JsonValue::object();
+    for (const auto &kv : result.stats)
+        stats[kv.first] = kv.second;
+    out["stats"] = std::move(stats);
+    obs::JsonValue hists = obs::JsonValue::object();
+    for (const auto &kv : result.hists) {
+        obs::JsonValue h = obs::JsonValue::object();
+        h["count"] = kv.second.count;
+        h["sum"] = kv.second.sum;
+        h["max"] = kv.second.max;
+        obs::JsonValue buckets = obs::JsonValue::array();
+        for (const auto &b : kv.second.buckets) {
+            obs::JsonValue pair = obs::JsonValue::array();
+            pair.push(std::uint64_t{b.first});
+            pair.push(b.second);
+            buckets.push(std::move(pair));
+        }
+        h["buckets"] = std::move(buckets);
+        hists[kv.first] = std::move(h);
+    }
+    out["hists"] = std::move(hists);
+    return out;
+}
+
+std::optional<RunResult>
+runResultFromJson(const obs::JsonValue &v)
+{
+    using obs::JsonValue;
+    if (v.kind() != JsonValue::Kind::Object)
+        return std::nullopt;
+    const JsonValue *workload = v.find("workload");
+    const JsonValue *design = v.find("design");
+    const JsonValue *cycles = v.find("cycles");
+    const JsonValue *instructions = v.find("instructions");
+    const JsonValue *stats = v.find("stats");
+    if (!workload || !design || !cycles || !instructions || !stats)
+        return std::nullopt;
+
+    RunResult res;
+    res.workload = workload->asString();
+    res.design = design->asString();
+    res.cycles = cycles->asUint();
+    res.instructions = instructions->asUint();
+    for (const auto &kv : stats->members())
+        res.stats[kv.first] = kv.second.asUint();
+    if (const JsonValue *hists = v.find("hists")) {
+        for (const auto &kv : hists->members()) {
+            obs::HistogramSnapshot snap;
+            const JsonValue &h = kv.second;
+            if (const auto *c = h.find("count"))
+                snap.count = c->asUint();
+            if (const auto *s = h.find("sum"))
+                snap.sum = s->asUint();
+            if (const auto *m = h.find("max"))
+                snap.max = m->asUint();
+            if (const auto *buckets = h.find("buckets")) {
+                for (const auto &pair : buckets->items()) {
+                    if (pair.size() != 2)
+                        return std::nullopt;
+                    snap.buckets.emplace_back(
+                        static_cast<unsigned>(pair.items()[0].asUint()),
+                        pair.items()[1].asUint());
+                }
+            }
+            res.hists.emplace(kv.first, std::move(snap));
+        }
+    }
+    return res;
+}
+
 } // namespace dcfb::sim

@@ -1,9 +1,12 @@
 /**
  * @file
- * Plain-text table rendering for the bench harnesses.
+ * Report rendering for the bench harnesses: plain-text tables plus the
+ * shared JSON forms (tables and RunResults) behind every bench's
+ * `--json` mode and the BENCH_*.json regression tracking.
  *
  * Every bench prints the same rows/series the paper's figures report;
- * these helpers keep the formatting consistent and aligned.
+ * these helpers keep the formatting consistent and aligned, and the JSON
+ * form carries exactly the same cells so text and JSON never diverge.
  */
 
 #ifndef DCFB_SIM_REPORT_H
@@ -11,6 +14,9 @@
 
 #include <string>
 #include <vector>
+
+#include "obs/json.h"
+#include "sim/simulator.h"
 
 namespace dcfb::sim {
 
@@ -35,9 +41,22 @@ class Table
     /** Render and print to stdout with a title line. */
     void print(const std::string &title) const;
 
+    /**
+     * JSON form: {"title": ..., "columns": [...], "rows": [{col: cell}]}.
+     * Cells stay the formatted strings the text table prints, so the
+     * JSON report always matches the table byte for byte.
+     */
+    obs::JsonValue toJson(const std::string &title) const;
+
   private:
     std::vector<std::vector<std::string>> rows;
 };
+
+/** Full JSON form of a RunResult (counters + histograms). */
+obs::JsonValue toJson(const RunResult &result);
+
+/** Inverse of toJson(RunResult); nullopt when @p v lacks the schema. */
+std::optional<RunResult> runResultFromJson(const obs::JsonValue &v);
 
 } // namespace dcfb::sim
 

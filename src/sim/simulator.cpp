@@ -1,16 +1,22 @@
 #include "sim/simulator.h"
 
+#include "obs/trace.h"
+
 namespace dcfb::sim {
 
 namespace {
 
-/** Merge a component's counters under a prefix. */
+/** Merge a component's counters and histograms under a prefix. */
 void
-merge(std::map<std::string, std::uint64_t> &out, const std::string &prefix,
-      const StatSet &stats)
+merge(RunResult &out, const std::string &prefix, const StatSet &stats)
 {
     for (const auto &kv : stats.all())
-        out[prefix + "." + kv.first] += kv.second;
+        out.stats[prefix + "." + kv.first] += kv.second;
+    for (const auto &kv : stats.histograms()) {
+        if (kv.second.count == 0)
+            continue;
+        out.hists[prefix + "." + kv.first].merge(kv.second);
+    }
 }
 
 } // namespace
@@ -26,8 +32,19 @@ simulate(const SystemConfig &config, const RunWindows &windows)
     std::uint64_t instr_before = system.instructions();
     system.resetStats();
 
+    // Miss-attribution tracing covers exactly the measured window, so
+    // the bounded stream is not burnt on warmup traffic.
+    bool tracing = obs::Tracing::sinkOpen();
+    if (tracing) {
+        obs::Tracing::beginRun(config.profile.name,
+                               presetName(config.preset));
+    }
+
     for (Cycle c = 0; c < windows.measure; ++c)
         system.step();
+
+    if (tracing)
+        obs::Tracing::endRun();
 
     RunResult res;
     res.workload = config.profile.name;
@@ -35,30 +52,30 @@ simulate(const SystemConfig &config, const RunWindows &windows)
     res.cycles = windows.measure;
     res.instructions = system.instructions() - instr_before;
 
-    merge(res.stats, "sim", system.simStats);
-    merge(res.stats, "fe", system.fetch->stats());
-    merge(res.stats, "l1i", system.l1i->stats());
-    merge(res.stats, "l1d", system.l1d->stats());
-    merge(res.stats, "llc", system.llc->stats());
-    merge(res.stats, "mem", system.memory->stats());
-    merge(res.stats, "noc", system.mesh->stats());
-    merge(res.stats, "btb", system.btb->stats());
-    merge(res.stats, "tage", system.tage->stats());
-    merge(res.stats, "be", system.backend->stats());
+    merge(res, "sim", system.simStats);
+    merge(res, "fe", system.fetch->stats());
+    merge(res, "l1i", system.l1i->stats());
+    merge(res, "l1d", system.l1d->stats());
+    merge(res, "llc", system.llc->stats());
+    merge(res, "mem", system.memory->stats());
+    merge(res, "noc", system.mesh->stats());
+    merge(res, "btb", system.btb->stats());
+    merge(res, "tage", system.tage->stats());
+    merge(res, "be", system.backend->stats());
     if (system.decoupled) {
-        merge(res.stats, "sg", system.decoupled->shotgunBtb().stats());
-        merge(res.stats, "bb", system.decoupled->bbBtb().stats());
+        merge(res, "sg", system.decoupled->shotgunBtb().stats());
+        merge(res, "bb", system.decoupled->bbBtb().stats());
     }
     if (auto *p = dynamic_cast<prefetch::Sn4lDisBtb *>(
             system.prefetcher.get())) {
-        merge(res.stats, "pf", p->stats());
-        merge(res.stats, "pf", p->seqTable().stats());
-        merge(res.stats, "pf", p->disTable().stats());
-        merge(res.stats, "pf", p->rlu().stats());
+        merge(res, "pf", p->stats());
+        merge(res, "pf", p->seqTable().stats());
+        merge(res, "pf", p->disTable().stats());
+        merge(res, "pf", p->rlu().stats());
     }
     if (auto *p = dynamic_cast<prefetch::ConfluencePrefetcher *>(
             system.prefetcher.get())) {
-        merge(res.stats, "pf", p->stats());
+        merge(res, "pf", p->stats());
     }
     return res;
 }

@@ -15,6 +15,7 @@
 #include <map>
 #include <string>
 
+#include "obs/registry.h"
 #include "sim/config.h"
 #include "sim/system.h"
 
@@ -28,6 +29,7 @@ struct RunResult
     std::uint64_t cycles = 0;
     std::uint64_t instructions = 0;
     std::map<std::string, std::uint64_t> stats;
+    std::map<std::string, obs::HistogramSnapshot> hists;
 
     double ipc() const
     {
@@ -40,6 +42,16 @@ struct RunResult
         auto it = stats.find(name);
         return it == stats.end() ? 0 : it->second;
     }
+
+    /** Histogram lookup; nullptr when absent. */
+    const obs::HistogramSnapshot *
+    hist(const std::string &name) const
+    {
+        auto it = hists.find(name);
+        return it == hists.end() ? nullptr : &it->second;
+    }
+
+    bool operator==(const RunResult &) const = default;
 
     double
     ratio(const std::string &num, const std::string &den) const

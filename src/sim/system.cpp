@@ -10,6 +10,15 @@ namespace dcfb::sim {
 System::System(const SystemConfig &config)
     : cfg(config), program(workload::buildProgram(config.profile))
 {
+    cDispatchActive = simStats.counter("dispatch_active_cycles");
+    cStallBackend = simStats.counter("stall_backend");
+    cStallIcache = simStats.counter("stall_icache");
+    cStallBtb = simStats.counter("stall_btb");
+    cStallEmptyFtq = simStats.counter("stall_empty_ftq");
+    cStallMispredict = simStats.counter("stall_mispredict");
+    cStallFrontend = simStats.counter("stall_frontend");
+    cStallOther = simStats.counter("stall_other");
+
     walker = std::make_unique<workload::TraceWalker>(program, cfg.runSeed);
     predecoder = std::make_unique<isa::Predecoder>(
         program.image, cfg.profile.variableLength);
@@ -182,31 +191,31 @@ System::dispatchStage()
     }
 
     if (dispatched > 0) {
-        simStats.add("dispatch_active_cycles");
+        cDispatchActive.add();
         return;
     }
     if (backend->robFull()) {
-        simStats.add("stall_backend");
+        cStallBackend.add();
         return;
     }
     switch (fetch->stallReason(cycleCount)) {
       case StallReason::ICacheMiss:
-        simStats.add("stall_icache");
-        simStats.add("stall_frontend");
+        cStallIcache.add();
+        cStallFrontend.add();
         break;
       case StallReason::BtbMissRedirect:
-        simStats.add("stall_btb");
-        simStats.add("stall_frontend");
+        cStallBtb.add();
+        cStallFrontend.add();
         break;
       case StallReason::EmptyFtq:
-        simStats.add("stall_empty_ftq");
-        simStats.add("stall_frontend");
+        cStallEmptyFtq.add();
+        cStallFrontend.add();
         break;
       case StallReason::MispredictRedirect:
-        simStats.add("stall_mispredict");
+        cStallMispredict.add();
         break;
       default:
-        simStats.add("stall_other");
+        cStallOther.add();
         break;
     }
 }

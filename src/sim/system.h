@@ -74,6 +74,10 @@ class System
     Cycle cycleCount = 0;
     std::uint64_t instructionsRetired = 0;
 
+    // Typed handles for the per-cycle dispatch accounting.
+    obs::Counter cDispatchActive, cStallBackend, cStallIcache, cStallBtb,
+        cStallEmptyFtq, cStallMispredict, cStallFrontend, cStallOther;
+
   public:
     std::uint64_t instructions() const { return backend->retired(); }
 };
