@@ -16,6 +16,8 @@
  *   --trace <file>  stream miss-attribution events from every simulated
  *                   run into <file> (*.jsonl -> JSONL, else Chrome
  *                   trace-event format)
+ *   --inject <spec> seeded fault injection applied to every run, e.g.
+ *                   drop:rate=0.5,seed=3 (see README "Robustness")
  */
 
 #ifndef DCFB_BENCH_COMMON_H
@@ -30,6 +32,7 @@
 
 #include "obs/json.h"
 #include "obs/trace.h"
+#include "rt/faults.h"
 #include "sim/experiment.h"
 #include "sim/report.h"
 #include "sim/simulator.h"
@@ -136,13 +139,25 @@ class Harness
                 std::exit(2);
             };
             if (arg == "--help" || arg == "-h") {
-                std::printf("usage: %s [--json <file>] [--trace <file>]\n",
+                std::printf("usage: %s [--json <file>] [--trace <file>] "
+                            "[--inject <spec>]\n",
                             argv[0]);
                 std::exit(0);
             } else if (arg.rfind("--json", 0) == 0) {
                 jsonPath = value("--json");
             } else if (arg.rfind("--trace", 0) == 0) {
                 tracePath = value("--trace");
+            } else if (arg.rfind("--inject", 0) == 0) {
+                auto plan = rt::parseFaultPlan(value("--inject"));
+                if (!plan.ok()) {
+                    std::fprintf(stderr, "%s\n",
+                                 plan.error().render().c_str());
+                    std::exit(2);
+                }
+                sim::setDefaultFaultPlan(plan.value());
+                injectSpec = rt::faultPlanSpec(plan.value());
+                std::printf("  [fault injection: %s]\n",
+                            injectSpec.c_str());
             } else {
                 std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
                 std::exit(2);
@@ -157,6 +172,8 @@ class Harness
         doc["schema"] = "dcfb-bench-v1";
         doc["figure"] = figure;
         doc["claim"] = claim;
+        if (!injectSpec.empty())
+            doc["inject"] = injectSpec;
         doc["tables"] = std::move(tables);
         if (!notes.members().empty())
             doc["notes"] = std::move(notes);
@@ -175,6 +192,7 @@ class Harness
     std::string claim;
     std::string jsonPath;
     std::string tracePath;
+    std::string injectSpec;
     bool traceOpened = false;
     obs::JsonValue tables = obs::JsonValue::array();
     obs::JsonValue notes = obs::JsonValue::object();

@@ -1,6 +1,7 @@
 #include "isa/predecoder.h"
 
 #include "isa/vl_encoding.h"
+#include "rt/faults.h"
 
 namespace dcfb::isa {
 
@@ -37,6 +38,17 @@ decodeOne(const workload::ProgramImage &image, bool variable_length,
 
 } // namespace
 
+void
+Predecoder::perturb(std::vector<PredecodedBranch> &branches) const
+{
+    if (!injector)
+        return;
+    for (auto &b : branches) {
+        if (b.hasTarget)
+            b.target = injector->corruptTarget(b.target);
+    }
+}
+
 std::vector<PredecodedBranch>
 Predecoder::predecodeBlock(Addr block_addr) const
 {
@@ -50,6 +62,7 @@ Predecoder::predecodeBlock(Addr block_addr) const
         if (decodeOne(image, false, block_addr, slot * kInstrBytes, b))
             branches.push_back(b);
     }
+    perturb(branches);
     return branches;
 }
 
@@ -65,6 +78,7 @@ Predecoder::predecodeWithFootprint(
             branches.push_back(b);
         }
     }
+    perturb(branches);
     return branches;
 }
 
@@ -77,6 +91,7 @@ Predecoder::decodeAt(Addr block_addr, unsigned byte_offset) const
         decodeOne(image, variableLength, block_addr, byte_offset, b)) {
         branches.push_back(b);
     }
+    perturb(branches);
     return branches;
 }
 

@@ -24,6 +24,10 @@
 #include "isa/encoding.h"
 #include "workload/image.h"
 
+namespace dcfb::rt {
+class FaultInjector;
+} // namespace dcfb::rt
+
 namespace dcfb::isa {
 
 /** One branch discovered by pre-decoding a block. */
@@ -80,9 +84,18 @@ class Predecoder
 
     bool isVariableLength() const { return variableLength; }
 
+    /** Attach a fault injector: corrupt faults perturb the targets of
+     *  pre-decoded direct branches (wrong-block redirects), modeling a
+     *  lying pre-decode unit.  nullptr restores exact decoding. */
+    void setFaultInjector(rt::FaultInjector *f) { injector = f; }
+
   private:
+    /** Apply corrupt faults to freshly decoded branches. */
+    void perturb(std::vector<PredecodedBranch> &branches) const;
+
     const workload::ProgramImage &image;
     bool variableLength;
+    rt::FaultInjector *injector = nullptr;
 };
 
 } // namespace dcfb::isa

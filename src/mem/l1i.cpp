@@ -4,6 +4,8 @@
 #include <cassert>
 
 #include "obs/trace.h"
+#include "rt/faults.h"
+#include "rt/invariants.h"
 
 namespace dcfb::mem {
 
@@ -83,6 +85,8 @@ L1iCache::issueFill(Addr block_addr, Cycle now, bool is_prefetch)
     entry.blockAddr = blockAlign(block_addr);
     entry.issued = now;
     entry.ready = res.ready;
+    if (injector)
+        entry.ready += injector->responseDelay();
     entry.isPrefetch = is_prefetch;
     entry.bfValid = res.bfValid;
     entry.bf = res.bf;
@@ -334,6 +338,14 @@ L1iCache::tick(Cycle now)
         if (mshrs[i].ready <= now) {
             MshrEntry done = std::move(mshrs[i]);
             mshrs.erase(mshrs.begin() + static_cast<std::ptrdiff_t>(i));
+            // Drop faults discard completed prefetch responses: the MSHR
+            // is freed but the block never arrives.  Demand responses
+            // (including demand-merged prefetches) always deliver -- a
+            // dropped demand would wedge fetch forever.
+            if (injector && done.isPrefetch && !done.demanded &&
+                injector->dropPrefetchResponse()) {
+                continue;
+            }
             installFill(done);
         } else {
             ++i;
@@ -395,6 +407,106 @@ L1iCache::footprintFor(Addr addr) const
 {
     auto it = footprints.find(blockAlign(addr));
     return it == footprints.end() ? nullptr : &it->second;
+}
+
+std::vector<L1iCache::MshrView>
+L1iCache::mshrState() const
+{
+    std::vector<MshrView> out;
+    out.reserve(mshrs.size());
+    for (const auto &e : mshrs) {
+        out.push_back(
+            {e.blockAddr, e.issued, e.ready, e.isPrefetch, e.demanded});
+    }
+    return out;
+}
+
+void
+L1iCache::registerInvariants(rt::InvariantRegistry &reg,
+                             Cycle miss_resolution_bound)
+{
+    reg.add("l1i.mshr_unique",
+            [this](Cycle) -> std::optional<std::string> {
+        for (std::size_t i = 0; i < mshrs.size(); ++i) {
+            for (std::size_t j = i + 1; j < mshrs.size(); ++j) {
+                if (mshrs[i].blockAddr == mshrs[j].blockAddr) {
+                    return "two MSHRs track block " +
+                        std::to_string(mshrs[i].blockAddr);
+                }
+            }
+        }
+        return std::nullopt;
+    });
+
+    // Prefetches are only granted an MSHR while the file has a free
+    // slot, so at most cfg.mshrs prefetch entries can ever be live
+    // (demand misses may overcommit the file by design).
+    reg.add("l1i.mshr_prefetch_bound",
+            [this](Cycle) -> std::optional<std::string> {
+        std::size_t pf = 0;
+        for (const auto &e : mshrs)
+            pf += e.isPrefetch;
+        if (pf > cfg.mshrs) {
+            return std::to_string(pf) + " prefetch MSHRs live, file has " +
+                std::to_string(cfg.mshrs) + " entries";
+        }
+        return std::nullopt;
+    });
+
+    reg.add("l1i.miss_resolution",
+            [this, miss_resolution_bound](
+                Cycle now) -> std::optional<std::string> {
+        if (miss_resolution_bound == 0)
+            return std::nullopt;
+        for (const auto &e : mshrs) {
+            if (now > e.issued && now - e.issued > miss_resolution_bound) {
+                return "block " + std::to_string(e.blockAddr) +
+                    " unresolved for " + std::to_string(now - e.issued) +
+                    " cycles (issued " + std::to_string(e.issued) +
+                    ", ready " + std::to_string(e.ready) + ")";
+            }
+        }
+        return std::nullopt;
+    });
+
+    // SN4L metadata consistency: the prefetch flag clears on first
+    // demand use, so prefetched && demanded can never coexist, and the
+    // local prefetch status is a 4-bit field.
+    reg.add("l1i.line_meta",
+            [this](Cycle) -> std::optional<std::string> {
+        for (unsigned s = 0; s < array.sets(); ++s) {
+            for (const auto &line : array.set(s)) {
+                if (!line.valid)
+                    continue;
+                if (line.meta.prefetched && line.meta.demanded) {
+                    return "block " + std::to_string(line.blockAddr) +
+                        " is both prefetched and demanded";
+                }
+                if (line.meta.localStatus > 0xf) {
+                    return "block " + std::to_string(line.blockAddr) +
+                        " local status 0x" +
+                        std::to_string(line.meta.localStatus) +
+                        " exceeds 4 bits";
+                }
+            }
+        }
+        return std::nullopt;
+    });
+
+    // Demand-access conservation: every correct-path access is either a
+    // hit or a miss, with nothing double-counted or lost.
+    reg.add("l1i.access_conservation",
+            [this](Cycle) -> std::optional<std::string> {
+        std::uint64_t accesses = statSet.get("l1i_accesses");
+        std::uint64_t hits = statSet.get("l1i_hits");
+        std::uint64_t misses = statSet.get("l1i_misses");
+        if (accesses != hits + misses) {
+            return std::to_string(accesses) + " accesses != " +
+                std::to_string(hits) + " hits + " +
+                std::to_string(misses) + " misses";
+        }
+        return std::nullopt;
+    });
 }
 
 } // namespace dcfb::mem

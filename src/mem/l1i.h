@@ -29,6 +29,11 @@
 #include "mem/llc.h"
 #include "mem/prefetch_buffer.h"
 
+namespace dcfb::rt {
+class FaultInjector;
+class InvariantRegistry;
+} // namespace dcfb::rt
+
 namespace dcfb::mem {
 
 /** L1i configuration (Table III). */
@@ -129,6 +134,34 @@ class L1iCache
      *  receives the same callbacks after the primary listener. */
     void setObserver(L1iListener *l) { observer = l; }
 
+    /** Attach a fault injector perturbing memory responses (delay faults
+     *  at issue, prefetch-response drops at fill completion).  nullptr
+     *  restores unperturbed behaviour. */
+    void setFaultInjector(rt::FaultInjector *f) { injector = f; }
+
+    /**
+     * Register this cache's structural invariants: MSHR uniqueness and
+     * occupancy bounds, miss-resolution latency (every outstanding miss
+     * resolves within @p miss_resolution_bound cycles of issue), line
+     * metadata consistency, and hit/miss counter conservation.  All
+     * checks are read-only (no statistics are perturbed).
+     */
+    void registerInvariants(rt::InvariantRegistry &reg,
+                            Cycle miss_resolution_bound);
+
+    /** Read-only view of one outstanding MSHR (failure snapshots). */
+    struct MshrView
+    {
+        Addr blockAddr;
+        Cycle issued;
+        Cycle ready;
+        bool isPrefetch;
+        bool demanded;
+    };
+
+    /** Snapshot of the outstanding-miss file (failure snapshots/tests). */
+    std::vector<MshrView> mshrState() const;
+
     /**
      * Demand fetch of the block containing @p addr at cycle @p now.
      * @p wrong_path marks squashable wrong-path fetches (statistics
@@ -218,6 +251,7 @@ class L1iCache
     std::vector<MshrEntry> mshrs;
     L1iListener *listener = nullptr;
     L1iListener *observer = nullptr;
+    rt::FaultInjector *injector = nullptr;
     Addr lastDemandBlock = kInvalidAddr;
     StatSet statSet;
 

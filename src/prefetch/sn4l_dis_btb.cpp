@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "rt/faults.h"
+#include "rt/invariants.h"
+
 namespace dcfb::prefetch {
 
 Sn4lDisBtb::Sn4lDisBtb(mem::L1iCache &l1i_,
@@ -55,6 +58,8 @@ Sn4lDisBtb::pushTrigger(Addr block_addr, unsigned depth)
 {
     if (depth >= cfg.chainDepthLimit)
         return;
+    if (injector && injector->forceBackpressure())
+        return; // injected back-pressure: the trigger is rejected
     if (seqQueue.size() < cfg.queueEntries)
         seqQueue.push_back({block_addr, depth});
     else
@@ -71,6 +76,8 @@ void
 Sn4lDisBtb::emitCandidate(Addr block_addr, unsigned depth)
 {
     hChainDepth.sample(depth);
+    if (injector && injector->forceBackpressure())
+        return; // injected back-pressure: the candidate is rejected
     if (rluQueue.size() < cfg.queueEntries)
         rluQueue.push_back({block_addr, depth});
     else
@@ -280,6 +287,52 @@ Sn4lDisBtb::processRluQueue(Cycle now)
         if (cfg.enableBtbPrefetch && !cfg.proactive)
             prefillBtb(t.blockAddr);
     }
+}
+
+void
+Sn4lDisBtb::registerInvariants(rt::InvariantRegistry &reg)
+{
+    reg.add("pf.queue_bounds",
+            [this](Cycle) -> std::optional<std::string> {
+        if (seqQueue.size() > cfg.queueEntries ||
+            disQueue.size() > cfg.queueEntries ||
+            rluQueue.size() > cfg.queueEntries) {
+            return "queue occupancy seq=" +
+                std::to_string(seqQueue.size()) + " dis=" +
+                std::to_string(disQueue.size()) + " rlu=" +
+                std::to_string(rluQueue.size()) + " exceeds " +
+                std::to_string(cfg.queueEntries) + " entries";
+        }
+        return std::nullopt;
+    });
+
+    // Trigger queues only accept depth < limit; candidates sit one step
+    // deeper, so RLUQueue entries may reach exactly the limit.
+    reg.add("pf.chain_depth",
+            [this](Cycle) -> std::optional<std::string> {
+        for (const auto &t : seqQueue) {
+            if (t.depth >= cfg.chainDepthLimit) {
+                return "SeqQueue trigger at depth " +
+                    std::to_string(t.depth) + " >= limit " +
+                    std::to_string(cfg.chainDepthLimit);
+            }
+        }
+        for (const auto &t : disQueue) {
+            if (t.depth >= cfg.chainDepthLimit) {
+                return "DisQueue trigger at depth " +
+                    std::to_string(t.depth) + " >= limit " +
+                    std::to_string(cfg.chainDepthLimit);
+            }
+        }
+        for (const auto &t : rluQueue) {
+            if (t.depth > cfg.chainDepthLimit) {
+                return "RLUQueue candidate at depth " +
+                    std::to_string(t.depth) + " > limit " +
+                    std::to_string(cfg.chainDepthLimit);
+            }
+        }
+        return std::nullopt;
+    });
 }
 
 void

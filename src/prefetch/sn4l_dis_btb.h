@@ -47,6 +47,11 @@
 #include "prefetch/rlu.h"
 #include "prefetch/seq_table.h"
 
+namespace dcfb::rt {
+class FaultInjector;
+class InvariantRegistry;
+} // namespace dcfb::rt
+
 namespace dcfb::prefetch {
 
 /** Configuration for the combined engine and its ablations. */
@@ -108,6 +113,28 @@ class Sn4lDisBtb : public InstrPrefetcher
     const StatSet &stats() const { return statSet; }
     StatSet &stats() { return statSet; }
 
+    /** Attach a fault injector: backpressure faults reject pushes into
+     *  the engine's SeqQueue/DisQueue/RLUQueue, starving the proactive
+     *  chains.  nullptr restores unperturbed behaviour. */
+    void setFaultInjector(rt::FaultInjector *f) { injector = f; }
+
+    /** Register queue-occupancy and chain-depth invariants. */
+    void registerInvariants(rt::InvariantRegistry &reg);
+
+    /** Current queue occupancies (failure snapshots/tests). */
+    struct QueueDepths
+    {
+        std::size_t seq;
+        std::size_t dis;
+        std::size_t rlu;
+    };
+
+    QueueDepths
+    queueDepths() const
+    {
+        return {seqQueue.size(), disQueue.size(), rluQueue.size()};
+    }
+
   private:
     struct Trigger
     {
@@ -150,6 +177,8 @@ class Sn4lDisBtb : public InstrPrefetcher
     /** Dis recording registers: the last two demanded instructions. */
     FetchedInstr lastInstr[2];
     bool haveInstr[2] = {false, false};
+
+    rt::FaultInjector *injector = nullptr;
 
     StatSet statSet;
 

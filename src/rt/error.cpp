@@ -1,0 +1,35 @@
+#include "rt/error.h"
+
+namespace dcfb::rt {
+
+const char *
+errorKindName(ErrorKind kind)
+{
+    switch (kind) {
+      case ErrorKind::Config: return "config";
+      case ErrorKind::Workload: return "workload";
+      case ErrorKind::Result: return "result";
+      case ErrorKind::Invariant: return "invariant";
+      case ErrorKind::Watchdog: return "watchdog";
+      case ErrorKind::Fault: return "fault";
+    }
+    return "?";
+}
+
+std::string
+Error::render() const
+{
+    std::string out = "[rt:";
+    out += errorKindName(kind);
+    out += "] ";
+    out += message;
+    for (const auto &kv : context) {
+        out += "\n  ";
+        out += kv.first;
+        out += ": ";
+        out += kv.second;
+    }
+    return out;
+}
+
+} // namespace dcfb::rt

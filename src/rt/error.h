@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Structured runtime errors for the simulation integrity layer.
+ *
+ * Input loading (config parsing, profile lookup, CFG/trace construction)
+ * and the integrity machinery (invariant sweeps, the forward-progress
+ * watchdog) report failures as rt::Error: a typed kind, a one-line
+ * message, and ordered key/value context that renders into a precise
+ * multi-line diagnostic.  Expected<T> carries either a value or an Error
+ * through checked call paths; the legacy throwing entry points wrap the
+ * checked ones and raise rt::Exception, so a malformed input dies with a
+ * diagnostic instead of UB or a bare std::out_of_range.
+ */
+
+#ifndef DCFB_RT_ERROR_H
+#define DCFB_RT_ERROR_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace dcfb::rt {
+
+/** Failure classes the integrity layer distinguishes. */
+enum class ErrorKind : std::uint8_t {
+    Config,    //!< malformed configuration / CLI spec (e.g. --inject)
+    Workload,  //!< unknown profile or malformed CFG/trace input
+    Result,    //!< missing experiment result lookup
+    Invariant, //!< a registered structural invariant was violated
+    Watchdog,  //!< forward-progress watchdog tripped
+    Fault,     //!< fault-injection plan error
+};
+
+const char *errorKindName(ErrorKind kind);
+
+/**
+ * One structured error: kind + message + ordered context pairs.
+ */
+struct Error
+{
+    ErrorKind kind = ErrorKind::Config;
+    std::string message;
+    std::vector<std::pair<std::string, std::string>> context;
+
+    Error() = default;
+    Error(ErrorKind kind_, std::string message_)
+        : kind(kind_), message(std::move(message_))
+    {
+    }
+
+    /** Append a context pair (builder style). */
+    Error &&
+    with(std::string key, std::string value) &&
+    {
+        context.emplace_back(std::move(key), std::move(value));
+        return std::move(*this);
+    }
+
+    Error &
+    with(std::string key, std::string value) &
+    {
+        context.emplace_back(std::move(key), std::move(value));
+        return *this;
+    }
+
+    /** Numeric convenience overload. */
+    Error &&
+    with(std::string key, std::uint64_t value) &&
+    {
+        return std::move(*this).with(std::move(key),
+                                     std::to_string(value));
+    }
+
+    Error &
+    with(std::string key, std::uint64_t value) &
+    {
+        return with(std::move(key), std::to_string(value));
+    }
+
+    /** Multi-line human-readable diagnostic. */
+    std::string render() const;
+};
+
+/**
+ * Exception carrying an rt::Error; what() renders the full diagnostic.
+ */
+class Exception : public std::runtime_error
+{
+  public:
+    explicit Exception(Error error)
+        : std::runtime_error(error.render()), err(std::move(error))
+    {
+    }
+
+    const Error &error() const { return err; }
+
+  private:
+    Error err;
+};
+
+/** Throw @p error as an rt::Exception. */
+[[noreturn]] inline void
+raise(Error error)
+{
+    throw Exception(std::move(error));
+}
+
+/**
+ * Value-or-Error result of a checked operation.  value() on an error
+ * raises the carried Error (a diagnostic, never UB).
+ */
+template <typename T>
+class Expected
+{
+  public:
+    Expected(T value) : store(std::move(value)) {}
+    Expected(Error error) : store(std::move(error)) {}
+
+    bool ok() const { return std::holds_alternative<T>(store); }
+    explicit operator bool() const { return ok(); }
+
+    T &
+    value()
+    {
+        if (!ok())
+            raise(Error(std::get<Error>(store)));
+        return std::get<T>(store);
+    }
+
+    const T &
+    value() const
+    {
+        if (!ok())
+            raise(Error(std::get<Error>(store)));
+        return std::get<T>(store);
+    }
+
+    const Error &error() const { return std::get<Error>(store); }
+
+  private:
+    std::variant<T, Error> store;
+};
+
+/** Expected<void>: success or an Error. */
+template <>
+class Expected<void>
+{
+  public:
+    Expected() = default;
+    Expected(Error error) : err(std::move(error)), failed(true) {}
+
+    bool ok() const { return !failed; }
+    explicit operator bool() const { return ok(); }
+
+    void
+    value() const
+    {
+        if (failed)
+            raise(Error(err));
+    }
+
+    const Error &error() const { return err; }
+
+  private:
+    Error err;
+    bool failed = false;
+};
+
+} // namespace dcfb::rt
+
+#endif // DCFB_RT_ERROR_H

@@ -1,0 +1,36 @@
+#include "rt/invariants.h"
+
+#if DCFB_RT_INVARIANTS
+
+namespace dcfb::rt {
+
+std::vector<Violation>
+InvariantRegistry::sweep(Cycle now) const
+{
+    std::vector<Violation> out;
+    if (!enabledFlag)
+        return out;
+    for (const auto &[name, check] : checks) {
+        if (auto detail = check(now))
+            out.push_back({name, std::move(*detail)});
+    }
+    return out;
+}
+
+Expected<void>
+InvariantRegistry::check(Cycle now) const
+{
+    auto violations = sweep(now);
+    if (violations.empty())
+        return {};
+    Error err(ErrorKind::Invariant,
+              std::to_string(violations.size()) +
+                  " invariant violation(s) at cycle " + std::to_string(now));
+    for (const auto &v : violations)
+        err.with(v.invariant, v.detail);
+    return err;
+}
+
+} // namespace dcfb::rt
+
+#endif // DCFB_RT_INVARIANTS

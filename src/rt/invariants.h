@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Invariant checker: a registration API for structural conservation
+ * checks swept periodically by the simulation loop.
+ *
+ * Components expose their invariants by registering named check
+ * callbacks (every L1i miss eventually resolves, MSHR alloc/free
+ * balance, FTQ ordering, SeqTable/prefetch-flag consistency, queue
+ * occupancy bounds, ...).  A callback returns std::nullopt when the
+ * invariant holds and a violation detail string otherwise; it must be
+ * read-only -- sweeps run inside measured windows and must not perturb
+ * statistics or machine state.
+ *
+ * Cost model:
+ *  - compiled out (DCFB_RT_INVARIANTS=0): add()/sweep() collapse to
+ *    empty inlines, zero code and data;
+ *  - disabled at runtime (setEnabled(false)): sweep() is one branch;
+ *  - enabled: checks run every sweepInterval cycles (IntegrityConfig),
+ *    off the per-cycle hot path.
+ */
+
+#ifndef DCFB_RT_INVARIANTS_H
+#define DCFB_RT_INVARIANTS_H
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "rt/error.h"
+
+#ifndef DCFB_RT_INVARIANTS
+#define DCFB_RT_INVARIANTS 1
+#endif
+
+namespace dcfb::rt {
+
+/** Integrity-layer knobs carried in SystemConfig. */
+struct IntegrityConfig
+{
+    bool invariants = true;      //!< run registered invariant sweeps
+    Cycle sweepInterval = 8192;  //!< cycles between sweeps
+    bool watchdog = true;        //!< forward-progress watchdog
+    Cycle watchdogWindow = 50000; //!< no-retire/no-fetch trip threshold
+    /** Upper bound on how long one L1i miss may stay unresolved before
+     *  the "every miss eventually resolves" invariant flags a leak.
+     *  Must exceed the worst-case memory round trip plus any injected
+     *  response delay. */
+    Cycle missResolutionBound = 20000;
+};
+
+/** One invariant violation found by a sweep. */
+struct Violation
+{
+    std::string invariant; //!< registered name ("l1i.mshr_balance", ...)
+    std::string detail;    //!< what was observed
+};
+
+/**
+ * Named read-only checks, swept on demand.
+ */
+class InvariantRegistry
+{
+  public:
+    /** Pass -> nullopt; violation -> detail string. Must be read-only. */
+    using Check = std::function<std::optional<std::string>(Cycle now)>;
+
+#if DCFB_RT_INVARIANTS
+    /** Register invariant @p name. */
+    void
+    add(std::string name, Check check)
+    {
+        checks.emplace_back(std::move(name), std::move(check));
+    }
+
+    void setEnabled(bool on) { enabledFlag = on; }
+    bool enabled() const { return enabledFlag; }
+    std::size_t size() const { return checks.size(); }
+
+    /** Run every check; empty result means all invariants hold.  One
+     *  branch and an immediate return when disabled. */
+    std::vector<Violation> sweep(Cycle now) const;
+
+    /** sweep() folded into an Expected: an ErrorKind::Invariant error
+     *  listing every violation, or success. */
+    Expected<void> check(Cycle now) const;
+
+  private:
+    std::vector<std::pair<std::string, Check>> checks;
+    bool enabledFlag = true;
+#else
+    void add(std::string, Check) {}
+    void setEnabled(bool) {}
+    bool enabled() const { return false; }
+    std::size_t size() const { return 0; }
+    std::vector<Violation> sweep(Cycle) const { return {}; }
+    Expected<void> check(Cycle) const { return {}; }
+#endif
+};
+
+} // namespace dcfb::rt
+
+#endif // DCFB_RT_INVARIANTS_H

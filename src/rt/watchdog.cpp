@@ -1,0 +1,49 @@
+#include "rt/watchdog.h"
+
+namespace dcfb::rt {
+
+void
+Watchdog::rearm(Cycle now, std::uint64_t retired, std::uint64_t fetched)
+{
+    armed = true;
+    lastRetired = retired;
+    lastFetched = fetched;
+    retireProgressCycle = now;
+    fetchProgressCycle = now;
+}
+
+std::optional<Error>
+Watchdog::observe(Cycle now, std::uint64_t retired, std::uint64_t fetched)
+{
+    if (!armed) {
+        rearm(now, retired, fetched);
+        return std::nullopt;
+    }
+    if (retired != lastRetired) {
+        lastRetired = retired;
+        retireProgressCycle = now;
+    }
+    if (fetched != lastFetched) {
+        lastFetched = fetched;
+        fetchProgressCycle = now;
+    }
+    Cycle retire_stall = now - retireProgressCycle;
+    Cycle fetch_stall = now - fetchProgressCycle;
+    if (retire_stall <= window && fetch_stall <= window)
+        return std::nullopt;
+    const bool no_retire = retire_stall > window;
+    Error err(ErrorKind::Watchdog,
+              no_retire ? "no instructions retired within the watchdog "
+                          "window: machine is wedged"
+                        : "no instructions fetched within the watchdog "
+                          "window: frontend is wedged");
+    err.with("cycle", now)
+        .with("window_cycles", window)
+        .with("cycles_since_retire", retire_stall)
+        .with("cycles_since_fetch", fetch_stall)
+        .with("retired_total", retired)
+        .with("fetched_total", fetched);
+    return err;
+}
+
+} // namespace dcfb::rt

@@ -2,6 +2,22 @@
 
 namespace dcfb::sim {
 
+namespace {
+rt::FaultPlan gDefaultFaultPlan; // inactive unless --inject installs one
+} // namespace
+
+void
+setDefaultFaultPlan(const rt::FaultPlan &plan)
+{
+    gDefaultFaultPlan = plan;
+}
+
+const rt::FaultPlan &
+defaultFaultPlan()
+{
+    return gDefaultFaultPlan;
+}
+
 std::string
 presetName(Preset preset)
 {
@@ -32,6 +48,7 @@ makeConfig(const workload::WorkloadProfile &profile, Preset preset)
     SystemConfig cfg;
     cfg.profile = profile;
     cfg.preset = preset;
+    cfg.faults = defaultFaultPlan();
 
     switch (preset) {
       case Preset::NL:

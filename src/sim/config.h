@@ -18,6 +18,8 @@
 #include "noc/mesh.h"
 #include "prefetch/confluence.h"
 #include "prefetch/sn4l_dis_btb.h"
+#include "rt/faults.h"
+#include "rt/invariants.h"
 #include "workload/cfg.h"
 
 namespace dcfb::sim {
@@ -84,6 +86,9 @@ struct SystemConfig
     unsigned coreTile = 5;      //!< our tile in the 4x4 mesh
     std::uint64_t runSeed = 42; //!< trace-walk seed ("checkpoint")
 
+    rt::IntegrityConfig integrity; //!< invariant sweeps + watchdog
+    rt::FaultPlan faults;          //!< seeded fault injection (--inject)
+
     /** Functional warmup length in retired instructions.  SimFlex
      *  checkpoints include long-term microarchitectural state (LLC,
      *  BTB, branch predictor); this pass reproduces that before the
@@ -94,6 +99,15 @@ struct SystemConfig
 /** A config with the preset's structures sized per Section VI.D. */
 SystemConfig makeConfig(const workload::WorkloadProfile &profile,
                         Preset preset);
+
+/**
+ * Process-wide default fault plan stamped into every makeConfig() result.
+ * The bench harness sets this from `--inject` so all of a bench's runs
+ * are perturbed without threading a plan through every figure driver.
+ * Defaults to an inactive plan (FaultKind::None).
+ */
+void setDefaultFaultPlan(const rt::FaultPlan &plan);
+const rt::FaultPlan &defaultFaultPlan();
 
 } // namespace dcfb::sim
 

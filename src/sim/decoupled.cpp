@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/trace.h"
+#include "rt/invariants.h"
 
 namespace dcfb::sim {
 
@@ -466,6 +467,63 @@ DecoupledFetchEngine::cycle(Cycle now)
 {
     fetchStep(now);
     bpuStep(now);
+}
+
+void
+DecoupledFetchEngine::registerInvariants(rt::InvariantRegistry &reg)
+{
+    // The BPU discovers contiguous basic blocks, so FTQ entries must be
+    // well-formed ranges, strictly ordered and contiguous, with the
+    // fetch cursor inside the head entry.
+    reg.add("fe.ftq_ordering",
+            [this](Cycle) -> std::optional<std::string> {
+        std::uint64_t prev_end = 0;
+        bool first = true;
+        for (const auto &e : ftq) {
+            if (e.traceBegin >= e.traceEnd) {
+                return "FTQ entry [" + std::to_string(e.traceBegin) +
+                    ", " + std::to_string(e.traceEnd) + ") is empty";
+            }
+            if (!first && e.traceBegin != prev_end) {
+                return "FTQ entry starts at " +
+                    std::to_string(e.traceBegin) +
+                    ", predecessor ended at " + std::to_string(prev_end);
+            }
+            prev_end = e.traceEnd;
+            first = false;
+        }
+        if (!ftq.empty()) {
+            const auto &head = ftq.front();
+            if (fetchIdx < head.traceBegin || fetchIdx >= head.traceEnd) {
+                return "fetch index " + std::to_string(fetchIdx) +
+                    " outside FTQ head [" +
+                    std::to_string(head.traceBegin) + ", " +
+                    std::to_string(head.traceEnd) + ")";
+            }
+        }
+        return std::nullopt;
+    });
+
+    reg.add("fe.lookahead_order",
+            [this](Cycle) -> std::optional<std::string> {
+        if (lookBase > fetchIdx || fetchIdx > bpuIdx) {
+            return "cursor order violated: lookBase=" +
+                std::to_string(lookBase) + " fetchIdx=" +
+                std::to_string(fetchIdx) + " bpuIdx=" +
+                std::to_string(bpuIdx);
+        }
+        return std::nullopt;
+    });
+
+    reg.add("fe.fetch_buffer_bound",
+            [this](Cycle) -> std::optional<std::string> {
+        if (fetchBuffer.size() > cfg.fetchBufferEntries) {
+            return std::to_string(fetchBuffer.size()) +
+                " fetch-buffer entries exceed the " +
+                std::to_string(cfg.fetchBufferEntries) + "-entry bound";
+        }
+        return std::nullopt;
+    });
 }
 
 StallReason

@@ -36,6 +36,10 @@
 #include "sim/fetch.h"
 #include "workload/trace.h"
 
+namespace dcfb::rt {
+class InvariantRegistry;
+} // namespace dcfb::rt
+
 namespace dcfb::sim {
 
 /**
@@ -62,6 +66,14 @@ class DecoupledFetchEngine : public FetchEngine, public mem::L1iListener
 
     frontend::ShotgunBtb &shotgunBtb() { return sgBtb; }
     frontend::BbBtb &bbBtb() { return bbtb; }
+
+    /** Register FTQ-ordering and lookahead invariants. */
+    void registerInvariants(rt::InvariantRegistry &reg);
+
+    // Progress/occupancy accessors (failure snapshots/tests).
+    std::size_t ftqSize() const { return ftq.size(); }
+    std::uint64_t fetchIndex() const { return fetchIdx; }
+    std::uint64_t bpuIndex() const { return bpuIdx; }
 
   private:
     /** The retired-trace entry at absolute index @p idx. */

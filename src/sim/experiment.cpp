@@ -2,7 +2,8 @@
 
 #include <cmath>
 #include <cstdio>
-#include <stdexcept>
+
+#include "rt/error.h"
 
 namespace dcfb::sim {
 
@@ -38,13 +39,29 @@ ExperimentGrid::run(const std::vector<std::string> &workload_names)
     }
 }
 
+const RunResult *
+ExperimentGrid::tryAt(const std::string &workload_name, Preset preset) const
+{
+    auto it = results.find(std::make_pair(workload_name, preset));
+    return it == results.end() ? nullptr : &it->second;
+}
+
 const RunResult &
 ExperimentGrid::at(const std::string &workload_name, Preset preset) const
 {
-    auto it = results.find(std::make_pair(workload_name, preset));
-    if (it == results.end())
-        throw std::out_of_range("no result for " + workload_name);
-    return it->second;
+    if (const RunResult *res = tryAt(workload_name, preset))
+        return *res;
+    std::string available;
+    for (const auto &kv : results) {
+        if (!available.empty())
+            available += ", ";
+        available += kv.first.first + "/" + presetName(kv.first.second);
+    }
+    rt::raise(rt::Error(rt::ErrorKind::Result, "no result in the grid")
+                  .with("requested",
+                        workload_name + "/" + presetName(preset))
+                  .with("available",
+                        available.empty() ? "(none run)" : available));
 }
 
 double

@@ -40,7 +40,14 @@ class ExperimentGrid
     /** Run a subset of workloads (faster benches). */
     void run(const std::vector<std::string> &workloads);
 
+    /** Result for a (workload, design) cell; nullptr when not run. */
+    const RunResult *tryAt(const std::string &workload,
+                           Preset preset) const;
+
+    /** tryAt() for legacy callers: raises an rt::Exception whose error
+     *  lists the cells the grid actually holds. */
     const RunResult &at(const std::string &workload, Preset preset) const;
+
     const std::vector<std::string> &workloads() const { return names; }
 
     /** Arithmetic mean of a per-workload metric. */

@@ -1,6 +1,9 @@
 #include "sim/simulator.h"
 
+#include <optional>
+
 #include "obs/trace.h"
+#include "rt/watchdog.h"
 
 namespace dcfb::sim {
 
@@ -21,16 +24,56 @@ merge(RunResult &out, const std::string &prefix, const StatSet &stats)
 
 } // namespace
 
-RunResult
-simulate(const SystemConfig &config, const RunWindows &windows)
+rt::Expected<RunResult>
+trySimulate(const SystemConfig &config, const RunWindows &windows)
 {
     System system(config);
+    const rt::IntegrityConfig &ic = config.integrity;
+    const Cycle interval = ic.sweepInterval ? ic.sweepInterval : 8192;
 
-    for (Cycle c = 0; c < windows.warm; ++c)
-        system.step();
+    std::optional<rt::Watchdog> watchdog;
+    if (ic.watchdog)
+        watchdog.emplace(ic.watchdogWindow);
+
+    auto fetched = [&system] {
+        return system.fetch->stats().get("fe_fetched");
+    };
+
+    // Attach the machine-state snapshot so a wedged or inconsistent run
+    // dies with evidence, not just a message.
+    auto fail = [&system](rt::Error err) {
+        err.with("snapshot", system.snapshot().dump());
+        return err;
+    };
+
+    // One warm/measure window with periodic integrity sweeps.  The
+    // sweeps are read-only, so enabling them does not perturb results.
+    auto run_window = [&](Cycle cycles) -> std::optional<rt::Error> {
+        for (Cycle c = 0; c < cycles; ++c) {
+            system.step();
+            if (system.now() % interval != 0)
+                continue;
+            if (auto checked = system.invariants.check(system.now());
+                !checked.ok()) {
+                return fail(checked.error());
+            }
+            if (watchdog) {
+                if (auto err = watchdog->observe(
+                        system.now(), system.instructions(), fetched())) {
+                    return fail(std::move(*err));
+                }
+            }
+        }
+        return std::nullopt;
+    };
+
+    if (auto err = run_window(windows.warm))
+        return std::move(*err);
 
     std::uint64_t instr_before = system.instructions();
     system.resetStats();
+    if (watchdog)
+        watchdog->rearm(system.now(), system.instructions(), fetched());
 
     // Miss-attribution tracing covers exactly the measured window, so
     // the bounded stream is not burnt on warmup traffic.
@@ -40,11 +83,12 @@ simulate(const SystemConfig &config, const RunWindows &windows)
                                presetName(config.preset));
     }
 
-    for (Cycle c = 0; c < windows.measure; ++c)
-        system.step();
+    auto measure_err = run_window(windows.measure);
 
     if (tracing)
         obs::Tracing::endRun();
+    if (measure_err)
+        return std::move(*measure_err);
 
     RunResult res;
     res.workload = config.profile.name;
@@ -77,7 +121,18 @@ simulate(const SystemConfig &config, const RunWindows &windows)
             system.prefetcher.get())) {
         merge(res, "pf", p->stats());
     }
+    // Fault counters only exist under --inject, keeping uninjected
+    // reports bit-identical to the pre-integrity format.
+    if (system.injector.active())
+        merge(res, "rt", system.injector.stats());
     return res;
+}
+
+RunResult
+simulate(const SystemConfig &config, const RunWindows &windows)
+{
+    auto res = trySimulate(config, windows);
+    return std::move(res.value()); // raises rt::Exception on failure
 }
 
 double

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "obs/registry.h"
+#include "rt/error.h"
 #include "sim/config.h"
 #include "sim/system.h"
 
@@ -98,7 +99,18 @@ struct RunWindows
 
 /**
  * Build the system for @p config, warm it, measure it.
+ *
+ * Integrity checking (SystemConfig::integrity): registered invariants
+ * are swept every sweepInterval cycles and the forward-progress watchdog
+ * observes the retire/fetch counters at the same cadence.  A violation
+ * or a tripped watchdog aborts the run with a typed rt::Error carrying
+ * a "dcfb-snapshot-v1" machine-state snapshot in its context.
  */
+rt::Expected<RunResult>
+trySimulate(const SystemConfig &config,
+            const RunWindows &windows = RunWindows{});
+
+/** trySimulate() for legacy callers: raises rt::Exception on failure. */
 RunResult simulate(const SystemConfig &config,
                    const RunWindows &windows = RunWindows{});
 

@@ -8,7 +8,8 @@
 namespace dcfb::sim {
 
 System::System(const SystemConfig &config)
-    : cfg(config), program(workload::buildProgram(config.profile))
+    : cfg(config), program(workload::buildProgram(config.profile)),
+      injector(config.faults, config.runSeed)
 {
     cDispatchActive = simStats.counter("dispatch_active_cycles");
     cStallBackend = simStats.counter("stall_backend");
@@ -138,6 +139,97 @@ System::System(const SystemConfig &config)
             cfg.fetch, *walker, *l1i, *btb, *tage, program.image,
             *prefetcher);
     }
+
+    registerIntegrity();
+}
+
+void
+System::registerIntegrity()
+{
+    // Fault hooks only attach when a plan is active, so the uninjected
+    // hot paths keep their exact pre-integrity behaviour (and results
+    // stay bit-identical with injection off).
+    if (injector.active()) {
+        l1i->setFaultInjector(&injector);
+        predecoder->setFaultInjector(&injector);
+        if (auto *p = dynamic_cast<prefetch::Sn4lDisBtb *>(prefetcher.get()))
+            p->setFaultInjector(&injector);
+    }
+
+    invariants.setEnabled(cfg.integrity.invariants);
+
+    // Delay faults legitimately stretch miss lifetimes; widen the
+    // resolution bound so the leak detector doesn't flag injected
+    // latency as a lost response.
+    Cycle miss_bound = cfg.integrity.missResolutionBound;
+    if (miss_bound && cfg.faults.kind == rt::FaultKind::Delay)
+        miss_bound += cfg.faults.delayCycles;
+    l1i->registerInvariants(invariants, miss_bound);
+    if (auto *p = dynamic_cast<prefetch::Sn4lDisBtb *>(prefetcher.get()))
+        p->registerInvariants(invariants);
+    if (decoupled)
+        decoupled->registerInvariants(invariants);
+
+    invariants.add("sim.rob_occupancy",
+                   [this](Cycle) -> std::optional<std::string> {
+        if (backend->robOccupancy() > cfg.backend.robEntries) {
+            return std::to_string(backend->robOccupancy()) +
+                " ROB entries exceed the " +
+                std::to_string(cfg.backend.robEntries) + "-entry bound";
+        }
+        return std::nullopt;
+    });
+}
+
+obs::JsonValue
+System::snapshot() const
+{
+    obs::JsonValue doc = obs::JsonValue::object();
+    doc["schema"] = "dcfb-snapshot-v1";
+    doc["cycle"] = cycleCount;
+    doc["workload"] = cfg.profile.name;
+    doc["design"] = presetName(cfg.preset);
+    doc["retired"] = backend->retired();
+    doc["fetched"] = fetch->stats().get("fe_fetched");
+    doc["rob_occupancy"] =
+        static_cast<std::uint64_t>(backend->robOccupancy());
+    doc["fetch_buffer"] =
+        static_cast<std::uint64_t>(fetch->buffer().size());
+
+    obs::JsonValue mshrs = obs::JsonValue::array();
+    std::uint64_t inflight_prefetches = 0;
+    for (const auto &m : l1i->mshrState()) {
+        obs::JsonValue e = obs::JsonValue::object();
+        e["block"] = m.blockAddr;
+        e["issued"] = m.issued;
+        e["ready"] = m.ready;
+        e["prefetch"] = m.isPrefetch;
+        e["demanded"] = m.demanded;
+        mshrs.push(std::move(e));
+        inflight_prefetches += m.isPrefetch && !m.demanded;
+    }
+    doc["inflight_prefetches"] = inflight_prefetches;
+    doc["mshrs"] = std::move(mshrs);
+
+    if (auto *p =
+            dynamic_cast<const prefetch::Sn4lDisBtb *>(prefetcher.get())) {
+        auto depths = p->queueDepths();
+        obs::JsonValue q = obs::JsonValue::object();
+        q["seq"] = static_cast<std::uint64_t>(depths.seq);
+        q["dis"] = static_cast<std::uint64_t>(depths.dis);
+        q["rlu"] = static_cast<std::uint64_t>(depths.rlu);
+        doc["pf_queues"] = std::move(q);
+    }
+    if (decoupled) {
+        obs::JsonValue f = obs::JsonValue::object();
+        f["size"] = static_cast<std::uint64_t>(decoupled->ftqSize());
+        f["fetch_idx"] = decoupled->fetchIndex();
+        f["bpu_idx"] = decoupled->bpuIndex();
+        doc["ftq"] = std::move(f);
+    }
+    if (injector.active())
+        doc["fault_plan"] = rt::faultPlanSpec(injector.planRef());
+    return doc;
 }
 
 void
@@ -156,6 +248,7 @@ System::resetStats()
         decoupled->shotgunBtb().stats().reset();
     if (auto *p = dynamic_cast<prefetch::Sn4lDisBtb *>(prefetcher.get()))
         p->stats().reset();
+    injector.stats().reset();
     simStats.reset();
 }
 

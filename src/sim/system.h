@@ -18,6 +18,7 @@
 #include "mem/llc.h"
 #include "mem/memory.h"
 #include "noc/mesh.h"
+#include "obs/json.h"
 #include "prefetch/prefetcher.h"
 #include "sim/config.h"
 #include "sim/decoupled.h"
@@ -47,6 +48,13 @@ class System
     /** BF construction from the retired stream (VL-ISA mode). */
     void recordRetiredFootprints(const workload::TraceEntry &e);
 
+    /**
+     * Structured machine-state snapshot (schema "dcfb-snapshot-v1"):
+     * queues, MSHRs, in-flight prefetches, progress counters.  Attached
+     * to watchdog/invariant failures so a wedged run dies with evidence.
+     */
+    obs::JsonValue snapshot() const;
+
     SystemConfig cfg;
     workload::Program program;
     std::unique_ptr<workload::TraceWalker> walker;
@@ -68,7 +76,13 @@ class System
 
     StatSet simStats;
 
+    rt::FaultInjector injector;     //!< active only under --inject
+    rt::InvariantRegistry invariants;
+
   private:
+    /** Wire the fault injector and register every component invariant. */
+    void registerIntegrity();
+
     void dispatchStage();
 
     Cycle cycleCount = 0;

@@ -1,7 +1,5 @@
 #include "workload/profiles.h"
 
-#include <stdexcept>
-
 namespace dcfb::workload {
 
 namespace {
@@ -35,8 +33,8 @@ serverWorkloadNames()
             "Web Search"};
 }
 
-WorkloadProfile
-serverProfile(const std::string &name, bool variable_length)
+rt::Expected<WorkloadProfile>
+tryServerProfile(const std::string &name, bool variable_length)
 {
     WorkloadProfile p;
     if (name == "Media Streaming") {
@@ -74,10 +72,25 @@ serverProfile(const std::string &name, bool variable_length)
         p.loadFrac = 0.30;
         p.dataFootprint = 16ull << 20;
     } else {
-        throw std::out_of_range("unknown workload profile: " + name);
+        std::string known;
+        for (const auto &n : serverWorkloadNames()) {
+            if (!known.empty())
+                known += ", ";
+            known += n;
+        }
+        return rt::Error(rt::ErrorKind::Workload,
+                         "unknown workload profile")
+            .with("requested", name)
+            .with("known profiles", known);
     }
     p.variableLength = variable_length;
     return p;
+}
+
+WorkloadProfile
+serverProfile(const std::string &name, bool variable_length)
+{
+    return std::move(tryServerProfile(name, variable_length).value());
 }
 
 std::vector<WorkloadProfile>

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "rt/error.h"
 #include "workload/cfg.h"
 
 namespace dcfb::workload {
@@ -24,9 +25,14 @@ namespace dcfb::workload {
 std::vector<std::string> serverWorkloadNames();
 
 /**
- * Profile for @p name; throws std::out_of_range for unknown names.
+ * Profile for @p name; an unknown name yields an rt::Error listing the
+ * known profiles.
  * @param variable_length build the VL-ISA flavour of the workload
  */
+rt::Expected<WorkloadProfile> tryServerProfile(const std::string &name,
+                                               bool variable_length = false);
+
+/** tryServerProfile() for legacy callers: raises rt::Exception. */
 WorkloadProfile serverProfile(const std::string &name,
                               bool variable_length = false);
 

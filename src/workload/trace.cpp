@@ -1,14 +1,43 @@
 #include "workload/trace.h"
 
-#include <cassert>
+#include "rt/error.h"
 
 namespace dcfb::workload {
 
 using isa::InstrKind;
 
+namespace {
+
+/** Walk-stack depth bound; the generator's call-graph level rule keeps
+ *  real programs far below it (maxCallDepth is single digits). */
+constexpr std::size_t kMaxWalkDepth = 1u << 16;
+
+/** A walk stepping past a function's last block means the generator
+ *  emitted a block with no successor — a malformed CFG.  Die with the
+ *  walk coordinates instead of indexing out of bounds. */
+[[noreturn]] void
+raiseNoSuccessor(const char *site, std::uint32_t fn, std::uint32_t blk,
+                 std::size_t blocks)
+{
+    rt::raise(rt::Error(rt::ErrorKind::Workload,
+                        "trace walk fell off the end of a function")
+                  .with("site", site)
+                  .with("function", fn)
+                  .with("block", blk)
+                  .with("blocks in function", blocks));
+}
+
+} // namespace
+
 TraceWalker::TraceWalker(const Program &program_, std::uint64_t seed)
     : program(program_), rng(seed)
 {
+    if (program.functions.empty() || program.functions[0].blocks.empty() ||
+        program.functions[0].blocks[0].numInstrs() == 0) {
+        rt::raise(rt::Error(rt::ErrorKind::Workload,
+                            "program has no driver code to walk")
+                      .with("functions", program.functions.size()));
+    }
     Frame root;
     stack.push_back(root);
 }
@@ -60,7 +89,9 @@ TraceWalker::next()
             ++f.instr;
         } else {
             // Fall into the next block of the same function.
-            assert(f.blk + 1 < fn.blocks.size());
+            if (f.blk + 1 >= fn.blocks.size())
+                raiseNoSuccessor("fall-through", f.fn, f.blk,
+                                 fn.blocks.size());
             ++f.blk;
             f.instr = 0;
         }
@@ -70,6 +101,14 @@ TraceWalker::next()
 
     switch (bb.term) {
       case TermKind::Cond: {
+        if (bb.targetBlock >= fn.blocks.size()) {
+            rt::raise(rt::Error(rt::ErrorKind::Workload,
+                                "branch targets a block outside its function")
+                          .with("function", f.fn)
+                          .with("block", f.blk)
+                          .with("target block", bb.targetBlock)
+                          .with("blocks in function", fn.blocks.size()));
+        }
         bool back_edge = bb.targetBlock <= f.blk;
         if (back_edge) {
             // Bounded loop: take the back edge for the drawn trip count,
@@ -96,7 +135,9 @@ TraceWalker::next()
             e.nextPc = e.target;
             f.blk = bb.targetBlock;
         } else {
-            assert(f.blk + 1 < fn.blocks.size());
+            if (f.blk + 1 >= fn.blocks.size())
+                raiseNoSuccessor("cond not-taken", f.fn, f.blk,
+                                 fn.blocks.size());
             e.nextPc = e.pc + e.len;
             ++f.blk;
         }
@@ -105,6 +146,14 @@ TraceWalker::next()
       }
       case TermKind::Jump: {
         e.taken = true;
+        if (bb.targetBlock >= fn.blocks.size()) {
+            rt::raise(rt::Error(rt::ErrorKind::Workload,
+                                "jump targets a block outside its function")
+                          .with("function", f.fn)
+                          .with("block", f.blk)
+                          .with("target block", bb.targetBlock)
+                          .with("blocks in function", fn.blocks.size()));
+        }
         e.target = fn.blocks[bb.targetBlock].start;
         e.nextPc = e.target;
         f.blk = bb.targetBlock;
@@ -128,9 +177,31 @@ TraceWalker::next()
             stickyCallee = callee;
             stickyLeft = static_cast<std::uint32_t>(rng.range(1, 3));
         }
+        if (callee >= program.functions.size() ||
+            program.functions[callee].blocks.empty()) {
+            rt::raise(rt::Error(rt::ErrorKind::Workload,
+                                "call targets a missing or empty function")
+                          .with("function", f.fn)
+                          .with("block", f.blk)
+                          .with("callee", callee)
+                          .with("functions", program.functions.size()));
+        }
+        // Self-referential call graphs (a cycle the generator's
+        // strictly-increasing level rule forbids) would otherwise grow
+        // the walk stack without bound.
+        if (stack.size() >= kMaxWalkDepth) {
+            rt::raise(rt::Error(rt::ErrorKind::Workload,
+                                "call depth exceeded the walk bound")
+                          .with("function", f.fn)
+                          .with("callee", callee)
+                          .with("depth", stack.size())
+                          .with("bound", kMaxWalkDepth));
+        }
         e.target = program.functions[callee].entry;
         e.nextPc = e.target;
-        assert(f.blk + 1 < fn.blocks.size());
+        if (f.blk + 1 >= fn.blocks.size())
+            raiseNoSuccessor("call return-site", f.fn, f.blk,
+                             fn.blocks.size());
         Frame callee_frame;
         callee_frame.fn = callee;
         callee_frame.retBlk = f.blk + 1;
@@ -139,7 +210,15 @@ TraceWalker::next()
       }
       case TermKind::Return: {
         e.taken = true;
-        assert(stack.size() > 1 && "the driver never returns");
+        if (stack.size() <= 1) {
+            // The driver's dispatch loop is endless by construction; a
+            // Return terminator reaching it is a generator bug.
+            rt::raise(rt::Error(rt::ErrorKind::Workload,
+                                "the driver function returned")
+                          .with("function", f.fn)
+                          .with("block", f.blk)
+                          .with("call depth", stack.size()));
+        }
         std::uint32_t resume_blk = f.retBlk;
         stack.pop_back();
         Frame &caller = stack.back();

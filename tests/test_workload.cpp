@@ -348,7 +348,14 @@ TEST(Profiles, AllSevenExist)
         EXPECT_EQ(p.name, n);
         EXPECT_GT(p.numFunctions, 0u);
     }
-    EXPECT_THROW(serverProfile("nope"), std::out_of_range);
+    EXPECT_THROW(serverProfile("nope"), rt::Exception);
+    auto missing = tryServerProfile("nope");
+    ASSERT_FALSE(missing.ok());
+    EXPECT_EQ(missing.error().kind, rt::ErrorKind::Workload);
+    // The diagnostic must name every known profile.
+    std::string rendered = missing.error().render();
+    for (const auto &n : serverWorkloadNames())
+        EXPECT_NE(rendered.find(n), std::string::npos) << n;
 }
 
 TEST(Profiles, FootprintOrdering)
