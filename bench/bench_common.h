@@ -18,6 +18,9 @@
  *                   trace-event format)
  *   --inject <spec> seeded fault injection applied to every run, e.g.
  *                   drop:rate=0.5,seed=3 (see README "Robustness")
+ *   --jobs <n>      worker threads for experiment sweeps (default: auto,
+ *                   one per hardware thread; --jobs 1 reproduces the
+ *                   historical serial runner bit for bit)
  */
 
 #ifndef DCFB_BENCH_COMMON_H
@@ -27,9 +30,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "exec/schedule.h"
 #include "obs/json.h"
 #include "obs/trace.h"
 #include "rt/faults.h"
@@ -40,12 +45,52 @@
 
 namespace dcfb::bench {
 
-/** Bench-wide run windows (shorter than the tests' defaults to keep a
- *  full sweep over every bench binary tractable on one core). */
+/** Bench-wide run windows (shorter than the tests' defaults; combined
+ *  with the `--jobs` grid scheduler this keeps a full sweep over every
+ *  bench binary cheap even on small machines). */
 inline sim::RunWindows
 windows()
 {
     return sim::RunWindows{150000, 150000};
+}
+
+/**
+ * Scatter/gather over independent simulations: run every config on the
+ * `--jobs` worker pool and return the results in input order.
+ *
+ * Configs with no pre-resolved image get one from the process-wide
+ * workload::ImageCache, so repeats of a workload share one immutable
+ * program.  Results are deterministic and identical for every job
+ * count; the sweep's wall time, per-cell times and pool occupancy are
+ * pushed to exec::ExecLog and land in the JSON report's "exec" section.
+ * When the process-global tracer is open the sweep runs serially (the
+ * trace stream tags one active run at a time).
+ */
+inline std::vector<sim::RunResult>
+simulateAll(const std::string &label, std::vector<sim::SystemConfig> configs,
+            const sim::RunWindows &windows)
+{
+    unsigned jobs = exec::resolveJobs();
+    if (obs::Tracing::sinkOpen())
+        jobs = 1;
+    for (auto &cfg : configs) {
+        if (!cfg.program)
+            cfg.program = workload::ImageCache::global().get(cfg.profile);
+    }
+    std::vector<std::optional<sim::RunResult>> out(configs.size());
+    auto report = exec::runIndexed(
+        label, configs.size(), jobs,
+        [&](std::size_t i) { out[i] = sim::simulate(configs[i], windows); },
+        [&](std::size_t i) {
+            return configs[i].profile.name + "/" +
+                sim::presetName(configs[i].preset);
+        });
+    exec::ExecLog::push(std::move(report));
+    std::vector<sim::RunResult> results;
+    results.reserve(out.size());
+    for (auto &r : out)
+        results.push_back(std::move(*r));
+    return results;
 }
 
 /** The three workloads used for parameter sweeps (largest, middle,
@@ -140,9 +185,25 @@ class Harness
             };
             if (arg == "--help" || arg == "-h") {
                 std::printf("usage: %s [--json <file>] [--trace <file>] "
-                            "[--inject <spec>]\n",
+                            "[--inject <spec>] [--jobs <n>|auto]\n",
                             argv[0]);
                 std::exit(0);
+            } else if (arg.rfind("--jobs", 0) == 0) {
+                std::string spec = value("--jobs");
+                if (spec == "auto") {
+                    exec::setDefaultJobs(0);
+                } else {
+                    char *end = nullptr;
+                    unsigned long n = std::strtoul(spec.c_str(), &end, 10);
+                    if (end == nullptr || *end != '\0' || n == 0) {
+                        std::fprintf(stderr,
+                                     "--jobs expects a positive integer "
+                                     "or 'auto', got '%s'\n",
+                                     spec.c_str());
+                        std::exit(2);
+                    }
+                    exec::setDefaultJobs(static_cast<unsigned>(n));
+                }
             } else if (arg.rfind("--json", 0) == 0) {
                 jsonPath = value("--json");
             } else if (arg.rfind("--trace", 0) == 0) {
@@ -179,6 +240,32 @@ class Harness
             doc["notes"] = std::move(notes);
         if (!runs.items().empty())
             doc["runs"] = std::move(runs);
+        // Scheduling telemetry: one entry per sweep the bench ran.
+        // Serial sweeps are omitted so a `--jobs 1` document stays
+        // bit-identical to the historical serial format.
+        obs::JsonValue execs = obs::JsonValue::array();
+        for (const auto &report : exec::ExecLog::drain()) {
+            if (report.jobs <= 1)
+                continue;
+            obs::JsonValue e = obs::JsonValue::object();
+            e["label"] = report.label;
+            e["jobs"] = static_cast<std::uint64_t>(report.jobs);
+            e["cells"] = report.cells;
+            e["wall_s"] = report.wallSeconds;
+            e["busy_s"] = report.busySeconds;
+            e["occupancy"] = report.occupancy();
+            obs::JsonValue cells = obs::JsonValue::array();
+            for (const auto &cell : report.cellTimes) {
+                obs::JsonValue c = obs::JsonValue::object();
+                c["cell"] = cell.label;
+                c["wall_s"] = cell.seconds;
+                cells.push(std::move(c));
+            }
+            e["cell_wall_s"] = std::move(cells);
+            execs.push(std::move(e));
+        }
+        if (!execs.items().empty())
+            doc["exec"] = std::move(execs);
         std::ofstream out(jsonPath, std::ios::out | std::ios::trunc);
         if (!out.is_open()) {
             std::fprintf(stderr, "cannot open %s\n", jsonPath.c_str());

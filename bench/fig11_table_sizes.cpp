@@ -12,16 +12,14 @@ namespace {
 
 using namespace dcfb;
 
-double
-coverageFor(const std::string &name, sim::Preset preset,
-            std::size_t seq_entries, std::size_t dis_entries,
-            std::uint64_t base_misses)
+sim::SystemConfig
+sweepConfig(const std::string &name, sim::Preset preset,
+            std::size_t seq_entries, std::size_t dis_entries)
 {
     auto cfg = sim::makeConfig(workload::serverProfile(name), preset);
     cfg.sn4l.seqTableEntries = seq_entries;
     cfg.sn4l.disTable.entries = dis_entries;
-    auto res = sim::simulate(cfg, bench::windows());
-    return res.coverage(base_misses);
+    return cfg;
 }
 
 } // namespace
@@ -33,34 +31,55 @@ main(int argc, char **argv)
                   "16K SeqTable ~ 96% of unlimited; 4K DisTable ~ 97%");
 
     auto names = bench::sweepWorkloads();
-    std::map<std::string, std::uint64_t> base_misses;
+    std::vector<sim::SystemConfig> base_cfgs;
     for (const auto &name : names) {
-        auto res = sim::simulate(
-            sim::makeConfig(workload::serverProfile(name),
-                            sim::Preset::Baseline),
-            bench::windows());
-        base_misses[name] = res.stat("l1i.l1i_misses");
+        base_cfgs.push_back(sim::makeConfig(workload::serverProfile(name),
+                                            sim::Preset::Baseline));
     }
+    auto base = bench::simulateAll("fig11 baselines", std::move(base_cfgs),
+                                   bench::windows());
+    std::map<std::string, std::uint64_t> base_misses;
+    for (std::size_t i = 0; i < names.size(); ++i)
+        base_misses[names[i]] = base[i].stat("l1i.l1i_misses");
+
+    const std::vector<std::size_t> seq_sizes{256, 1024, 4096, 16384,
+                                             65536, 0};
+    std::vector<sim::SystemConfig> seq_cfgs;
+    for (std::size_t entries : seq_sizes) {
+        for (const auto &name : names)
+            seq_cfgs.push_back(
+                sweepConfig(name, sim::Preset::SN4L, entries, 4096));
+    }
+    auto seq_res = bench::simulateAll("fig11 SeqTable sweep",
+                                      std::move(seq_cfgs), bench::windows());
 
     sim::Table seq({"SeqTable entries", "SN4L coverage (avg)"});
-    for (std::size_t entries : {256u, 1024u, 4096u, 16384u, 65536u, 0u}) {
+    std::size_t idx = 0;
+    for (std::size_t entries : seq_sizes) {
         double sum = 0.0;
-        for (const auto &name : names) {
-            sum += coverageFor(name, sim::Preset::SN4L, entries, 4096,
-                               base_misses[name]);
-        }
+        for (const auto &name : names)
+            sum += seq_res[idx++].coverage(base_misses[name]);
         seq.addRow({entries ? std::to_string(entries) : "unlimited",
                     sim::Table::pct(sum / names.size())});
     }
     h.report(seq, "SN4L miss coverage vs. SeqTable size");
 
+    const std::vector<std::size_t> dis_sizes{64, 128, 256, 1024, 4096, 0};
+    std::vector<sim::SystemConfig> dis_cfgs;
+    for (std::size_t entries : dis_sizes) {
+        for (const auto &name : names)
+            dis_cfgs.push_back(
+                sweepConfig(name, sim::Preset::SN4LDis, 16384, entries));
+    }
+    auto dis_res = bench::simulateAll("fig11 DisTable sweep",
+                                      std::move(dis_cfgs), bench::windows());
+
     sim::Table dis({"DisTable entries", "SN4L+Dis coverage (avg)"});
-    for (std::size_t entries : {64u, 128u, 256u, 1024u, 4096u, 0u}) {
+    idx = 0;
+    for (std::size_t entries : dis_sizes) {
         double sum = 0.0;
-        for (const auto &name : names) {
-            sum += coverageFor(name, sim::Preset::SN4LDis, 16384, entries,
-                               base_misses[name]);
-        }
+        for (const auto &name : names)
+            sum += dis_res[idx++].coverage(base_misses[name]);
         dis.addRow({entries ? std::to_string(entries) : "unlimited",
                     sim::Table::pct(sum / names.size())});
     }

@@ -14,34 +14,61 @@ main(int argc, char **argv)
     bench::Harness h(argc, argv, "Fig. 13 - timeliness (CMAL) of the proposed designs",
                   "N4L 88%, SN4L 93%, Dis 89%, SN4L+Dis+BTB 91%");
 
+    const std::vector<sim::Preset> designs = {
+        sim::Preset::N4LPlain, sim::Preset::SN4L, sim::Preset::DisOnly,
+        sim::Preset::SN4LDisBtb};
+    std::vector<sim::SystemConfig> cmal_cfgs;
+    for (auto preset : designs) {
+        for (const auto &name : bench::allWorkloads())
+            cmal_cfgs.push_back(
+                sim::makeConfig(workload::serverProfile(name), preset));
+    }
+    auto cmal_res = bench::simulateAll("fig13 CMAL grid",
+                                       std::move(cmal_cfgs),
+                                       bench::windows());
+
     sim::Table table({"design", "CMAL (avg)"});
-    for (auto preset : {sim::Preset::N4LPlain, sim::Preset::SN4L,
-                        sim::Preset::DisOnly, sim::Preset::SN4LDisBtb}) {
+    std::size_t idx = 0;
+    for (auto preset : designs) {
         double sum = 0.0;
-        for (const auto &name : bench::allWorkloads()) {
-            auto res = sim::simulate(
-                sim::makeConfig(workload::serverProfile(name), preset),
-                bench::windows());
-            sum += res.cmal();
-        }
+        for (std::size_t w = 0; w < bench::allWorkloads().size(); ++w)
+            sum += cmal_res[idx++].cmal();
         table.addRow({sim::presetName(preset), sim::Table::pct(sum / 7.0)});
     }
     h.report(table, "Timeliness of different prefetchers");
 
+    // The two ablations share one no-prefetcher baseline per workload.
+    auto sweep_names = bench::sweepWorkloads();
+    std::vector<sim::SystemConfig> base_cfgs;
+    for (const auto &name : sweep_names) {
+        base_cfgs.push_back(sim::makeConfig(workload::serverProfile(name),
+                                            sim::Preset::Baseline));
+    }
+    auto bases = bench::simulateAll("fig13 ablation baselines",
+                                    std::move(base_cfgs), bench::windows());
+
     // Ablation: proactive chain depth limit (paper picks 4).
-    sim::Table depth({"chain depth limit", "CMAL (avg)", "speedup (avg)"});
-    for (unsigned limit : {1u, 2u, 4u, 8u}) {
-        double cmal_sum = 0.0, speed_sum = 0.0;
-        for (const auto &name : bench::sweepWorkloads()) {
-            auto profile = workload::serverProfile(name);
-            auto base = sim::simulate(
-                sim::makeConfig(profile, sim::Preset::Baseline),
-                bench::windows());
-            auto cfg = sim::makeConfig(profile, sim::Preset::SN4LDisBtb);
+    const std::vector<unsigned> limits{1, 2, 4, 8};
+    std::vector<sim::SystemConfig> depth_cfgs;
+    for (unsigned limit : limits) {
+        for (const auto &name : sweep_names) {
+            auto cfg = sim::makeConfig(workload::serverProfile(name),
+                                       sim::Preset::SN4LDisBtb);
             cfg.sn4l.chainDepthLimit = limit;
-            auto res = sim::simulate(cfg, bench::windows());
-            cmal_sum += res.cmal();
-            speed_sum += sim::speedup(res, base);
+            depth_cfgs.push_back(std::move(cfg));
+        }
+    }
+    auto depth_res = bench::simulateAll("fig13 chain-depth ablation",
+                                        std::move(depth_cfgs),
+                                        bench::windows());
+
+    sim::Table depth({"chain depth limit", "CMAL (avg)", "speedup (avg)"});
+    idx = 0;
+    for (unsigned limit : limits) {
+        double cmal_sum = 0.0, speed_sum = 0.0;
+        for (std::size_t w = 0; w < sweep_names.size(); ++w, ++idx) {
+            cmal_sum += depth_res[idx].cmal();
+            speed_sum += sim::speedup(depth_res[idx], bases[w]);
         }
         depth.addRow({std::to_string(limit),
                       sim::Table::pct(cmal_sum / 3.0),
@@ -51,19 +78,26 @@ main(int argc, char **argv)
 
     // Ablation: SN1L vs. SN4L for the sequential tails of discontinuity
     // regions (the paper chooses SN1L to protect accuracy at depth).
+    std::vector<sim::SystemConfig> tail_cfgs;
+    for (bool sn1l : {true, false}) {
+        for (const auto &name : sweep_names) {
+            auto cfg = sim::makeConfig(workload::serverProfile(name),
+                                       sim::Preset::SN4LDisBtb);
+            cfg.sn4l.sn1lTails = sn1l;
+            tail_cfgs.push_back(std::move(cfg));
+        }
+    }
+    auto tail_res = bench::simulateAll("fig13 tail-policy ablation",
+                                       std::move(tail_cfgs),
+                                       bench::windows());
+
     sim::Table tails({"tail policy", "pf accuracy (avg)", "speedup (avg)"});
+    idx = 0;
     for (bool sn1l : {true, false}) {
         double acc_sum = 0.0, speed_sum = 0.0;
-        for (const auto &name : bench::sweepWorkloads()) {
-            auto profile = workload::serverProfile(name);
-            auto base = sim::simulate(
-                sim::makeConfig(profile, sim::Preset::Baseline),
-                bench::windows());
-            auto cfg = sim::makeConfig(profile, sim::Preset::SN4LDisBtb);
-            cfg.sn4l.sn1lTails = sn1l;
-            auto res = sim::simulate(cfg, bench::windows());
-            acc_sum += res.ratio("l1i.pf_useful", "l1i.pf_issued");
-            speed_sum += sim::speedup(res, base);
+        for (std::size_t w = 0; w < sweep_names.size(); ++w, ++idx) {
+            acc_sum += tail_res[idx].ratio("l1i.pf_useful", "l1i.pf_issued");
+            speed_sum += sim::speedup(tail_res[idx], bases[w]);
         }
         tails.addRow({sn1l ? "SN1L tails (paper)" : "SN4L tails",
                       sim::Table::pct(acc_sum / 3.0),

@@ -17,6 +17,16 @@
  * cost per sample (std::bit_width) and bounded storage for unbounded
  * quantities such as miss latencies, prefetch-to-use distances, proactive
  * chain depths and queue occupancies.
+ *
+ * Threading model: a StatRegistry and its handles are single-threaded
+ * by design -- hot-path bumps must never pay for synchronization.  The
+ * parallel experiment runner therefore gives every (workload x design)
+ * cell its own registries (one per component, inside that cell's
+ * System) and merges the per-cell snapshots into the grid only after
+ * the pool barrier; no registry is ever touched by two threads.  The
+ * shared discard slots that back *default-constructed* handles are
+ * thread_local so a not-yet-registered handle bumped on a worker
+ * cannot race another worker's.
  */
 
 #ifndef DCFB_OBS_REGISTRY_H
@@ -79,7 +89,9 @@ class Counter
     friend class StatRegistry;
     explicit Counter(std::uint64_t *s) : slot(s) {}
 
-    static inline std::uint64_t discard = 0;
+    // thread_local: unregistered handles on different workers must not
+    // share (and race on) one sink slot.
+    static inline thread_local std::uint64_t discard = 0;
     std::uint64_t *slot;
 };
 
@@ -122,7 +134,7 @@ class Histogram
     friend class StatRegistry;
     explicit Histogram(HistData *d) : data(d) {}
 
-    static inline HistData discard{};
+    static inline thread_local HistData discard{};
     HistData *data;
 };
 

@@ -37,6 +37,8 @@ Watchdog::observe(Cycle now, std::uint64_t retired, std::uint64_t fetched)
                           "window: machine is wedged"
                         : "no instructions fetched within the watchdog "
                           "window: frontend is wedged");
+    if (!cell.empty())
+        err.with("cell", cell);
     err.with("cycle", now)
         .with("window_cycles", window)
         .with("cycles_since_retire", retire_stall)

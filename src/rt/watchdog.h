@@ -9,6 +9,12 @@
  * typed ErrorKind::Watchdog error.  The simulation driver attaches a
  * structured machine-state snapshot (queues, MSHRs, in-flight
  * prefetches) before failing the run -- see sim::simulate().
+ *
+ * Concurrency: a Watchdog belongs to exactly one run.  Under a parallel
+ * experiment grid every worker arms its own instance for the cell it is
+ * executing (one watchdog per in-flight simulation, never shared), and
+ * the cell label identifies which (workload, design) cell tripped when
+ * completion order is nondeterministic.
  */
 
 #ifndef DCFB_RT_WATCHDOG_H
@@ -16,6 +22,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 
 #include "common/types.h"
 #include "rt/error.h"
@@ -42,10 +49,16 @@ class Watchdog
     /** Reset the baseline (warmup/measure boundary, after a recovery). */
     void rearm(Cycle now, std::uint64_t retired, std::uint64_t fetched);
 
+    /** Label the run this watchdog guards ("workload/design"); attached
+     *  to trip errors so parallel sweeps can attribute the failure. */
+    void setCell(std::string label) { cell = std::move(label); }
+    const std::string &cellLabel() const { return cell; }
+
     Cycle windowCycles() const { return window; }
 
   private:
     Cycle window;
+    std::string cell;
     bool armed = false;
     std::uint64_t lastRetired = 0;
     std::uint64_t lastFetched = 0;

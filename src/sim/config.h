@@ -7,6 +7,7 @@
 #define DCFB_SIM_CONFIG_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "core/backend.h"
@@ -66,6 +67,16 @@ struct SystemConfig
 {
     workload::WorkloadProfile profile;
     Preset preset = Preset::Baseline;
+
+    /**
+     * Pre-built program image shared across runs (workload::ImageCache).
+     * When null the System builds its own program from `profile`; when
+     * set it must be the image `profile` would build (the experiment
+     * runners guarantee this by resolving both from the same cache
+     * entry).  Shared images are immutable, so many concurrently
+     * simulating cells may hold the same pointer.
+     */
+    std::shared_ptr<const workload::Program> program;
 
     unsigned btbEntries = 2048; //!< conventional BTB (Table III)
     unsigned btbAssoc = 4;

@@ -2,7 +2,10 @@
 
 #include <cmath>
 #include <cstdio>
+#include <optional>
+#include <utility>
 
+#include "obs/trace.h"
 #include "rt/error.h"
 
 namespace dcfb::sim {
@@ -24,18 +27,68 @@ ExperimentGrid::run()
 void
 ExperimentGrid::run(const std::vector<std::string> &workload_names)
 {
+    run(workload_names, 0);
+}
+
+void
+ExperimentGrid::run(const std::vector<std::string> &workload_names,
+                    unsigned jobs_requested)
+{
     names = workload_names;
+
+    unsigned jobs = exec::resolveJobs(jobs_requested);
+    // The miss-attribution tracer is process-global and tags events with
+    // one active (workload, design); interleaved cells would corrupt the
+    // stream, so tracing serializes the grid.
+    if (obs::Tracing::sinkOpen())
+        jobs = 1;
+
+    // Scatter phase setup, all on this thread: config hooks and the
+    // process-wide defaults (fault plan, jobs) are only read serially,
+    // and every cell of a workload shares one immutable cached image.
+    struct Cell
+    {
+        std::string name;
+        Preset preset;
+        SystemConfig cfg;
+    };
+    std::vector<Cell> cells;
+    cells.reserve(names.size() * presets.size());
     for (const auto &name : names) {
         auto profile = workload::serverProfile(name, variableLength);
         for (Preset preset : presets) {
             SystemConfig cfg = makeConfig(profile, preset);
             if (hook)
                 hook(cfg);
-            results.emplace(std::make_pair(name, preset),
-                            simulate(cfg, windows));
-            std::fprintf(stderr, "  [grid] %s / %s done\n", name.c_str(),
-                         presetName(preset).c_str());
+            // Key the image on the post-hook profile: hook-tweaked
+            // profiles get their own cache entry, untouched ones share.
+            cfg.program = workload::ImageCache::global().get(cfg.profile);
+            cells.push_back(Cell{name, preset, std::move(cfg)});
         }
+    }
+
+    // Scatter/gather: each cell simulates into its own slot (per-cell
+    // System, registries, watchdog and fault injector -- nothing shared
+    // but the immutable images), then the results are merged in cell
+    // order after the barrier so the grid's content is independent of
+    // worker interleaving.
+    std::vector<std::optional<RunResult>> out(cells.size());
+    lastExec = exec::runIndexed(
+        "grid", cells.size(), jobs,
+        [&](std::size_t i) {
+            out[i] = simulate(cells[i].cfg, windows);
+            std::fprintf(stderr, "  [grid] %s / %s done\n",
+                         cells[i].name.c_str(),
+                         presetName(cells[i].preset).c_str());
+        },
+        [&](std::size_t i) {
+            return cells[i].name + "/" + presetName(cells[i].preset);
+        });
+    exec::ExecLog::push(lastExec);
+
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        results.emplace(std::make_pair(cells[i].name, cells[i].preset),
+                        std::move(*out[i]));
     }
 }
 

@@ -3,6 +3,16 @@
  * Experiment grid runner: run (workload x design) matrices with shared
  * windows and cache results, plus the geometric/arithmetic means the
  * paper's "Average" bars use.
+ *
+ * Every cell of the grid is an independent, deterministically-seeded
+ * simulation, so run() schedules cells onto an exec::Pool and merges
+ * the per-cell results after the barrier (see DESIGN.md "Execution
+ * model").  The effective worker count comes from exec::resolveJobs()
+ * (the bench harness's `--jobs` flag); one job reproduces the
+ * historical serial runner bit for bit.  Workload images are resolved
+ * through the process-wide workload::ImageCache, so the N designs of a
+ * workload -- and concurrent cells -- share one immutable program
+ * instead of rebuilding it per cell.
  */
 
 #ifndef DCFB_SIM_EXPERIMENT_H
@@ -13,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/schedule.h"
 #include "sim/simulator.h"
 #include "workload/profiles.h"
 
@@ -40,6 +51,16 @@ class ExperimentGrid
     /** Run a subset of workloads (faster benches). */
     void run(const std::vector<std::string> &workloads);
 
+    /**
+     * Run a subset with an explicit worker count.  @p jobs of 0 defers
+     * to exec::resolveJobs() (the `--jobs` flag / hardware default); a
+     * value of 1 runs the cells serially, in order, on this thread.
+     * Cell results are identical for every jobs value; a failing cell
+     * raises the same rt::Exception either way (serially at the failing
+     * cell, in parallel after the barrier).
+     */
+    void run(const std::vector<std::string> &workloads, unsigned jobs);
+
     /** Result for a (workload, design) cell; nullptr when not run. */
     const RunResult *tryAt(const std::string &workload,
                            Preset preset) const;
@@ -49,6 +70,11 @@ class ExperimentGrid
     const RunResult &at(const std::string &workload, Preset preset) const;
 
     const std::vector<std::string> &workloads() const { return names; }
+
+    /** Scheduling telemetry of the last run(): effective jobs, wall
+     *  time, per-cell wall times and pool occupancy.  Also pushed to
+     *  exec::ExecLog for the bench harness's JSON report. */
+    const exec::ExecReport &execReport() const { return lastExec; }
 
     /** Arithmetic mean of a per-workload metric. */
     double
@@ -65,6 +91,7 @@ class ExperimentGrid
     bool variableLength;
     std::vector<std::string> names;
     std::map<std::pair<std::string, Preset>, RunResult> results;
+    exec::ExecReport lastExec;
 };
 
 } // namespace dcfb::sim

@@ -32,8 +32,11 @@ trySimulate(const SystemConfig &config, const RunWindows &windows)
     const Cycle interval = ic.sweepInterval ? ic.sweepInterval : 8192;
 
     std::optional<rt::Watchdog> watchdog;
-    if (ic.watchdog)
+    if (ic.watchdog) {
         watchdog.emplace(ic.watchdogWindow);
+        watchdog->setCell(config.profile.name + "/" +
+                          presetName(config.preset));
+    }
 
     auto fetched = [&system] {
         return system.fetch->stats().get("fe_fetched");

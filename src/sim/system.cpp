@@ -8,7 +8,11 @@
 namespace dcfb::sim {
 
 System::System(const SystemConfig &config)
-    : cfg(config), program(workload::buildProgram(config.profile)),
+    : cfg(config),
+      program(config.program
+                  ? config.program
+                  : std::make_shared<const workload::Program>(
+                        workload::buildProgram(config.profile))),
       injector(config.faults, config.runSeed)
 {
     cDispatchActive = simStats.counter("dispatch_active_cycles");
@@ -20,9 +24,9 @@ System::System(const SystemConfig &config)
     cStallFrontend = simStats.counter("stall_frontend");
     cStallOther = simStats.counter("stall_other");
 
-    walker = std::make_unique<workload::TraceWalker>(program, cfg.runSeed);
+    walker = std::make_unique<workload::TraceWalker>(*program, cfg.runSeed);
     predecoder = std::make_unique<isa::Predecoder>(
-        program.image, cfg.profile.variableLength);
+        program->image, cfg.profile.variableLength);
 
     mesh = std::make_unique<noc::MeshModel>(cfg.mesh);
     memory = std::make_unique<mem::MemoryModel>(cfg.memory);
@@ -136,7 +140,7 @@ System::System(const SystemConfig &config)
     } else {
         l1i->setListener(prefetcher.get());
         fetch = std::make_unique<CoupledFetchEngine>(
-            cfg.fetch, *walker, *l1i, *btb, *tage, program.image,
+            cfg.fetch, *walker, *l1i, *btb, *tage, program->image,
             *prefetcher);
     }
 

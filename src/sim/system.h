@@ -56,7 +56,10 @@ class System
     obs::JsonValue snapshot() const;
 
     SystemConfig cfg;
-    workload::Program program;
+    /** The program under simulation.  Either the shared immutable image
+     *  from cfg.program (experiment runners, one build per workload) or
+     *  a privately-built one (standalone simulate() callers). */
+    std::shared_ptr<const workload::Program> program;
     std::unique_ptr<workload::TraceWalker> walker;
     std::unique_ptr<isa::Predecoder> predecoder;
 

@@ -1,8 +1,30 @@
 #include "workload/profiles.h"
 
+#include <sstream>
+
 namespace dcfb::workload {
 
 namespace {
+
+/**
+ * Canonical cache key covering every knob that shapes the built
+ * program.  Keying on the full parameterization (not just the name)
+ * keeps custom or hook-tweaked profiles from aliasing a server entry.
+ */
+std::string
+profileKey(const WorkloadProfile &p)
+{
+    std::ostringstream key;
+    key << p.name << '|' << p.numFunctions << '|' << p.minBlocks << '|'
+        << p.maxBlocks << '|' << p.minInstrs << '|' << p.maxInstrs << '|'
+        << p.condProb << '|' << p.callProb << '|' << p.jumpProb << '|'
+        << p.coldGuardFrac << '|' << p.takenBias << '|' << p.loopProb
+        << '|' << p.zipfSkew << '|' << p.callSkew << '|' << p.maxCallDepth
+        << '|' << p.driverBlocks << '|' << p.loadFrac << '|' << p.storeFrac
+        << '|' << p.dataFootprint << '|' << p.variableLength << '|'
+        << p.seed;
+    return key.str();
+}
 
 /** Build one profile from the per-workload shape knobs. */
 WorkloadProfile
@@ -100,6 +122,57 @@ allServerProfiles(bool variable_length)
     for (const auto &name : serverWorkloadNames())
         out.push_back(serverProfile(name, variable_length));
     return out;
+}
+
+ProgramRef
+ImageCache::get(const WorkloadProfile &profile)
+{
+    std::string key = profileKey(profile);
+    std::unique_lock<std::mutex> lock(mutex);
+    ++lookups;
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+    ++misses;
+    // Build under the lock: grids resolve images serially up front, so
+    // serializing builds costs nothing and prevents duplicate work.
+    auto program = std::make_shared<const Program>(buildProgram(profile));
+    cache.emplace(std::move(key), program);
+    return program;
+}
+
+ProgramRef
+ImageCache::server(const std::string &name, bool variable_length)
+{
+    return get(serverProfile(name, variable_length));
+}
+
+std::size_t
+ImageCache::built() const
+{
+    std::unique_lock<std::mutex> lock(mutex);
+    return misses;
+}
+
+std::size_t
+ImageCache::hits() const
+{
+    std::unique_lock<std::mutex> lock(mutex);
+    return lookups - misses;
+}
+
+void
+ImageCache::clear()
+{
+    std::unique_lock<std::mutex> lock(mutex);
+    cache.clear();
+}
+
+ImageCache &
+ImageCache::global()
+{
+    static ImageCache instance;
+    return instance;
 }
 
 } // namespace dcfb::workload

@@ -13,6 +13,9 @@
 #ifndef DCFB_WORKLOAD_PROFILES_H
 #define DCFB_WORKLOAD_PROFILES_H
 
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -38,6 +41,55 @@ WorkloadProfile serverProfile(const std::string &name,
 
 /** All seven profiles, paper order. */
 std::vector<WorkloadProfile> allServerProfiles(bool variable_length = false);
+
+/** A built program shared immutably across experiment cells. */
+using ProgramRef = std::shared_ptr<const Program>;
+
+/**
+ * Cache of built workload images.
+ *
+ * Building a profile's program (CFG layout + code-image emission +
+ * data-footprint plan) dominates experiment setup, and an N-way
+ * parallel grid would otherwise pay it once per (workload x design)
+ * cell.  The cache builds each profile once and hands every caller the
+ * same `shared_ptr<const Program>`; a built Program is never mutated
+ * (the trace walker, pre-decoders and warmup only read it), so sharing
+ * one image across concurrently-running cells is safe.
+ *
+ * Keyed by the full profile parameterization -- two profiles that share
+ * a name but differ in any knob (e.g. the fixed-length and VL-ISA
+ * flavours of a workload) get distinct entries, while repeated requests
+ * for the same flavour hit.  Thread-safe; builds are serialized, which
+ * is fine because grids resolve their images up front on one thread.
+ */
+class ImageCache
+{
+  public:
+    /** The shared Program for @p profile, building it on first use. */
+    ProgramRef get(const WorkloadProfile &profile);
+
+    /** get() for the named server profile (tryServerProfile errors
+     *  propagate as rt::Exception). */
+    ProgramRef server(const std::string &name, bool variable_length = false);
+
+    /** Programs built (cache misses) so far. */
+    std::size_t built() const;
+
+    /** Requests served from the cache (hits) so far. */
+    std::size_t hits() const;
+
+    /** Drop every entry (images survive while callers hold refs). */
+    void clear();
+
+    /** The process-wide cache every experiment runner shares. */
+    static ImageCache &global();
+
+  private:
+    mutable std::mutex mutex;
+    std::map<std::string, ProgramRef> cache; //!< keyed by profile knobs
+    std::size_t misses = 0;
+    std::size_t lookups = 0;
+};
 
 } // namespace dcfb::workload
 
