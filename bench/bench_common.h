@@ -21,6 +21,11 @@
  *   --jobs <n>      worker threads for experiment sweeps (default: auto,
  *                   one per hardware thread; --jobs 1 reproduces the
  *                   historical serial runner bit for bit)
+ *   --cache <dir>   persistent content-addressed result cache: every
+ *                   simulated cell is keyed by its config fingerprint
+ *                   and served from <dir> when already computed there.
+ *                   Off by default; with the flag absent the run is
+ *                   bit-identical to the direct simulator path.
  */
 
 #ifndef DCFB_BENCH_COMMON_H
@@ -41,6 +46,7 @@
 #include "sim/experiment.h"
 #include "sim/report.h"
 #include "sim/simulator.h"
+#include "svc/result_cache.h"
 #include "workload/profiles.h"
 
 namespace dcfb::bench {
@@ -80,7 +86,9 @@ simulateAll(const std::string &label, std::vector<sim::SystemConfig> configs,
     std::vector<std::optional<sim::RunResult>> out(configs.size());
     auto report = exec::runIndexed(
         label, configs.size(), jobs,
-        [&](std::size_t i) { out[i] = sim::simulate(configs[i], windows); },
+        [&](std::size_t i) {
+            out[i] = svc::simulateCached(configs[i], windows);
+        },
         [&](std::size_t i) {
             return configs[i].profile.name + "/" +
                 sim::presetName(configs[i].preset);
@@ -185,7 +193,8 @@ class Harness
             };
             if (arg == "--help" || arg == "-h") {
                 std::printf("usage: %s [--json <file>] [--trace <file>] "
-                            "[--inject <spec>] [--jobs <n>|auto]\n",
+                            "[--inject <spec>] [--jobs <n>|auto] "
+                            "[--cache <dir>]\n",
                             argv[0]);
                 std::exit(0);
             } else if (arg.rfind("--jobs", 0) == 0) {
@@ -204,6 +213,15 @@ class Harness
                     }
                     exec::setDefaultJobs(static_cast<unsigned>(n));
                 }
+            } else if (arg.rfind("--cache", 0) == 0) {
+                std::string dir = value("--cache");
+                if (auto opened = svc::ResultCache::openGlobal(dir);
+                    !opened.ok()) {
+                    std::fprintf(stderr, "%s\n",
+                                 opened.error().render().c_str());
+                    std::exit(2);
+                }
+                std::printf("  [result cache: %s]\n", dir.c_str());
             } else if (arg.rfind("--json", 0) == 0) {
                 jsonPath = value("--json");
             } else if (arg.rfind("--trace", 0) == 0) {
@@ -233,6 +251,28 @@ class Harness
         doc["schema"] = "dcfb-bench-v1";
         doc["figure"] = figure;
         doc["claim"] = claim;
+        // Provenance: enough to attribute any cached or served result
+        // back to the build and run windows that produced it.
+        obs::JsonValue meta = obs::JsonValue::object();
+        meta["git"] = DCFB_GIT_DESCRIBE;
+        meta["build_type"] = DCFB_BUILD_TYPE;
+        meta["build_flags"] = DCFB_BUILD_FLAGS;
+        obs::JsonValue win = obs::JsonValue::object();
+        win["warm"] = windows().warm;
+        win["measure"] = windows().measure;
+        meta["windows"] = std::move(win);
+        if (svc::ResultCache *cache = svc::ResultCache::global()) {
+            svc::ResultCacheStats cs = cache->stats();
+            obs::JsonValue c = obs::JsonValue::object();
+            c["schema"] = svc::kCacheSchema;
+            c["dir"] = cache->dir();
+            c["hits"] = cs.hits;
+            c["misses"] = cs.misses;
+            c["stores"] = cs.stores;
+            c["rejects"] = cs.rejects;
+            meta["cache"] = std::move(c);
+        }
+        doc["meta"] = std::move(meta);
         if (!injectSpec.empty())
             doc["inject"] = injectSpec;
         doc["tables"] = std::move(tables);

@@ -1,0 +1,305 @@
+#!/usr/bin/env python3
+"""Concurrency smoke test for dcfb-serve (protocol dcfb-svc-v1).
+
+Starts the daemon with a small bounded queue and a cold result cache,
+then fires 200 concurrent clients at it over the Unix-domain socket:
+
+  * ~150 valid submits drawn from a small pool of unique specs, so most
+    requests are duplicates -- they must be answered from the in-flight
+    coalescing map or the result cache, never re-simulated;
+  * ~50 malformed or unknown requests, which must come back as typed
+    ok:false replies without hurting the daemon or other clients.
+
+Valid clients honor the admission-control contract: a queue_full or
+draining reject is retried after the reply's retry_after_ms.  At the
+end the script checks the daemon's own accounting (stats op) and then
+sends SIGTERM and requires a clean drain: exit code 0 and a final
+stats JSON document on stdout.
+
+Pass criteria (any failure exits non-zero):
+  - >= 99% of valid requests produce a fetched result;
+  - every duplicate of a spec fetches a result identical to the first;
+  - sims_executed == number of unique specs (dedup held);
+  - invariant_violations == 0 and queue_peak <= queue_capacity;
+  - every invalid request got a well-formed ok:false reply;
+  - SIGTERM => exit 0 with parseable final stats.
+
+Stdlib only; no external dependencies.
+"""
+
+import argparse
+import json
+import os
+import random
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+WORKLOADS = [
+    "Media Streaming",
+    "OLTP (DB A)",
+    "Web (Apache)",
+    "Web (Zeus)",
+    "Web Frontend",
+]
+PRESETS = ["Baseline", "SN4L+Dis+BTB"]
+SEEDS = [1, 2]
+
+INVALID_LINES = [
+    "this is not json",
+    "[1,2,3]",
+    '{"op":"warp"}',
+    '{"op":"submit"}',
+    '{"op":"submit","workload":"No Such Service","preset":"SN4L"}',
+    '{"op":"submit","workload":"Web Frontend","preset":"SN999"}',
+    '{"op":"submit","workload":"Web Frontend","preset":"SN4L","warm":100}',
+    '{"op":"fetch"}',
+    '{"op":"status","job":"job-999999"}',
+    '{"op":"submit","workload":"Web Frontend","preset":"SN4L",'
+    '"inject":"gibberish spec"}',
+]
+
+
+class Client:
+    """One NDJSON request/reply exchange per call, with line buffering."""
+
+    def __init__(self, path, timeout=30.0):
+        self.sock = None
+        self.buf = b""
+        deadline = time.monotonic() + timeout
+        # The listener's backlog can overflow under the thundering herd;
+        # retry the connect until the daemon drains the backlog.
+        while True:
+            try:
+                s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                s.settimeout(timeout)
+                s.connect(path)
+                self.sock = s
+                return
+            except OSError:
+                s.close()
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.02)
+
+    def request_line(self, line):
+        self.sock.sendall(line.encode() + b"\n")
+        while b"\n" not in self.buf:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("daemon closed the connection")
+            self.buf += chunk
+        reply, self.buf = self.buf.split(b"\n", 1)
+        return json.loads(reply)
+
+    def request(self, doc):
+        return self.request_line(json.dumps(doc))
+
+    def close(self):
+        if self.sock:
+            self.sock.close()
+            self.sock = None
+
+
+def run_valid(path, spec, out, idx):
+    """Submit with backpressure retries, then fetch until terminal."""
+    try:
+        c = Client(path)
+        submit = {
+            "op": "submit",
+            "workload": spec[0],
+            "preset": spec[1],
+            "seed": spec[2],
+            "warm": 2000,
+            "measure": 3000,
+        }
+        job = None
+        for _ in range(2000):
+            reply = c.request(submit)
+            if reply.get("ok"):
+                job = reply["job"]
+                break
+            if reply.get("error") in ("queue_full", "draining"):
+                time.sleep(reply.get("retry_after_ms", 50) / 1000.0)
+                continue
+            out[idx] = ("reject", reply)
+            return
+        if job is None:
+            out[idx] = ("submit_timeout", None)
+            return
+        for _ in range(4000):
+            reply = c.request({"op": "fetch", "job": job})
+            if reply.get("ok"):
+                out[idx] = ("done", reply["result"])
+                return
+            if reply.get("error") == "not_ready":
+                time.sleep(reply.get("retry_after_ms", 50) / 1000.0)
+                continue
+            out[idx] = ("failed", reply)
+            return
+        out[idx] = ("fetch_timeout", None)
+    except Exception as exc:  # noqa: BLE001 - smoke harness, record all
+        out[idx] = ("exception", repr(exc))
+    finally:
+        try:
+            c.close()
+        except Exception:  # noqa: BLE001
+            pass
+
+
+def run_invalid(path, line, out, idx):
+    """A bad request must yield ok:false and leave the connection live."""
+    try:
+        c = Client(path)
+        reply = c.request_line(line)
+        if reply.get("ok") is not False or "error" not in reply:
+            out[idx] = ("accepted_bad_input", reply)
+            return
+        # The connection must survive the bad line.
+        pong = c.request({"op": "ping"})
+        ok = pong.get("ok") is True
+        out[idx] = ("rejected" if ok else "connection_poisoned", reply)
+        c.close()
+    except Exception as exc:  # noqa: BLE001
+        out[idx] = ("exception", repr(exc))
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--serve", required=True, help="path to dcfb-serve")
+    ap.add_argument("--valid", type=int, default=150)
+    ap.add_argument("--invalid", type=int, default=50)
+    ap.add_argument("--queue", type=int, default=8)
+    ap.add_argument("--jobs", type=int, default=0)
+    args = ap.parse_args()
+
+    tmp = tempfile.mkdtemp(prefix="dcfb-smoke-")
+    sock_path = os.path.join(tmp, "svc.sock")
+    cache_dir = os.path.join(tmp, "cache")
+    cmd = [
+        args.serve, "--socket", sock_path, "--queue", str(args.queue),
+        "--cache", cache_dir, "--warm", "2000", "--measure", "3000",
+        "--retry-after-ms", "25",
+    ]
+    if args.jobs:
+        cmd += ["--jobs", str(args.jobs)]
+    print("smoke: starting", " ".join(cmd), flush=True)
+    serve = subprocess.Popen(cmd, stdout=subprocess.PIPE, text=True)
+
+    failures = []
+    try:
+        deadline = time.monotonic() + 30
+        while not os.path.exists(sock_path):
+            if serve.poll() is not None or time.monotonic() > deadline:
+                print("smoke: daemon failed to come up", file=sys.stderr)
+                return 1
+            time.sleep(0.05)
+        ping = Client(sock_path).request({"op": "ping"})
+        assert ping.get("ok"), ping
+
+        specs = [(w, p, s) for w in WORKLOADS for p in PRESETS
+                 for s in SEEDS]
+        rng = random.Random(20260806)
+        plan = [specs[i % len(specs)] for i in range(args.valid)]
+        rng.shuffle(plan)
+
+        valid_out = [None] * args.valid
+        invalid_out = [None] * args.invalid
+        threads = []
+        for i, spec in enumerate(plan):
+            threads.append(threading.Thread(
+                target=run_valid, args=(sock_path, spec, valid_out, i)))
+        for i in range(args.invalid):
+            line = INVALID_LINES[i % len(INVALID_LINES)]
+            threads.append(threading.Thread(
+                target=run_invalid, args=(sock_path, line, invalid_out, i)))
+        rng.shuffle(threads)
+
+        t0 = time.monotonic()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=300)
+        wall = time.monotonic() - t0
+        print(f"smoke: {len(threads)} clients finished in {wall:.1f}s",
+              flush=True)
+
+        ok_valid = sum(1 for v in valid_out if v and v[0] == "done")
+        need = -(-args.valid * 99 // 100)  # ceil(99%)
+        if ok_valid < need:
+            bad = [v for v in valid_out if not v or v[0] != "done"][:5]
+            failures.append(
+                f"only {ok_valid}/{args.valid} valid requests succeeded "
+                f"(need >= {need}); sample failures: {bad}")
+
+        # Duplicates must fetch identical results.
+        first = {}
+        for spec, v in zip(plan, valid_out):
+            if not v or v[0] != "done":
+                continue
+            blob = json.dumps(v[1], sort_keys=True)
+            if spec in first and first[spec] != blob:
+                failures.append(f"divergent results for duplicate {spec}")
+            first.setdefault(spec, blob)
+
+        bad_invalid = [v for v in invalid_out if not v or v[0] != "rejected"]
+        if bad_invalid:
+            failures.append(
+                f"{len(bad_invalid)} invalid requests mishandled: "
+                f"{bad_invalid[:5]}")
+
+        stats = Client(sock_path).request({"op": "stats"})
+        counters = stats.get("counters", {})
+        sims = counters.get("svc.sims_executed")
+        if sims != len(specs):
+            failures.append(
+                f"sims_executed={sims}, expected {len(specs)} unique "
+                f"specs (duplicates were re-simulated)")
+        if counters.get("svc.invariant_violations") != 0:
+            failures.append(f"invariant violations: {counters}")
+        if stats.get("queue_peak", 0) > stats.get("queue_capacity", 0):
+            failures.append(
+                f"queue bound broken: peak {stats.get('queue_peak')} > "
+                f"capacity {stats.get('queue_capacity')}")
+        cache = stats.get("cache", {})
+        if cache.get("stores") != len(specs):
+            failures.append(
+                f"cache stores={cache.get('stores')}, expected "
+                f"{len(specs)}")
+        dedup = counters.get("svc.coalesced", 0) + \
+            counters.get("svc.cache_hits", 0)
+        print(f"smoke: sims={sims} coalesced+cache_hits={dedup} "
+              f"queue_peak={stats.get('queue_peak')} "
+              f"rejected_full={counters.get('svc.rejected_full')}",
+              flush=True)
+    finally:
+        serve.send_signal(signal.SIGTERM)
+        try:
+            stdout, _ = serve.communicate(timeout=60)
+        except subprocess.TimeoutExpired:
+            serve.kill()
+            stdout, _ = serve.communicate()
+            failures.append("daemon did not drain within 60s of SIGTERM")
+
+    if serve.returncode != 0:
+        failures.append(f"daemon exit code {serve.returncode}, expected 0")
+    try:
+        final = json.loads(stdout)
+        assert "counters" in final
+    except (ValueError, AssertionError):
+        failures.append(f"final stats not valid JSON: {stdout[:200]!r}")
+
+    if failures:
+        for f in failures:
+            print("smoke FAIL:", f, file=sys.stderr)
+        return 1
+    print("smoke PASS", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,7 @@
 
 #include "obs/trace.h"
 #include "rt/error.h"
+#include "svc/result_cache.h"
 
 namespace dcfb::sim {
 
@@ -76,7 +77,8 @@ ExperimentGrid::run(const std::vector<std::string> &workload_names,
     lastExec = exec::runIndexed(
         "grid", cells.size(), jobs,
         [&](std::size_t i) {
-            out[i] = simulate(cells[i].cfg, windows);
+            // Exactly simulate() unless a --cache directory is open.
+            out[i] = svc::simulateCached(cells[i].cfg, windows);
             std::fprintf(stderr, "  [grid] %s / %s done\n",
                          cells[i].name.c_str(),
                          presetName(cells[i].preset).c_str());

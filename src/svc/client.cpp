@@ -1,0 +1,191 @@
+#include "svc/client.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace dcfb::svc {
+
+namespace {
+
+rt::Error
+clientError(const std::string &message)
+{
+    return rt::Error(rt::ErrorKind::Config, message)
+        .with("errno", std::strerror(errno));
+}
+
+const std::string *
+stringMember(const obs::JsonValue &doc, const std::string &name)
+{
+    const obs::JsonValue *v = doc.find(name);
+    if (!v || v->kind() != obs::JsonValue::Kind::String)
+        return nullptr;
+    return &v->asString();
+}
+
+} // namespace
+
+Client::~Client()
+{
+    close();
+}
+
+void
+Client::close()
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+    pending.clear();
+}
+
+rt::Expected<void>
+Client::connect(const std::string &socket_path)
+{
+    close();
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return clientError("cannot create socket");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path)) {
+        close();
+        return rt::Error(rt::ErrorKind::Config, "socket path too long")
+            .with("path", socket_path);
+    }
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        rt::Error err = clientError("cannot connect to daemon")
+                            .with("path", socket_path);
+        close();
+        return err;
+    }
+    return {};
+}
+
+rt::Expected<void>
+Client::sendAll(const std::string &text)
+{
+    std::size_t off = 0;
+    while (off < text.size()) {
+        ssize_t w = ::send(fd, text.data() + off, text.size() - off,
+                           MSG_NOSIGNAL);
+        if (w <= 0)
+            return clientError("send to daemon failed");
+        off += static_cast<std::size_t>(w);
+    }
+    return {};
+}
+
+rt::Expected<std::string>
+Client::recvLine()
+{
+    for (;;) {
+        if (std::size_t nl = pending.find('\n'); nl != std::string::npos) {
+            std::string line = pending.substr(0, nl);
+            pending.erase(0, nl + 1);
+            return line;
+        }
+        char buf[4096];
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            return clientError("daemon closed the connection");
+        pending.append(buf, static_cast<std::size_t>(n));
+    }
+}
+
+rt::Expected<obs::JsonValue>
+Client::requestLine(const std::string &line)
+{
+    if (fd < 0)
+        return rt::Error(rt::ErrorKind::Config, "client is not connected");
+    if (auto sent = sendAll(line + "\n"); !sent.ok())
+        return sent.error();
+    auto reply_line = recvLine();
+    if (!reply_line.ok())
+        return reply_line.error();
+    auto reply = obs::JsonValue::parse(reply_line.value());
+    if (!reply) {
+        return rt::Error(rt::ErrorKind::Config,
+                         "daemon reply is not valid JSON")
+            .with("reply", reply_line.value());
+    }
+    return std::move(*reply);
+}
+
+rt::Expected<obs::JsonValue>
+Client::request(const obs::JsonValue &doc)
+{
+    return requestLine(doc.dump());
+}
+
+rt::Expected<obs::JsonValue>
+Client::submitAndWait(const obs::JsonValue &doc, unsigned max_retries)
+{
+    std::string job;
+    for (unsigned attempt = 0;; ++attempt) {
+        auto reply = request(doc);
+        if (!reply.ok())
+            return reply.error();
+        const obs::JsonValue &r = reply.value();
+        const obs::JsonValue *ok = r.find("ok");
+        if (ok && ok->kind() == obs::JsonValue::Kind::Bool &&
+            ok->asBool()) {
+            const std::string *id = stringMember(r, "job");
+            if (!id) {
+                return rt::Error(rt::ErrorKind::Config,
+                                 "submit reply has no job id");
+            }
+            job = *id;
+            break;
+        }
+        const std::string *code = stringMember(r, "error");
+        bool retryable =
+            code && (*code == "queue_full" || *code == "draining");
+        if (!retryable || attempt + 1 >= max_retries) {
+            return rt::Error(rt::ErrorKind::Config, "submit rejected")
+                .with("error", code ? *code : "?")
+                .with("attempts", std::uint64_t{attempt} + 1);
+        }
+        std::uint64_t backoff_ms = 250;
+        if (const obs::JsonValue *hint = r.find("retry_after_ms");
+            hint && hint->kind() == obs::JsonValue::Kind::Uint) {
+            backoff_ms = hint->asUint();
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(backoff_ms));
+    }
+
+    obs::JsonValue fetch = obs::JsonValue::object();
+    fetch["op"] = "fetch";
+    fetch["job"] = job;
+    for (;;) {
+        auto reply = request(fetch);
+        if (!reply.ok())
+            return reply.error();
+        const obs::JsonValue &r = reply.value();
+        const std::string *code = stringMember(r, "error");
+        if (code && *code == "not_ready") {
+            std::uint64_t backoff_ms = 100;
+            if (const obs::JsonValue *hint = r.find("retry_after_ms");
+                hint && hint->kind() == obs::JsonValue::Kind::Uint) {
+                backoff_ms = hint->asUint();
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(backoff_ms));
+            continue;
+        }
+        return std::move(reply.value());
+    }
+}
+
+} // namespace dcfb::svc

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Client side of the dcfb-svc-v1 protocol: a thin blocking connection
+ * to a dcfb-serve socket plus the retry/backoff policy the daemon's
+ * backpressure replies ask for.
+ *
+ * `Client` owns one connected socket and exchanges one reply per
+ * request line.  `submitAndWait()` layers the full job lifecycle on
+ * top: submit, honor `queue_full`/`draining` rejects by sleeping
+ * `retry_after_ms` and retrying, then poll `status` until the job is
+ * terminal and `fetch` the result.  Both the dcfb-client CLI and the
+ * in-process tests drive this class.
+ */
+
+#ifndef DCFB_SVC_CLIENT_H
+#define DCFB_SVC_CLIENT_H
+
+#include <cstdint>
+#include <string>
+
+#include "obs/json.h"
+#include "rt/error.h"
+#include "svc/protocol.h"
+
+namespace dcfb::svc {
+
+class Client
+{
+  public:
+    Client() = default;
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Connect to the daemon socket at @p socket_path. */
+    rt::Expected<void> connect(const std::string &socket_path);
+
+    bool connected() const { return fd >= 0; }
+    void close();
+
+    /** One request line out, one reply document back. */
+    rt::Expected<obs::JsonValue> request(const obs::JsonValue &doc);
+
+    /** request() on a raw line (the CLI's passthrough mode). */
+    rt::Expected<obs::JsonValue> requestLine(const std::string &line);
+
+    /**
+     * Submit @p doc (an `op:"submit"` document) and block until the job
+     * is terminal, retrying admission rejects with the daemon's
+     * `retry_after_ms` hint.  Returns the `fetch` reply (carrying
+     * `result` on success) or a typed error after @p max_retries
+     * consecutive rejects.
+     */
+    rt::Expected<obs::JsonValue> submitAndWait(const obs::JsonValue &doc,
+                                               unsigned max_retries = 40);
+
+  private:
+    rt::Expected<void> sendAll(const std::string &text);
+    rt::Expected<std::string> recvLine();
+
+    int fd = -1;
+    std::string pending; //!< bytes read past the last newline
+};
+
+} // namespace dcfb::svc
+
+#endif // DCFB_SVC_CLIENT_H

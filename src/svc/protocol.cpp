@@ -1,0 +1,200 @@
+#include "svc/protocol.h"
+
+#include <array>
+
+#include "workload/profiles.h"
+
+namespace dcfb::svc {
+
+namespace {
+
+constexpr std::array<sim::Preset, 16> kAllPresets = {
+    sim::Preset::Baseline,   sim::Preset::NL,
+    sim::Preset::N2L,        sim::Preset::N4L,
+    sim::Preset::N8L,        sim::Preset::N4LPlain,
+    sim::Preset::SN4L,       sim::Preset::DisOnly,
+    sim::Preset::SN4LDis,    sim::Preset::SN4LDisBtb,
+    sim::Preset::ClassicDis, sim::Preset::Confluence,
+    sim::Preset::Boomerang,  sim::Preset::Shotgun,
+    sim::Preset::PerfectL1i, sim::Preset::PerfectL1iBtb,
+};
+
+rt::Error
+badRequest(std::string message)
+{
+    return rt::Error(rt::ErrorKind::Config, std::move(message));
+}
+
+/** Required string member. */
+rt::Expected<std::string>
+stringField(const obs::JsonValue &doc, const std::string &name)
+{
+    const obs::JsonValue *v = doc.find(name);
+    if (!v || v->kind() != obs::JsonValue::Kind::String)
+        return badRequest("missing string field").with("field", name);
+    return v->asString();
+}
+
+/** Optional non-negative integer member. */
+rt::Expected<std::optional<std::uint64_t>>
+uintField(const obs::JsonValue &doc, const std::string &name)
+{
+    const obs::JsonValue *v = doc.find(name);
+    if (!v)
+        return std::optional<std::uint64_t>{};
+    if (v->kind() != obs::JsonValue::Kind::Uint)
+        return badRequest("field must be a non-negative integer")
+            .with("field", name);
+    return std::optional<std::uint64_t>{v->asUint()};
+}
+
+} // namespace
+
+rt::Expected<sim::Preset>
+presetFromName(const std::string &name)
+{
+    std::string known;
+    for (sim::Preset p : kAllPresets) {
+        if (sim::presetName(p) == name)
+            return p;
+        if (!known.empty())
+            known += ", ";
+        known += sim::presetName(p);
+    }
+    return badRequest("unknown preset")
+        .with("preset", name)
+        .with("known", known);
+}
+
+rt::Expected<Request>
+parseRequest(const std::string &line)
+{
+    auto doc = obs::JsonValue::parse(line);
+    if (!doc)
+        return badRequest("request is not valid JSON");
+    if (doc->kind() != obs::JsonValue::Kind::Object)
+        return badRequest("request must be a JSON object");
+
+    auto op = stringField(*doc, "op");
+    if (!op.ok())
+        return op.error();
+
+    Request req;
+    const std::string &name = op.value();
+    if (name == "ping") {
+        req.op = Request::Op::Ping;
+        return req;
+    }
+    if (name == "stats") {
+        req.op = Request::Op::Stats;
+        return req;
+    }
+    if (name == "drain") {
+        req.op = Request::Op::Drain;
+        return req;
+    }
+    if (name == "status" || name == "fetch" || name == "cancel") {
+        req.op = name == "status" ? Request::Op::Status
+            : name == "fetch"     ? Request::Op::Fetch
+                                  : Request::Op::Cancel;
+        auto job = stringField(*doc, "job");
+        if (!job.ok())
+            return job.error();
+        req.job = job.value();
+        return req;
+    }
+    if (name != "submit") {
+        return badRequest("unknown op").with("op", name).with(
+            "known", "ping, submit, status, fetch, cancel, stats, drain");
+    }
+
+    req.op = Request::Op::Submit;
+    auto workload = stringField(*doc, "workload");
+    if (!workload.ok())
+        return workload.error();
+    // Validate the workload at admission so a typo is a typed reject,
+    // not a failed job.
+    if (auto profile = workload::tryServerProfile(workload.value());
+        !profile.ok()) {
+        return profile.error();
+    }
+    req.submit.workload = workload.value();
+
+    auto preset_name = stringField(*doc, "preset");
+    if (!preset_name.ok())
+        return preset_name.error();
+    auto preset = presetFromName(preset_name.value());
+    if (!preset.ok())
+        return preset.error();
+    req.submit.preset = preset.value();
+
+    auto warm = uintField(*doc, "warm");
+    if (!warm.ok())
+        return warm.error();
+    auto measure = uintField(*doc, "measure");
+    if (!measure.ok())
+        return measure.error();
+    if (warm.value().has_value() != measure.value().has_value())
+        return badRequest("warm and measure must be given together");
+    if (warm.value()) {
+        req.submit.hasWindows = true;
+        req.submit.windows.warm = *warm.value();
+        req.submit.windows.measure = *measure.value();
+        if (req.submit.windows.measure == 0)
+            return badRequest("measure window must be positive");
+    }
+
+    auto seed = uintField(*doc, "seed");
+    if (!seed.ok())
+        return seed.error();
+    req.submit.seed = seed.value();
+
+    if (const obs::JsonValue *inject = doc->find("inject")) {
+        if (inject->kind() != obs::JsonValue::Kind::String)
+            return badRequest("inject must be a fault-spec string");
+        auto plan = rt::parseFaultPlan(inject->asString());
+        if (!plan.ok())
+            return plan.error();
+        req.submit.faults = plan.value();
+    }
+
+    auto deadline = uintField(*doc, "deadline_ms");
+    if (!deadline.ok())
+        return deadline.error();
+    req.submit.deadlineMs = deadline.value().value_or(0);
+    return req;
+}
+
+obs::JsonValue
+okReply()
+{
+    obs::JsonValue reply = obs::JsonValue::object();
+    reply["schema"] = kProtocolSchema;
+    reply["ok"] = true;
+    return reply;
+}
+
+obs::JsonValue
+errorReply(const std::string &code, const std::string &message)
+{
+    obs::JsonValue reply = obs::JsonValue::object();
+    reply["schema"] = kProtocolSchema;
+    reply["ok"] = false;
+    reply["error"] = code;
+    reply["message"] = message;
+    return reply;
+}
+
+obs::JsonValue
+errorReply(const rt::Error &error)
+{
+    obs::JsonValue reply = errorReply("bad_request", error.message);
+    obs::JsonValue context = obs::JsonValue::object();
+    for (const auto &kv : error.context)
+        context[kv.first] = kv.second;
+    if (!context.members().empty())
+        reply["context"] = std::move(context);
+    return reply;
+}
+
+} // namespace dcfb::svc

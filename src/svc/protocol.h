@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Wire protocol of the experiment service (dcfb-serve / dcfb-client).
+ *
+ * Transport is newline-delimited JSON over a Unix-domain socket: one
+ * request object per line, one reply object per line, schema
+ * `dcfb-svc-v1`.  Requests (EXPERIMENTS.md documents the full schema):
+ *
+ *   {"op":"ping"}
+ *   {"op":"submit","workload":"OLTP (DB A)","preset":"SN4L+Dis+BTB",
+ *    "warm":20000,"measure":20000,          // optional, default windows
+ *    "seed":42,                             // optional run seed
+ *    "inject":"drop:rate=0.5,seed=3",       // optional fault spec
+ *    "deadline_ms":30000}                   // optional queue deadline
+ *   {"op":"status","job":"job-7"}
+ *   {"op":"fetch","job":"job-7"}
+ *   {"op":"cancel","job":"job-7"}
+ *   {"op":"stats"}
+ *   {"op":"drain"}                          // admin: same as SIGTERM
+ *
+ * Every reply carries "ok".  Failures carry "error" (a stable code) and
+ * "message"; the admission-control reject additionally carries
+ * "retry_after_ms" so clients can back off and retry:
+ *
+ *   {"ok":false,"error":"queue_full","retry_after_ms":250,...}
+ *
+ * Parsing is fully typed: malformed requests become rt::Errors, which
+ * render into "bad_request" replies — the daemon never dies on input.
+ */
+
+#ifndef DCFB_SVC_PROTOCOL_H
+#define DCFB_SVC_PROTOCOL_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "obs/json.h"
+#include "rt/error.h"
+#include "rt/faults.h"
+#include "sim/config.h"
+#include "sim/simulator.h"
+
+namespace dcfb::svc {
+
+/** Protocol schema tag, echoed in every reply. */
+inline constexpr const char *kProtocolSchema = "dcfb-svc-v1";
+
+/** Preset for a report name ("SN4L+Dis+BTB"); error lists all names. */
+rt::Expected<sim::Preset> presetFromName(const std::string &name);
+
+/** Parameters of one submit request. */
+struct SubmitSpec
+{
+    std::string workload;
+    sim::Preset preset = sim::Preset::Baseline;
+    sim::RunWindows windows;              //!< server default when omitted
+    bool hasWindows = false;
+    std::optional<std::uint64_t> seed;    //!< run-seed override
+    rt::FaultPlan faults;                 //!< parsed from "inject"
+    std::uint64_t deadlineMs = 0;         //!< 0 = no deadline
+};
+
+/** One parsed request. */
+struct Request
+{
+    enum class Op { Ping, Submit, Status, Fetch, Cancel, Stats, Drain };
+
+    Op op = Op::Ping;
+    std::string job;   //!< status/fetch/cancel target
+    SubmitSpec submit; //!< valid when op == Submit
+};
+
+/** Parse one request line; typed error on any malformed input. */
+rt::Expected<Request> parseRequest(const std::string &line);
+
+/** Reply skeletons (callers add op-specific fields). */
+obs::JsonValue okReply();
+obs::JsonValue errorReply(const std::string &code,
+                          const std::string &message);
+
+/** Render an rt::Error as a "bad_request" reply (context included). */
+obs::JsonValue errorReply(const rt::Error &error);
+
+} // namespace dcfb::svc
+
+#endif // DCFB_SVC_PROTOCOL_H

@@ -1,0 +1,679 @@
+#include "svc/server.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "exec/schedule.h"
+#include "sim/report.h"
+#include "workload/profiles.h"
+
+namespace dcfb::svc {
+
+namespace {
+
+std::uint64_t
+microsSince(std::chrono::steady_clock::time_point t0,
+            std::chrono::steady_clock::time_point t1)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+            .count());
+}
+
+} // namespace
+
+Server::Server(ServerConfig config) : cfg(std::move(config))
+{
+    cSubmitted = stats.counter("svc.submitted");
+    cAdmitted = stats.counter("svc.admitted");
+    cRejectedFull = stats.counter("svc.rejected_full");
+    cRejectedDraining = stats.counter("svc.rejected_draining");
+    cBadRequests = stats.counter("svc.bad_requests");
+    cCoalesced = stats.counter("svc.coalesced");
+    cCacheHits = stats.counter("svc.cache_hits");
+    cSimsExecuted = stats.counter("svc.sims_executed");
+    cCompleted = stats.counter("svc.completed");
+    cFailed = stats.counter("svc.failed");
+    cCancelled = stats.counter("svc.cancelled");
+    cDeadlineExpired = stats.counter("svc.deadline_expired");
+    cInvariantViolations = stats.counter("svc.invariant_violations");
+    hQueueWaitUs = stats.histogram("svc.queue_wait_us");
+    hRunUs = stats.histogram("svc.run_us");
+    hRequestUs = stats.histogram("svc.request_latency_us");
+}
+
+Server::~Server()
+{
+    shutdown();
+}
+
+const char *
+Server::stateName(JobState state)
+{
+    switch (state) {
+      case JobState::Queued: return "queued";
+      case JobState::Running: return "running";
+      case JobState::Done: return "done";
+      case JobState::Failed: return "failed";
+      case JobState::Cancelled: return "cancelled";
+    }
+    return "?";
+}
+
+rt::Expected<void>
+Server::start()
+{
+    if (!cfg.cacheDir.empty()) {
+        cache = std::make_unique<ResultCache>(cfg.cacheDir);
+        if (auto opened = cache->open(); !opened.ok())
+            return opened.error();
+    }
+    unsigned workers = exec::resolveJobs(cfg.jobs);
+    // A tight pool queue keeps the admission queue authoritative: at
+    // most `workers` jobs buffer past it before submit() blocks the
+    // dispatcher, so overload turns into queue_full rejects instead of
+    // silently piling up inside the pool.
+    pool = std::make_unique<exec::Pool>(workers, workers);
+
+    listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd < 0) {
+        return rt::Error(rt::ErrorKind::Config, "cannot create socket")
+            .with("errno", std::strerror(errno));
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (cfg.socketPath.size() >= sizeof(addr.sun_path)) {
+        ::close(listenFd);
+        listenFd = -1;
+        return rt::Error(rt::ErrorKind::Config, "socket path too long")
+            .with("path", cfg.socketPath)
+            .with("max", std::uint64_t{sizeof(addr.sun_path) - 1});
+    }
+    std::strncpy(addr.sun_path, cfg.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    // A stale socket file from a crashed daemon would fail the bind;
+    // the path is daemon-owned, so reclaim it.
+    ::unlink(cfg.socketPath.c_str());
+    if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        rt::Error err = rt::Error(rt::ErrorKind::Config, "bind failed")
+                            .with("path", cfg.socketPath)
+                            .with("errno", std::strerror(errno));
+        ::close(listenFd);
+        listenFd = -1;
+        return err;
+    }
+    if (::listen(listenFd, 128) != 0) {
+        rt::Error err = rt::Error(rt::ErrorKind::Config, "listen failed")
+                            .with("path", cfg.socketPath)
+                            .with("errno", std::strerror(errno));
+        ::close(listenFd);
+        listenFd = -1;
+        return err;
+    }
+
+    startedAt = std::chrono::steady_clock::now();
+    started = true;
+    acceptThread = std::thread([this] { acceptLoop(); });
+    dispatchThread = std::thread([this] { dispatchLoop(); });
+    return {};
+}
+
+void
+Server::requestDrain()
+{
+    drainFlag.store(true);
+    queueReady.notify_all();
+    jobsSettled.notify_all();
+}
+
+void
+Server::awaitDrained()
+{
+    std::unique_lock<std::mutex> lock(mutex);
+    jobsSettled.wait(lock,
+                     [this] { return queue.empty() && activeJobs == 0; });
+}
+
+void
+Server::shutdown()
+{
+    if (!started)
+        return;
+    requestDrain();
+    awaitDrained();
+    stopFlag.store(true);
+    queueReady.notify_all();
+    if (dispatchThread.joinable())
+        dispatchThread.join();
+    // Closing the listen fd makes the accept loop's poll() return with
+    // an error/POLLNVAL; the stop flag then exits the loop.
+    if (listenFd >= 0) {
+        ::close(listenFd);
+        listenFd = -1;
+    }
+    if (acceptThread.joinable())
+        acceptThread.join();
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        connectionsIdle.wait(lock,
+                             [this] { return activeConnections == 0; });
+    }
+    pool.reset(); // joins the workers; all tasks already finished
+    ::unlink(cfg.socketPath.c_str());
+    started = false;
+}
+
+// -- request handling -----------------------------------------------------
+
+obs::JsonValue
+Server::handleLine(const std::string &line)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    obs::JsonValue reply;
+    auto parsed = parseRequest(line);
+    if (!parsed.ok()) {
+        std::lock_guard<std::mutex> lock(mutex);
+        cBadRequests.add();
+        reply = errorReply(parsed.error());
+    } else {
+        const Request &req = parsed.value();
+        switch (req.op) {
+          case Request::Op::Ping: {
+            reply = okReply();
+            reply["op"] = "ping";
+            break;
+          }
+          case Request::Op::Submit:
+            reply = handleSubmit(req.submit);
+            break;
+          case Request::Op::Status:
+            reply = handleStatus(req.job);
+            break;
+          case Request::Op::Fetch:
+            reply = handleFetch(req.job);
+            break;
+          case Request::Op::Cancel:
+            reply = handleCancel(req.job);
+            break;
+          case Request::Op::Stats:
+            reply = statsSnapshot();
+            break;
+          case Request::Op::Drain: {
+            requestDrain();
+            reply = okReply();
+            reply["op"] = "drain";
+            reply["draining"] = true;
+            break;
+          }
+        }
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        hRequestUs.sample(microsSince(t0, t1));
+    }
+    return reply;
+}
+
+rt::Expected<void>
+Server::checkQueueBoundLocked()
+{
+    if (queue.size() <= cfg.queueCapacity)
+        return {};
+    cInvariantViolations.add();
+    return rt::Error(rt::ErrorKind::Invariant,
+                     "admission queue exceeded its bound")
+        .with("depth", std::uint64_t{queue.size()})
+        .with("capacity", std::uint64_t{cfg.queueCapacity});
+}
+
+obs::JsonValue
+Server::handleSubmit(const SubmitSpec &spec)
+{
+    // Config construction happens outside the lock: profile lookup and
+    // makeConfig are cheap, and the only process-global they read (the
+    // default fault plan) is set before serving starts.
+    sim::SystemConfig config = sim::makeConfig(
+        workload::serverProfile(spec.workload), spec.preset);
+    config.faults = spec.faults;
+    if (spec.seed)
+        config.runSeed = *spec.seed;
+    if (cfg.configHook)
+        cfg.configHook(config);
+    sim::RunWindows windows =
+        spec.hasWindows ? spec.windows : cfg.defaultWindows;
+
+    obs::JsonValue fp = fingerprint(config, windows);
+    std::string key = fnv1aHex(fp.dump());
+    std::string label =
+        spec.workload + "/" + sim::presetName(spec.preset);
+
+    // Cache probe before the lock: file I/O must not serialize
+    // unrelated requests.
+    std::optional<sim::RunResult> hit;
+    if (cache)
+        hit = cache->get(key, fp);
+
+    std::lock_guard<std::mutex> lock(mutex);
+    cSubmitted.add();
+    if (drainFlag.load()) {
+        cRejectedDraining.add();
+        obs::JsonValue reply =
+            errorReply("draining", "daemon is draining; no new jobs");
+        return reply;
+    }
+
+    if (hit) {
+        auto job = std::make_shared<Job>();
+        job->id = "job-" + std::to_string(nextJobId++);
+        job->key = key;
+        job->label = label;
+        job->state = JobState::Done;
+        job->cached = true;
+        job->result = std::move(*hit);
+        job->submittedAt = std::chrono::steady_clock::now();
+        jobs.emplace(job->id, job);
+        cCacheHits.add();
+        cCompleted.add();
+        obs::JsonValue reply = okReply();
+        reply["job"] = job->id;
+        reply["key"] = key;
+        reply["state"] = "done";
+        reply["cached"] = true;
+        return reply;
+    }
+
+    if (auto it = inflight.find(key); it != inflight.end()) {
+        // Same fingerprint already queued or running: coalesce onto it
+        // instead of simulating the same cell twice.
+        cCoalesced.add();
+        obs::JsonValue reply = okReply();
+        reply["job"] = it->second->id;
+        reply["key"] = key;
+        reply["state"] = stateName(it->second->state);
+        reply["coalesced"] = true;
+        return reply;
+    }
+
+    if (queue.size() >= cfg.queueCapacity) {
+        cRejectedFull.add();
+        obs::JsonValue reply = errorReply(
+            "queue_full", "admission queue is at capacity; retry later");
+        reply["retry_after_ms"] = std::uint64_t{cfg.retryAfterMs};
+        reply["queue_depth"] = std::uint64_t{queue.size()};
+        reply["queue_capacity"] = std::uint64_t{cfg.queueCapacity};
+        return reply;
+    }
+
+    auto job = std::make_shared<Job>();
+    job->id = "job-" + std::to_string(nextJobId++);
+    job->key = key;
+    job->label = label;
+    job->cfg = std::move(config);
+    job->windows = windows;
+    job->fp = std::move(fp);
+    job->submittedAt = std::chrono::steady_clock::now();
+    job->deadlineMs = spec.deadlineMs;
+    jobs.emplace(job->id, job);
+    inflight.emplace(key, job);
+    queue.push_back(job);
+    queuePeak = std::max(queuePeak, queue.size());
+    cAdmitted.add();
+    if (auto bound = checkQueueBoundLocked(); !bound.ok())
+        return errorReply(bound.error());
+    queueReady.notify_one();
+
+    obs::JsonValue reply = okReply();
+    reply["job"] = job->id;
+    reply["key"] = key;
+    reply["state"] = "queued";
+    reply["queue_depth"] = std::uint64_t{queue.size()};
+    return reply;
+}
+
+std::shared_ptr<Server::Job>
+Server::findJob(const std::string &job_id)
+{
+    auto it = jobs.find(job_id);
+    return it == jobs.end() ? nullptr : it->second;
+}
+
+obs::JsonValue
+Server::handleStatus(const std::string &job_id)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    auto job = findJob(job_id);
+    if (!job)
+        return errorReply("unknown_job", "no such job: " + job_id);
+    obs::JsonValue reply = okReply();
+    reply["job"] = job->id;
+    reply["label"] = job->label;
+    reply["key"] = job->key;
+    reply["state"] = stateName(job->state);
+    reply["cached"] = job->cached;
+    if (job->state == JobState::Failed) {
+        reply["error"] = job->errorCode;
+        reply["message"] = job->errorText;
+    }
+    return reply;
+}
+
+obs::JsonValue
+Server::handleFetch(const std::string &job_id)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    auto job = findJob(job_id);
+    if (!job)
+        return errorReply("unknown_job", "no such job: " + job_id);
+    switch (job->state) {
+      case JobState::Done: {
+        obs::JsonValue reply = okReply();
+        reply["job"] = job->id;
+        reply["label"] = job->label;
+        reply["key"] = job->key;
+        reply["cached"] = job->cached;
+        reply["result"] = sim::toJson(*job->result);
+        return reply;
+      }
+      case JobState::Failed: {
+        obs::JsonValue reply = errorReply(
+            job->errorCode.empty() ? "job_failed" : job->errorCode,
+            job->errorText);
+        reply["job"] = job->id;
+        reply["state"] = "failed";
+        return reply;
+      }
+      case JobState::Cancelled: {
+        obs::JsonValue reply =
+            errorReply("cancelled", "job was cancelled");
+        reply["job"] = job->id;
+        reply["state"] = "cancelled";
+        return reply;
+      }
+      case JobState::Queued:
+      case JobState::Running: {
+        obs::JsonValue reply =
+            errorReply("not_ready", "job has not finished");
+        reply["job"] = job->id;
+        reply["state"] = stateName(job->state);
+        reply["retry_after_ms"] = std::uint64_t{cfg.retryAfterMs};
+        return reply;
+      }
+    }
+    return errorReply("internal_error", "unreachable");
+}
+
+obs::JsonValue
+Server::handleCancel(const std::string &job_id)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    auto job = findJob(job_id);
+    if (!job)
+        return errorReply("unknown_job", "no such job: " + job_id);
+    obs::JsonValue reply = okReply();
+    reply["job"] = job->id;
+    if (job->state == JobState::Queued) {
+        // The dispatcher skips non-queued jobs when it pops them.
+        job->state = JobState::Cancelled;
+        inflight.erase(job->key);
+        cCancelled.add();
+        jobsSettled.notify_all();
+    }
+    reply["state"] = stateName(job->state);
+    return reply;
+}
+
+obs::JsonValue
+Server::statsSnapshot()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    obs::JsonValue reply = okReply();
+    reply["op"] = "stats";
+    reply["uptime_ms"] = microsSince(startedAt,
+                                     std::chrono::steady_clock::now()) /
+        1000;
+    reply["draining"] = drainFlag.load();
+    reply["workers"] =
+        std::uint64_t{pool ? pool->workers() : 0};
+    reply["queue_depth"] = std::uint64_t{queue.size()};
+    reply["queue_peak"] = std::uint64_t{queuePeak};
+    reply["queue_capacity"] = std::uint64_t{cfg.queueCapacity};
+    reply["active_jobs"] = activeJobs;
+
+    obs::JsonValue by_state = obs::JsonValue::object();
+    std::map<std::string, std::uint64_t> tally;
+    std::uint64_t longest_running_ms = 0;
+    auto now = std::chrono::steady_clock::now();
+    for (const auto &kv : jobs) {
+        ++tally[stateName(kv.second->state)];
+        if (kv.second->state == JobState::Running) {
+            longest_running_ms =
+                std::max(longest_running_ms,
+                         microsSince(kv.second->startedAt, now) / 1000);
+        }
+    }
+    for (const auto &kv : tally)
+        by_state[kv.first] = kv.second;
+    reply["jobs"] = std::move(by_state);
+    reply["longest_running_ms"] = longest_running_ms;
+
+    obs::JsonValue counters = obs::JsonValue::object();
+    for (const auto &kv : stats.counters())
+        counters[kv.first] = kv.second;
+    reply["counters"] = std::move(counters);
+
+    obs::JsonValue hists = obs::JsonValue::object();
+    for (const auto &kv : stats.histograms()) {
+        obs::JsonValue h = obs::JsonValue::object();
+        h["count"] = kv.second.count;
+        h["mean"] = kv.second.mean();
+        h["max"] = kv.second.max;
+        hists[kv.first] = std::move(h);
+    }
+    reply["hists"] = std::move(hists);
+
+    if (cache) {
+        ResultCacheStats cs = cache->stats();
+        obs::JsonValue c = obs::JsonValue::object();
+        c["dir"] = cache->dir();
+        c["hits"] = cs.hits;
+        c["misses"] = cs.misses;
+        c["stores"] = cs.stores;
+        c["rejects"] = cs.rejects;
+        reply["cache"] = std::move(c);
+    }
+    return reply;
+}
+
+// -- job execution --------------------------------------------------------
+
+void
+Server::dispatchLoop()
+{
+    for (;;) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            queueReady.wait(lock, [this] {
+                return stopFlag.load() || !queue.empty();
+            });
+            if (stopFlag.load() && queue.empty())
+                return;
+            job = queue.front();
+            queue.pop_front();
+            if (job->state != JobState::Queued) {
+                // Cancelled while queued; it is already terminal.
+                jobsSettled.notify_all();
+                continue;
+            }
+            auto now = std::chrono::steady_clock::now();
+            if (job->deadlineMs &&
+                microsSince(job->submittedAt, now) / 1000 >
+                    job->deadlineMs) {
+                job->state = JobState::Failed;
+                job->errorCode = "deadline_exceeded";
+                job->errorText = "job spent longer than deadline_ms "
+                                 "in the queue";
+                inflight.erase(job->key);
+                cDeadlineExpired.add();
+                cFailed.add();
+                jobsSettled.notify_all();
+                continue;
+            }
+            job->state = JobState::Running;
+            job->startedAt = now;
+            hQueueWaitUs.sample(microsSince(job->submittedAt, now));
+            ++activeJobs;
+        }
+        // submit() blocks while the pool's own queue is full; only this
+        // thread submits, so admission keeps absorbing meanwhile.
+        pool->submit([this, job] { runJob(job); });
+    }
+}
+
+void
+Server::runJob(const std::shared_ptr<Job> &job)
+{
+    {
+        // Re-check the deadline now that a worker is actually free:
+        // time buffered inside the pool counts against it too.
+        std::lock_guard<std::mutex> lock(mutex);
+        auto now = std::chrono::steady_clock::now();
+        if (job->deadlineMs &&
+            microsSince(job->submittedAt, now) / 1000 > job->deadlineMs) {
+            job->state = JobState::Failed;
+            job->errorCode = "deadline_exceeded";
+            job->errorText =
+                "job waited longer than deadline_ms before a worker "
+                "was available";
+            inflight.erase(job->key);
+            cDeadlineExpired.add();
+            cFailed.add();
+            --activeJobs;
+            jobsSettled.notify_all();
+            return;
+        }
+    }
+    rt::Expected<sim::RunResult> outcome =
+        rt::Error(rt::ErrorKind::Result, "job did not run");
+    try {
+        // Image resolution happens here, not at admission: building a
+        // multi-MB program is the expensive part, and the shared
+        // ImageCache hands every job of a workload the same immutable
+        // Program.
+        if (!job->cfg.program) {
+            job->cfg.program =
+                workload::ImageCache::global().get(job->cfg.profile);
+        }
+        outcome = sim::trySimulate(job->cfg, job->windows);
+    } catch (const rt::Exception &e) {
+        outcome = e.error();
+    } catch (const std::exception &e) {
+        outcome = rt::Error(rt::ErrorKind::Result, e.what());
+    }
+
+    if (outcome.ok() && cache) {
+        if (auto stored = cache->put(job->key, job->fp, outcome.value());
+            !stored.ok()) {
+            std::fprintf(stderr, "[svc] %s\n",
+                         stored.error().render().c_str());
+        }
+    }
+
+    std::lock_guard<std::mutex> lock(mutex);
+    auto now = std::chrono::steady_clock::now();
+    hRunUs.sample(microsSince(job->startedAt, now));
+    cSimsExecuted.add();
+    if (outcome.ok()) {
+        job->result = std::move(outcome.value());
+        job->state = JobState::Done;
+        cCompleted.add();
+    } else {
+        job->state = JobState::Failed;
+        job->errorCode = "sim_error";
+        job->errorText = outcome.error().render();
+        cFailed.add();
+    }
+    inflight.erase(job->key);
+    --activeJobs;
+    jobsSettled.notify_all();
+}
+
+// -- socket plumbing ------------------------------------------------------
+
+void
+Server::acceptLoop()
+{
+    for (;;) {
+        pollfd pfd{listenFd, POLLIN, 0};
+        int rc = ::poll(&pfd, 1, 200);
+        if (stopFlag.load())
+            return;
+        if (rc <= 0)
+            continue;
+        int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        // Idle connections are reaped so a dead client cannot pin a
+        // handler thread past shutdown.
+        timeval timeout{10, 0};
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                     sizeof(timeout));
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            ++activeConnections;
+        }
+        std::thread([this, fd] { handleConnection(fd); }).detach();
+    }
+}
+
+void
+Server::handleConnection(int fd)
+{
+    std::string pending;
+    char buf[4096];
+    for (;;) {
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break; // EOF, timeout or error: drop the connection
+        pending.append(buf, static_cast<std::size_t>(n));
+        std::size_t nl;
+        bool closed = false;
+        while ((nl = pending.find('\n')) != std::string::npos) {
+            std::string line = pending.substr(0, nl);
+            pending.erase(0, nl + 1);
+            if (line.empty())
+                continue;
+            std::string out = handleLine(line).dump();
+            out += '\n';
+            std::size_t off = 0;
+            while (off < out.size()) {
+                ssize_t w = ::send(fd, out.data() + off,
+                                   out.size() - off, MSG_NOSIGNAL);
+                if (w <= 0) {
+                    closed = true;
+                    break;
+                }
+                off += static_cast<std::size_t>(w);
+            }
+            if (closed)
+                break;
+        }
+        if (closed)
+            break;
+    }
+    ::close(fd);
+    std::lock_guard<std::mutex> lock(mutex);
+    --activeConnections;
+    connectionsIdle.notify_all();
+}
+
+} // namespace dcfb::svc

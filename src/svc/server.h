@@ -1,0 +1,189 @@
+/**
+ * @file
+ * The experiment service daemon (dcfb-serve): a resident process that
+ * accepts simulation jobs over a Unix-domain socket, schedules them
+ * onto one shared exec::Pool, shares one workload::ImageCache across
+ * all jobs, and serves/persists results through the content-addressed
+ * svc::ResultCache.
+ *
+ * Life of a request (DESIGN.md §9 has the full architecture):
+ *
+ *   client ──line──▶ connection thread ──admit──▶ bounded queue
+ *          ◀─reply──                               │ dispatcher
+ *                                                  ▼
+ *                                   exec::Pool workers ──▶ job table
+ *                                                  │
+ *                                       ResultCache (hit: no sim)
+ *
+ * Admission control is explicit: the queue holds at most
+ * `queueCapacity` jobs, and a submit that would exceed it is rejected
+ * with a well-formed backpressure reply carrying `retry_after_ms` —
+ * the daemon never blocks a client on a full queue and never grows
+ * unbounded.  The bound is checked as an rt invariant after every
+ * enqueue; a violation is counted and surfaced in `stats`, and the
+ * test suite asserts the counter stays zero.
+ *
+ * Deduplication is content-addressed end to end: a submit whose
+ * fingerprint key is already cached replies instantly from the
+ * ResultCache (`"cached":true`), and one whose key is already queued
+ * or running coalesces onto the in-flight job (`"coalesced":true`) —
+ * identical work is never simulated twice.
+ *
+ * Draining: SIGTERM (or an admin `drain` request) stops admission
+ * (submits get a `draining` reject), lets every queued and running job
+ * finish, flushes results to the cache, then shuts the socket down.
+ *
+ * Instrumentation: one obs::StatRegistry (guarded by the server mutex
+ * — this is a control path, not a simulation hot path) counts
+ * admissions, rejects, coalesces, cache hits, completions and
+ * failures, and samples queue-wait / run / request latencies into
+ * log2 histograms; the `stats` request serves a full snapshot.
+ */
+
+#ifndef DCFB_SVC_SERVER_H
+#define DCFB_SVC_SERVER_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/pool.h"
+#include "obs/registry.h"
+#include "rt/error.h"
+#include "sim/config.h"
+#include "sim/simulator.h"
+#include "svc/protocol.h"
+#include "svc/result_cache.h"
+
+namespace dcfb::svc {
+
+/** Daemon configuration (CLI flags of dcfb-serve map 1:1). */
+struct ServerConfig
+{
+    std::string socketPath;        //!< Unix-domain socket to bind
+    unsigned jobs = 0;             //!< simulation workers (0 = auto)
+    std::size_t queueCapacity = 64; //!< admission bound (jobs waiting)
+    unsigned retryAfterMs = 250;   //!< backpressure hint to clients
+    std::string cacheDir;          //!< ResultCache dir ("" = no cache)
+    sim::RunWindows defaultWindows; //!< when a submit names none
+
+    /** Optional per-config tweak applied after makeConfig (tests use
+     *  this to shrink workloads; applied before fingerprinting so
+     *  tweaked configs get their own cache keys). */
+    std::function<void(sim::SystemConfig &)> configHook;
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerConfig config);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind, listen, start the accept/dispatch/worker machinery. */
+    rt::Expected<void> start();
+
+    /** Stop admitting submits; queued and running jobs keep going. */
+    void requestDrain();
+
+    /** Block until every admitted job reached a terminal state. */
+    void awaitDrained();
+
+    /** Full shutdown: drain, stop threads, close + unlink the socket.
+     *  Idempotent; the destructor calls it. */
+    void shutdown();
+
+    bool draining() const { return drainFlag.load(); }
+
+    /** Snapshot of the `stats` reply (tests read it in-process). */
+    obs::JsonValue statsSnapshot();
+
+    /** One request line -> one reply document (the socket handler and
+     *  in-process tests share this entry point). */
+    obs::JsonValue handleLine(const std::string &line);
+
+  private:
+    enum class JobState { Queued, Running, Done, Failed, Cancelled };
+
+    struct Job
+    {
+        std::string id;
+        std::string key;            //!< content-addressed cache key
+        std::string label;          //!< "workload/preset"
+        sim::SystemConfig cfg;
+        sim::RunWindows windows;
+        obs::JsonValue fp;          //!< canonical fingerprint
+        JobState state = JobState::Queued;
+        bool cached = false;        //!< answered from the ResultCache
+        std::string errorCode;
+        std::string errorText;
+        std::optional<sim::RunResult> result;
+        std::chrono::steady_clock::time_point submittedAt;
+        std::chrono::steady_clock::time_point startedAt;
+        std::uint64_t deadlineMs = 0;
+    };
+
+    static const char *stateName(JobState state);
+
+    obs::JsonValue handleSubmit(const SubmitSpec &spec);
+    obs::JsonValue handleStatus(const std::string &job_id);
+    obs::JsonValue handleFetch(const std::string &job_id);
+    obs::JsonValue handleCancel(const std::string &job_id);
+
+    /** rt invariant: the admission queue never exceeds its bound. */
+    rt::Expected<void> checkQueueBoundLocked();
+
+    void acceptLoop();
+    void handleConnection(int fd);
+    void dispatchLoop();
+    void runJob(const std::shared_ptr<Job> &job);
+
+    std::shared_ptr<Job> findJob(const std::string &job_id);
+
+    ServerConfig cfg;
+
+    std::unique_ptr<ResultCache> cache;       //!< nullptr = no cache
+    std::unique_ptr<exec::Pool> pool;
+
+    mutable std::mutex mutex;
+    std::condition_variable queueReady;       //!< dispatcher wake-up
+    std::condition_variable jobsSettled;      //!< awaitDrained wake-up
+    std::deque<std::shared_ptr<Job>> queue;   //!< admitted, not started
+    std::map<std::string, std::shared_ptr<Job>> jobs;       //!< by id
+    std::map<std::string, std::shared_ptr<Job>> inflight;   //!< by key
+    std::uint64_t nextJobId = 0;
+    std::size_t queuePeak = 0;
+    std::uint64_t activeJobs = 0;             //!< running on the pool
+
+    obs::StatRegistry stats;                  //!< guarded by `mutex`
+    obs::Counter cSubmitted, cAdmitted, cRejectedFull, cRejectedDraining,
+        cBadRequests, cCoalesced, cCacheHits, cSimsExecuted, cCompleted,
+        cFailed, cCancelled, cDeadlineExpired, cInvariantViolations;
+    obs::Histogram hQueueWaitUs, hRunUs, hRequestUs;
+
+    std::atomic<bool> drainFlag{false};
+    std::atomic<bool> stopFlag{false};
+    int listenFd = -1;
+    std::thread acceptThread;
+    std::thread dispatchThread;
+    std::uint64_t activeConnections = 0;
+    std::condition_variable connectionsIdle;
+    std::chrono::steady_clock::time_point startedAt;
+    bool started = false;
+};
+
+} // namespace dcfb::svc
+
+#endif // DCFB_SVC_SERVER_H

@@ -4,17 +4,13 @@
 
 namespace dcfb::workload {
 
-namespace {
-
-/**
- * Canonical cache key covering every knob that shapes the built
- * program.  Keying on the full parameterization (not just the name)
- * keeps custom or hook-tweaked profiles from aliasing a server entry.
- */
 std::string
 profileKey(const WorkloadProfile &p)
 {
     std::ostringstream key;
+    // Shortest-round-trip would be ideal; 17 significant digits is the
+    // portable equivalent for doubles (distinct knob values never alias).
+    key.precision(17);
     key << p.name << '|' << p.numFunctions << '|' << p.minBlocks << '|'
         << p.maxBlocks << '|' << p.minInstrs << '|' << p.maxInstrs << '|'
         << p.condProb << '|' << p.callProb << '|' << p.jumpProb << '|'
@@ -25,6 +21,8 @@ profileKey(const WorkloadProfile &p)
         << p.seed;
     return key.str();
 }
+
+namespace {
 
 /** Build one profile from the per-workload shape knobs. */
 WorkloadProfile

@@ -42,6 +42,14 @@ WorkloadProfile serverProfile(const std::string &name,
 /** All seven profiles, paper order. */
 std::vector<WorkloadProfile> allServerProfiles(bool variable_length = false);
 
+/**
+ * Canonical key covering every knob that shapes the built program.
+ * Keying on the full parameterization (not just the name) keeps custom
+ * or hook-tweaked profiles from aliasing a stock entry.  Used by both
+ * the ImageCache and the svc::ResultCache fingerprint.
+ */
+std::string profileKey(const WorkloadProfile &profile);
+
 /** A built program shared immutably across experiment cells. */
 using ProgramRef = std::shared_ptr<const Program>;
 

@@ -18,6 +18,7 @@
 #include "mem/llc.h"
 #include "mem/memory.h"
 #include "noc/mesh.h"
+#include "sim/report.h"
 #include "workload/profiles.h"
 #include "workload/trace.h"
 
@@ -193,6 +194,76 @@ TEST(MemoryProperty, ChannelSerialization)
         last = r;
     }
 }
+
+/** RunResult JSON round-trip: fromJson(parse(dump(toJson(r)))) == r for
+ *  randomized results, including extreme counter values and stat/hist
+ *  names that need JSON escaping.  This is the contract the persistent
+ *  result cache and the service protocol rely on: a served or cached
+ *  result is bit-identical to the simulated one. */
+class RunResultRoundTrip : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(RunResultRoundTrip, ExactThroughSerializeAndParse)
+{
+    Rng rng(GetParam());
+    const std::string tricky[] = {
+        "plain.name",
+        "quote\"back\\slash",
+        "tab\tnewline\nbell\x07",
+        "utf8 \xc3\xa9\xc2\xb5",
+        "spaces and /slashes/",
+    };
+    const std::uint64_t extremes[] = {
+        0,
+        1,
+        0x7fffffffffffffffull,
+        0x8000000000000000ull,
+        ~std::uint64_t{0},
+    };
+
+    for (int trial = 0; trial < 20; ++trial) {
+        sim::RunResult r;
+        r.workload = tricky[rng.below(5)] + std::to_string(trial);
+        r.design = tricky[rng.below(5)];
+        r.cycles = rng.chance(0.3) ? extremes[rng.below(5)] : rng.next();
+        r.instructions = rng.next();
+        unsigned n_stats = static_cast<unsigned>(rng.below(8));
+        for (unsigned s = 0; s < n_stats; ++s) {
+            std::string name =
+                tricky[rng.below(5)] + "." + std::to_string(s);
+            r.stats[name] =
+                rng.chance(0.4) ? extremes[rng.below(5)] : rng.next();
+        }
+        unsigned n_hists = static_cast<unsigned>(rng.below(4));
+        for (unsigned h = 0; h < n_hists; ++h) {
+            obs::HistogramSnapshot snap;
+            unsigned n_buckets = static_cast<unsigned>(rng.below(6));
+            for (unsigned b = 0; b < n_buckets; ++b) {
+                snap.buckets.emplace_back(
+                    b * 7 + static_cast<unsigned>(rng.below(7)),
+                    rng.chance(0.3) ? extremes[rng.below(5)]
+                                    : rng.below(1u << 20));
+                snap.count += snap.buckets.back().second;
+            }
+            snap.sum = rng.next();
+            snap.max = extremes[rng.below(5)];
+            r.hists.emplace("hist." + std::to_string(h), std::move(snap));
+        }
+
+        // Full pipeline: document model -> text -> parser -> document
+        // model -> RunResult.  Matches exactly what the result cache
+        // writes and reads back.
+        std::string text = sim::toJson(r).dump(2);
+        auto parsed = obs::JsonValue::parse(text);
+        ASSERT_TRUE(parsed.has_value()) << text;
+        auto back = sim::runResultFromJson(*parsed);
+        ASSERT_TRUE(back.has_value()) << text;
+        EXPECT_EQ(*back, r) << text;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RunResultRoundTrip,
+                         ::testing::Values(1u, 42u, 20260806u));
 
 } // namespace
 } // namespace dcfb

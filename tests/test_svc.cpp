@@ -1,0 +1,664 @@
+/**
+ * @file
+ * Experiment-service tests: fingerprint/key stability, result-cache
+ * hit/miss/crash-safety behaviour, the `--cache`-off parity and warm
+ * -sweep speedup guarantees, protocol parsing, and the daemon itself
+ * (admission control, dedup, drain) driven both in-process and over a
+ * real Unix-domain socket.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "sim/report.h"
+#include "sim/simulator.h"
+#include "svc/client.h"
+#include "svc/fingerprint.h"
+#include "svc/protocol.h"
+#include "svc/result_cache.h"
+#include "svc/server.h"
+#include "workload/profiles.h"
+
+namespace dcfb {
+namespace {
+
+/** Fresh scratch directory under TMPDIR for one test. */
+std::string
+scratchDir(const std::string &tag)
+{
+    std::string templ = ::testing::TempDir() + "dcfb_svc_" + tag + "_XXXXXX";
+    std::vector<char> buf(templ.begin(), templ.end());
+    buf.push_back('\0');
+    const char *made = ::mkdtemp(buf.data());
+    EXPECT_NE(made, nullptr);
+    return made ? made : templ;
+}
+
+/** Shrink a config so one simulation is fast but non-trivial. */
+void
+shrink(sim::SystemConfig &cfg)
+{
+    cfg.profile.numFunctions = 24;
+    cfg.profile.dataFootprint = 1ull << 20;
+    cfg.functionalWarmInstrs = 40000;
+}
+
+sim::SystemConfig
+tinyConfig(sim::Preset preset = sim::Preset::Baseline)
+{
+    sim::SystemConfig cfg =
+        sim::makeConfig(workload::serverProfile("Web (Apache)"), preset);
+    shrink(cfg);
+    return cfg;
+}
+
+sim::RunWindows
+tinyWindows()
+{
+    return sim::RunWindows{4000, 6000};
+}
+
+/** RAII guard: no process-global result cache leaks across tests. */
+struct GlobalCacheGuard
+{
+    ~GlobalCacheGuard() { svc::ResultCache::closeGlobal(); }
+};
+
+// -- fingerprint ----------------------------------------------------------
+
+TEST(SvcFingerprint, Fnv1aReferenceVectors)
+{
+    // Standard FNV-1a 64-bit vectors pin the hash function itself.
+    EXPECT_EQ(svc::fnv1aHex(""), "cbf29ce484222325");
+    EXPECT_EQ(svc::fnv1aHex("a"), "af63dc4c8601ec8c");
+    EXPECT_EQ(svc::fnv1aHex("foobar"), "85944171f73967e8");
+}
+
+TEST(SvcFingerprint, StableAcrossCalls)
+{
+    sim::SystemConfig cfg = tinyConfig(sim::Preset::SN4L);
+    auto fp1 = svc::fingerprint(cfg, tinyWindows());
+    auto fp2 = svc::fingerprint(cfg, tinyWindows());
+    EXPECT_EQ(fp1, fp2);
+    EXPECT_EQ(svc::cacheKey(cfg, tinyWindows()),
+              svc::cacheKey(cfg, tinyWindows()));
+    EXPECT_EQ(svc::cacheKey(cfg, tinyWindows()).size(), 16u);
+    const obs::JsonValue *schema = fp1.find("schema");
+    ASSERT_NE(schema, nullptr);
+    EXPECT_EQ(schema->asString(), svc::kCacheSchema);
+}
+
+TEST(SvcFingerprint, EveryResultShapingKnobChangesTheKey)
+{
+    sim::SystemConfig base = tinyConfig(sim::Preset::SN4L);
+    sim::RunWindows w = tinyWindows();
+    std::string key = svc::cacheKey(base, w);
+
+    sim::SystemConfig c = base;
+    c.preset = sim::Preset::Baseline;
+    EXPECT_NE(svc::cacheKey(c, w), key);
+
+    c = base;
+    c.runSeed += 1;
+    EXPECT_NE(svc::cacheKey(c, w), key);
+
+    c = base;
+    c.profile.numFunctions += 1;
+    EXPECT_NE(svc::cacheKey(c, w), key);
+
+    c = base;
+    c.btbEntries *= 2;
+    EXPECT_NE(svc::cacheKey(c, w), key);
+
+    c = base;
+    c.faults = rt::parseFaultPlan("drop:rate=0.5,seed=3").value();
+    EXPECT_NE(svc::cacheKey(c, w), key);
+
+    sim::RunWindows w2 = w;
+    w2.measure += 1;
+    EXPECT_NE(svc::cacheKey(base, w2), key);
+}
+
+// -- result cache ---------------------------------------------------------
+
+TEST(SvcResultCache, MissThenHitRoundTripsExactly)
+{
+    svc::ResultCache cache(scratchDir("hit"));
+    ASSERT_TRUE(cache.open().ok());
+
+    sim::SystemConfig cfg = tinyConfig();
+    auto fp = svc::fingerprint(cfg, tinyWindows());
+    std::string key = svc::fnv1aHex(fp.dump());
+
+    EXPECT_FALSE(cache.get(key, fp).has_value());
+    sim::RunResult result = sim::simulate(cfg, tinyWindows());
+    ASSERT_TRUE(cache.put(key, fp, result).ok());
+
+    auto hit = cache.get(key, fp);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, result); // bit-identical counters and histograms
+
+    svc::ResultCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.stores, 1u);
+    EXPECT_EQ(stats.rejects, 0u);
+}
+
+TEST(SvcResultCache, CacheOffIsExactlyTheDirectSimulator)
+{
+    svc::ResultCache::closeGlobal();
+    sim::SystemConfig cfg = tinyConfig(sim::Preset::SN4L);
+    sim::RunResult direct = sim::simulate(cfg, tinyWindows());
+    sim::RunResult routed = svc::simulateCached(cfg, tinyWindows());
+    EXPECT_EQ(direct, routed);
+    EXPECT_EQ(sim::toJson(direct).dump(), sim::toJson(routed).dump());
+}
+
+TEST(SvcResultCache, StrayTempFileFromKilledWriterIsIgnored)
+{
+    svc::ResultCache cache(scratchDir("tmp"));
+    ASSERT_TRUE(cache.open().ok());
+
+    sim::SystemConfig cfg = tinyConfig();
+    auto fp = svc::fingerprint(cfg, tinyWindows());
+    std::string key = svc::fnv1aHex(fp.dump());
+
+    // A writer killed mid-put leaves only the temp file behind; lookups
+    // must treat that as a clean miss.
+    {
+        std::ofstream stray(cache.entryPath(key) + ".tmp.9999");
+        stray << "{\"schema\": \"dcfb-cache-v1\", \"trunca";
+    }
+    EXPECT_FALSE(cache.get(key, fp).has_value());
+
+    sim::RunResult result = sim::simulate(cfg, tinyWindows());
+    ASSERT_TRUE(cache.put(key, fp, result).ok());
+    auto hit = cache.get(key, fp);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, result);
+}
+
+TEST(SvcResultCache, CorruptEntryIsRejectedAndRecomputed)
+{
+    svc::ResultCache cache(scratchDir("corrupt"));
+    ASSERT_TRUE(cache.open().ok());
+
+    sim::SystemConfig cfg = tinyConfig();
+    auto fp = svc::fingerprint(cfg, tinyWindows());
+    std::string key = svc::fnv1aHex(fp.dump());
+    sim::RunResult result = sim::simulate(cfg, tinyWindows());
+    ASSERT_TRUE(cache.put(key, fp, result).ok());
+
+    // Corrupt the entry on disk (torn write / bit rot).
+    {
+        std::ofstream out(cache.entryPath(key),
+                          std::ios::out | std::ios::trunc);
+        out << "{\"schema\": \"dcfb-cache-v1\", this is not json";
+    }
+    auto load = cache.load(key, fp);
+    ASSERT_FALSE(load.ok()); // typed error, not a crash
+    EXPECT_EQ(load.error().kind, rt::ErrorKind::Result);
+
+    // get() applies the production policy: reject, unlink, recompute.
+    EXPECT_FALSE(cache.get(key, fp).has_value());
+    EXPECT_EQ(cache.stats().rejects, 1u);
+    std::ifstream gone(cache.entryPath(key));
+    EXPECT_FALSE(gone.is_open()) << "rejected entry must be unlinked";
+
+    ASSERT_TRUE(cache.put(key, fp, result).ok());
+    auto hit = cache.get(key, fp);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, result);
+}
+
+TEST(SvcResultCache, TruncatedEntryIsRejected)
+{
+    svc::ResultCache cache(scratchDir("trunc"));
+    ASSERT_TRUE(cache.open().ok());
+
+    sim::SystemConfig cfg = tinyConfig();
+    auto fp = svc::fingerprint(cfg, tinyWindows());
+    std::string key = svc::fnv1aHex(fp.dump());
+    ASSERT_TRUE(cache.put(key, fp, sim::simulate(cfg, tinyWindows())).ok());
+
+    // Chop the entry in half (crash mid-rewrite on a non-atomic fs).
+    std::string text;
+    {
+        std::ifstream in(cache.entryPath(key));
+        std::getline(in, text, '\0');
+    }
+    {
+        std::ofstream out(cache.entryPath(key),
+                          std::ios::out | std::ios::trunc);
+        out << text.substr(0, text.size() / 2);
+    }
+    EXPECT_FALSE(cache.get(key, fp).has_value());
+    EXPECT_EQ(cache.stats().rejects, 1u);
+}
+
+TEST(SvcResultCache, FingerprintMismatchGuardsAgainstCollisions)
+{
+    svc::ResultCache cache(scratchDir("collide"));
+    ASSERT_TRUE(cache.open().ok());
+
+    sim::SystemConfig a = tinyConfig(sim::Preset::Baseline);
+    sim::SystemConfig b = tinyConfig(sim::Preset::SN4L);
+    auto fp_a = svc::fingerprint(a, tinyWindows());
+    auto fp_b = svc::fingerprint(b, tinyWindows());
+    std::string key = svc::fnv1aHex(fp_a.dump());
+
+    // Force a "collision": b's result stored under a's key.
+    ASSERT_TRUE(cache.put(key, fp_b, sim::simulate(b, tinyWindows())).ok());
+    auto load = cache.load(key, fp_a);
+    ASSERT_FALSE(load.ok());
+    EXPECT_FALSE(cache.get(key, fp_a).has_value());
+    EXPECT_EQ(cache.stats().rejects, 1u);
+}
+
+TEST(SvcResultCache, WarmGridSweepIsTenTimesFasterAndIdentical)
+{
+    GlobalCacheGuard guard;
+    ASSERT_TRUE(svc::ResultCache::openGlobal(scratchDir("warm")).ok());
+
+    // A fig11-style sweep: one workload, several designs, through the
+    // parallel grid runner with the global cache open.
+    std::vector<sim::Preset> presets = {
+        sim::Preset::Baseline, sim::Preset::NL, sim::Preset::SN4L,
+        sim::Preset::SN4LDisBtb};
+    std::vector<std::string> workloads = {"Web (Apache)"};
+    sim::RunWindows windows{20000, 30000};
+
+    auto sweep = [&](sim::ExperimentGrid &grid) {
+        auto t0 = std::chrono::steady_clock::now();
+        grid.run(workloads);
+        auto t1 = std::chrono::steady_clock::now();
+        return std::chrono::duration<double>(t1 - t0).count();
+    };
+
+    sim::ExperimentGrid cold(presets, windows, shrink);
+    double cold_s = sweep(cold);
+    svc::ResultCacheStats after_cold = svc::ResultCache::global()->stats();
+    EXPECT_EQ(after_cold.misses, presets.size());
+    EXPECT_EQ(after_cold.stores, presets.size());
+    EXPECT_EQ(after_cold.hits, 0u);
+
+    sim::ExperimentGrid warm(presets, windows, shrink);
+    double warm_s = sweep(warm);
+    svc::ResultCacheStats after_warm = svc::ResultCache::global()->stats();
+    EXPECT_EQ(after_warm.hits, presets.size());
+    EXPECT_EQ(after_warm.misses, after_cold.misses); // no new simulations
+
+    for (sim::Preset p : presets)
+        EXPECT_EQ(cold.at("Web (Apache)", p), warm.at("Web (Apache)", p));
+
+    EXPECT_GE(cold_s, 10.0 * warm_s)
+        << "warm sweep took " << warm_s << "s vs cold " << cold_s << "s";
+}
+
+// -- protocol -------------------------------------------------------------
+
+TEST(SvcProtocol, ParsesAFullSubmit)
+{
+    auto req = svc::parseRequest(
+        R"j({"op":"submit","workload":"Web (Apache)","preset":"SN4L",)j"
+        R"("warm":1000,"measure":2000,"seed":7,)"
+        R"("inject":"drop:rate=0.25,seed=9","deadline_ms":5000})");
+    ASSERT_TRUE(req.ok());
+    const svc::SubmitSpec &s = req.value().submit;
+    EXPECT_EQ(req.value().op, svc::Request::Op::Submit);
+    EXPECT_EQ(s.workload, "Web (Apache)");
+    EXPECT_EQ(s.preset, sim::Preset::SN4L);
+    ASSERT_TRUE(s.hasWindows);
+    EXPECT_EQ(s.windows.warm, 1000u);
+    EXPECT_EQ(s.windows.measure, 2000u);
+    ASSERT_TRUE(s.seed.has_value());
+    EXPECT_EQ(*s.seed, 7u);
+    EXPECT_EQ(s.deadlineMs, 5000u);
+    EXPECT_NE(rt::faultPlanSpec(s.faults), "none");
+}
+
+TEST(SvcProtocol, MalformedRequestsAreTypedErrors)
+{
+    const char *bad[] = {
+        "not json at all",
+        "[1,2,3]",
+        R"({"no_op":1})",
+        R"({"op":"frobnicate"})",
+        R"({"op":"submit","preset":"SN4L"})",
+        R"({"op":"submit","workload":"No Such Workload","preset":"SN4L"})",
+        R"j({"op":"submit","workload":"Web (Apache)","preset":"Nope"})j",
+        R"j({"op":"submit","workload":"Web (Apache)","preset":"SN4L",)j"
+        R"("warm":100})",
+        R"j({"op":"submit","workload":"Web (Apache)","preset":"SN4L",)j"
+        R"("warm":100,"measure":0})",
+        R"j({"op":"submit","workload":"Web (Apache)","preset":"SN4L",)j"
+        R"("inject":"bogus-spec"})",
+        R"({"op":"status"})",
+    };
+    for (const char *line : bad) {
+        auto req = svc::parseRequest(line);
+        EXPECT_FALSE(req.ok()) << "should reject: " << line;
+        if (!req.ok())
+            EXPECT_FALSE(req.error().message.empty());
+    }
+}
+
+TEST(SvcProtocol, ErrorReplyShape)
+{
+    obs::JsonValue reply = svc::errorReply("queue_full", "try later");
+    EXPECT_EQ(reply.find("ok")->asBool(), false);
+    EXPECT_EQ(reply.find("error")->asString(), "queue_full");
+    EXPECT_EQ(reply.find("schema")->asString(), svc::kProtocolSchema);
+}
+
+// -- server ---------------------------------------------------------------
+
+std::uint64_t
+counterOf(const obs::JsonValue &stats, const std::string &name)
+{
+    const obs::JsonValue *counters = stats.find("counters");
+    if (!counters)
+        return 0;
+    const obs::JsonValue *c = counters->find(name);
+    return c ? c->asUint() : 0;
+}
+
+/** Server on a scratch socket with fast tiny jobs. */
+svc::ServerConfig
+testServerConfig(const std::string &tag)
+{
+    svc::ServerConfig config;
+    config.socketPath = scratchDir(tag) + "/dcfb.sock";
+    config.jobs = 1;
+    config.queueCapacity = 8;
+    config.retryAfterMs = 10;
+    config.defaultWindows = tinyWindows();
+    config.configHook = shrink;
+    return config;
+}
+
+std::string
+submitLine(std::uint64_t seed)
+{
+    return R"j({"op":"submit","workload":"Web (Apache)","preset":"SN4L",)j"
+           R"("seed":)" +
+        std::to_string(seed) + "}";
+}
+
+/** Poll status until the job is terminal; returns the last reply. */
+obs::JsonValue
+awaitTerminal(svc::Server &server, const std::string &job)
+{
+    for (int i = 0; i < 2000; ++i) {
+        obs::JsonValue reply = server.handleLine(
+            R"({"op":"status","job":")" + job + R"("})");
+        const obs::JsonValue *state = reply.find("state");
+        if (state && state->asString() != "queued" &&
+            state->asString() != "running")
+            return reply;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ADD_FAILURE() << "job " << job << " never reached a terminal state";
+    return obs::JsonValue();
+}
+
+TEST(SvcServer, SubmitRunsFetchMatchesDirectSimulation)
+{
+    svc::Server server(testServerConfig("run"));
+    ASSERT_TRUE(server.start().ok());
+
+    obs::JsonValue reply = server.handleLine(submitLine(11));
+    ASSERT_TRUE(reply.find("ok")->asBool()) << reply.dump();
+    std::string job = reply.find("job")->asString();
+
+    obs::JsonValue status = awaitTerminal(server, job);
+    EXPECT_EQ(status.find("state")->asString(), "done") << status.dump();
+
+    obs::JsonValue fetched = server.handleLine(
+        R"({"op":"fetch","job":")" + job + R"("})");
+    ASSERT_TRUE(fetched.find("ok")->asBool()) << fetched.dump();
+    auto result = sim::runResultFromJson(*fetched.find("result"));
+    ASSERT_TRUE(result.has_value());
+
+    // The served result is exactly what simulating the same spec
+    // directly produces.
+    sim::SystemConfig cfg =
+        sim::makeConfig(workload::serverProfile("Web (Apache)"),
+                        sim::Preset::SN4L);
+    cfg.faults = rt::FaultPlan{};
+    cfg.runSeed = 11;
+    shrink(cfg);
+    EXPECT_EQ(*result, sim::simulate(cfg, tinyWindows()));
+    server.shutdown();
+}
+
+TEST(SvcServer, DuplicateSubmitsAreCachedOrCoalescedNeverResimulated)
+{
+    svc::ServerConfig config = testServerConfig("dedup");
+    config.cacheDir = scratchDir("dedup_cache");
+    svc::Server server(config);
+    ASSERT_TRUE(server.start().ok());
+
+    obs::JsonValue first = server.handleLine(submitLine(21));
+    ASSERT_TRUE(first.find("ok")->asBool());
+    std::string job = first.find("job")->asString();
+
+    // Immediately duplicated while in flight: coalesces onto job 1.
+    obs::JsonValue dup = server.handleLine(submitLine(21));
+    ASSERT_TRUE(dup.find("ok")->asBool()) << dup.dump();
+    const obs::JsonValue *coalesced = dup.find("coalesced");
+    ASSERT_NE(coalesced, nullptr) << dup.dump();
+    EXPECT_TRUE(coalesced->asBool());
+    EXPECT_EQ(dup.find("job")->asString(), job);
+
+    awaitTerminal(server, job);
+
+    // Duplicated after completion: served straight from the cache.
+    obs::JsonValue cached = server.handleLine(submitLine(21));
+    ASSERT_TRUE(cached.find("ok")->asBool()) << cached.dump();
+    const obs::JsonValue *hit = cached.find("cached");
+    ASSERT_NE(hit, nullptr) << cached.dump();
+    EXPECT_TRUE(hit->asBool());
+    EXPECT_EQ(cached.find("state")->asString(), "done");
+
+    obs::JsonValue stats = server.statsSnapshot();
+    EXPECT_EQ(counterOf(stats, "svc.sims_executed"), 1u);
+    EXPECT_EQ(counterOf(stats, "svc.coalesced"), 1u);
+    EXPECT_EQ(counterOf(stats, "svc.cache_hits"), 1u);
+    EXPECT_EQ(counterOf(stats, "svc.submitted"), 3u);
+    server.shutdown();
+}
+
+TEST(SvcServer, OverloadGetsWellFormedBackpressureAndBoundHolds)
+{
+    svc::ServerConfig config = testServerConfig("overload");
+    config.queueCapacity = 1;
+    // Slower jobs so the worker is certainly still busy while the
+    // flood of submits lands.
+    config.defaultWindows = sim::RunWindows{20000, 30000};
+    svc::Server server(config);
+    ASSERT_TRUE(server.start().ok());
+
+    unsigned rejected = 0;
+    std::vector<std::string> admitted;
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+        obs::JsonValue reply = server.handleLine(submitLine(100 + seed));
+        if (reply.find("ok")->asBool()) {
+            admitted.push_back(reply.find("job")->asString());
+            continue;
+        }
+        ++rejected;
+        EXPECT_EQ(reply.find("error")->asString(), "queue_full")
+            << reply.dump();
+        ASSERT_NE(reply.find("retry_after_ms"), nullptr);
+        EXPECT_EQ(reply.find("retry_after_ms")->asUint(),
+                  config.retryAfterMs);
+    }
+    // worker + pool buffer + dispatcher-held + 1 queued = at most 4
+    // absorbed; the rest must have been rejected, not dropped or hung.
+    EXPECT_GE(rejected, 4u);
+    EXPECT_GE(admitted.size(), 1u);
+
+    server.requestDrain();
+    server.awaitDrained();
+    for (const auto &job : admitted) {
+        obs::JsonValue status = server.handleLine(
+            R"({"op":"status","job":")" + job + R"("})");
+        EXPECT_EQ(status.find("state")->asString(), "done");
+    }
+    obs::JsonValue stats = server.statsSnapshot();
+    EXPECT_EQ(counterOf(stats, "svc.invariant_violations"), 0u);
+    EXPECT_EQ(counterOf(stats, "svc.rejected_full"), rejected);
+    EXPECT_LE(stats.find("queue_peak")->asUint(), config.queueCapacity);
+    server.shutdown();
+}
+
+TEST(SvcServer, DrainRejectsNewWorkAndFinishesAdmitted)
+{
+    svc::Server server(testServerConfig("drain"));
+    ASSERT_TRUE(server.start().ok());
+
+    obs::JsonValue admitted = server.handleLine(submitLine(31));
+    ASSERT_TRUE(admitted.find("ok")->asBool());
+    std::string job = admitted.find("job")->asString();
+
+    obs::JsonValue drain = server.handleLine(R"({"op":"drain"})");
+    EXPECT_TRUE(drain.find("ok")->asBool());
+    EXPECT_TRUE(server.draining());
+
+    obs::JsonValue rejected = server.handleLine(submitLine(32));
+    EXPECT_FALSE(rejected.find("ok")->asBool());
+    EXPECT_EQ(rejected.find("error")->asString(), "draining");
+
+    server.awaitDrained();
+    obs::JsonValue status = server.handleLine(
+        R"({"op":"status","job":")" + job + R"("})");
+    EXPECT_EQ(status.find("state")->asString(), "done");
+    server.shutdown();
+}
+
+TEST(SvcServer, CancelQueuedJobAndExpireDeadlines)
+{
+    svc::ServerConfig config = testServerConfig("cancel");
+    config.defaultWindows = sim::RunWindows{20000, 30000};
+    svc::Server server(config);
+    ASSERT_TRUE(server.start().ok());
+
+    // Fill the worker and the pool buffer with slow jobs, so the next
+    // submits stay queued long enough to act on.
+    server.handleLine(submitLine(41));
+    server.handleLine(submitLine(42));
+    server.handleLine(submitLine(43));
+
+    obs::JsonValue doomed = server.handleLine(
+        R"j({"op":"submit","workload":"Web (Apache)","preset":"SN4L",)j"
+        R"("seed":44,"deadline_ms":1})");
+    ASSERT_TRUE(doomed.find("ok")->asBool());
+    std::string deadline_job = doomed.find("job")->asString();
+
+    obs::JsonValue queued = server.handleLine(submitLine(45));
+    ASSERT_TRUE(queued.find("ok")->asBool());
+    std::string cancel_job = queued.find("job")->asString();
+
+    obs::JsonValue cancel = server.handleLine(
+        R"({"op":"cancel","job":")" + cancel_job + R"("})");
+    ASSERT_TRUE(cancel.find("ok")->asBool()) << cancel.dump();
+    EXPECT_EQ(cancel.find("state")->asString(), "cancelled");
+
+    obs::JsonValue expired = awaitTerminal(server, deadline_job);
+    EXPECT_EQ(expired.find("state")->asString(), "failed");
+    EXPECT_EQ(expired.find("error")->asString(), "deadline_exceeded")
+        << expired.dump();
+
+    obs::JsonValue fetch = server.handleLine(
+        R"({"op":"fetch","job":")" + cancel_job + R"("})");
+    EXPECT_FALSE(fetch.find("ok")->asBool());
+    EXPECT_EQ(fetch.find("error")->asString(), "cancelled");
+
+    server.requestDrain();
+    server.awaitDrained();
+    obs::JsonValue stats = server.statsSnapshot();
+    EXPECT_EQ(counterOf(stats, "svc.cancelled"), 1u);
+    EXPECT_EQ(counterOf(stats, "svc.deadline_expired"), 1u);
+    // The cancelled and expired jobs were never simulated.
+    EXPECT_EQ(counterOf(stats, "svc.sims_executed"), 3u);
+    server.shutdown();
+}
+
+TEST(SvcServer, MalformedLinesAreCountedNotFatal)
+{
+    svc::Server server(testServerConfig("badreq"));
+    ASSERT_TRUE(server.start().ok());
+    obs::JsonValue reply = server.handleLine("this is not a request");
+    EXPECT_FALSE(reply.find("ok")->asBool());
+    EXPECT_EQ(reply.find("error")->asString(), "bad_request");
+    reply = server.handleLine(R"({"op":"submit","workload":"?"})");
+    EXPECT_FALSE(reply.find("ok")->asBool());
+    obs::JsonValue stats = server.statsSnapshot();
+    EXPECT_EQ(counterOf(stats, "svc.bad_requests"), 2u);
+    server.shutdown();
+}
+
+TEST(SvcServer, EndToEndOverTheSocket)
+{
+    svc::ServerConfig config = testServerConfig("socket");
+    config.cacheDir = scratchDir("socket_cache");
+    svc::Server server(config);
+    ASSERT_TRUE(server.start().ok());
+
+    svc::Client client;
+    ASSERT_TRUE(client.connect(config.socketPath).ok());
+
+    obs::JsonValue ping = obs::JsonValue::object();
+    ping["op"] = "ping";
+    auto pong = client.request(ping);
+    ASSERT_TRUE(pong.ok());
+    EXPECT_TRUE(pong.value().find("ok")->asBool());
+
+    obs::JsonValue submit = obs::JsonValue::object();
+    submit["op"] = "submit";
+    submit["workload"] = "Web (Apache)";
+    submit["preset"] = "SN4L";
+    submit["seed"] = std::uint64_t{51};
+    auto fetched = client.submitAndWait(submit);
+    ASSERT_TRUE(fetched.ok()) << fetched.error().render();
+    ASSERT_NE(fetched.value().find("result"), nullptr)
+        << fetched.value().dump();
+    auto result = sim::runResultFromJson(*fetched.value().find("result"));
+    ASSERT_TRUE(result.has_value());
+    EXPECT_GT(result->cycles, 0u);
+
+    // A second client sees the duplicate as a cache hit.
+    svc::Client other;
+    ASSERT_TRUE(other.connect(config.socketPath).ok());
+    auto dup = other.request(submit);
+    ASSERT_TRUE(dup.ok());
+    const obs::JsonValue *cached = dup.value().find("cached");
+    ASSERT_NE(cached, nullptr) << dup.value().dump();
+    EXPECT_TRUE(cached->asBool());
+
+    obs::JsonValue statsReq = obs::JsonValue::object();
+    statsReq["op"] = "stats";
+    auto stats = client.request(statsReq);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(counterOf(stats.value(), "svc.sims_executed"), 1u);
+    const obs::JsonValue *cache = stats.value().find("cache");
+    ASSERT_NE(cache, nullptr);
+    EXPECT_EQ(cache->find("stores")->asUint(), 1u);
+
+    client.close();
+    other.close();
+    server.shutdown();
+}
+
+} // namespace
+} // namespace dcfb

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * dcfb-client: CLI for the experiment service daemon.
+ *
+ *   dcfb-client --socket PATH submit --workload NAME --preset NAME
+ *               [--warm N --measure N] [--seed N] [--inject SPEC]
+ *               [--deadline-ms N] [--wait]
+ *   dcfb-client --socket PATH status JOB
+ *   dcfb-client --socket PATH fetch JOB
+ *   dcfb-client --socket PATH cancel JOB
+ *   dcfb-client --socket PATH stats | ping | drain
+ *   dcfb-client --socket PATH raw '<request json>'
+ *
+ * The reply document is printed to stdout; exit status is 0 when the
+ * daemon replied "ok":true, 1 when it replied with an error, and 2 on
+ * usage/connection problems.  `submit --wait` retries admission
+ * rejects with the daemon's retry_after_ms hint and blocks until the
+ * result is available.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "svc/client.h"
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --socket PATH COMMAND ...\n"
+        "  submit --workload NAME --preset NAME [--warm N --measure N]\n"
+        "         [--seed N] [--inject SPEC] [--deadline-ms N] [--wait]\n"
+        "  status JOB | fetch JOB | cancel JOB\n"
+        "  stats | ping | drain\n"
+        "  raw '<request json>'\n",
+        argv0);
+    std::exit(2);
+}
+
+int
+printReply(const dcfb::rt::Expected<dcfb::obs::JsonValue> &reply)
+{
+    if (!reply.ok()) {
+        std::fprintf(stderr, "dcfb-client: %s\n",
+                     reply.error().render().c_str());
+        return 2;
+    }
+    std::printf("%s\n", reply.value().dump(2).c_str());
+    const dcfb::obs::JsonValue *ok = reply.value().find("ok");
+    bool succeeded = ok &&
+        ok->kind() == dcfb::obs::JsonValue::Kind::Bool && ok->asBool();
+    return succeeded ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace dcfb;
+
+    std::string socket_path;
+    int i = 1;
+    if (i + 1 < argc && std::strcmp(argv[i], "--socket") == 0) {
+        socket_path = argv[i + 1];
+        i += 2;
+    }
+    if (socket_path.empty() || i >= argc)
+        usage(argv[0]);
+    std::string command = argv[i++];
+
+    svc::Client client;
+    if (auto connected = client.connect(socket_path); !connected.ok()) {
+        std::fprintf(stderr, "dcfb-client: %s\n",
+                     connected.error().render().c_str());
+        return 2;
+    }
+
+    if (command == "ping" || command == "stats" || command == "drain") {
+        obs::JsonValue req = obs::JsonValue::object();
+        req["op"] = command;
+        return printReply(client.request(req));
+    }
+
+    if (command == "status" || command == "fetch" ||
+        command == "cancel") {
+        if (i >= argc)
+            usage(argv[0]);
+        obs::JsonValue req = obs::JsonValue::object();
+        req["op"] = command;
+        req["job"] = std::string(argv[i]);
+        return printReply(client.request(req));
+    }
+
+    if (command == "raw") {
+        if (i >= argc)
+            usage(argv[0]);
+        return printReply(client.requestLine(argv[i]));
+    }
+
+    if (command != "submit")
+        usage(argv[0]);
+
+    obs::JsonValue req = obs::JsonValue::object();
+    req["op"] = "submit";
+    bool wait = false;
+    for (; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--workload")
+            req["workload"] = std::string(next());
+        else if (arg == "--preset")
+            req["preset"] = std::string(next());
+        else if (arg == "--warm")
+            req["warm"] =
+                static_cast<std::uint64_t>(std::atoll(next()));
+        else if (arg == "--measure")
+            req["measure"] =
+                static_cast<std::uint64_t>(std::atoll(next()));
+        else if (arg == "--seed")
+            req["seed"] =
+                static_cast<std::uint64_t>(std::atoll(next()));
+        else if (arg == "--inject")
+            req["inject"] = std::string(next());
+        else if (arg == "--deadline-ms")
+            req["deadline_ms"] =
+                static_cast<std::uint64_t>(std::atoll(next()));
+        else if (arg == "--wait")
+            wait = true;
+        else
+            usage(argv[0]);
+    }
+    if (!req.find("workload") || !req.find("preset"))
+        usage(argv[0]);
+
+    if (wait)
+        return printReply(client.submitAndWait(req));
+    return printReply(client.request(req));
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * dcfb-serve: the experiment service daemon.
+ *
+ *   dcfb-serve --socket /tmp/dcfb.sock [--jobs N] [--queue N]
+ *              [--cache DIR] [--warm N --measure N]
+ *              [--retry-after-ms N]
+ *
+ * Runs until SIGTERM/SIGINT, then drains gracefully: admission stops,
+ * every queued and running job finishes and is flushed to the result
+ * cache, a final stats snapshot is printed to stdout, and the process
+ * exits 0.  EXPERIMENTS.md documents the request protocol.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "svc/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t stopRequested = 0;
+
+void
+onSignal(int)
+{
+    stopRequested = 1;
+}
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s --socket PATH [--jobs N] [--queue N] "
+                 "[--cache DIR] [--warm N --measure N] "
+                 "[--retry-after-ms N]\n",
+                 argv0);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace dcfb;
+
+    svc::ServerConfig config;
+    config.defaultWindows = sim::RunWindows{150000, 150000};
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--socket")
+            config.socketPath = next();
+        else if (arg == "--jobs")
+            config.jobs = static_cast<unsigned>(std::atoi(next()));
+        else if (arg == "--queue")
+            config.queueCapacity =
+                static_cast<std::size_t>(std::atoll(next()));
+        else if (arg == "--cache")
+            config.cacheDir = next();
+        else if (arg == "--warm")
+            config.defaultWindows.warm =
+                static_cast<std::uint64_t>(std::atoll(next()));
+        else if (arg == "--measure")
+            config.defaultWindows.measure =
+                static_cast<std::uint64_t>(std::atoll(next()));
+        else if (arg == "--retry-after-ms")
+            config.retryAfterMs =
+                static_cast<unsigned>(std::atoi(next()));
+        else
+            usage(argv[0]);
+    }
+    if (config.socketPath.empty())
+        usage(argv[0]);
+
+    svc::Server server(config);
+    if (auto started = server.start(); !started.ok()) {
+        std::fprintf(stderr, "dcfb-serve: %s\n",
+                     started.error().render().c_str());
+        return 1;
+    }
+
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+    std::fprintf(stderr, "dcfb-serve: listening on %s\n",
+                 config.socketPath.c_str());
+
+    while (!stopRequested)
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    std::fprintf(stderr, "dcfb-serve: draining\n");
+    server.requestDrain();
+    server.awaitDrained();
+    std::printf("%s\n", server.statsSnapshot().dump(2).c_str());
+    server.shutdown();
+    std::fprintf(stderr, "dcfb-serve: drained, exiting\n");
+    return 0;
+}
