@@ -26,6 +26,11 @@
  *                   and served from <dir> when already computed there.
  *                   Off by default; with the flag absent the run is
  *                   bit-identical to the direct simulator path.
+ *   --profile       time every simulated cell (setup/warm/measure wall
+ *                   split plus per-phase cycle-loop attribution) and
+ *                   emit the records as the JSON document's "prof"
+ *                   section.  Simulated results are unchanged; see
+ *                   DESIGN.md section 10 for the overhead model.
  */
 
 #ifndef DCFB_BENCH_COMMON_H
@@ -41,6 +46,7 @@
 
 #include "exec/schedule.h"
 #include "obs/json.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "rt/faults.h"
 #include "sim/experiment.h"
@@ -194,9 +200,13 @@ class Harness
             if (arg == "--help" || arg == "-h") {
                 std::printf("usage: %s [--json <file>] [--trace <file>] "
                             "[--inject <spec>] [--jobs <n>|auto] "
-                            "[--cache <dir>]\n",
+                            "[--cache <dir>] [--profile]\n",
                             argv[0]);
                 std::exit(0);
+            } else if (arg == "--profile") {
+                obs::Profiler::setEnabled(true);
+                profileEnabled = true;
+                std::printf("  [profiling enabled]\n");
             } else if (arg.rfind("--jobs", 0) == 0) {
                 std::string spec = value("--jobs");
                 if (spec == "auto") {
@@ -306,6 +316,35 @@ class Harness
         }
         if (!execs.items().empty())
             doc["exec"] = std::move(execs);
+        // Per-cell timing records (--profile only, so default documents
+        // stay bit-identical to the pre-profiler format).
+        if (profileEnabled) {
+            obs::JsonValue cells = obs::JsonValue::array();
+            for (const auto &rec : obs::Profiler::drain()) {
+                obs::JsonValue p = obs::JsonValue::object();
+                p["workload"] = rec.workload;
+                p["design"] = rec.design;
+                p["cycles"] = rec.cycles;
+                p["instructions"] = rec.instructions;
+                p["setup_s"] = rec.setupSeconds;
+                p["warm_s"] = rec.warmSeconds;
+                p["measure_s"] = rec.measureSeconds;
+                p["sim_s"] = rec.simSeconds();
+                p["cycles_per_sec"] = rec.cyclesPerSecond();
+                obs::JsonValue phases = obs::JsonValue::object();
+                for (unsigned i = 0; i < obs::kProfPhases; ++i) {
+                    phases[obs::profPhaseName(
+                        static_cast<obs::ProfPhase>(i))] =
+                        rec.phaseSeconds[i];
+                }
+                p["phase_s"] = std::move(phases);
+                cells.push(std::move(p));
+            }
+            obs::JsonValue prof = obs::JsonValue::object();
+            prof["schema"] = "dcfb-prof-v1";
+            prof["cells"] = std::move(cells);
+            doc["prof"] = std::move(prof);
+        }
         std::ofstream out(jsonPath, std::ios::out | std::ios::trunc);
         if (!out.is_open()) {
             std::fprintf(stderr, "cannot open %s\n", jsonPath.c_str());
@@ -321,6 +360,7 @@ class Harness
     std::string tracePath;
     std::string injectSpec;
     bool traceOpened = false;
+    bool profileEnabled = false;
     obs::JsonValue tables = obs::JsonValue::array();
     obs::JsonValue notes = obs::JsonValue::object();
     obs::JsonValue runs = obs::JsonValue::array();

@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Measure simulator-core throughput and gate it against a baseline.
+
+Runs a bench binary (default: fig16_speedup, the full 7x5 grid) with
+--profile --json and folds the per-cell timing records ("prof" section,
+schema dcfb-prof-v1) into BENCH_perf.json:
+
+  schema dcfb-perf-v1
+    presets.<name>.cycles_per_sec   simulated cycles / simulation wall,
+                                    aggregated over the preset's cells
+    presets.<name>.wall_p50_s/p95_s per-cell simulation-wall percentiles
+    total.cycles_per_sec            whole-grid throughput
+
+With --baseline the new numbers are compared to a committed reference:
+any preset whose cycles/sec drops more than --gate (default 15%) below
+the baseline fails the run.  --advisory reports the comparison without
+failing, which is what CI uses on pull requests (absolute throughput is
+machine-sensitive; the enforced gate runs on main's fixed runner
+class).  Regenerate the committed baseline on an intentional perf
+change with:
+
+  scripts/perf_baseline.py --out tests/perf/BENCH_perf_baseline.json
+"""
+
+import argparse
+import json
+import pathlib
+import statistics
+import subprocess
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def percentile(values, p):
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    k = (len(ordered) - 1) * p
+    lo, hi = int(k), min(int(k) + 1, len(ordered) - 1)
+    frac = k - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def run_bench(binary, repeats):
+    """Run the bench `repeats` times, return all prof cell records."""
+    cells = []
+    for i in range(repeats):
+        with tempfile.NamedTemporaryFile(suffix=".json") as tmp:
+            cmd = [str(binary), "--jobs", "1", "--profile",
+                   "--json", tmp.name]
+            print(f"  [{i + 1}/{repeats}] $", " ".join(cmd))
+            subprocess.run(cmd, check=True, cwd=REPO,
+                           stdout=subprocess.DEVNULL)
+            doc = json.load(open(tmp.name))
+        prof = doc.get("prof")
+        if not prof or prof.get("schema") != "dcfb-prof-v1":
+            print("bench emitted no dcfb-prof-v1 section; "
+                  "is --profile supported?", file=sys.stderr)
+            sys.exit(1)
+        cells.extend(prof["cells"])
+    return cells
+
+
+def summarize(cells, repeats, bench_name):
+    by_preset = {}
+    for c in cells:
+        by_preset.setdefault(c["design"], []).append(c)
+    presets = {}
+    for name, group in sorted(by_preset.items()):
+        walls = [c["sim_s"] for c in group]
+        cycles = sum(c["cycles"] for c in group)
+        sim_s = sum(walls)
+        presets[name] = {
+            "cells": len(group),
+            "cycles": cycles,
+            "sim_s": round(sim_s, 6),
+            "cycles_per_sec": round(cycles / sim_s) if sim_s > 0 else 0,
+            "wall_p50_s": round(percentile(walls, 0.50), 6),
+            "wall_p95_s": round(percentile(walls, 0.95), 6),
+        }
+    total_cycles = sum(c["cycles"] for c in cells)
+    total_sim = sum(c["sim_s"] for c in cells)
+    return {
+        "schema": "dcfb-perf-v1",
+        "bench": bench_name,
+        "repeats": repeats,
+        "presets": presets,
+        "total": {
+            "cells": len(cells),
+            "cycles": total_cycles,
+            "sim_s": round(total_sim, 6),
+            "cycles_per_sec":
+                round(total_cycles / total_sim) if total_sim > 0 else 0,
+        },
+    }
+
+
+def compare(report, baseline, gate, advisory):
+    """Return process exit code after printing the comparison."""
+    failed = []
+    print(f"\nbaseline comparison (gate: -{gate * 100:.0f}%):")
+    rows = list(report["presets"].items()) + [("TOTAL", report["total"])]
+    base_rows = dict(baseline["presets"])
+    base_rows["TOTAL"] = baseline["total"]
+    for name, now in rows:
+        base = base_rows.get(name)
+        if base is None:
+            print(f"  {name:16s} (not in baseline)")
+            continue
+        ratio = now["cycles_per_sec"] / base["cycles_per_sec"] \
+            if base["cycles_per_sec"] else float("inf")
+        verdict = "ok"
+        if ratio < 1.0 - gate:
+            verdict = "REGRESSION"
+            failed.append(name)
+        print(f"  {name:16s} {now['cycles_per_sec']:>12,} c/s "
+              f"vs {base['cycles_per_sec']:>12,}  "
+              f"({(ratio - 1.0) * 100:+6.1f}%)  {verdict}")
+    if failed:
+        msg = ", ".join(failed)
+        if advisory:
+            print(f"\nadvisory: throughput regressions in {msg} "
+                  "(not failing: --advisory)")
+            return 0
+        print(f"\nFAIL: throughput regressed beyond the gate in {msg}")
+        return 1
+    print("\nall presets within the gate")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default="build/release")
+    ap.add_argument("--bench", default="fig16_speedup",
+                    help="bench binary to profile (default: fig16_speedup)")
+    ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument("--out", default="BENCH_perf.json")
+    ap.add_argument("--baseline",
+                    help="committed dcfb-perf-v1 file to gate against")
+    ap.add_argument("--gate", type=float, default=0.15,
+                    help="allowed fractional cycles/sec drop (default 0.15)")
+    ap.add_argument("--advisory", action="store_true",
+                    help="report regressions without failing")
+    args = ap.parse_args()
+
+    binary = REPO / args.build_dir / "bin" / args.bench
+    if not binary.exists():
+        print(f"no bench binary at {binary}; build first", file=sys.stderr)
+        return 1
+
+    cells = run_bench(binary, args.repeats)
+    report = summarize(cells, args.repeats, args.bench)
+
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\n[perf report written to {out}]")
+    for name, p in report["presets"].items():
+        print(f"  {name:16s} {p['cycles_per_sec']:>12,} cycles/sec "
+              f"p50={p['wall_p50_s'] * 1e3:7.1f}ms "
+              f"p95={p['wall_p95_s'] * 1e3:7.1f}ms")
+    t = report["total"]
+    print(f"  {'TOTAL':16s} {t['cycles_per_sec']:>12,} cycles/sec")
+
+    if args.baseline:
+        baseline = json.load(open(args.baseline))
+        if baseline.get("schema") != "dcfb-perf-v1":
+            print(f"{args.baseline} is not a dcfb-perf-v1 document",
+                  file=sys.stderr)
+            return 1
+        return compare(report, baseline, args.gate, args.advisory)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

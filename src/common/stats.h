@@ -48,6 +48,18 @@ class StatSet
         return registry.histogram(name);
     }
 
+    /**
+     * A lazily-binding counter handle for @p name: interns the name on
+     * the first add, exactly like the string add() below, but every
+     * later bump is a single pointer-indirect add.  @p name must be a
+     * string literal (the handle keeps the pointer).
+     */
+    obs::LazyCounter
+    lazy(const char *name)
+    {
+        return registry.lazyCounter(name);
+    }
+
     /** Add @p delta to counter @p name (creating it at zero if new). */
     void
     add(std::string_view name, std::uint64_t delta = 1)

@@ -38,19 +38,22 @@ class Btb
      * @param assoc   ways
      */
     explicit Btb(unsigned entries = 2048, unsigned assoc = 4)
-        : array(entries / assoc, assoc)
+        : array(entries / assoc, assoc),
+          cLookups(statSet.lazy("btb_lookups")),
+          cHits(statSet.lazy("btb_hits")),
+          cMisses(statSet.lazy("btb_misses"))
     {}
 
     /** Look up the branch at @p pc; nullptr on miss.  Counts stats. */
     const BtbEntry *
     lookup(Addr pc)
     {
-        statSet.add("btb_lookups");
+        cLookups.add();
         if (auto *line = array.lookup(key(pc))) {
-            statSet.add("btb_hits");
+            cHits.add();
             return &line->meta;
         }
-        statSet.add("btb_misses");
+        cMisses.add();
         return nullptr;
     }
 
@@ -84,8 +87,11 @@ class Btb
      */
     static Addr key(Addr pc) { return pc << kBlockShift; }
 
-    mem::SetAssocCache<BtbEntry> array;
     StatSet statSet;
+    mem::SetAssocCache<BtbEntry> array;
+    obs::LazyCounter cLookups;
+    obs::LazyCounter cHits;
+    obs::LazyCounter cMisses;
 };
 
 } // namespace dcfb::frontend

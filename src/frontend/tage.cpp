@@ -1,5 +1,6 @@
 #include "frontend/tage.h"
 
+#include <bit>
 #include <cassert>
 #include <cmath>
 
@@ -8,9 +9,13 @@ namespace dcfb::frontend {
 Tage::Tage(const TageConfig &config)
     : cfg(config), base(std::size_t{1} << config.baseEntriesLog2,
                         SatCounter(2, 2)),
-      useAltOnNa(4, 8)
+      useAltOnNa(4, 8), cPredictions(statSet.lazy("tage_predictions")),
+      cCorrect(statSet.lazy("tage_correct")),
+      cMispredict(statSet.lazy("tage_mispredict")),
+      cAllocations(statSet.lazy("tage_allocations"))
 {
     assert(cfg.numTables >= 2);
+    assert(cfg.numTables <= kMaxTageTables);
     tables.resize(cfg.numTables);
     histLengths.resize(cfg.numTables);
     foldedIndex.resize(cfg.numTables);
@@ -32,7 +37,12 @@ Tage::Tage(const TageConfig &config)
         foldedTag0[t] = {0, histLengths[t], cfg.tagBits};
         foldedTag1[t] = {0, histLengths[t], cfg.tagBits - 1};
     }
-    history.assign(cfg.maxHistory + 1, false);
+    // Power-of-two ring so a push is one index decrement + mask instead
+    // of shifting every element.
+    std::size_t ring = std::bit_ceil(std::size_t{cfg.maxHistory} + 1);
+    history.assign(ring, 0);
+    histMask = ring - 1;
+    histHead = 0;
 }
 
 std::uint32_t
@@ -63,24 +73,22 @@ Tage::taggedTag(Addr pc, unsigned table) const
 void
 Tage::shiftHistory(bool bit)
 {
-    // history keeps the newest bit at index 0.
+    // The ring keeps the newest bit at histHead; folding reads the bit
+    // that leaves each component's window before the push.
     for (unsigned t = 0; t < cfg.numTables; ++t) {
-        bool out = history[histLengths[t] - 1];
+        bool out = historyBit(histLengths[t] - 1);
         foldedIndex[t].update(bit, out);
         foldedTag0[t].update(bit, out);
         foldedTag1[t].update(bit, out);
     }
-    for (std::size_t i = history.size() - 1; i > 0; --i)
-        history[i] = history[i - 1];
-    history[0] = bit;
+    histHead = (histHead - 1) & histMask;
+    history[histHead] = bit ? 1 : 0;
 }
 
 Tage::Lookup
 Tage::lookup(Addr pc)
 {
     Lookup lk;
-    lk.indices.resize(cfg.numTables);
-    lk.tags.resize(cfg.numTables);
     for (unsigned t = 0; t < cfg.numTables; ++t) {
         lk.indices[t] = taggedIndex(pc, t);
         lk.tags[t] = taggedTag(pc, t);
@@ -117,7 +125,7 @@ bool
 Tage::predict(Addr pc)
 {
     last = lookup(pc);
-    statSet.add("tage_predictions");
+    cPredictions.add();
     return last.pred;
 }
 
@@ -127,7 +135,10 @@ Tage::update(Addr pc, bool taken)
     // Recompute in case predict() was not the immediately preceding call
     // for this PC (defensive; the fetch engine always pairs them).
     Lookup lk = lookup(pc);
-    statSet.add(lk.pred == taken ? "tage_correct" : "tage_mispredict");
+    if (lk.pred == taken)
+        cCorrect.add();
+    else
+        cMispredict.add();
 
     if (lk.provider >= 0) {
         auto &e = tables[lk.provider][lk.indices[lk.provider]];
@@ -164,7 +175,7 @@ Tage::update(Addr pc, bool taken)
                                    taken ? (1u << (cfg.counterBits - 1))
                                          : (1u << (cfg.counterBits - 1)) - 1);
                 allocated = true;
-                statSet.add("tage_allocations");
+                cAllocations.add();
                 break;
             }
         }

@@ -49,6 +49,26 @@ Predecoder::perturb(std::vector<PredecodedBranch> &branches) const
     }
 }
 
+const Predecoder::CachedBlock &
+Predecoder::cachedBlock(Addr block_addr) const
+{
+    if (cache.empty())
+        cache.resize(kCacheEntries);
+    Addr tag = blockNumber(block_addr);
+    CachedBlock &e =
+        cache[static_cast<std::size_t>(tag) & (kCacheEntries - 1)];
+    if (e.tag != tag) {
+        e.tag = tag;
+        e.count = 0;
+        for (unsigned slot = 0; slot < kInstrPerBlock; ++slot) {
+            PredecodedBranch b;
+            if (decodeOne(image, false, block_addr, slot * kInstrBytes, b))
+                e.branches[e.count++] = b;
+        }
+    }
+    return e;
+}
+
 std::vector<PredecodedBranch>
 Predecoder::predecodeBlock(Addr block_addr) const
 {
@@ -57,11 +77,8 @@ Predecoder::predecodeBlock(Addr block_addr) const
         // Boundaries unknown without a footprint: nothing decodable.
         return branches;
     }
-    for (unsigned slot = 0; slot < kInstrPerBlock; ++slot) {
-        PredecodedBranch b;
-        if (decodeOne(image, false, block_addr, slot * kInstrBytes, b))
-            branches.push_back(b);
-    }
+    const CachedBlock &e = cachedBlock(block_addr);
+    branches.assign(e.branches.begin(), e.branches.begin() + e.count);
     perturb(branches);
     return branches;
 }
@@ -86,6 +103,23 @@ std::vector<PredecodedBranch>
 Predecoder::decodeAt(Addr block_addr, unsigned byte_offset) const
 {
     std::vector<PredecodedBranch> branches;
+    if (!variableLength) {
+        // Serve DisTable replays from the clean block cache: the same
+        // blocks flow through predecodeBlock() for BTB prefill, so the
+        // entry is usually resident.  A non-branch (or misaligned)
+        // offset simply finds no record, as before.
+        if (byte_offset < kBlockBytes) {
+            const CachedBlock &e = cachedBlock(block_addr);
+            for (unsigned i = 0; i < e.count; ++i) {
+                if (e.branches[i].byteOffset == byte_offset) {
+                    branches.push_back(e.branches[i]);
+                    break;
+                }
+            }
+        }
+        perturb(branches);
+        return branches;
+    }
     PredecodedBranch b;
     if (byte_offset < kBlockBytes &&
         decodeOne(image, variableLength, block_addr, byte_offset, b)) {

@@ -17,6 +17,7 @@
 #ifndef DCFB_ISA_PREDECODER_H
 #define DCFB_ISA_PREDECODER_H
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -93,9 +94,31 @@ class Predecoder
     /** Apply corrupt faults to freshly decoded branches. */
     void perturb(std::vector<PredecodedBranch> &branches) const;
 
+    /**
+     * One cached *clean* fixed-length block decode.  The program image
+     * is immutable, so a block's decode never changes; re-decoding all
+     * 16 slots on every predecodeBlock() call was a measurable hot
+     * path.  Fault perturbation is applied to a per-call copy, never to
+     * the cached record, so the injector's RNG draw order is identical
+     * with and without the cache.
+     */
+    struct CachedBlock
+    {
+        Addr tag = kInvalidAddr; //!< block number; kInvalidAddr = empty
+        std::uint8_t count = 0;
+        std::array<PredecodedBranch, kInstrPerBlock> branches{};
+    };
+
+    /** Direct-mapped cache size (power of two). */
+    static constexpr std::size_t kCacheEntries = 256;
+
+    /** The cached clean decode of @p block_addr, filling on miss. */
+    const CachedBlock &cachedBlock(Addr block_addr) const;
+
     const workload::ProgramImage &image;
     bool variableLength;
     rt::FaultInjector *injector = nullptr;
+    mutable std::vector<CachedBlock> cache; //!< sized on first use
 };
 
 } // namespace dcfb::isa

@@ -425,7 +425,12 @@ void
 L1iCache::registerInvariants(rt::InvariantRegistry &reg,
                              Cycle miss_resolution_bound)
 {
-    reg.add("l1i.mshr_unique",
+    // The MSHR walks are gated on occupancy: an idle file (the common
+    // case between miss bursts) costs one size read per sweep instead
+    // of a full -- for mshr_unique, quadratic -- walk.
+    auto mshr_occupancy = [this] { return mshrs.size(); };
+
+    reg.add("l1i.mshr_unique", mshr_occupancy,
             [this](Cycle) -> std::optional<std::string> {
         for (std::size_t i = 0; i < mshrs.size(); ++i) {
             for (std::size_t j = i + 1; j < mshrs.size(); ++j) {
@@ -441,7 +446,7 @@ L1iCache::registerInvariants(rt::InvariantRegistry &reg,
     // Prefetches are only granted an MSHR while the file has a free
     // slot, so at most cfg.mshrs prefetch entries can ever be live
     // (demand misses may overcommit the file by design).
-    reg.add("l1i.mshr_prefetch_bound",
+    reg.add("l1i.mshr_prefetch_bound", mshr_occupancy,
             [this](Cycle) -> std::optional<std::string> {
         std::size_t pf = 0;
         for (const auto &e : mshrs)
@@ -453,7 +458,7 @@ L1iCache::registerInvariants(rt::InvariantRegistry &reg,
         return std::nullopt;
     });
 
-    reg.add("l1i.miss_resolution",
+    reg.add("l1i.miss_resolution", mshr_occupancy,
             [this, miss_resolution_bound](
                 Cycle now) -> std::optional<std::string> {
         if (miss_resolution_bound == 0)

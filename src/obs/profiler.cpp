@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Profiler globals: the enable flag and the mutex-guarded record log.
+ */
+
+#include "obs/profiler.h"
+
+#include <mutex>
+#include <utility>
+
+namespace dcfb::obs {
+
+std::atomic<bool> Profiler::enabledFlag{false};
+
+namespace {
+
+std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::vector<ProfRecord> &
+logRecords()
+{
+    static std::vector<ProfRecord> records;
+    return records;
+}
+
+} // namespace
+
+const char *
+profPhaseName(ProfPhase phase)
+{
+    switch (phase) {
+      case ProfPhase::Backend:
+        return "backend";
+      case ProfPhase::L1iTick:
+        return "l1i_tick";
+      case ProfPhase::Prefetcher:
+        return "prefetcher";
+      case ProfPhase::Dispatch:
+        return "dispatch";
+      case ProfPhase::Fetch:
+        return "fetch";
+      case ProfPhase::Integrity:
+        return "integrity";
+    }
+    return "unknown";
+}
+
+void
+Profiler::setEnabled(bool on)
+{
+    enabledFlag.store(on, std::memory_order_relaxed);
+}
+
+void
+Profiler::push(ProfRecord record)
+{
+    std::lock_guard<std::mutex> lock(logMutex());
+    logRecords().push_back(std::move(record));
+}
+
+std::vector<ProfRecord>
+Profiler::drain()
+{
+    std::lock_guard<std::mutex> lock(logMutex());
+    return std::exchange(logRecords(), {});
+}
+
+} // namespace dcfb::obs

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Lightweight simulation profiler behind the benches' `--profile` flag.
+ *
+ * Two kinds of attribution, both per simulated cell:
+ *
+ *  - **Wall-clock split** of every cell into setup (image build +
+ *    functional warmup), warm window and measured window.  One
+ *    steady_clock pair per window: negligible overhead, always recorded
+ *    while profiling is enabled.  This is what `scripts/perf_baseline.py`
+ *    turns into cycles/sec per preset (BENCH_perf.json).
+ *
+ *  - **Per-phase attribution** of the cycle loop: each System::step()
+ *    stage (backend, L1i tick, prefetcher, dispatch, fetch) is timed
+ *    individually so the `prof` JSON section shows where a cell's cycle
+ *    time goes.  This costs a few clock reads per simulated cycle, so it
+ *    only runs while profiling is enabled -- absolute cycles/sec under
+ *    `--profile` are a few percent lower than a plain run, uniformly
+ *    across presets (the per-preset *comparison* stays valid).
+ *
+ * Process-global, like obs::Tracing and exec::ExecLog: the bench harness
+ * enables it once, every simulated cell contributes a record, and the
+ * harness drains the records into the JSON document's `prof` section.
+ * Worker threads each profile their own System (accumulators live in the
+ * System, not here); only push/drain synchronize.
+ */
+
+#ifndef DCFB_OBS_PROFILER_H
+#define DCFB_OBS_PROFILER_H
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dcfb::obs {
+
+/** The attributed phases of one simulated cycle (System::step order),
+ *  plus the out-of-loop integrity sweeps. */
+enum class ProfPhase : unsigned {
+    Backend = 0,   //!< core::Backend::beginCycle
+    L1iTick,       //!< mem::L1iCache::tick (fill completion)
+    Prefetcher,    //!< prefetcher tick (queue drains, table lookups)
+    Dispatch,      //!< dispatch stage incl. L1d accesses
+    Fetch,         //!< fetch engine cycle (BPU + fetch + predictors)
+    Integrity,     //!< invariant sweeps + watchdog observations
+};
+
+inline constexpr unsigned kProfPhases = 6;
+
+/** Display name of @p phase ("backend", "fetch", ...). */
+const char *profPhaseName(ProfPhase phase);
+
+/** Per-phase wall-seconds accumulator owned by one System. */
+using PhaseSeconds = std::array<double, kProfPhases>;
+
+/** What one simulated cell cost. */
+struct ProfRecord
+{
+    std::string workload;
+    std::string design;
+    std::uint64_t cycles = 0;       //!< timed cycles (warm + measure)
+    std::uint64_t instructions = 0; //!< instructions retired while timed
+    double setupSeconds = 0.0;      //!< System ctor: image + warmup
+    double warmSeconds = 0.0;       //!< timed warm window
+    double measureSeconds = 0.0;    //!< measured window
+    PhaseSeconds phaseSeconds{};    //!< cycle-loop phase attribution
+
+    /** Cycle-loop wall (the cycles/sec denominator). */
+    double simSeconds() const { return warmSeconds + measureSeconds; }
+
+    /** Simulator-core throughput over the timed windows. */
+    double
+    cyclesPerSecond() const
+    {
+        double s = simSeconds();
+        return s > 0.0 ? static_cast<double>(cycles) / s : 0.0;
+    }
+};
+
+/**
+ * The process-global profile switch and record log.
+ */
+class Profiler
+{
+  public:
+    /** Turn profiling on/off (bench harness, from `--profile`). */
+    static void setEnabled(bool on);
+
+    /** One relaxed atomic load; safe on any thread. */
+    static bool
+    enabled()
+    {
+        return enabledFlag.load(std::memory_order_relaxed);
+    }
+
+    /** Append @p record to the process log.  Thread-safe. */
+    static void push(ProfRecord record);
+
+    /** Remove and return everything pushed so far.  Thread-safe. */
+    static std::vector<ProfRecord> drain();
+
+  private:
+    static std::atomic<bool> enabledFlag;
+};
+
+/** Monotonic seconds-since-some-epoch helper shared by the timers. */
+inline double
+profNow()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/**
+ * Scoped phase timer: adds the enclosed wall time to one PhaseSeconds
+ * slot.  Constructed only on profiling paths (callers check
+ * Profiler::enabled() first, so the un-profiled cycle loop pays one
+ * branch, no clock reads).
+ */
+class PhaseTimer
+{
+  public:
+    PhaseTimer(PhaseSeconds &sink_, ProfPhase phase)
+        : sink(&sink_[static_cast<unsigned>(phase)]), start(profNow())
+    {
+    }
+
+    ~PhaseTimer() { *sink += profNow() - start; }
+
+    PhaseTimer(const PhaseTimer &) = delete;
+    PhaseTimer &operator=(const PhaseTimer &) = delete;
+
+  private:
+    double *sink;
+    double start;
+};
+
+} // namespace dcfb::obs
+
+#endif // DCFB_OBS_PROFILER_H

@@ -95,6 +95,42 @@ class Counter
     std::uint64_t *slot;
 };
 
+class StatRegistry;
+
+/**
+ * Lazily-binding counter handle for hot paths that historically used
+ * string adds (StatRegistry::add).
+ *
+ * A string add interns its name on *first use*, so a counter that never
+ * fires never appears in the registry -- and therefore never appears in
+ * a RunResult's stats map.  Converting such a site to an eagerly
+ * registered Counter would create the name at zero and change reported
+ * results.  LazyCounter keeps the exact lazy semantics: the name is
+ * interned on the first add() and every later add() is the same
+ * single pointer-indirect bump a Counter does.
+ *
+ * The name must outlive the handle (use string literals).  A
+ * default-constructed handle discards, like Counter.
+ */
+class LazyCounter
+{
+  public:
+    LazyCounter() = default;
+    LazyCounter(StatRegistry &registry, const char *name_)
+        : reg(&registry), name(name_)
+    {
+    }
+
+    inline void add(std::uint64_t delta = 1);
+    std::uint64_t value() const { return handle.value(); }
+
+  private:
+    StatRegistry *reg = nullptr;
+    const char *name = "";
+    Counter handle; //!< discards until bound
+    bool bound = false;
+};
+
 /** Raw accumulation state of one histogram. */
 struct HistData
 {
@@ -179,6 +215,14 @@ class StatRegistry
     /** Register (or re-find) histogram @p name. */
     Histogram histogram(std::string_view name);
 
+    /** A counter handle that interns @p name on first add (hot-path
+     *  replacement for string adds; see LazyCounter). */
+    LazyCounter
+    lazyCounter(const char *name)
+    {
+        return LazyCounter(*this, name);
+    }
+
     /** Slot index of counter @p name (registering it if new).  Exposed
      *  so tests can assert interning stability. */
     std::size_t counterIndex(std::string_view name);
@@ -208,6 +252,20 @@ class StatRegistry
     std::map<std::string, std::size_t, std::less<>> counterIds;
     std::map<std::string, std::size_t, std::less<>> histIds;
 };
+
+inline void
+LazyCounter::add(std::uint64_t delta)
+{
+    if (!bound) [[unlikely]] {
+        if (!reg) {
+            handle.add(delta); // unbound handle: discard, like Counter
+            return;
+        }
+        handle = reg->counter(name);
+        bound = true;
+    }
+    handle.add(delta);
+}
 
 /**
  * Dotted-prefix view of a registry: Scope(reg, "l1i").counter("misses")

@@ -14,6 +14,7 @@
 #ifndef DCFB_PREFETCH_BTB_PREFETCH_BUFFER_H
 #define DCFB_PREFETCH_BTB_PREFETCH_BUFFER_H
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -34,10 +35,18 @@ struct BufferedBranch
     bool hasTarget = false;
 };
 
-/** All branches of one pre-decoded cache block. */
+/** All branches of one pre-decoded cache block.  Inline fixed storage
+ *  (a block has at most one branch per byte offset) so installing or
+ *  replacing a block never heap-allocates. */
 struct BufferedBlock
 {
-    std::vector<BufferedBranch> branches;
+    static constexpr unsigned kMaxBranches = kBlockBytes;
+
+    std::array<BufferedBranch, kMaxBranches> branches{};
+    std::uint8_t count = 0;
+
+    const BufferedBranch *begin() const { return branches.data(); }
+    const BufferedBranch *end() const { return branches.data() + count; }
 };
 
 /**
@@ -51,7 +60,10 @@ class BtbPrefetchBuffer
      * @param assoc_   associativity (paper: 2-way; Shotgun: fully assoc.)
      */
     explicit BtbPrefetchBuffer(unsigned entries_ = 32, unsigned assoc_ = 2)
-        : array(entries_ / assoc_, assoc_)
+        : array(entries_ / assoc_, assoc_),
+          cInserts(statSet.lazy("btbpb_inserts")),
+          cProbes(statSet.lazy("btbpb_probes")),
+          cHits(statSet.lazy("btbpb_hits"))
     {}
 
     /** Install the pre-decoded branches of @p block_addr (one access). */
@@ -59,17 +71,20 @@ class BtbPrefetchBuffer
     insertBlock(Addr block_addr,
                 const std::vector<isa::PredecodedBranch> &branches)
     {
-        statSet.add("btbpb_inserts");
+        cInserts.add();
         BufferedBlock blk;
         for (const auto &b : branches) {
-            blk.branches.push_back({static_cast<std::uint8_t>(b.byteOffset),
-                                    b.kind, b.target, b.hasTarget});
+            if (blk.count >= BufferedBlock::kMaxBranches)
+                break;
+            blk.branches[blk.count++] = {
+                static_cast<std::uint8_t>(b.byteOffset), b.kind, b.target,
+                b.hasTarget};
         }
         if (auto *line = array.lookup(block_addr)) {
-            line->meta = std::move(blk);
+            line->meta = blk;
             return;
         }
-        array.insert(blockAlign(block_addr), std::move(blk));
+        array.insert(blockAlign(block_addr), blk);
     }
 
     /**
@@ -79,14 +94,14 @@ class BtbPrefetchBuffer
     const BufferedBranch *
     findBranch(Addr pc)
     {
-        statSet.add("btbpb_probes");
+        cProbes.add();
         auto *line = array.lookup(blockAlign(pc));
         if (!line)
             return nullptr;
         unsigned off = blockOffset(pc);
-        for (const auto &b : line->meta.branches) {
+        for (const auto &b : line->meta) {
             if (b.byteOffset == off) {
-                statSet.add("btbpb_hits");
+                cHits.add();
                 return &b;
             }
         }
@@ -110,8 +125,11 @@ class BtbPrefetchBuffer
     const StatSet &stats() const { return statSet; }
 
   private:
-    mem::SetAssocCache<BufferedBlock> array;
     StatSet statSet;
+    mem::SetAssocCache<BufferedBlock> array;
+    obs::LazyCounter cInserts;
+    obs::LazyCounter cProbes;
+    obs::LazyCounter cHits;
 };
 
 } // namespace dcfb::prefetch

@@ -17,6 +17,7 @@
 #ifndef DCFB_PREFETCH_DIS_TABLE_H
 #define DCFB_PREFETCH_DIS_TABLE_H
 
+#include <bit>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
@@ -50,8 +51,15 @@ class DisTable
   public:
     explicit DisTable(const DisTableConfig &config = DisTableConfig{})
         : cfg(config),
-          table(cfg.entries ? cfg.entries : 0)
-    {}
+          table(cfg.entries ? cfg.entries : 0),
+          cRecords(statSet.lazy("distable_records")),
+          cLookups(statSet.lazy("distable_lookups"))
+    {
+        // Table sizes are powers of two (index() masks), so the tag's
+        // "bits above the index" divide becomes a shift.
+        if (cfg.entries && std::has_single_bit(cfg.entries))
+            tagShift = static_cast<unsigned>(std::countr_zero(cfg.entries));
+    }
 
     /**
      * Record that the branch at @p offset within @p block_addr caused a
@@ -61,7 +69,7 @@ class DisTable
     void
     record(Addr block_addr, std::uint8_t offset)
     {
-        statSet.add("distable_records");
+        cRecords.add();
         if (unlimited()) {
             dedicated[blockNumber(block_addr)] = offset;
             return;
@@ -81,7 +89,7 @@ class DisTable
     std::optional<std::uint8_t>
     lookup(Addr block_addr) const
     {
-        statSet.add("distable_lookups");
+        cLookups.add();
         if (unlimited()) {
             auto it = dedicated.find(blockNumber(block_addr));
             if (it == dedicated.end())
@@ -136,8 +144,9 @@ class DisTable
     std::uint64_t
     tagOf(Addr block_addr) const
     {
-        std::uint64_t above = blockNumber(block_addr) /
-            (cfg.entries ? cfg.entries : 1);
+        std::uint64_t above = tagShift ? blockNumber(block_addr) >> *tagShift
+                                       : blockNumber(block_addr) /
+                (cfg.entries ? cfg.entries : 1);
         switch (cfg.tagPolicy) {
           case DisTagPolicy::Tagless: return 0;
           case DisTagPolicy::Partial4: return above & 0xf;
@@ -149,7 +158,10 @@ class DisTable
     DisTableConfig cfg;
     std::vector<Entry> table;
     std::unordered_map<Addr, std::uint8_t> dedicated;
+    std::optional<unsigned> tagShift; //!< set when entries is pow2
     mutable StatSet statSet;
+    mutable obs::LazyCounter cRecords;
+    mutable obs::LazyCounter cLookups;
 };
 
 } // namespace dcfb::prefetch

@@ -33,7 +33,10 @@ class SeqTable
      *                 dedicated entry per block, the Fig. 11 reference)
      */
     explicit SeqTable(std::size_t entries_ = 16 * 1024)
-        : entries(entries_), bits(entries_ ? entries_ : 0, true)
+        : entries(entries_), bits(entries_ ? entries_ : 0, true),
+          owners(entries_ ? entries_ : 0, kInvalidAddr),
+          cConflicts(statSet.lazy("seqtable_conflicts")),
+          cWrites(statSet.lazy("seqtable_writes"))
     {}
 
     /** Read the prefetch-status bit for @p block_addr. */
@@ -57,12 +60,13 @@ class SeqTable
         }
         std::size_t i = index(block_addr);
         // Conflict instrumentation: remember the last owner per entry.
-        auto [it, inserted] = owners.try_emplace(i, blockNumber(block_addr));
-        if (!inserted && it->second != blockNumber(block_addr)) {
-            statSet.add("seqtable_conflicts");
-            it->second = blockNumber(block_addr);
-        }
-        statSet.add("seqtable_writes");
+        // Flat pre-sized array (kInvalidAddr = never written): the old
+        // per-write unordered_map probe was a measurable hot path.
+        Addr owner = blockNumber(block_addr);
+        if (owners[i] != owner && owners[i] != kInvalidAddr)
+            cConflicts.add();
+        owners[i] = owner;
+        cWrites.add();
         bits[i] = useful;
     }
 
@@ -102,8 +106,10 @@ class SeqTable
     std::size_t entries;
     std::vector<bool> bits;
     std::unordered_map<Addr, bool> dedicated; //!< unlimited mode
-    mutable std::unordered_map<std::size_t, Addr> owners; //!< stats only
     StatSet statSet;
+    std::vector<Addr> owners; //!< last writer per entry (stats only)
+    obs::LazyCounter cConflicts;
+    obs::LazyCounter cWrites;
 };
 
 } // namespace dcfb::prefetch

@@ -13,7 +13,9 @@ Sn4lDisBtb::Sn4lDisBtb(mem::L1iCache &l1i_,
     : l1i(l1i_), pd(predecoder), btb(btb_), cfg(config),
       seq(config.seqTableEntries), dis(config.disTable),
       rluFilter(config.rluEntries),
-      btbPb(config.btbPbEntries, config.btbPbAssoc)
+      btbPb(config.btbPbEntries, config.btbPbAssoc),
+      seqQueue(config.queueEntries), disQueue(config.queueEntries),
+      rluQueue(config.queueEntries)
 {
     cLocalStatusHits = statSet.counter("local_status_hits");
     cLocalStatusFills = statSet.counter("local_status_fills");
@@ -24,6 +26,16 @@ Sn4lDisBtb::Sn4lDisBtb(mem::L1iCache &l1i_,
     cIssued = statSet.counter("issued");
     hChainDepth = statSet.histogram("chain_depth");
     hRluQueueOcc = statSet.histogram("rluq_occ");
+    cSeqOverflow = statSet.lazy("seqqueue_overflow");
+    cDisOverflow = statSet.lazy("disqueue_overflow");
+    cRluOverflow = statSet.lazy("rluqueue_overflow");
+    cMissStatusOff = statSet.lazy("miss_with_status_off");
+    cDisRecorded = statSet.lazy("dis_recorded");
+    cDisNotBranch = statSet.lazy("dis_replay_not_branch");
+    cDisNoTarget = statSet.lazy("dis_replay_no_target");
+    cDisCandidates = statSet.lazy("dis_candidates");
+    cPrefillNoFootprint = statSet.lazy("btb_prefill_no_footprint");
+    cPrefillBlocks = statSet.lazy("btb_prefill_blocks");
 }
 
 std::string
@@ -60,16 +72,10 @@ Sn4lDisBtb::pushTrigger(Addr block_addr, unsigned depth)
         return;
     if (injector && injector->forceBackpressure())
         return; // injected back-pressure: the trigger is rejected
-    if (seqQueue.size() < cfg.queueEntries)
-        seqQueue.push_back({block_addr, depth});
-    else
-        statSet.add("seqqueue_overflow");
-    if (cfg.enableDis) {
-        if (disQueue.size() < cfg.queueEntries)
-            disQueue.push_back({block_addr, depth});
-        else
-            statSet.add("disqueue_overflow");
-    }
+    if (!seqQueue.push({block_addr, depth}))
+        cSeqOverflow.add();
+    if (cfg.enableDis && !disQueue.push({block_addr, depth}))
+        cDisOverflow.add();
 }
 
 void
@@ -78,10 +84,8 @@ Sn4lDisBtb::emitCandidate(Addr block_addr, unsigned depth)
     hChainDepth.sample(depth);
     if (injector && injector->forceBackpressure())
         return; // injected back-pressure: the candidate is rejected
-    if (rluQueue.size() < cfg.queueEntries)
-        rluQueue.push_back({block_addr, depth});
-    else
-        statSet.add("rluqueue_overflow");
+    if (!rluQueue.push({block_addr, depth}))
+        cRluOverflow.add();
 }
 
 void
@@ -100,7 +104,7 @@ Sn4lDisBtb::onDemandMiss(Addr block_addr, bool sequential)
     // SN4L metadata: a missed block would have been a useful prefetch.
     if (cfg.selective) {
         if (!seq.get(block_addr))
-            statSet.add("miss_with_status_off"); // filter mispredicted
+            cMissStatusOff.add(); // filter mispredicted
         seq.set(block_addr, true);
     }
 
@@ -121,7 +125,7 @@ Sn4lDisBtb::onDemandMiss(Addr block_addr, bool sequential)
             ? static_cast<std::uint8_t>(blockOffset(instr.pc))
             : static_cast<std::uint8_t>(instrSlot(instr.pc));
         dis.record(blockAlign(instr.pc), offset);
-        statSet.add("dis_recorded");
+        cDisRecorded.add();
         break;
     }
 }
@@ -214,7 +218,7 @@ Sn4lDisBtb::processDis(const Trigger &t, Cycle now)
     auto hits = pd.decodeAt(t.blockAddr, byte_offset);
     if (hits.empty()) {
         // Stale or aliased entry: the instruction there is not a branch.
-        statSet.add("dis_replay_not_branch");
+        cDisNotBranch.add();
         return;
     }
     const auto &br = hits.front();
@@ -227,11 +231,11 @@ Sn4lDisBtb::processDis(const Trigger &t, Cycle now)
             target = e->target;
     }
     if (target == kInvalidAddr) {
-        statSet.add("dis_replay_no_target");
+        cDisNoTarget.add();
         return;
     }
     emitCandidate(blockAlign(target), t.depth + 1);
-    statSet.add("dis_candidates");
+    cDisCandidates.add();
 }
 
 void
@@ -244,7 +248,7 @@ Sn4lDisBtb::prefillBtb(Addr block_addr)
         if (const auto *bf = l1i.footprintFor(block_addr)) {
             branches = pd.predecodeWithFootprint(block_addr, bf->offsets);
         } else {
-            statSet.add("btb_prefill_no_footprint");
+            cPrefillNoFootprint.add();
             return;
         }
     } else {
@@ -252,7 +256,7 @@ Sn4lDisBtb::prefillBtb(Addr block_addr)
     }
     if (!branches.empty()) {
         btbPb.insertBlock(block_addr, branches);
-        statSet.add("btb_prefill_blocks");
+        cPrefillBlocks.add();
     }
 }
 
@@ -266,7 +270,7 @@ Sn4lDisBtb::processRluQueue(Cycle now)
     unsigned budget = cfg.drainPerCycle;
     while (budget > 0 && !rluQueue.empty()) {
         Trigger t = rluQueue.front();
-        rluQueue.pop_front();
+        rluQueue.pop();
         if (rluFilter.contains(t.blockAddr)) {
             cRluFiltered.add();
             continue;
@@ -292,7 +296,14 @@ Sn4lDisBtb::processRluQueue(Cycle now)
 void
 Sn4lDisBtb::registerInvariants(rt::InvariantRegistry &reg)
 {
-    reg.add("pf.queue_bounds",
+    // Both checks only walk queue entries, so they are gated on total
+    // queue occupancy: drained queues make a sweep cost three size
+    // reads, not three queue walks.
+    auto queue_occupancy = [this] {
+        return seqQueue.size() + disQueue.size() + rluQueue.size();
+    };
+
+    reg.add("pf.queue_bounds", queue_occupancy,
             [this](Cycle) -> std::optional<std::string> {
         if (seqQueue.size() > cfg.queueEntries ||
             disQueue.size() > cfg.queueEntries ||
@@ -308,7 +319,7 @@ Sn4lDisBtb::registerInvariants(rt::InvariantRegistry &reg)
 
     // Trigger queues only accept depth < limit; candidates sit one step
     // deeper, so RLUQueue entries may reach exactly the limit.
-    reg.add("pf.chain_depth",
+    reg.add("pf.chain_depth", queue_occupancy,
             [this](Cycle) -> std::optional<std::string> {
         for (const auto &t : seqQueue) {
             if (t.depth >= cfg.chainDepthLimit) {
@@ -343,12 +354,12 @@ Sn4lDisBtb::tick(Cycle now)
     // the two L1i lookup ports.
     for (int i = 0; i < 2 && !seqQueue.empty(); ++i) {
         Trigger t = seqQueue.front();
-        seqQueue.pop_front();
+        seqQueue.pop();
         processSeq(t);
     }
     for (int i = 0; i < 2 && cfg.enableDis && !disQueue.empty(); ++i) {
         Trigger t = disQueue.front();
-        disQueue.pop_front();
+        disQueue.pop();
         processDis(t, now);
     }
     processRluQueue(now);

@@ -35,9 +35,9 @@
 #define DCFB_PREFETCH_SN4L_DIS_BTB_H
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 
+#include "common/queue.h"
 #include "common/stats.h"
 #include "frontend/btb.h"
 #include "isa/predecoder.h"
@@ -170,9 +170,11 @@ class Sn4lDisBtb : public InstrPrefetcher
     Rlu rluFilter;
     BtbPrefetchBuffer btbPb;
 
-    std::deque<Trigger> seqQueue;
-    std::deque<Trigger> disQueue;
-    std::deque<Trigger> rluQueue;
+    // Ring-backed queues (see common/queue.h): pushed/popped every
+    // cycle, so no deque node churn on the hot path.
+    BoundedQueue<Trigger> seqQueue;
+    BoundedQueue<Trigger> disQueue;
+    BoundedQueue<Trigger> rluQueue;
 
     /** Dis recording registers: the last two demanded instructions. */
     FetchedInstr lastInstr[2];
@@ -186,6 +188,11 @@ class Sn4lDisBtb : public InstrPrefetcher
     obs::Counter cLocalStatusHits, cLocalStatusFills, cSeqTableReads,
         cSn4lFiltered, cSn4lCandidates, cRluFiltered, cIssued;
     obs::Histogram hChainDepth, hRluQueueOcc;
+    // Lazily-bound counters for the per-event sites that used string
+    // adds (must stay lazy: see obs::LazyCounter).
+    obs::LazyCounter cSeqOverflow, cDisOverflow, cRluOverflow,
+        cMissStatusOff, cDisRecorded, cDisNotBranch, cDisNoTarget,
+        cDisCandidates, cPrefillNoFootprint, cPrefillBlocks;
 };
 
 } // namespace dcfb::prefetch

@@ -10,9 +10,14 @@ InvariantRegistry::sweep(Cycle now) const
     std::vector<Violation> out;
     if (!enabledFlag)
         return out;
-    for (const auto &[name, check] : checks) {
-        if (auto detail = check(now))
-            out.push_back({name, std::move(*detail)});
+    for (const auto &entry : checks) {
+        if (entry.gate && entry.gate() == 0) {
+            ++skipCount;
+            continue;
+        }
+        ++runCount;
+        if (auto detail = entry.check(now))
+            out.push_back({entry.name, std::move(*detail)});
     }
     return out;
 }

@@ -66,17 +66,40 @@ class InvariantRegistry
     /** Pass -> nullopt; violation -> detail string. Must be read-only. */
     using Check = std::function<std::optional<std::string>(Cycle now)>;
 
+    /**
+     * Activity gate: how many live entries the check would walk.  A
+     * gated check is skipped entirely when its gate returns 0, so a
+     * sweep over idle state (empty MSHR file, drained queues) costs one
+     * size read per gated check instead of a full structure walk --
+     * sweep cost is O(active entries), not O(capacity).  Gates must be
+     * O(1) and read-only.
+     */
+    using Gate = std::function<std::size_t()>;
+
 #if DCFB_RT_INVARIANTS
-    /** Register invariant @p name. */
+    /** Register invariant @p name, swept unconditionally. */
     void
     add(std::string name, Check check)
     {
-        checks.emplace_back(std::move(name), std::move(check));
+        checks.push_back({std::move(name), nullptr, std::move(check)});
+    }
+
+    /** Register invariant @p name behind activity gate @p gate. */
+    void
+    add(std::string name, Gate gate, Check check)
+    {
+        checks.push_back(
+            {std::move(name), std::move(gate), std::move(check)});
     }
 
     void setEnabled(bool on) { enabledFlag = on; }
     bool enabled() const { return enabledFlag; }
     std::size_t size() const { return checks.size(); }
+
+    /** Checks actually executed across all sweeps (tests/telemetry). */
+    std::uint64_t checksRun() const { return runCount; }
+    /** Checks skipped by a zero activity gate across all sweeps. */
+    std::uint64_t checksSkipped() const { return skipCount; }
 
     /** Run every check; empty result means all invariants hold.  One
      *  branch and an immediate return when disabled. */
@@ -87,13 +110,24 @@ class InvariantRegistry
     Expected<void> check(Cycle now) const;
 
   private:
-    std::vector<std::pair<std::string, Check>> checks;
+    struct Entry
+    {
+        std::string name;
+        Gate gate; //!< null: always run
+        Check check;
+    };
+    std::vector<Entry> checks;
     bool enabledFlag = true;
+    mutable std::uint64_t runCount = 0;
+    mutable std::uint64_t skipCount = 0;
 #else
     void add(std::string, Check) {}
+    void add(std::string, Gate, Check) {}
     void setEnabled(bool) {}
     bool enabled() const { return false; }
     std::size_t size() const { return 0; }
+    std::uint64_t checksRun() const { return 0; }
+    std::uint64_t checksSkipped() const { return 0; }
     std::vector<Violation> sweep(Cycle) const { return {}; }
     Expected<void> check(Cycle) const { return {}; }
 #endif

@@ -1,6 +1,7 @@
 #include "sim/decoupled.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "obs/trace.h"
 #include "rt/invariants.h"
@@ -31,14 +32,54 @@ DecoupledFetchEngine::DecoupledFetchEngine(
     cFtqPushes = statSet.counter("ftq_pushes");
     hFtqOcc = statSet.histogram("ftq_occ");
     hBufferOcc = statSet.histogram("fetch_buffer_occ");
+    cReactiveFills = statSet.lazy("bpu_reactive_fills");
+    cSgPrefillBlocks = statSet.lazy("sg_prefill_blocks");
+    cBoomerangPrefillEntries = statSet.lazy("boomerang_prefill_entries");
+    cSgFootprintPrefetches = statSet.lazy("sg_footprint_prefetches");
+    cSgCbtbFills = statSet.lazy("sg_cbtb_buffer_fills");
+    cSgRegionSkipped = statSet.lazy("sg_region_prefetch_skipped");
+    cBpuTargetMispredicts = statSet.lazy("bpu_target_mispredicts");
+    cBpuMispredicts = statSet.lazy("bpu_mispredicts");
+    cBpuRasMispredicts = statSet.lazy("bpu_ras_mispredicts");
+    cSquashes = statSet.lazy("fe_squashes");
+    cWrongPathPrefetches = statSet.lazy("bpu_wrong_path_prefetches");
+    cBbBtbMisses = statSet.lazy("boomerang_bbbtb_miss");
+    cCbtbMisses = statSet.lazy("sg_cbtb_miss");
+    cUbtbMisses = statSet.lazy("sg_ubtb_miss");
+    cRibMisses = statSet.lazy("sg_rib_miss");
+
+    // Pre-size the lookahead ring past the common BPU/fetch separation
+    // (FTQ depth x BB-scan bound) so growth is exceptional.
+    std::size_t want = std::bit_ceil(
+        std::size_t{config.ftqEntries + 2} * kMaxBbScan);
+    look.resize(want);
+    lookMask = want - 1;
+}
+
+void
+DecoupledFetchEngine::extendLook(std::uint64_t idx)
+{
+    while (idx >= lookEnd) {
+        if (lookEnd - lookBase == look.size()) {
+            // Grow 2x, re-placing the window by absolute index.
+            std::vector<TraceEntry> bigger(look.size() * 2);
+            std::size_t bigger_mask = bigger.size() - 1;
+            for (std::uint64_t i = lookBase; i < lookEnd; ++i)
+                bigger[i & bigger_mask] = look[i & lookMask];
+            look.swap(bigger);
+            lookMask = bigger_mask;
+        }
+        look[lookEnd & lookMask] = walker.next();
+        ++lookEnd;
+    }
 }
 
 const TraceEntry &
 DecoupledFetchEngine::entryAt(std::uint64_t idx)
 {
-    while (idx - lookBase >= look.size())
-        look.push_back(walker.next());
-    return look[idx - lookBase];
+    if (idx >= lookEnd) [[unlikely]]
+        extendLook(idx);
+    return look[idx & lookMask];
 }
 
 std::uint64_t
@@ -52,9 +93,10 @@ DecoupledFetchEngine::scanTerminator(std::uint64_t idx)
 }
 
 void
-DecoupledFetchEngine::reactiveStall(Addr addr, Cycle now, const char *stat)
+DecoupledFetchEngine::reactiveStall(Addr addr, Cycle now,
+                                    obs::LazyCounter &stat)
 {
-    statSet.add(stat);
+    stat.add();
     if (obs::Tracing::enabled()) {
         obs::Tracing::record("btb", now, addr, obs::MissClass::Btb,
                              obs::MissOutcome::Uncovered);
@@ -69,7 +111,7 @@ DecoupledFetchEngine::reactiveStall(Addr addr, Cycle now, const char *stat)
         ready = (fill ? fill : now + 1) + cfg.predecodeLatency;
     }
     bpuStalledUntil = std::max(bpuStalledUntil, ready);
-    statSet.add("bpu_reactive_fills");
+    cReactiveFills.add();
 }
 
 void
@@ -79,7 +121,7 @@ DecoupledFetchEngine::prefillFromBlock(Addr block_addr)
     if (branches.empty())
         return;
     btbPb.insertBlock(block_addr, branches);
-    statSet.add("sg_prefill_blocks");
+    cSgPrefillBlocks.add();
 }
 
 void
@@ -102,7 +144,7 @@ DecoupledFetchEngine::boomerangPrefill(Addr block_addr)
         entry.kind = b.kind;
         entry.target = b.hasTarget ? b.target : kInvalidAddr;
         bbtb.update(bb_start, entry);
-        statSet.add("boomerang_prefill_entries");
+        cBoomerangPrefillEntries.add();
         bb_start = branch_pc + kInstrBytes;
     }
 }
@@ -131,7 +173,7 @@ DecoupledFetchEngine::footprintPrefetch(Addr anchor_block,
             continue;
         Addr block = anchor_block + Addr{i} * kBlockBytes;
         auto out = l1i.prefetch(block, now);
-        statSet.add("sg_footprint_prefetches");
+        cSgFootprintPrefetches.add();
         if (out == mem::L1iCache::PfOutcome::InCache)
             prefillFromBlock(block); // already here: prefill immediately
         // Blocks still in flight prefill via onFill when they arrive.
@@ -162,7 +204,7 @@ DecoupledFetchEngine::boomerangLookup(Addr bb_start, std::uint64_t term_idx,
     // Reactive fill: fetch + pre-decode the block holding the BB, then
     // install the discovered entry (modeled with the trace oracle, which
     // is what a correct pre-decode reconstructs).
-    reactiveStall(bb_start, now, "boomerang_bbbtb_miss");
+    reactiveStall(bb_start, now, cBbBtbMisses);
     const TraceEntry &term = entryAt(term_idx);
     frontend::BbBtbEntry fresh;
     fresh.sizeBytes = static_cast<std::uint16_t>(
@@ -190,7 +232,7 @@ DecoupledFetchEngine::shotgunLookup(Addr bb_start, std::uint64_t term_idx,
         // The 32-entry prefill buffer backs the tiny C-BTB.
         if (const auto *b = btbPb.findBranch(term.pc)) {
             sgBtb.updateC(term.pc, b->hasTarget ? b->target : term.target);
-            statSet.add("sg_cbtb_buffer_fills");
+            cSgCbtbFills.add();
             if (obs::Tracing::enabled()) {
                 obs::Tracing::record("btb", now, term.pc,
                                      obs::MissClass::Btb,
@@ -198,7 +240,7 @@ DecoupledFetchEngine::shotgunLookup(Addr bb_start, std::uint64_t term_idx,
             }
             return true;
         }
-        reactiveStall(term.pc, now, "sg_cbtb_miss");
+        reactiveStall(term.pc, now, cCbtbMisses);
         sgBtb.updateC(term.pc, term.target);
         prefillFromBlock(blockAlign(term.pc));
         return false;
@@ -210,7 +252,7 @@ DecoupledFetchEngine::shotgunLookup(Addr bb_start, std::uint64_t term_idx,
         if (!ue) {
             // U-BTB miss: reactive prefill restores the target but NOT
             // the footprints (Section III).
-            reactiveStall(term.pc, now, "sg_ubtb_miss");
+            reactiveStall(term.pc, now, cUbtbMisses);
             sgBtb.updateU(term.pc, term.target, term.kind,
                           /*from_prefill=*/true);
             return false;
@@ -226,13 +268,13 @@ DecoupledFetchEngine::shotgunLookup(Addr bb_start, std::uint64_t term_idx,
             footprintPrefetch(blockAlign(term.target), ue->callFootprint,
                               now);
         } else {
-            statSet.add("sg_region_prefetch_skipped");
+            cSgRegionSkipped.add();
         }
         return true;
       }
       case InstrKind::Return: {
         if (!sgBtb.lookupRib(term.pc)) {
-            reactiveStall(term.pc, now, "sg_rib_miss");
+            reactiveStall(term.pc, now, cRibMisses);
             sgBtb.updateRib(term.pc);
             return false;
         }
@@ -284,13 +326,13 @@ DecoupledFetchEngine::bpuStep(Cycle now)
     // that latency-hiding is the decoupled frontend's genuine benefit.
     bool mispredicted = targetMispredict;
     if (targetMispredict)
-        statSet.add("bpu_target_mispredicts");
+        cBpuTargetMispredicts.add();
     if (term.isBranch()) {
         if (term.kind == InstrKind::CondBranch) {
             bool pred = tage.predict(term.pc);
             tage.update(term.pc, term.taken);
             if (pred != term.taken) {
-                statSet.add("bpu_mispredicts");
+                cBpuMispredicts.add();
                 mispredicted = true;
             }
         } else {
@@ -301,7 +343,7 @@ DecoupledFetchEngine::bpuStep(Cycle now)
             } else if (term.kind == InstrKind::Return) {
                 Addr predicted = ras.pop();
                 if (predicted != term.target) {
-                    statSet.add("bpu_ras_mispredicts");
+                    cBpuRasMispredicts.add();
                     mispredicted = true;
                 }
             }
@@ -325,7 +367,7 @@ DecoupledFetchEngine::bpuStep(Cycle now)
 
     if (mispredicted) {
         bpuStalledUntil = now + cfg.execRedirectPenalty;
-        statSet.add("fe_squashes");
+        cSquashes.add();
         // Wrong-path exploration until the redirect: the BPU's prefetch
         // machinery runs down the bogus path, wasting bandwidth and
         // polluting the cache - same cost the coupled frontend pays.
@@ -335,7 +377,7 @@ DecoupledFetchEngine::bpuStep(Cycle now)
                 : term.pc + term.len;
             l1i.prefetch(blockAlign(wrong), now);
             l1i.prefetch(blockAlign(wrong) + kBlockBytes, now);
-            statSet.add("bpu_wrong_path_prefetches", 2);
+            cWrongPathPrefetches.add(2);
         }
     }
 }
@@ -444,7 +486,7 @@ DecoupledFetchEngine::fetchStep(Cycle now)
         if (missed)
             return;
 
-        fetchBuffer.push_back({e, now + cfg.frontendStages});
+        fetchBuffer.push({e, now + cfg.frontendStages});
         recordFetched(e);
         ++fetchIdx;
         --budget;
@@ -455,11 +497,9 @@ DecoupledFetchEngine::fetchStep(Cycle now)
             break;
     }
 
-    // Trim consumed lookahead.
-    while (lookBase < fetchIdx && !look.empty()) {
-        look.pop_front();
-        ++lookBase;
-    }
+    // Trim consumed lookahead (just advances the ring's window base).
+    if (fetchIdx > lookBase)
+        lookBase = std::min(fetchIdx, lookEnd);
 }
 
 void
@@ -475,7 +515,7 @@ DecoupledFetchEngine::registerInvariants(rt::InvariantRegistry &reg)
     // The BPU discovers contiguous basic blocks, so FTQ entries must be
     // well-formed ranges, strictly ordered and contiguous, with the
     // fetch cursor inside the head entry.
-    reg.add("fe.ftq_ordering",
+    reg.add("fe.ftq_ordering", [this] { return ftq.size(); },
             [this](Cycle) -> std::optional<std::string> {
         std::uint64_t prev_end = 0;
         bool first = true;

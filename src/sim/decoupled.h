@@ -22,7 +22,6 @@
 #define DCFB_SIM_DECOUPLED_H
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "frontend/bb_btb.h"
@@ -90,8 +89,9 @@ class DecoupledFetchEngine : public FetchEngine, public mem::L1iListener
     bool boomerangLookup(Addr bb_start, std::uint64_t term_idx, Cycle now);
     bool shotgunLookup(Addr bb_start, std::uint64_t term_idx, Cycle now);
 
-    /** Begin a reactive prefill stall for the block at @p addr. */
-    void reactiveStall(Addr addr, Cycle now, const char *stat);
+    /** Begin a reactive prefill stall for the block at @p addr,
+     *  counting it against @p stat. */
+    void reactiveStall(Addr addr, Cycle now, obs::LazyCounter &stat);
 
     /** Prefetch + pre-decode the blocks named by a Shotgun footprint. */
     void footprintPrefetch(Addr anchor_block, std::uint8_t bits, Cycle now);
@@ -120,10 +120,25 @@ class DecoupledFetchEngine : public FetchEngine, public mem::L1iListener
     prefetch::BtbPrefetchBuffer btbPb; //!< Shotgun: 32-entry prefill buffer
 
     frontend::Ftq ftq;
-    std::deque<workload::TraceEntry> look;
+
+    /**
+     * Trace lookahead between the fetch cursor and the BPU cursor, as a
+     * power-of-two ring indexed by *absolute* trace index (entry i lives
+     * at look[i & lookMask]).  The window [lookBase, lookEnd) is
+     * contiguous; consuming the front is just advancing lookBase.  The
+     * ring grows (rarely: the window is bounded by the FTQ depth times
+     * the BB-scan bound) and is then reused for the rest of the run --
+     * the previous deque backing churned allocations every cycle.
+     */
+    std::vector<workload::TraceEntry> look;
+    std::size_t lookMask = 0;
     std::uint64_t lookBase = 0;
+    std::uint64_t lookEnd = 0;
     std::uint64_t bpuIdx = 0;
     std::uint64_t fetchIdx = 0;
+
+    /** Ensure lookahead entries exist up to absolute index @p idx. */
+    void extendLook(std::uint64_t idx);
 
     Cycle bpuStalledUntil = 0;
     bool targetMispredict = false; //!< stale stored target this BB
@@ -154,6 +169,12 @@ class DecoupledFetchEngine : public FetchEngine, public mem::L1iListener
     obs::Counter cFetched, cIcacheStallCycles, cEmptyFtqStallCycles,
         cBpuStallCycles, cFtqPushes;
     obs::Histogram hFtqOcc, hBufferOcc;
+    // Lazily-bound handles for per-event sites (see obs::LazyCounter).
+    obs::LazyCounter cReactiveFills, cSgPrefillBlocks,
+        cBoomerangPrefillEntries, cSgFootprintPrefetches, cSgCbtbFills,
+        cSgRegionSkipped, cBpuTargetMispredicts, cBpuMispredicts,
+        cBpuRasMispredicts, cSquashes, cWrongPathPrefetches,
+        cBbBtbMisses, cCbtbMisses, cUbtbMisses, cRibMisses;
 };
 
 } // namespace dcfb::sim

@@ -22,14 +22,23 @@ CoupledFetchEngine::CoupledFetchEngine(
     cMispredictStallCycles = statSet.counter("fe_mispredict_stall_cycles");
     cWrongPathBlocks = statSet.counter("fe_wrong_path_blocks");
     hBufferOcc = statSet.histogram("fetch_buffer_occ");
+    cBtbRedirects = statSet.lazy("fe_btb_redirects");
+    cMispredictRedirects = statSet.lazy("fe_mispredict_redirects");
+    cBtbBufferFills = statSet.lazy("fe_btb_buffer_fills");
+    cBtbMissTaken = statSet.lazy("fe_btb_miss_taken");
+    cBtbMissNotTaken = statSet.lazy("fe_btb_miss_not_taken");
+    cCondMispredicts = statSet.lazy("fe_cond_mispredicts");
+    cStaleTarget = statSet.lazy("fe_stale_target");
+    cIndirectMispredicts = statSet.lazy("fe_indirect_mispredicts");
+    cRasMispredicts = statSet.lazy("fe_ras_mispredicts");
     refill();
 }
 
 void
 CoupledFetchEngine::refill()
 {
-    while (look.size() < 64)
-        look.push_back(walker.next());
+    while (!look.full())
+        look.push(walker.next());
 }
 
 StallReason
@@ -50,9 +59,9 @@ CoupledFetchEngine::redirect(Cycle now, Cycle penalty, Addr wrong_path_pc,
     redirectReason = reason;
     wrongPathPc = wrong_path_pc;
     wrongPathBlock = kInvalidAddr;
-    statSet.add(reason == StallReason::BtbMissRedirect
-                    ? "fe_btb_redirects"
-                    : "fe_mispredict_redirects");
+    (reason == StallReason::BtbMissRedirect ? cBtbRedirects
+                                            : cMispredictRedirects)
+        .add();
 }
 
 void
@@ -117,7 +126,7 @@ CoupledFetchEngine::handleBranch(const TraceEntry &e, Cycle now)
                     from_buffer = {b->hasTarget ? b->target : e.target,
                                    b->kind};
                     entry = &from_buffer;
-                    statSet.add("fe_btb_buffer_fills");
+                    cBtbBufferFills.add();
                     if (obs::Tracing::enabled()) {
                         obs::Tracing::record("btb", now, e.pc,
                                              obs::MissClass::Btb,
@@ -133,7 +142,7 @@ CoupledFetchEngine::handleBranch(const TraceEntry &e, Cycle now)
         // fetch is accidentally correct for a not-taken conditional;
         // anything taken costs a decode-time redirect.
         if (e.taken) {
-            statSet.add("fe_btb_miss_taken");
+            cBtbMissTaken.add();
             if (obs::Tracing::enabled()) {
                 obs::Tracing::record("btb", now, e.pc, obs::MissClass::Btb,
                                      obs::MissOutcome::Uncovered);
@@ -143,7 +152,7 @@ CoupledFetchEngine::handleBranch(const TraceEntry &e, Cycle now)
             btb.update(e.pc, e.target, e.kind);
             return true;
         }
-        statSet.add("fe_btb_miss_not_taken");
+        cBtbMissNotTaken.add();
         btb.update(e.pc, e.target, e.kind);
         return false;
     }
@@ -152,7 +161,7 @@ CoupledFetchEngine::handleBranch(const TraceEntry &e, Cycle now)
     switch (e.kind) {
       case InstrKind::CondBranch:
         if (predicted_taken != e.taken) {
-            statSet.add("fe_cond_mispredicts");
+            cCondMispredicts.add();
             Addr wrong = predicted_taken ? entry->target : e.pc + e.len;
             redirect(now, cfg.execRedirectPenalty, wrong,
                      StallReason::MispredictRedirect);
@@ -160,7 +169,7 @@ CoupledFetchEngine::handleBranch(const TraceEntry &e, Cycle now)
             return true;
         }
         if (e.taken && entry->target != e.target) {
-            statSet.add("fe_stale_target");
+            cStaleTarget.add();
             redirect(now, cfg.execRedirectPenalty, entry->target,
                      StallReason::MispredictRedirect);
             btb.update(e.pc, e.target, e.kind);
@@ -170,7 +179,7 @@ CoupledFetchEngine::handleBranch(const TraceEntry &e, Cycle now)
       case InstrKind::Jump:
       case InstrKind::Call:
         if (entry->target != e.target) {
-            statSet.add("fe_stale_target");
+            cStaleTarget.add();
             redirect(now, cfg.decodeRedirectPenalty, entry->target,
                      StallReason::MispredictRedirect);
             btb.update(e.pc, e.target, e.kind);
@@ -179,7 +188,7 @@ CoupledFetchEngine::handleBranch(const TraceEntry &e, Cycle now)
         return true;
       case InstrKind::IndirectCall:
         if (entry->target != e.target) {
-            statSet.add("fe_indirect_mispredicts");
+            cIndirectMispredicts.add();
             redirect(now, cfg.execRedirectPenalty, entry->target,
                      StallReason::MispredictRedirect);
             btb.update(e.pc, e.target, e.kind);
@@ -188,7 +197,7 @@ CoupledFetchEngine::handleBranch(const TraceEntry &e, Cycle now)
         return true;
       case InstrKind::Return:
         if (ras_target != e.target) {
-            statSet.add("fe_ras_mispredicts");
+            cRasMispredicts.add();
             redirect(now, cfg.execRedirectPenalty,
                      ras_target == kInvalidAddr ? e.pc + e.len : ras_target,
                      StallReason::MispredictRedirect);
@@ -250,9 +259,9 @@ CoupledFetchEngine::cycle(Cycle now)
             }
         }
 
-        fetchBuffer.push_back({e, now + cfg.frontendStages});
+        fetchBuffer.push({e, now + cfg.frontendStages});
         pf.onFetchInstr({e.pc, e.len, e.kind, e.taken, e.target}, now);
-        look.pop_front();
+        look.pop();
         --budget;
         cFetched.add();
 

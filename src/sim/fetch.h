@@ -24,8 +24,8 @@
 #define DCFB_SIM_FETCH_H
 
 #include <cstdint>
-#include <deque>
 
+#include "common/queue.h"
 #include "common/stats.h"
 #include "frontend/btb.h"
 #include "frontend/ras.h"
@@ -61,7 +61,7 @@ class FetchEngine
 {
   public:
     explicit FetchEngine(const FetchConfig &config)
-        : cfg(config), fetchBuffer()
+        : cfg(config), fetchBuffer(config.fetchBufferEntries)
     {}
     virtual ~FetchEngine() = default;
 
@@ -71,13 +71,13 @@ class FetchEngine
     /** Why nothing (more) was delivered as of @p now. */
     virtual StallReason stallReason(Cycle now) const = 0;
 
-    std::deque<FetchedSlot> &buffer() { return fetchBuffer; }
+    BoundedQueue<FetchedSlot> &buffer() { return fetchBuffer; }
     const StatSet &stats() const { return statSet; }
     StatSet &stats() { return statSet; }
 
   protected:
     FetchConfig cfg;
-    std::deque<FetchedSlot> fetchBuffer;
+    BoundedQueue<FetchedSlot> fetchBuffer; //!< ring: drained every cycle
     StatSet statSet;
 };
 
@@ -129,8 +129,15 @@ class CoupledFetchEngine : public FetchEngine
     obs::Counter cFetched, cIcacheStallCycles, cBtbStallCycles,
         cMispredictStallCycles, cWrongPathBlocks;
     obs::Histogram hBufferOcc;
+    // Lazily-bound handles for per-branch event sites (these must only
+    // appear in results once they fire; see obs::LazyCounter).
+    obs::LazyCounter cBtbRedirects, cMispredictRedirects, cBtbBufferFills,
+        cBtbMissTaken, cBtbMissNotTaken, cCondMispredicts, cStaleTarget,
+        cIndirectMispredicts, cRasMispredicts;
 
-    std::deque<workload::TraceEntry> look; //!< trace lookahead
+    static constexpr std::size_t kLookahead = 64;
+    /** Trace lookahead window (ring; refilled to capacity each cycle). */
+    BoundedQueue<workload::TraceEntry> look{kLookahead};
     Addr currentBlock = kInvalidAddr;      //!< last block fetch accessed
 
     bool blockedOnFill = false;

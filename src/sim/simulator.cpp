@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "rt/watchdog.h"
 
@@ -27,7 +28,22 @@ merge(RunResult &out, const std::string &prefix, const StatSet &stats)
 rt::Expected<RunResult>
 trySimulate(const SystemConfig &config, const RunWindows &windows)
 {
+    // Profiling walls: setup covers System construction (workload image
+    // build or reuse, warm-touch, component wiring); warm/measure cover
+    // the two run windows.  All clock reads are gated so unprofiled runs
+    // pay nothing.
+    const bool prof = obs::Profiler::enabled();
+    double mark = prof ? obs::profNow() : 0.0;
+
     System system(config);
+
+    double setup_seconds = 0.0;
+    if (prof) {
+        double t = obs::profNow();
+        setup_seconds = t - mark;
+        mark = t;
+    }
+
     const rt::IntegrityConfig &ic = config.integrity;
     const Cycle interval = ic.sweepInterval ? ic.sweepInterval : 8192;
 
@@ -51,20 +67,32 @@ trySimulate(const SystemConfig &config, const RunWindows &windows)
 
     // One warm/measure window with periodic integrity sweeps.  The
     // sweeps are read-only, so enabling them does not perturb results.
+    auto sweep = [&]() -> std::optional<rt::Error> {
+        if (auto checked = system.invariants.check(system.now());
+            !checked.ok()) {
+            return fail(checked.error());
+        }
+        if (watchdog) {
+            if (auto err = watchdog->observe(
+                    system.now(), system.instructions(), fetched())) {
+                return fail(std::move(*err));
+            }
+        }
+        return std::nullopt;
+    };
+
     auto run_window = [&](Cycle cycles) -> std::optional<rt::Error> {
         for (Cycle c = 0; c < cycles; ++c) {
             system.step();
             if (system.now() % interval != 0)
                 continue;
-            if (auto checked = system.invariants.check(system.now());
-                !checked.ok()) {
-                return fail(checked.error());
-            }
-            if (watchdog) {
-                if (auto err = watchdog->observe(
-                        system.now(), system.instructions(), fetched())) {
-                    return fail(std::move(*err));
-                }
+            if (prof) {
+                obs::PhaseTimer t(system.profPhases,
+                                  obs::ProfPhase::Integrity);
+                if (auto err = sweep())
+                    return err;
+            } else if (auto err = sweep()) {
+                return err;
             }
         }
         return std::nullopt;
@@ -72,6 +100,13 @@ trySimulate(const SystemConfig &config, const RunWindows &windows)
 
     if (auto err = run_window(windows.warm))
         return std::move(*err);
+
+    double warm_seconds = 0.0;
+    if (prof) {
+        double t = obs::profNow();
+        warm_seconds = t - mark;
+        mark = t;
+    }
 
     std::uint64_t instr_before = system.instructions();
     system.resetStats();
@@ -98,6 +133,19 @@ trySimulate(const SystemConfig &config, const RunWindows &windows)
     res.design = presetName(config.preset);
     res.cycles = windows.measure;
     res.instructions = system.instructions() - instr_before;
+
+    if (prof) {
+        obs::ProfRecord rec;
+        rec.workload = res.workload;
+        rec.design = res.design;
+        rec.cycles = windows.warm + windows.measure;
+        rec.instructions = system.instructions();
+        rec.setupSeconds = setup_seconds;
+        rec.warmSeconds = warm_seconds;
+        rec.measureSeconds = obs::profNow() - mark;
+        rec.phaseSeconds = system.profPhases;
+        obs::Profiler::push(std::move(rec));
+    }
 
     merge(res, "sim", system.simStats);
     merge(res, "fe", system.fetch->stats());

@@ -283,7 +283,7 @@ System::dispatchStage()
         }
         backend->dispatch(e.kind, cycleCount, data_ready);
         recordRetiredFootprints(e);
-        buffer.pop_front();
+        buffer.pop();
         ++dispatched;
     }
 
@@ -320,11 +320,43 @@ System::dispatchStage()
 void
 System::step()
 {
+    if (obs::Profiler::enabled()) [[unlikely]] {
+        stepProfiled();
+        return;
+    }
     backend->beginCycle(cycleCount);
     l1i->tick(cycleCount);
     prefetcher->tick(cycleCount);
     dispatchStage();
     fetch->cycle(cycleCount);
+    ++cycleCount;
+}
+
+void
+System::stepProfiled()
+{
+    using obs::PhaseTimer;
+    using obs::ProfPhase;
+    {
+        PhaseTimer t(profPhases, ProfPhase::Backend);
+        backend->beginCycle(cycleCount);
+    }
+    {
+        PhaseTimer t(profPhases, ProfPhase::L1iTick);
+        l1i->tick(cycleCount);
+    }
+    {
+        PhaseTimer t(profPhases, ProfPhase::Prefetcher);
+        prefetcher->tick(cycleCount);
+    }
+    {
+        PhaseTimer t(profPhases, ProfPhase::Dispatch);
+        dispatchStage();
+    }
+    {
+        PhaseTimer t(profPhases, ProfPhase::Fetch);
+        fetch->cycle(cycleCount);
+    }
     ++cycleCount;
 }
 

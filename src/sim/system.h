@@ -19,6 +19,7 @@
 #include "mem/memory.h"
 #include "noc/mesh.h"
 #include "obs/json.h"
+#include "obs/profiler.h"
 #include "prefetch/prefetcher.h"
 #include "sim/config.h"
 #include "sim/decoupled.h"
@@ -82,11 +83,19 @@ class System
     rt::FaultInjector injector;     //!< active only under --inject
     rt::InvariantRegistry invariants;
 
+    /** Per-phase cycle-loop attribution; only written while
+     *  obs::Profiler::enabled() (the integrity slot is accumulated by
+     *  the run loop in simulator.cpp). */
+    obs::PhaseSeconds profPhases{};
+
   private:
     /** Wire the fault injector and register every component invariant. */
     void registerIntegrity();
 
     void dispatchStage();
+
+    /** step() with per-phase wall attribution (profiling runs only). */
+    void stepProfiled();
 
     Cycle cycleCount = 0;
     std::uint64_t instructionsRetired = 0;

@@ -200,6 +200,86 @@ TEST(RtInvariants, DisabledRegistrySweepsNothing)
     EXPECT_EQ(calls, 0);
 }
 
+TEST(RtInvariants, ZeroActivityGateSkipsTheCheck)
+{
+    InvariantRegistry reg;
+    std::size_t active = 0;
+    int walks = 0;
+    reg.add("gated.walk", [&active] { return active; },
+            [&walks](Cycle) -> std::optional<std::string> {
+                ++walks;
+                return std::nullopt;
+            });
+
+    // Idle state: the gate answers 0, the walk must never run.
+    for (Cycle c = 1; c <= 5; ++c)
+        EXPECT_TRUE(reg.sweep(c).empty());
+    EXPECT_EQ(walks, 0);
+    EXPECT_EQ(reg.checksRun(), 0u);
+    EXPECT_EQ(reg.checksSkipped(), 5u);
+
+    // Entries appear: the same registration runs again.
+    active = 3;
+    EXPECT_TRUE(reg.sweep(6).empty());
+    EXPECT_EQ(walks, 1);
+    EXPECT_EQ(reg.checksRun(), 1u);
+
+    // Drained again: back to skipping.
+    active = 0;
+    EXPECT_TRUE(reg.sweep(7).empty());
+    EXPECT_EQ(walks, 1);
+    EXPECT_EQ(reg.checksSkipped(), 6u);
+}
+
+TEST(RtInvariants, GatedViolationStillReportsWhenActive)
+{
+    InvariantRegistry reg;
+    std::size_t active = 0;
+    reg.add("gated.fails", [&active] { return active; },
+            [](Cycle) -> std::optional<std::string> {
+                return "bad entry";
+            });
+    EXPECT_TRUE(reg.sweep(1).empty()); // masked while idle
+    active = 1;
+    auto violations = reg.sweep(2);
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations[0].invariant, "gated.fails");
+}
+
+TEST(RtInvariants, SweepCostIsActiveEntriesNotCapacity)
+{
+    // The contract the simulator relies on: a sweep over idle machine
+    // state costs one gate probe per gated check -- no structure walks.
+    // Pin it by counting both probes and walks over a mixed registry.
+    InvariantRegistry reg;
+    int probes = 0, walks = 0;
+    std::size_t active = 0;
+    for (int i = 0; i < 8; ++i) {
+        reg.add("gated." + std::to_string(i),
+                [&probes, &active] {
+                    ++probes;
+                    return active;
+                },
+                [&walks](Cycle) -> std::optional<std::string> {
+                    ++walks;
+                    return std::nullopt;
+                });
+    }
+    reg.add("ungated", [&walks](Cycle) -> std::optional<std::string> {
+        ++walks;
+        return std::nullopt;
+    });
+
+    reg.sweep(1);
+    EXPECT_EQ(probes, 8);
+    EXPECT_EQ(walks, 1); // only the ungated check walked
+
+    active = 2;
+    reg.sweep(2);
+    EXPECT_EQ(probes, 16);
+    EXPECT_EQ(walks, 10); // all 8 gated walks + the ungated one
+}
+
 TEST(RtWatchdog, HealthyProgressNeverTrips)
 {
     Watchdog dog(100);
