@@ -15,7 +15,13 @@
  *                   document -- the BENCH_*.json regression format
  *   --trace <file>  stream miss-attribution events from every simulated
  *                   run into <file> (*.jsonl -> JSONL, else Chrome
- *                   trace-event format)
+ *                   trace-event format); runs buffer per thread and
+ *                   merge at close, so the sweep still parallelizes
+ *   --trace-spans <file>  write a span timeline (Chrome trace-event
+ *                   JSON) of the whole process: one exec.cell span per
+ *                   simulated cell on its worker's track, with
+ *                   sim.setup/warm/measure children (DESIGN.md
+ *                   "Telemetry plane")
  *   --inject <spec> seeded fault injection applied to every run, e.g.
  *                   drop:rate=0.5,seed=3 (see README "Robustness")
  *   --jobs <n>      worker threads for experiment sweeps (default: auto,
@@ -31,6 +37,10 @@
  *                   emit the records as the JSON document's "prof"
  *                   section.  Simulated results are unchanged; see
  *                   DESIGN.md section 10 for the overhead model.
+ *
+ * Every `--json` document's "meta" section also records the process's
+ * peak RSS and CPU time (peak_rss_bytes, cpu_user_s, cpu_sys_s, from
+ * getrusage) so regression archives carry resource provenance.
  */
 
 #ifndef DCFB_BENCH_COMMON_H
@@ -44,9 +54,12 @@
 #include <string>
 #include <vector>
 
+#include <sys/resource.h>
+
 #include "exec/schedule.h"
 #include "obs/json.h"
 #include "obs/profiler.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "rt/faults.h"
 #include "sim/experiment.h"
@@ -75,16 +88,14 @@ windows()
  * program.  Results are deterministic and identical for every job
  * count; the sweep's wall time, per-cell times and pool occupancy are
  * pushed to exec::ExecLog and land in the JSON report's "exec" section.
- * When the process-global tracer is open the sweep runs serially (the
- * trace stream tags one active run at a time).
+ * Tracing no longer constrains the job count: the tracer buffers each
+ * run on its thread and merges at close.
  */
 inline std::vector<sim::RunResult>
 simulateAll(const std::string &label, std::vector<sim::SystemConfig> configs,
             const sim::RunWindows &windows)
 {
     unsigned jobs = exec::resolveJobs();
-    if (obs::Tracing::sinkOpen())
-        jobs = 1;
     for (auto &cfg : configs) {
         if (!cfg.program)
             cfg.program = workload::ImageCache::global().get(cfg.profile);
@@ -144,12 +155,19 @@ class Harness
         banner(figure_, claim_);
         if (!tracePath.empty() && obs::Tracing::open(tracePath))
             traceOpened = true;
+        if (!spanPath.empty() && obs::Spans::open(spanPath))
+            spansOpened = true;
     }
 
     ~Harness()
     {
         if (traceOpened)
             obs::Tracing::close();
+        if (spansOpened) {
+            obs::Spans::close();
+            std::printf("[span timeline written to %s]\n",
+                        spanPath.c_str());
+        }
         if (!jsonPath.empty())
             writeJson();
     }
@@ -199,8 +217,9 @@ class Harness
             };
             if (arg == "--help" || arg == "-h") {
                 std::printf("usage: %s [--json <file>] [--trace <file>] "
-                            "[--inject <spec>] [--jobs <n>|auto] "
-                            "[--cache <dir>] [--profile]\n",
+                            "[--trace-spans <file>] [--inject <spec>] "
+                            "[--jobs <n>|auto] [--cache <dir>] "
+                            "[--profile]\n",
                             argv[0]);
                 std::exit(0);
             } else if (arg == "--profile") {
@@ -234,6 +253,9 @@ class Harness
                 std::printf("  [result cache: %s]\n", dir.c_str());
             } else if (arg.rfind("--json", 0) == 0) {
                 jsonPath = value("--json");
+            } else if (arg.rfind("--trace-spans", 0) == 0) {
+                // Checked before --trace: that branch matches by prefix.
+                spanPath = value("--trace-spans");
             } else if (arg.rfind("--trace", 0) == 0) {
                 tracePath = value("--trace");
             } else if (arg.rfind("--inject", 0) == 0) {
@@ -271,6 +293,17 @@ class Harness
         win["warm"] = windows().warm;
         win["measure"] = windows().measure;
         meta["windows"] = std::move(win);
+        // Resource provenance (dcfb-bench-v1 additions; ru_maxrss is
+        // kilobytes on Linux).
+        rusage ru{};
+        if (getrusage(RUSAGE_SELF, &ru) == 0) {
+            meta["peak_rss_bytes"] =
+                static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+            meta["cpu_user_s"] = static_cast<double>(ru.ru_utime.tv_sec) +
+                static_cast<double>(ru.ru_utime.tv_usec) * 1e-6;
+            meta["cpu_sys_s"] = static_cast<double>(ru.ru_stime.tv_sec) +
+                static_cast<double>(ru.ru_stime.tv_usec) * 1e-6;
+        }
         if (svc::ResultCache *cache = svc::ResultCache::global()) {
             svc::ResultCacheStats cs = cache->stats();
             obs::JsonValue c = obs::JsonValue::object();
@@ -317,34 +350,11 @@ class Harness
         if (!execs.items().empty())
             doc["exec"] = std::move(execs);
         // Per-cell timing records (--profile only, so default documents
-        // stay bit-identical to the pre-profiler format).
-        if (profileEnabled) {
-            obs::JsonValue cells = obs::JsonValue::array();
-            for (const auto &rec : obs::Profiler::drain()) {
-                obs::JsonValue p = obs::JsonValue::object();
-                p["workload"] = rec.workload;
-                p["design"] = rec.design;
-                p["cycles"] = rec.cycles;
-                p["instructions"] = rec.instructions;
-                p["setup_s"] = rec.setupSeconds;
-                p["warm_s"] = rec.warmSeconds;
-                p["measure_s"] = rec.measureSeconds;
-                p["sim_s"] = rec.simSeconds();
-                p["cycles_per_sec"] = rec.cyclesPerSecond();
-                obs::JsonValue phases = obs::JsonValue::object();
-                for (unsigned i = 0; i < obs::kProfPhases; ++i) {
-                    phases[obs::profPhaseName(
-                        static_cast<obs::ProfPhase>(i))] =
-                        rec.phaseSeconds[i];
-                }
-                p["phase_s"] = std::move(phases);
-                cells.push(std::move(p));
-            }
-            obs::JsonValue prof = obs::JsonValue::object();
-            prof["schema"] = "dcfb-prof-v1";
-            prof["cells"] = std::move(cells);
-            doc["prof"] = std::move(prof);
-        }
+        // stay bit-identical to the pre-profiler format).  profJson
+        // sorts cells by (workload, design), making the section stable
+        // under any --jobs count.
+        if (profileEnabled)
+            doc["prof"] = obs::profJson(obs::Profiler::drain());
         std::ofstream out(jsonPath, std::ios::out | std::ios::trunc);
         if (!out.is_open()) {
             std::fprintf(stderr, "cannot open %s\n", jsonPath.c_str());
@@ -358,8 +368,10 @@ class Harness
     std::string claim;
     std::string jsonPath;
     std::string tracePath;
+    std::string spanPath;
     std::string injectSpec;
     bool traceOpened = false;
+    bool spansOpened = false;
     bool profileEnabled = false;
     obs::JsonValue tables = obs::JsonValue::array();
     obs::JsonValue notes = obs::JsonValue::object();

@@ -16,12 +16,21 @@ end the script checks the daemon's own accounting (stats op) and then
 sends SIGTERM and requires a clean drain: exit code 0 and a final
 stats JSON document on stdout.
 
+While the storm runs, a scraper thread polls the `metrics` op and
+checks every reply parses as Prometheus text exposition 0.0.4 and
+carries the dcfb_jobs_inflight gauge; after the clients drain the
+gauge must read 0 again.
+
 Pass criteria (any failure exits non-zero):
   - >= 99% of valid requests produce a fetched result;
   - every duplicate of a spec fetches a result identical to the first;
   - sims_executed == number of unique specs (dedup held);
   - invariant_violations == 0 and queue_peak <= queue_capacity;
   - every invalid request got a well-formed ok:false reply;
+  - every metrics scrape is valid exposition with dcfb_jobs_inflight,
+    and the gauge returns to 0 once the clients are done;
+  - the drain stats carry svc.op.*.latency_us histograms whose
+    cumulative buckets are monotone and end at the sample count;
   - SIGTERM => exit 0 with parseable final stats.
 
 Stdlib only; no external dependencies.
@@ -151,6 +160,64 @@ def run_valid(path, spec, out, idx):
             pass
 
 
+def parse_exposition(body):
+    """Parse Prometheus text exposition 0.0.4 into {name: [(labels, value)]}.
+
+    Raises ValueError on any malformed line, so a scrape doubles as a
+    format check.  Histogram child series keep their label part as an
+    opaque string; the smoke test only needs names and sample values.
+    """
+    samples = {}
+    for line in body.splitlines():
+        if not line or line.startswith("#"):
+            if line.startswith("#") and not (
+                    line.startswith("# TYPE ") or line.startswith("# HELP ")):
+                raise ValueError(f"bad comment line: {line!r}")
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        if not name_part:
+            raise ValueError(f"bad sample line: {line!r}")
+        float(value_part)  # must parse (inf/nan allowed)
+        if "{" in name_part:
+            name, labels = name_part.split("{", 1)
+            if not labels.endswith("}"):
+                raise ValueError(f"bad label part: {line!r}")
+        else:
+            name, labels = name_part, ""
+        if not name or not all(
+                c.isalnum() or c in "_:" for c in name):
+            raise ValueError(f"bad metric name: {line!r}")
+        samples.setdefault(name, []).append((labels, float(value_part)))
+    return samples
+
+
+def scrape_metrics(path):
+    """One metrics request; returns the parsed exposition body."""
+    c = Client(path)
+    try:
+        reply = c.request({"op": "metrics"})
+        if not reply.get("ok") or "body" not in reply:
+            raise ValueError(f"bad metrics reply: {reply}")
+        return parse_exposition(reply["body"])
+    finally:
+        c.close()
+
+
+def run_scraper(path, stop, out):
+    """Poll the metrics op until told to stop; record any failure."""
+    scrapes = 0
+    try:
+        while not stop.is_set():
+            samples = scrape_metrics(path)
+            if "dcfb_jobs_inflight" not in samples:
+                raise ValueError("dcfb_jobs_inflight missing from scrape")
+            scrapes += 1
+            stop.wait(0.2)
+        out["scrapes"] = scrapes
+    except Exception as exc:  # noqa: BLE001
+        out["error"] = repr(exc)
+
+
 def run_invalid(path, line, out, idx):
     """A bad request must yield ok:false and leave the connection live."""
     try:
@@ -201,6 +268,13 @@ def main():
         ping = Client(sock_path).request({"op": "ping"})
         assert ping.get("ok"), ping
 
+        scraper_stop = threading.Event()
+        scraper_out = {}
+        scraper = threading.Thread(
+            target=run_scraper,
+            args=(sock_path, scraper_stop, scraper_out))
+        scraper.start()
+
         specs = [(w, p, s) for w in WORKLOADS for p in PRESETS
                  for s in SEEDS]
         rng = random.Random(20260806)
@@ -228,6 +302,29 @@ def main():
         print(f"smoke: {len(threads)} clients finished in {wall:.1f}s",
               flush=True)
 
+        scraper_stop.set()
+        scraper.join(timeout=30)
+        if "error" in scraper_out:
+            failures.append(
+                f"metrics scrape failed: {scraper_out['error']}")
+        else:
+            print(f"smoke: {scraper_out.get('scrapes', 0)} metrics "
+                  f"scrapes, all valid exposition", flush=True)
+
+        # Every client fetched a terminal result, so the inflight gauge
+        # must come back to zero (allow a moment for bookkeeping).
+        inflight = None
+        for _ in range(100):
+            samples = scrape_metrics(sock_path)
+            inflight = samples["dcfb_jobs_inflight"][0][1]
+            if inflight == 0:
+                break
+            time.sleep(0.1)
+        if inflight != 0:
+            failures.append(
+                f"dcfb_jobs_inflight={inflight} after clients drained, "
+                f"expected 0")
+
         ok_valid = sum(1 for v in valid_out if v and v[0] == "done")
         need = -(-args.valid * 99 // 100)  # ceil(99%)
         if ok_valid < need:
@@ -252,7 +349,13 @@ def main():
                 f"{len(bad_invalid)} invalid requests mishandled: "
                 f"{bad_invalid[:5]}")
 
-        stats = Client(sock_path).request({"op": "stats"})
+        # A request's own latency is sampled after its reply is built,
+        # so take the snapshot twice: the second sees the first's sample
+        # and every op the storm exercised has a populated histogram.
+        stats_client = Client(sock_path)
+        stats_client.request({"op": "stats"})
+        stats = stats_client.request({"op": "stats"})
+        stats_client.close()
         counters = stats.get("counters", {})
         sims = counters.get("svc.sims_executed")
         if sims != len(specs):
@@ -270,6 +373,26 @@ def main():
             failures.append(
                 f"cache stores={cache.get('stores')}, expected "
                 f"{len(specs)}")
+        # Per-op latency histograms: present for every op the storm
+        # exercised, with monotone cumulative buckets ending at count.
+        hists = stats.get("hists", {})
+        for op in ("submit", "fetch", "ping", "stats"):
+            name = f"svc.op.{op}.latency_us"
+            h = hists.get(name)
+            if not h:
+                failures.append(f"stats missing histogram {name}")
+                continue
+            if h.get("count", 0) <= 0:
+                failures.append(f"{name} recorded no samples")
+                continue
+            counts = [b["count"] for b in h.get("buckets", [])]
+            if counts != sorted(counts):
+                failures.append(f"{name} buckets not monotone: {counts}")
+            if counts and counts[-1] != h["count"]:
+                failures.append(
+                    f"{name} cumulative tail {counts[-1]} != "
+                    f"count {h['count']}")
+
         dedup = counters.get("svc.coalesced", 0) + \
             counters.get("svc.cache_hits", 0)
         print(f"smoke: sims={sims} coalesced+cache_hits={dedup} "
@@ -277,6 +400,11 @@ def main():
               f"rejected_full={counters.get('svc.rejected_full')}",
               flush=True)
     finally:
+        try:
+            scraper_stop.set()
+            scraper.join(timeout=5)
+        except NameError:
+            pass  # failed before the scraper started
         serve.send_signal(signal.SIGTERM)
         try:
             stdout, _ = serve.communicate(timeout=60)

@@ -1,6 +1,9 @@
 #include "exec/pool.h"
 
 #include <chrono>
+#include <string>
+
+#include "obs/span.h"
 
 namespace dcfb::exec {
 
@@ -17,8 +20,14 @@ Pool::Pool(unsigned workers_, std::size_t queue_capacity)
     capacity = queue_capacity ? queue_capacity
                               : static_cast<std::size_t>(n) * 2;
     threads.reserve(n);
-    for (unsigned i = 0; i < n; ++i)
-        threads.emplace_back([this] { workerLoop(); });
+    for (unsigned i = 0; i < n; ++i) {
+        threads.emplace_back([this, i] {
+            // Named tracks make the span timeline's per-worker
+            // occupancy readable; a no-op when the sink is closed.
+            obs::Spans::setThreadName("worker-" + std::to_string(i));
+            workerLoop();
+        });
+    }
 }
 
 Pool::~Pool()

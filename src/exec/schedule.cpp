@@ -2,8 +2,10 @@
 
 #include <chrono>
 #include <mutex>
+#include <optional>
 
 #include "exec/pool.h"
+#include "obs/span.h"
 
 namespace dcfb::exec {
 
@@ -68,11 +70,20 @@ runIndexed(std::string label, std::size_t n, unsigned jobs,
             report.cellTimes[i].label = cell_label(i);
     }
 
+    // One span per cell (serial and pooled paths alike): the timeline
+    // then shows every worker's occupancy, labelled with the cell.
+    auto traced_body = [&](std::size_t i) {
+        std::optional<obs::SpanScope> cell;
+        if (obs::Spans::enabled())
+            cell.emplace("exec.cell", report.cellTimes[i].label);
+        body(i);
+    };
+
     auto t0 = std::chrono::steady_clock::now();
     if (report.jobs <= 1) {
         for (std::size_t i = 0; i < n; ++i) {
             auto c0 = std::chrono::steady_clock::now();
-            body(i);
+            traced_body(i);
             report.cellTimes[i].seconds = secondsSince(c0);
             report.busySeconds += report.cellTimes[i].seconds;
         }
@@ -85,7 +96,7 @@ runIndexed(std::string label, std::size_t n, unsigned jobs,
         for (std::size_t i = 0; i < n; ++i) {
             pool.submit([&, i] {
                 auto c0 = std::chrono::steady_clock::now();
-                body(i);
+                traced_body(i);
                 // Each slot is written by exactly one task; the
                 // pool barrier publishes them to the caller.
                 report.cellTimes[i].seconds = secondsSince(c0);

@@ -5,6 +5,7 @@
 
 #include "obs/profiler.h"
 
+#include <algorithm>
 #include <mutex>
 #include <utility>
 
@@ -68,6 +69,40 @@ Profiler::drain()
 {
     std::lock_guard<std::mutex> lock(logMutex());
     return std::exchange(logRecords(), {});
+}
+
+JsonValue
+profJson(std::vector<ProfRecord> records)
+{
+    std::stable_sort(records.begin(), records.end(),
+                     [](const ProfRecord &a, const ProfRecord &b) {
+                         if (a.workload != b.workload)
+                             return a.workload < b.workload;
+                         return a.design < b.design;
+                     });
+    JsonValue cells = JsonValue::array();
+    for (const auto &rec : records) {
+        JsonValue p = JsonValue::object();
+        p["workload"] = rec.workload;
+        p["design"] = rec.design;
+        p["cycles"] = rec.cycles;
+        p["instructions"] = rec.instructions;
+        p["setup_s"] = rec.setupSeconds;
+        p["warm_s"] = rec.warmSeconds;
+        p["measure_s"] = rec.measureSeconds;
+        p["sim_s"] = rec.simSeconds();
+        p["cycles_per_sec"] = rec.cyclesPerSecond();
+        JsonValue phases = JsonValue::object();
+        for (unsigned i = 0; i < kProfPhases; ++i)
+            phases[profPhaseName(static_cast<ProfPhase>(i))] =
+                rec.phaseSeconds[i];
+        p["phase_s"] = std::move(phases);
+        cells.push(std::move(p));
+    }
+    JsonValue prof = JsonValue::object();
+    prof["schema"] = "dcfb-prof-v1";
+    prof["cells"] = std::move(cells);
+    return prof;
 }
 
 } // namespace dcfb::obs

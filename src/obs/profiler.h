@@ -35,6 +35,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/json.h"
+
 namespace dcfb::obs {
 
 /** The attributed phases of one simulated cycle (System::step order),
@@ -105,6 +107,15 @@ class Profiler
   private:
     static std::atomic<bool> enabledFlag;
 };
+
+/**
+ * Render profiler records as the `dcfb-prof-v1` JSON section
+ * ({"schema", "cells": [...]}).  Cells are sorted by (workload,
+ * design) so the document is identical for every `--jobs` value (the
+ * drain order under a pool is interleaving-dependent).  The bench
+ * harness and the schema tests share this one producer.
+ */
+JsonValue profJson(std::vector<ProfRecord> records);
 
 /** Monotonic seconds-since-some-epoch helper shared by the timers. */
 inline double

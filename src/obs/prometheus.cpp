@@ -1,0 +1,109 @@
+#include "obs/prometheus.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace dcfb::obs {
+
+namespace {
+
+void
+appendUint(std::string &out, std::uint64_t value)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(value));
+    out += buf;
+}
+
+void
+appendDouble(std::string &out, double value)
+{
+    if (!std::isfinite(value)) {
+        out += value > 0 ? "+Inf" : (value < 0 ? "-Inf" : "NaN");
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.10g", value);
+    out += buf;
+}
+
+void
+typeLine(std::string &out, const std::string &name, const char *type)
+{
+    out += "# TYPE ";
+    out += name;
+    out += ' ';
+    out += type;
+    out += '\n';
+}
+
+} // namespace
+
+std::string
+promName(std::string_view raw)
+{
+    std::string name;
+    name.reserve(raw.size());
+    for (char c : raw) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+            (c >= '0' && c <= '9') || c == '_' || c == ':';
+        name += ok ? c : '_';
+    }
+    if (name.empty() || (name[0] >= '0' && name[0] <= '9'))
+        name.insert(name.begin(), '_');
+    return name;
+}
+
+void
+promCounter(std::string &out, const std::string &name,
+            std::uint64_t value)
+{
+    typeLine(out, name, "counter");
+    out += name;
+    out += ' ';
+    appendUint(out, value);
+    out += '\n';
+}
+
+void
+promGauge(std::string &out, const std::string &name, double value)
+{
+    typeLine(out, name, "gauge");
+    out += name;
+    out += ' ';
+    appendDouble(out, value);
+    out += '\n';
+}
+
+void
+promHistogram(std::string &out, const std::string &name,
+              const HistogramSnapshot &snap)
+{
+    typeLine(out, name, "histogram");
+    std::uint64_t cumulative = 0;
+    for (const auto &bucket : snap.buckets) {
+        cumulative += bucket.second;
+        out += name;
+        out += "_bucket{le=\"";
+        appendUint(out, histBucketHigh(bucket.first));
+        out += "\"} ";
+        appendUint(out, cumulative);
+        out += '\n';
+    }
+    out += name;
+    out += "_bucket{le=\"+Inf\"} ";
+    appendUint(out, snap.count);
+    out += '\n';
+    out += name;
+    out += "_sum ";
+    appendUint(out, snap.sum);
+    out += '\n';
+    out += name;
+    out += "_count ";
+    appendUint(out, snap.count);
+    out += '\n';
+}
+
+} // namespace dcfb::obs

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Prometheus text-exposition rendering (format 0.0.4) for the metrics
+ * plane: registry counters become `counter` samples, derived values
+ * become `gauge`s, and the log2 histograms render as cumulative
+ * `histogram` buckets whose `le` edges are the histBucketHigh() bounds
+ * of the non-empty buckets (plus the mandatory `+Inf`).
+ *
+ * Rendering is append-only into a caller-owned string so one exposition
+ * body is a single allocation-friendly pass; dcfb-serve's `metrics` op
+ * and the unit tests are the consumers.  Dotted registry names
+ * ("svc.queue_wait_us") are sanitized to the Prometheus charset by
+ * promName() ("svc_queue_wait_us"); callers add the `dcfb_` namespace
+ * prefix and the conventional `_total` counter suffix.
+ */
+
+#ifndef DCFB_OBS_PROMETHEUS_H
+#define DCFB_OBS_PROMETHEUS_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/registry.h"
+
+namespace dcfb::obs {
+
+/** Sanitize @p raw to the Prometheus metric-name charset
+ *  [a-zA-Z0-9_:]; every other character becomes '_'. */
+std::string promName(std::string_view raw);
+
+/** Append one `counter` metric (TYPE line + sample). */
+void promCounter(std::string &out, const std::string &name,
+                 std::uint64_t value);
+
+/** Append one `gauge` metric (TYPE line + sample). */
+void promGauge(std::string &out, const std::string &name, double value);
+
+/** Append one `histogram` metric: cumulative `_bucket{le=...}` samples
+ *  over the snapshot's non-empty log2 buckets, then `+Inf`, `_sum` and
+ *  `_count`. */
+void promHistogram(std::string &out, const std::string &name,
+                   const HistogramSnapshot &snap);
+
+} // namespace dcfb::obs
+
+#endif // DCFB_OBS_PROMETHEUS_H

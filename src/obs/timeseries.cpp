@@ -1,0 +1,78 @@
+#include "obs/timeseries.h"
+
+namespace dcfb::obs {
+
+Timeseries::Timeseries(std::size_t capacity_)
+    : cap(capacity_ ? capacity_ : 1)
+{
+    ring.resize(cap);
+}
+
+std::size_t
+Timeseries::addSeries(std::string name)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    columns.push_back(std::move(name));
+    return columns.size() - 1;
+}
+
+std::vector<std::string>
+Timeseries::names() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return columns;
+}
+
+void
+Timeseries::push(std::uint64_t t_ms, std::vector<double> values)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    values.resize(columns.size(), 0.0);
+    ring[head] = Sample{t_ms, std::move(values)};
+    head = (head + 1) % cap;
+    if (count < cap)
+        ++count;
+}
+
+std::vector<Timeseries::Sample>
+Timeseries::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    std::vector<Sample> out;
+    out.reserve(count);
+    std::size_t start = (head + cap - count) % cap;
+    for (std::size_t i = 0; i < count; ++i)
+        out.push_back(ring[(start + i) % cap]);
+    return out;
+}
+
+std::size_t
+Timeseries::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return count;
+}
+
+JsonValue
+Timeseries::toJson() const
+{
+    JsonValue doc = JsonValue::object();
+    JsonValue names_json = JsonValue::array();
+    for (const auto &name : names())
+        names_json.push(name);
+    doc["names"] = std::move(names_json);
+    JsonValue samples = JsonValue::array();
+    for (const auto &sample : snapshot()) {
+        JsonValue s = JsonValue::object();
+        s["t_ms"] = sample.tMs;
+        JsonValue v = JsonValue::array();
+        for (double value : sample.values)
+            v.push(value);
+        s["v"] = std::move(v);
+        samples.push(std::move(s));
+    }
+    doc["samples"] = std::move(samples);
+    return doc;
+}
+
+} // namespace dcfb::obs

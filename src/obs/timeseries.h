@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fixed-capacity time-series ring for the live metrics plane.
+ *
+ * A Timeseries holds a small set of named columns (gauges: queue
+ * depth, jobs in flight, cache hit rate, pool occupancy, cells/s) and
+ * a bounded ring of samples; each sample is one timestamp plus one
+ * value per column.  The daemon's sampler thread push()es a snapshot
+ * every `--metrics-interval-ms`, and the `metrics` op serializes the
+ * ring so `dcfb-client metrics --watch` can render recent history
+ * without the daemon ever growing unbounded.
+ *
+ * Thread-safe (one internal mutex); this is a control-plane structure
+ * sampled a few times a second, never a simulation hot path.
+ */
+
+#ifndef DCFB_OBS_TIMESERIES_H
+#define DCFB_OBS_TIMESERIES_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace dcfb::obs {
+
+class Timeseries
+{
+  public:
+    struct Sample
+    {
+        std::uint64_t tMs = 0; //!< sampler-relative timestamp
+        std::vector<double> values;
+    };
+
+    explicit Timeseries(std::size_t capacity_ = 512);
+
+    /** Register a column; returns its index into Sample::values. */
+    std::size_t addSeries(std::string name);
+
+    std::vector<std::string> names() const;
+    std::size_t capacity() const { return cap; }
+
+    /** Append one sample, evicting the oldest at capacity.  Missing
+     *  trailing values read as 0. */
+    void push(std::uint64_t t_ms, std::vector<double> values);
+
+    /** Samples in arrival order, oldest first. */
+    std::vector<Sample> snapshot() const;
+
+    std::size_t size() const;
+
+    /** {"names": [...], "samples": [{"t_ms": ..., "v": [...]}]} */
+    JsonValue toJson() const;
+
+  private:
+    mutable std::mutex mutex;
+    std::size_t cap;
+    std::vector<std::string> columns;
+    std::vector<Sample> ring; //!< circular once full
+    std::size_t head = 0;     //!< next write position
+    std::size_t count = 0;
+};
+
+} // namespace dcfb::obs
+
+#endif // DCFB_OBS_TIMESERIES_H

@@ -1,7 +1,10 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
+#include <vector>
 
 #include "obs/json.h"
 
@@ -46,31 +49,44 @@ traceFormatForPath(const std::string &path)
                                     : TraceFormat::ChromeTrace;
 }
 
+namespace {
+
+/** One buffered attribution event (formatted only at close()). */
+struct TraceEvent
+{
+    Cycle cycle = 0;
+    Addr addr = 0;
+    const char *unit = "";
+    MissClass cls = MissClass::None;
+    MissOutcome outcome = MissOutcome::Uncovered;
+};
+
+/** One run's buffered stream.  Thread-local while recording (a run
+ *  executes entirely on one worker); moved into the sink at endRun. */
+struct RunBuf
+{
+    std::string workload;
+    std::string design;
+    std::vector<TraceEvent> events;
+    std::uint64_t droppedEvents = 0;
+};
+
+thread_local RunBuf *tlRun = nullptr;
+
+std::atomic<std::uint64_t> gEmitted{0};
+std::atomic<std::uint64_t> gDropped{0};
+
+} // namespace
+
 struct Tracing::State
 {
     Config cfg;
-    std::ofstream out;
-    std::uint64_t written = 0;
-    std::uint64_t droppedEvents = 0;
-    std::uint64_t runIndex = 0;
-    bool firstChromeRecord = true;
-    std::string workload = "-";
-    std::string design = "-";
-
-    void
-    emit(const JsonValue &record)
-    {
-        if (cfg.format == TraceFormat::Jsonl) {
-            out << record.dump() << '\n';
-        } else {
-            out << (firstChromeRecord ? "\n" : ",\n") << record.dump();
-            firstChromeRecord = false;
-        }
-    }
+    std::mutex mutex;
+    std::vector<RunBuf> completed; //!< finished runs, arrival order
 };
 
 Tracing::State *Tracing::state = nullptr;
-bool Tracing::runActive = false;
+thread_local bool Tracing::tlRunActive = false;
 
 bool
 Tracing::open(const std::string &path)
@@ -85,53 +101,26 @@ bool
 Tracing::open(const Config &config)
 {
     close();
+    // Probe writability up front so a bad path fails at the CLI
+    // instead of after the full sweep has run.
+    {
+        std::ofstream probe(config.path,
+                            std::ios::out | std::ios::trunc);
+        if (!probe.is_open()) {
+            std::fprintf(stderr, "[obs] cannot open trace file %s\n",
+                         config.path.c_str());
+            return false;
+        }
+    }
     auto *s = new State;
     s->cfg = config;
-    s->out.open(config.path, std::ios::out | std::ios::trunc);
-    if (!s->out.is_open()) {
-        std::fprintf(stderr, "[obs] cannot open trace file %s\n",
-                     config.path.c_str());
-        delete s;
-        return false;
-    }
-    if (s->cfg.format == TraceFormat::ChromeTrace)
-        s->out << "[";
+    if (s->cfg.maxEvents == 0)
+        s->cfg.maxEvents = 1;
+    gEmitted.store(0, std::memory_order_relaxed);
+    gDropped.store(0, std::memory_order_relaxed);
     state = s;
-    runActive = false;
+    tlRunActive = false;
     return true;
-}
-
-void
-Tracing::close()
-{
-    if (!state)
-        return;
-    State *s = state;
-    // Closing summary record: how complete is the stream?
-    JsonValue summary = JsonValue::object();
-    if (s->cfg.format == TraceFormat::Jsonl) {
-        summary["type"] = "summary";
-        summary["events"] = s->written;
-        summary["dropped"] = s->droppedEvents;
-        s->emit(summary);
-    } else {
-        summary["name"] = "trace_summary";
-        summary["ph"] = "i";
-        summary["ts"] = std::uint64_t{0};
-        summary["pid"] = s->runIndex;
-        summary["tid"] = std::uint64_t{0};
-        summary["s"] = "g";
-        JsonValue args = JsonValue::object();
-        args["events"] = s->written;
-        args["dropped"] = s->droppedEvents;
-        summary["args"] = std::move(args);
-        s->emit(summary);
-        s->out << "\n]\n";
-    }
-    s->out.close();
-    state = nullptr;
-    runActive = false;
-    delete s;
 }
 
 void
@@ -139,34 +128,26 @@ Tracing::beginRun(const std::string &workload, const std::string &design)
 {
     if (!state)
         return;
-    State *s = state;
-    ++s->runIndex;
-    s->workload = workload;
-    s->design = design;
-    JsonValue rec = JsonValue::object();
-    if (s->cfg.format == TraceFormat::Jsonl) {
-        rec["type"] = "run";
-        rec["run"] = s->runIndex;
-        rec["workload"] = workload;
-        rec["design"] = design;
-    } else {
-        // Chrome metadata event naming the per-run "process".
-        rec["name"] = "process_name";
-        rec["ph"] = "M";
-        rec["pid"] = s->runIndex;
-        rec["tid"] = std::uint64_t{0};
-        JsonValue args = JsonValue::object();
-        args["name"] = workload + " / " + design;
-        rec["args"] = std::move(args);
-    }
-    s->emit(rec);
-    runActive = true;
+    delete tlRun; // a run that never ended (failed cell): discard it
+    tlRun = new RunBuf;
+    tlRun->workload = workload;
+    tlRun->design = design;
+    tlRunActive = true;
 }
 
 void
 Tracing::endRun()
 {
-    runActive = false;
+    tlRunActive = false;
+    if (!tlRun)
+        return;
+    RunBuf *run = tlRun;
+    tlRun = nullptr;
+    if (State *s = state) {
+        std::lock_guard<std::mutex> lock(s->mutex);
+        s->completed.push_back(std::move(*run));
+    }
+    delete run;
 }
 
 void
@@ -175,53 +156,157 @@ Tracing::record(const char *unit, Cycle cycle, Addr addr, MissClass cls,
 {
     if (!enabled())
         return;
-    State *s = state;
-    if (s->written >= s->cfg.maxEvents) {
-        ++s->droppedEvents;
+    RunBuf *run = tlRun;
+    if (run->events.size() >= state->cfg.maxEvents) {
+        ++run->droppedEvents;
+        gDropped.fetch_add(1, std::memory_order_relaxed);
         return;
     }
-    ++s->written;
-
-    char addrBuf[24];
-    std::snprintf(addrBuf, sizeof(addrBuf), "0x%llx",
-                  static_cast<unsigned long long>(addr));
-
-    JsonValue rec = JsonValue::object();
-    if (s->cfg.format == TraceFormat::Jsonl) {
-        rec["type"] = "miss";
-        rec["run"] = s->runIndex;
-        rec["cycle"] = cycle;
-        rec["unit"] = unit;
-        rec["addr"] = addrBuf;
-        rec["class"] = missClassName(cls);
-        rec["outcome"] = missOutcomeName(outcome);
-    } else {
-        rec["name"] =
-            std::string(unit) + "." + missOutcomeName(outcome);
-        rec["ph"] = "i";
-        rec["ts"] = cycle;
-        rec["pid"] = s->runIndex;
-        rec["tid"] = std::uint64_t{0};
-        rec["s"] = "t";
-        JsonValue args = JsonValue::object();
-        args["addr"] = addrBuf;
-        args["class"] = missClassName(cls);
-        args["outcome"] = missOutcomeName(outcome);
-        rec["args"] = std::move(args);
-    }
-    s->emit(rec);
+    run->events.push_back(TraceEvent{cycle, addr, unit, cls, outcome});
+    gEmitted.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::uint64_t
 Tracing::emitted()
 {
-    return state ? state->written : 0;
+    return gEmitted.load(std::memory_order_relaxed);
 }
 
 std::uint64_t
 Tracing::dropped()
 {
-    return state ? state->droppedEvents : 0;
+    return gDropped.load(std::memory_order_relaxed);
+}
+
+void
+Tracing::close()
+{
+    if (!state)
+        return;
+    State *s = state;
+    state = nullptr;
+    tlRunActive = false;
+    delete tlRun;
+    tlRun = nullptr;
+
+    // Deterministic file order regardless of worker interleaving:
+    // runs sorted by (workload, design) label -- stable, so repeated
+    // labels keep arrival order under --jobs 1 -- and events within a
+    // run are already in cycle order (each run records serially).
+    std::vector<RunBuf> runs;
+    {
+        std::lock_guard<std::mutex> lock(s->mutex);
+        runs = std::move(s->completed);
+    }
+    std::stable_sort(runs.begin(), runs.end(),
+                     [](const RunBuf &a, const RunBuf &b) {
+                         if (a.workload != b.workload)
+                             return a.workload < b.workload;
+                         return a.design < b.design;
+                     });
+
+    std::ofstream out(s->cfg.path, std::ios::out | std::ios::trunc);
+    if (!out.is_open()) {
+        std::fprintf(stderr, "[obs] cannot open trace file %s\n",
+                     s->cfg.path.c_str());
+        delete s;
+        return;
+    }
+
+    const bool jsonl = s->cfg.format == TraceFormat::Jsonl;
+    bool firstChromeRecord = true;
+    auto emit = [&](const JsonValue &record) {
+        if (jsonl) {
+            out << record.dump() << '\n';
+        } else {
+            out << (firstChromeRecord ? "\n" : ",\n") << record.dump();
+            firstChromeRecord = false;
+        }
+    };
+    if (!jsonl)
+        out << "[";
+
+    std::uint64_t written = 0;
+    std::uint64_t droppedEvents = 0;
+    std::uint64_t runIndex = 0;
+    char addrBuf[24];
+    for (const RunBuf &run : runs) {
+        ++runIndex;
+        droppedEvents += run.droppedEvents;
+        JsonValue head = JsonValue::object();
+        if (jsonl) {
+            head["type"] = "run";
+            head["run"] = runIndex;
+            head["workload"] = run.workload;
+            head["design"] = run.design;
+        } else {
+            // Chrome metadata event naming the per-run "process".
+            head["name"] = "process_name";
+            head["ph"] = "M";
+            head["pid"] = runIndex;
+            head["tid"] = std::uint64_t{0};
+            JsonValue args = JsonValue::object();
+            args["name"] = run.workload + " / " + run.design;
+            head["args"] = std::move(args);
+        }
+        emit(head);
+
+        for (const TraceEvent &ev : run.events) {
+            ++written;
+            std::snprintf(addrBuf, sizeof(addrBuf), "0x%llx",
+                          static_cast<unsigned long long>(ev.addr));
+            JsonValue rec = JsonValue::object();
+            if (jsonl) {
+                rec["type"] = "miss";
+                rec["run"] = runIndex;
+                rec["cycle"] = ev.cycle;
+                rec["unit"] = ev.unit;
+                rec["addr"] = addrBuf;
+                rec["class"] = missClassName(ev.cls);
+                rec["outcome"] = missOutcomeName(ev.outcome);
+            } else {
+                rec["name"] = std::string(ev.unit) + "." +
+                    missOutcomeName(ev.outcome);
+                rec["ph"] = "i";
+                rec["ts"] = ev.cycle;
+                rec["pid"] = runIndex;
+                rec["tid"] = std::uint64_t{0};
+                rec["s"] = "t";
+                JsonValue args = JsonValue::object();
+                args["addr"] = addrBuf;
+                args["class"] = missClassName(ev.cls);
+                args["outcome"] = missOutcomeName(ev.outcome);
+                rec["args"] = std::move(args);
+            }
+            emit(rec);
+        }
+    }
+
+    // Closing summary record: how complete is the stream?
+    JsonValue summary = JsonValue::object();
+    if (jsonl) {
+        summary["type"] = "summary";
+        summary["runs"] = runIndex;
+        summary["events"] = written;
+        summary["dropped"] = droppedEvents;
+        emit(summary);
+    } else {
+        summary["name"] = "trace_summary";
+        summary["ph"] = "i";
+        summary["ts"] = std::uint64_t{0};
+        summary["pid"] = runIndex;
+        summary["tid"] = std::uint64_t{0};
+        summary["s"] = "g";
+        JsonValue args = JsonValue::object();
+        args["runs"] = runIndex;
+        args["events"] = written;
+        args["dropped"] = droppedEvents;
+        summary["args"] = std::move(args);
+        emit(summary);
+        out << "\n]\n";
+    }
+    out.close();
+    delete s;
 }
 
 } // namespace dcfb::obs

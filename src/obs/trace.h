@@ -8,22 +8,33 @@
  * a bounded JSONL or Chrome trace-event file.
  *
  * The tracer is process-global and off by default.  Instrumentation
- * sites guard with the inline Tracing::enabled() check -- a single
- * pointer compare -- so the disabled cost is effectively zero; all
- * formatting and I/O live out of line and only run when a sink is open
- * AND a run is active (Tracing::beginRun), which keeps warmup windows
- * out of the stream.
+ * sites guard with the inline Tracing::enabled() check -- a pointer
+ * compare that short-circuits before the thread-local run flag -- so
+ * the disabled cost is effectively zero; all buffering lives out of
+ * line and only runs when a sink is open AND a run is active on the
+ * calling thread (Tracing::beginRun), which keeps warmup windows out
+ * of the stream.
+ *
+ * Threading model: each simulated run buffers its events in a
+ * thread-local run buffer (a run executes entirely on one worker, so
+ * recording takes no lock), endRun() hands the finished buffer to the
+ * sink under a mutex, and close() writes every run in a deterministic
+ * order -- runs sorted by (workload, design), events within a run in
+ * cycle order.  The stream is therefore identical for every `--jobs`
+ * value; the PR 3 serial-only clamp is gone.
  *
  * Output format is chosen from the file extension: "*.jsonl" emits one
  * JSON object per line; anything else emits a Chrome trace-event array
- * loadable in chrome://tracing / Perfetto (instant events, ts = cycle).
- * The stream is bounded (default 1 M events); overflow increments a
- * dropped-event count reported in the closing summary record.
+ * loadable in chrome://tracing / Perfetto (instant events, ts = cycle,
+ * pid = run index).  Each run's stream is bounded (default 1 M events
+ * per run); overflow increments a dropped-event count reported in the
+ * closing summary record.
  */
 
 #ifndef DCFB_OBS_TRACE_H
 #define DCFB_OBS_TRACE_H
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -65,7 +76,7 @@ class Tracing
     {
         std::string path;
         TraceFormat format = TraceFormat::Jsonl;
-        std::uint64_t maxEvents = 1u << 20;
+        std::uint64_t maxEvents = 1u << 20; //!< bound per run
     };
 
     /** Open a sink at @p path, format inferred from the extension.
@@ -74,15 +85,17 @@ class Tracing
     static bool open(const std::string &path);
     static bool open(const Config &config);
 
-    /** Flush the closing summary record and disable tracing. */
+    /** Merge every finished run buffer, write the stream plus the
+     *  closing summary record, and disable tracing. */
     static void close();
 
-    /** True while a sink is open and a run is active.  Inline so
-     *  instrumentation sites pay one pointer compare when disabled. */
+    /** True while a sink is open and a run is active on this thread.
+     *  Inline so instrumentation sites pay one pointer compare when
+     *  disabled (the thread-local read only happens sink-open). */
     static bool
     enabled()
     {
-        return state != nullptr && runActive;
+        return state != nullptr && tlRunActive;
     }
 
     /** True while a sink is open (independent of run state). */
@@ -92,12 +105,14 @@ class Tracing
         return state != nullptr;
     }
 
-    /** Mark the start of a measured run; emits a run-metadata record and
-     *  enables event recording. */
+    /** Mark the start of a measured run on the calling thread: opens a
+     *  thread-local run buffer and enables event recording.  Runs on
+     *  different workers record concurrently without synchronizing. */
     static void beginRun(const std::string &workload,
                          const std::string &design);
 
-    /** Mark the end of the measured run; disables event recording. */
+    /** Mark the end of this thread's run: hands the finished buffer to
+     *  the sink and disables event recording on the thread. */
     static void endRun();
 
     /**
@@ -109,16 +124,16 @@ class Tracing
     static void record(const char *unit, Cycle cycle, Addr addr,
                        MissClass cls, MissOutcome outcome);
 
-    /** Events written so far (excludes dropped). */
+    /** Events buffered so far across all runs (excludes dropped). */
     static std::uint64_t emitted();
 
-    /** Events dropped after the bound was hit. */
+    /** Events dropped after a run hit the per-run bound. */
     static std::uint64_t dropped();
 
   private:
     struct State;
     static State *state;
-    static bool runActive;
+    static thread_local bool tlRunActive;
 };
 
 } // namespace dcfb::obs

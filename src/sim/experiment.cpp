@@ -5,7 +5,6 @@
 #include <optional>
 #include <utility>
 
-#include "obs/trace.h"
 #include "rt/error.h"
 #include "svc/result_cache.h"
 
@@ -37,12 +36,10 @@ ExperimentGrid::run(const std::vector<std::string> &workload_names,
 {
     names = workload_names;
 
+    // The miss-attribution tracer buffers per run on the running thread
+    // and merges at close, so a traced grid parallelizes like any other
+    // (the merged stream is byte-identical to a serial run's).
     unsigned jobs = exec::resolveJobs(jobs_requested);
-    // The miss-attribution tracer is process-global and tags events with
-    // one active (workload, design); interleaved cells would corrupt the
-    // stream, so tracing serializes the grid.
-    if (obs::Tracing::sinkOpen())
-        jobs = 1;
 
     // Scatter phase setup, all on this thread: config hooks and the
     // process-wide defaults (fault plan, jobs) are only read serially,

@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "obs/profiler.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "rt/watchdog.h"
 
@@ -35,9 +36,33 @@ trySimulate(const SystemConfig &config, const RunWindows &windows)
     const bool prof = obs::Profiler::enabled();
     double mark = prof ? obs::profNow() : 0.0;
 
+    // Span phases mirror the profiling walls.  The scopes parent under
+    // the caller's ambient span (exec.cell or svc.run), so one timeline
+    // shows which phase of which cell each worker was in; all gated so
+    // untraced runs pay one predicted branch.
+    const bool spans = obs::Spans::enabled();
+    std::optional<obs::SpanScope> simSpan;
+    if (spans) {
+        simSpan.emplace("sim.simulate", config.profile.name + "/" +
+                                            presetName(config.preset));
+    }
+
+    // Phase spans are recorded retroactively (start stamp taken before,
+    // record after) so the phases stay straight-line code.
+    std::uint64_t span_mark = spans ? obs::Spans::nowUs() : 0;
+    auto span_phase = [&](const char *name) {
+        std::uint64_t t = obs::Spans::nowUs();
+        obs::SpanIds cur = obs::Spans::current();
+        obs::Spans::record(name, cur.trace, obs::Spans::newSpanId(),
+                           cur.span, span_mark, t, {});
+        span_mark = t;
+    };
+
     System system(config);
 
     double setup_seconds = 0.0;
+    if (spans)
+        span_phase("sim.setup");
     if (prof) {
         double t = obs::profNow();
         setup_seconds = t - mark;
@@ -101,6 +126,8 @@ trySimulate(const SystemConfig &config, const RunWindows &windows)
     if (auto err = run_window(windows.warm))
         return std::move(*err);
 
+    if (spans)
+        span_phase("sim.warm");
     double warm_seconds = 0.0;
     if (prof) {
         double t = obs::profNow();
@@ -125,6 +152,8 @@ trySimulate(const SystemConfig &config, const RunWindows &windows)
 
     if (tracing)
         obs::Tracing::endRun();
+    if (spans)
+        span_phase("sim.measure");
     if (measure_err)
         return std::move(*measure_err);
 

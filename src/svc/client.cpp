@@ -3,11 +3,14 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <optional>
 #include <thread>
 
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
+
+#include "obs/span.h"
 
 namespace dcfb::svc {
 
@@ -131,9 +134,21 @@ Client::request(const obs::JsonValue &doc)
 rt::Expected<obs::JsonValue>
 Client::submitAndWait(const obs::JsonValue &doc, unsigned max_retries)
 {
+    // When the span sink is open, the whole submit+fetch round-trip is
+    // one client span and its IDs ride along on the wire, so the
+    // daemon's handling spans land in the same trace.
+    std::optional<obs::SpanScope> span;
+    obs::JsonValue submit = doc;
+    if (obs::Spans::enabled()) {
+        const std::string *label = stringMember(doc, "workload");
+        span.emplace("client.submit_wait", label ? *label : std::string());
+        submit["trace_id"] = span->traceId();
+        submit["parent_span"] = span->spanId();
+    }
+
     std::string job;
     for (unsigned attempt = 0;; ++attempt) {
-        auto reply = request(doc);
+        auto reply = request(submit);
         if (!reply.ok())
             return reply.error();
         const obs::JsonValue &r = reply.value();
@@ -168,6 +183,10 @@ Client::submitAndWait(const obs::JsonValue &doc, unsigned max_retries)
     obs::JsonValue fetch = obs::JsonValue::object();
     fetch["op"] = "fetch";
     fetch["job"] = job;
+    if (span) {
+        fetch["trace_id"] = span->traceId();
+        fetch["parent_span"] = span->spanId();
+    }
     for (;;) {
         auto reply = request(fetch);
         if (!reply.ok())

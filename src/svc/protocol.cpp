@@ -66,6 +66,22 @@ presetFromName(const std::string &name)
         .with("known", known);
 }
 
+const char *
+opName(Request::Op op)
+{
+    switch (op) {
+      case Request::Op::Ping: return "ping";
+      case Request::Op::Submit: return "submit";
+      case Request::Op::Status: return "status";
+      case Request::Op::Fetch: return "fetch";
+      case Request::Op::Cancel: return "cancel";
+      case Request::Op::Stats: return "stats";
+      case Request::Op::Metrics: return "metrics";
+      case Request::Op::Drain: return "drain";
+    }
+    return "?";
+}
+
 rt::Expected<Request>
 parseRequest(const std::string &line)
 {
@@ -80,6 +96,17 @@ parseRequest(const std::string &line)
         return op.error();
 
     Request req;
+    // Span-stitching IDs are accepted on every op (they only annotate
+    // the daemon-side telemetry, never the result).
+    auto trace_id = uintField(*doc, "trace_id");
+    if (!trace_id.ok())
+        return trace_id.error();
+    req.traceId = trace_id.value().value_or(0);
+    auto parent_span = uintField(*doc, "parent_span");
+    if (!parent_span.ok())
+        return parent_span.error();
+    req.parentSpan = parent_span.value().value_or(0);
+
     const std::string &name = op.value();
     if (name == "ping") {
         req.op = Request::Op::Ping;
@@ -87,6 +114,10 @@ parseRequest(const std::string &line)
     }
     if (name == "stats") {
         req.op = Request::Op::Stats;
+        return req;
+    }
+    if (name == "metrics") {
+        req.op = Request::Op::Metrics;
         return req;
     }
     if (name == "drain") {
@@ -105,7 +136,8 @@ parseRequest(const std::string &line)
     }
     if (name != "submit") {
         return badRequest("unknown op").with("op", name).with(
-            "known", "ping, submit, status, fetch, cancel, stats, drain");
+            "known",
+            "ping, submit, status, fetch, cancel, stats, metrics, drain");
     }
 
     req.op = Request::Op::Submit;

@@ -16,13 +16,29 @@
  *   {"op":"fetch","job":"job-7"}
  *   {"op":"cancel","job":"job-7"}
  *   {"op":"stats"}
+ *   {"op":"metrics"}                        // Prometheus exposition
  *   {"op":"drain"}                          // admin: same as SIGTERM
+ *
+ * Any request may carry the optional span-stitching fields
+ * "trace_id" and "parent_span" (non-negative integers minted by
+ * obs::Spans): the daemon parents its handling spans under them and
+ * echoes "trace_id" in the reply, so one `--trace-spans` timeline
+ * stitches client -> daemon -> pool -> simulate.  Requests without
+ * them behave exactly as before.
  *
  * Every reply carries "ok".  Failures carry "error" (a stable code) and
  * "message"; the admission-control reject additionally carries
  * "retry_after_ms" so clients can back off and retry:
  *
  *   {"ok":false,"error":"queue_full","retry_after_ms":250,...}
+ *
+ * The `metrics` reply wraps the Prometheus text-exposition body
+ * (format 0.0.4) plus the sampler ring:
+ *
+ *   {"ok":true,"op":"metrics",
+ *    "content_type":"text/plain; version=0.0.4",
+ *    "body":"# TYPE dcfb_svc_submitted_total counter\n...",
+ *    "series":{"names":[...],"samples":[...]}}
  *
  * Parsing is fully typed: malformed requests become rt::Errors, which
  * render into "bad_request" replies — the daemon never dies on input.
@@ -64,12 +80,31 @@ struct SubmitSpec
 /** One parsed request. */
 struct Request
 {
-    enum class Op { Ping, Submit, Status, Fetch, Cancel, Stats, Drain };
+    enum class Op {
+        Ping,
+        Submit,
+        Status,
+        Fetch,
+        Cancel,
+        Stats,
+        Metrics,
+        Drain,
+    };
 
     Op op = Op::Ping;
     std::string job;   //!< status/fetch/cancel target
     SubmitSpec submit; //!< valid when op == Submit
+
+    std::uint64_t traceId = 0;    //!< optional "trace_id" (0 = none)
+    std::uint64_t parentSpan = 0; //!< optional "parent_span"
 };
+
+/** Number of Request::Op values (per-op latency histograms index by
+ *  the enum). */
+inline constexpr unsigned kOpCount = 8;
+
+/** Wire name of @p op ("ping", "submit", ...). */
+const char *opName(Request::Op op);
 
 /** Parse one request line; typed error on any malformed input. */
 rt::Expected<Request> parseRequest(const std::string &line);

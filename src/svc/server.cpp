@@ -11,6 +11,8 @@
 #include <unistd.h>
 
 #include "exec/schedule.h"
+#include "obs/prometheus.h"
+#include "obs/span.h"
 #include "sim/report.h"
 #include "workload/profiles.h"
 
@@ -25,6 +27,23 @@ microsSince(std::chrono::steady_clock::time_point t0,
     return static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
             .count());
+}
+
+/** Static-storage span names (SpanRecord keeps the pointer). */
+const char *
+opSpanName(Request::Op op)
+{
+    switch (op) {
+      case Request::Op::Ping: return "svc.ping";
+      case Request::Op::Submit: return "svc.submit";
+      case Request::Op::Status: return "svc.status";
+      case Request::Op::Fetch: return "svc.fetch";
+      case Request::Op::Cancel: return "svc.cancel";
+      case Request::Op::Stats: return "svc.stats";
+      case Request::Op::Metrics: return "svc.metrics";
+      case Request::Op::Drain: return "svc.drain";
+    }
+    return "svc.op";
 }
 
 } // namespace
@@ -47,6 +66,16 @@ Server::Server(ServerConfig config) : cfg(std::move(config))
     hQueueWaitUs = stats.histogram("svc.queue_wait_us");
     hRunUs = stats.histogram("svc.run_us");
     hRequestUs = stats.histogram("svc.request_latency_us");
+    for (unsigned i = 0; i < kOpCount; ++i) {
+        hOpLatencyUs[i] = stats.histogram(
+            std::string("svc.op.") +
+            opName(static_cast<Request::Op>(i)) + ".latency_us");
+    }
+    series.addSeries("queue_depth");
+    series.addSeries("jobs_inflight");
+    series.addSeries("cache_hit_rate");
+    series.addSeries("pool_occupancy");
+    series.addSeries("cells_per_sec");
 }
 
 Server::~Server()
@@ -123,6 +152,8 @@ Server::start()
     started = true;
     acceptThread = std::thread([this] { acceptLoop(); });
     dispatchThread = std::thread([this] { dispatchLoop(); });
+    if (cfg.metricsIntervalMs)
+        metricsThread = std::thread([this] { metricsLoop(); });
     return {};
 }
 
@@ -151,6 +182,9 @@ Server::shutdown()
     awaitDrained();
     stopFlag.store(true);
     queueReady.notify_all();
+    metricsStop.notify_all();
+    if (metricsThread.joinable())
+        metricsThread.join();
     if (dispatchThread.joinable())
         dispatchThread.join();
     // Closing the listen fd makes the accept loop's poll() return with
@@ -183,8 +217,20 @@ Server::handleLine(const std::string &line)
         std::lock_guard<std::mutex> lock(mutex);
         cBadRequests.add();
         reply = errorReply(parsed.error());
-    } else {
-        const Request &req = parsed.value();
+        auto t1 = std::chrono::steady_clock::now();
+        hRequestUs.sample(microsSince(t0, t1));
+        return reply;
+    }
+    const Request &req = parsed.value();
+    {
+        // Daemon-side root of this request's span subtree; re-rooted
+        // under the client's IDs when the request carried them.  The
+        // scope also sets the thread's ambient context, so every span
+        // the handler records parents under this op span.
+        std::optional<obs::SpanScope> opSpan;
+        if (obs::Spans::enabled())
+            opSpan.emplace(opSpanName(req.op), req.traceId,
+                           req.parentSpan);
         switch (req.op) {
           case Request::Op::Ping: {
             reply = okReply();
@@ -206,6 +252,9 @@ Server::handleLine(const std::string &line)
           case Request::Op::Stats:
             reply = statsSnapshot();
             break;
+          case Request::Op::Metrics:
+            reply = metricsSnapshot();
+            break;
           case Request::Op::Drain: {
             requestDrain();
             reply = okReply();
@@ -215,10 +264,14 @@ Server::handleLine(const std::string &line)
           }
         }
     }
+    if (req.traceId)
+        reply["trace_id"] = req.traceId;
     auto t1 = std::chrono::steady_clock::now();
     {
         std::lock_guard<std::mutex> lock(mutex);
-        hRequestUs.sample(microsSince(t0, t1));
+        std::uint64_t us = microsSince(t0, t1);
+        hRequestUs.sample(us);
+        hOpLatencyUs[static_cast<unsigned>(req.op)].sample(us);
     }
     return reply;
 }
@@ -259,8 +312,12 @@ Server::handleSubmit(const SubmitSpec &spec)
     // Cache probe before the lock: file I/O must not serialize
     // unrelated requests.
     std::optional<sim::RunResult> hit;
-    if (cache)
+    if (cache) {
+        std::optional<obs::SpanScope> probeSpan;
+        if (obs::Spans::enabled())
+            probeSpan.emplace("svc.cache_probe", label);
         hit = cache->get(key, fp);
+    }
 
     std::lock_guard<std::mutex> lock(mutex);
     cSubmitted.add();
@@ -295,6 +352,15 @@ Server::handleSubmit(const SubmitSpec &spec)
         // Same fingerprint already queued or running: coalesce onto it
         // instead of simulating the same cell twice.
         cCoalesced.add();
+        if (obs::Spans::enabled()) {
+            // Zero-duration marker tying this request's trace to the
+            // job it coalesced onto.
+            obs::SpanIds cur = obs::Spans::current();
+            std::uint64_t now = obs::Spans::nowUs();
+            obs::Spans::record("svc.coalesced", cur.trace,
+                               obs::Spans::newSpanId(), cur.span, now,
+                               now, it->second->id);
+        }
         obs::JsonValue reply = okReply();
         reply["job"] = it->second->id;
         reply["key"] = key;
@@ -322,6 +388,15 @@ Server::handleSubmit(const SubmitSpec &spec)
     job->fp = std::move(fp);
     job->submittedAt = std::chrono::steady_clock::now();
     job->deadlineMs = spec.deadlineMs;
+    if (obs::Spans::enabled()) {
+        // The job outlives this request: stash the ambient IDs so the
+        // queue-wait and run spans recorded later parent under this
+        // submit's op span (and thus the client's trace, if any).
+        obs::SpanIds cur = obs::Spans::current();
+        job->traceId = cur.trace;
+        job->parentSpan = cur.span;
+        job->submitSpanUs = obs::Spans::nowUs();
+    }
     jobs.emplace(job->id, job);
     inflight.emplace(key, job);
     queue.push_back(job);
@@ -476,6 +551,19 @@ Server::statsSnapshot()
         h["count"] = kv.second.count;
         h["mean"] = kv.second.mean();
         h["max"] = kv.second.max;
+        // Cumulative buckets (Prometheus-style): each entry counts the
+        // samples <= its upper edge, so the list is monotone and its
+        // last entry equals `count`.
+        obs::JsonValue buckets = obs::JsonValue::array();
+        std::uint64_t cumulative = 0;
+        for (const auto &bc : kv.second.buckets) {
+            cumulative += bc.second;
+            obs::JsonValue b = obs::JsonValue::object();
+            b["le"] = obs::histBucketHigh(bc.first);
+            b["count"] = cumulative;
+            buckets.push(std::move(b));
+        }
+        h["buckets"] = std::move(buckets);
         hists[kv.first] = std::move(h);
     }
     reply["hists"] = std::move(hists);
@@ -491,6 +579,104 @@ Server::statsSnapshot()
         reply["cache"] = std::move(c);
     }
     return reply;
+}
+
+// -- metrics plane --------------------------------------------------------
+
+Server::GaugeSample
+Server::sampleGaugesLocked()
+{
+    GaugeSample g;
+    g.queueDepth = static_cast<double>(queue.size());
+    g.jobsInflight = static_cast<double>(queue.size() + activeJobs);
+    if (cache) {
+        ResultCacheStats cs = cache->stats();
+        std::uint64_t lookups = cs.hits + cs.misses;
+        g.cacheHitRate = lookups
+            ? static_cast<double>(cs.hits) / static_cast<double>(lookups)
+            : 0.0;
+    }
+    // Rate gauges are deltas against the previous sample so the live
+    // view shows current load, not a lifetime average.
+    double uptime = static_cast<double>(microsSince(
+                        startedAt, std::chrono::steady_clock::now())) /
+        1e6;
+    double dt = uptime - prevUptimeSeconds;
+    if (pool && dt > 0.0) {
+        double busy = pool->busySeconds();
+        g.poolOccupancy = (busy - prevBusySeconds) /
+            (dt * static_cast<double>(pool->workers()));
+        g.poolOccupancy = std::max(0.0, std::min(1.0, g.poolOccupancy));
+        prevBusySeconds = busy;
+    }
+    std::uint64_t sims = cSimsExecuted.value();
+    if (dt > 0.0) {
+        g.cellsPerSec =
+            static_cast<double>(sims - prevSimsExecuted) / dt;
+        prevSimsExecuted = sims;
+        prevUptimeSeconds = uptime;
+    }
+    return g;
+}
+
+obs::JsonValue
+Server::metricsSnapshot()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    GaugeSample g = sampleGaugesLocked();
+
+    std::string body;
+    body.reserve(4096);
+    for (const auto &kv : stats.counters())
+        obs::promCounter(body, "dcfb_" + obs::promName(kv.first) + "_total",
+                         kv.second);
+    for (const auto &kv : stats.histograms())
+        obs::promHistogram(body, "dcfb_" + obs::promName(kv.first),
+                           kv.second);
+    obs::promGauge(body, "dcfb_queue_depth", g.queueDepth);
+    obs::promGauge(body, "dcfb_jobs_inflight", g.jobsInflight);
+    obs::promGauge(body, "dcfb_queue_capacity",
+                   static_cast<double>(cfg.queueCapacity));
+    obs::promGauge(body, "dcfb_workers",
+                   pool ? static_cast<double>(pool->workers()) : 0.0);
+    obs::promGauge(body, "dcfb_draining", drainFlag.load() ? 1.0 : 0.0);
+    obs::promGauge(body, "dcfb_uptime_seconds",
+                   static_cast<double>(microsSince(
+                       startedAt, std::chrono::steady_clock::now())) /
+                       1e6);
+    obs::promGauge(body, "dcfb_cache_hit_rate", g.cacheHitRate);
+    obs::promGauge(body, "dcfb_pool_occupancy", g.poolOccupancy);
+    obs::promGauge(body, "dcfb_cells_per_second", g.cellsPerSec);
+
+    obs::JsonValue reply = okReply();
+    reply["op"] = "metrics";
+    reply["content_type"] = "text/plain; version=0.0.4";
+    reply["body"] = std::move(body);
+    reply["series"] = series.toJson();
+    return reply;
+}
+
+void
+Server::metricsLoop()
+{
+    obs::Spans::setThreadName("metrics");
+    std::unique_lock<std::mutex> sleepLock(metricsMutex);
+    while (!stopFlag.load()) {
+        GaugeSample g;
+        std::uint64_t t_ms;
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            g = sampleGaugesLocked();
+            t_ms = microsSince(startedAt,
+                               std::chrono::steady_clock::now()) /
+                1000;
+        }
+        series.push(t_ms, {g.queueDepth, g.jobsInflight, g.cacheHitRate,
+                           g.poolOccupancy, g.cellsPerSec});
+        metricsStop.wait_for(
+            sleepLock, std::chrono::milliseconds(cfg.metricsIntervalMs),
+            [this] { return stopFlag.load(); });
+    }
 }
 
 // -- job execution --------------------------------------------------------
@@ -533,6 +719,15 @@ Server::dispatchLoop()
             hQueueWaitUs.sample(microsSince(job->submittedAt, now));
             ++activeJobs;
         }
+        if (job->traceId && obs::Spans::enabled()) {
+            // Retroactive span covering the time the job sat in the
+            // admission queue (recorded here because only now do we
+            // know when the wait ended).
+            obs::Spans::record("svc.queue_wait", job->traceId,
+                               obs::Spans::newSpanId(), job->parentSpan,
+                               job->submitSpanUs, obs::Spans::nowUs(),
+                               job->label);
+        }
         // submit() blocks while the pool's own queue is full; only this
         // thread submits, so admission keeps absorbing meanwhile.
         pool->submit([this, job] { runJob(job); });
@@ -564,6 +759,13 @@ Server::runJob(const std::shared_ptr<Job> &job)
     }
     rt::Expected<sim::RunResult> outcome =
         rt::Error(rt::ErrorKind::Result, "job did not run");
+    // Worker-side span; re-rooted under the submit op span stashed in
+    // the job so the whole chain shares the client's trace id.  The
+    // scope is ambient, so sim::simulate's phase spans nest under it.
+    std::optional<obs::SpanScope> runSpan;
+    if (obs::Spans::enabled())
+        runSpan.emplace("svc.run", job->traceId, job->parentSpan,
+                        job->label);
     try {
         // Image resolution happens here, not at admission: building a
         // multi-MB program is the expensive part, and the shared
@@ -581,6 +783,9 @@ Server::runJob(const std::shared_ptr<Job> &job)
     }
 
     if (outcome.ok() && cache) {
+        std::optional<obs::SpanScope> putSpan;
+        if (obs::Spans::enabled())
+            putSpan.emplace("svc.cache_put", job->label);
         if (auto stored = cache->put(job->key, job->fp, outcome.value());
             !stored.ok()) {
             std::fprintf(stderr, "[svc] %s\n",
@@ -638,6 +843,7 @@ Server::acceptLoop()
 void
 Server::handleConnection(int fd)
 {
+    obs::Spans::setThreadName("conn");
     std::string pending;
     char buf[4096];
     for (;;) {

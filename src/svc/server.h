@@ -36,8 +36,20 @@
  * Instrumentation: one obs::StatRegistry (guarded by the server mutex
  * — this is a control path, not a simulation hot path) counts
  * admissions, rejects, coalesces, cache hits, completions and
- * failures, and samples queue-wait / run / request latencies into
- * log2 histograms; the `stats` request serves a full snapshot.
+ * failures, and samples queue-wait / run / request latencies (overall
+ * and per op, `svc.op.<op>.latency_us`) into log2 histograms; the
+ * `stats` request serves a full snapshot.
+ *
+ * The metrics plane (DESIGN.md "Telemetry plane") adds two live
+ * views.  The `metrics` request renders every counter, histogram and
+ * a set of derived gauges (queue depth, jobs in flight, cache hit
+ * rate, pool occupancy, cells/s) as Prometheus text exposition; when
+ * `metricsIntervalMs` is non-zero a sampler thread also snapshots the
+ * gauges into an obs::Timeseries ring served alongside the body.  And
+ * when the process-global span sink (obs::Spans) is open, every
+ * request handler, queue wait and job run records a span carrying the
+ * client's `trace_id`, so one timeline stitches client -> admission ->
+ * queue -> worker -> sim::simulate.  Both are zero-cost when off.
  */
 
 #ifndef DCFB_SVC_SERVER_H
@@ -59,6 +71,7 @@
 
 #include "exec/pool.h"
 #include "obs/registry.h"
+#include "obs/timeseries.h"
 #include "rt/error.h"
 #include "sim/config.h"
 #include "sim/simulator.h"
@@ -76,6 +89,7 @@ struct ServerConfig
     unsigned retryAfterMs = 250;   //!< backpressure hint to clients
     std::string cacheDir;          //!< ResultCache dir ("" = no cache)
     sim::RunWindows defaultWindows; //!< when a submit names none
+    unsigned metricsIntervalMs = 0; //!< gauge sampler period (0 = off)
 
     /** Optional per-config tweak applied after makeConfig (tests use
      *  this to shrink workloads; applied before fingerprinting so
@@ -110,6 +124,9 @@ class Server
     /** Snapshot of the `stats` reply (tests read it in-process). */
     obs::JsonValue statsSnapshot();
 
+    /** The `metrics` reply: Prometheus exposition body + sampler ring. */
+    obs::JsonValue metricsSnapshot();
+
     /** One request line -> one reply document (the socket handler and
      *  in-process tests share this entry point). */
     obs::JsonValue handleLine(const std::string &line);
@@ -133,6 +150,9 @@ class Server
         std::chrono::steady_clock::time_point submittedAt;
         std::chrono::steady_clock::time_point startedAt;
         std::uint64_t deadlineMs = 0;
+        std::uint64_t traceId = 0;      //!< span stitching (0 = none)
+        std::uint64_t parentSpan = 0;   //!< submit-op span to parent under
+        std::uint64_t submitSpanUs = 0; //!< queue-wait span start
     };
 
     static const char *stateName(JobState state);
@@ -149,6 +169,19 @@ class Server
     void handleConnection(int fd);
     void dispatchLoop();
     void runJob(const std::shared_ptr<Job> &job);
+
+    /** Gauge set shared by the `metrics` body and the sampler ring.
+     *  Rate gauges are deltas against the previous call. */
+    struct GaugeSample
+    {
+        double queueDepth = 0;
+        double jobsInflight = 0;
+        double cacheHitRate = 0;
+        double poolOccupancy = 0;
+        double cellsPerSec = 0;
+    };
+    GaugeSample sampleGaugesLocked();
+    void metricsLoop();
 
     std::shared_ptr<Job> findJob(const std::string &job_id);
 
@@ -172,6 +205,17 @@ class Server
         cBadRequests, cCoalesced, cCacheHits, cSimsExecuted, cCompleted,
         cFailed, cCancelled, cDeadlineExpired, cInvariantViolations;
     obs::Histogram hQueueWaitUs, hRunUs, hRequestUs;
+    obs::Histogram hOpLatencyUs[kOpCount];    //!< svc.op.<op>.latency_us
+
+    obs::Timeseries series;                   //!< gauge sampler ring
+    std::thread metricsThread;
+    std::mutex metricsMutex;                  //!< sampler sleep/stop only
+    std::condition_variable metricsStop;
+    // Previous cumulative values behind the rate gauges; touched only
+    // under `mutex` (sampler + metrics requests).
+    double prevBusySeconds = 0.0;
+    double prevUptimeSeconds = 0.0;
+    std::uint64_t prevSimsExecuted = 0;
 
     std::atomic<bool> drainFlag{false};
     std::atomic<bool> stopFlag{false};

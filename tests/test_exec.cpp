@@ -14,13 +14,17 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
+#include <fstream>
 #include <mutex>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "exec/pool.h"
 #include "exec/schedule.h"
+#include "obs/trace.h"
 #include "rt/watchdog.h"
 #include "sim/experiment.h"
 #include "workload/profiles.h"
@@ -303,6 +307,41 @@ TEST(ParallelGrid, GridReusesCachedImagesAcrossRuns)
     EXPECT_EQ(cache.built(), after_first);
     EXPECT_EQ(first.at("Web (Apache)", sim::Preset::SN4L),
               second.at("Web (Apache)", sim::Preset::SN4L));
+}
+
+/** The tracer merges per-thread run buffers at close in a canonical
+ *  (workload, design) order, so the stream written by a parallel grid
+ *  must be byte-identical to the serial one.  This is the regression
+ *  gate for removing the PR 3 serial-only trace clamp. */
+TEST(ParallelGrid, TraceMergeIsJobCountInvariant)
+{
+    auto tracedGrid = [](const std::string &path, unsigned jobs) {
+        ASSERT_TRUE(obs::Tracing::open(path));
+        sim::ExperimentGrid grid(
+            {sim::Preset::Baseline, sim::Preset::NL, sim::Preset::SN4L,
+             sim::Preset::SN4LDisBtb},
+            gridWindows(), fastWarmHook());
+        grid.run({"Web Frontend", "Web (Apache)"}, jobs);
+        obs::Tracing::close();
+    };
+    auto slurp = [](const std::string &path) {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream out;
+        out << in.rdbuf();
+        return out.str();
+    };
+
+    const std::string serial_path = "trace_merge_serial.jsonl";
+    const std::string parallel_path = "trace_merge_parallel.jsonl";
+    tracedGrid(serial_path, 1);
+    tracedGrid(parallel_path, 4);
+
+    std::string serial = slurp(serial_path);
+    std::string parallel = slurp(parallel_path);
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel);
+    std::remove(serial_path.c_str());
+    std::remove(parallel_path.c_str());
 }
 
 /** The TSan workhorse: several workers simulating concurrently, every

@@ -2,17 +2,27 @@
  * @file
  * Tests for the observability subsystem: stat-registry ID interning,
  * log2 histogram bucket edges, JSON round-trips (parser, RunResult),
- * and trace on/off parity of the final counters.
+ * trace on/off parity of the final counters, span timelines, the
+ * Prometheus renderer, the time-series ring, and the dcfb-prof-v1
+ * profile schema.
  */
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
+#include <thread>
 
+#include "exec/schedule.h"
 #include "obs/json.h"
+#include "obs/profiler.h"
+#include "obs/prometheus.h"
 #include "obs/registry.h"
+#include "obs/span.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "sim/report.h"
 #include "sim/simulator.h"
@@ -271,6 +281,259 @@ TEST(Trace, BoundedStreamCountsDrops)
     EXPECT_GT(obs::Tracing::dropped(), 0u);
     obs::Tracing::close();
     std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------------- spans
+
+TEST(Spans, DisabledSinkIsNoOp)
+{
+    ASSERT_FALSE(obs::Spans::enabled());
+    {
+        obs::SpanScope outer("test.outer");
+        obs::SpanScope inner("test.inner", "label");
+        // Disabled scopes mint no IDs and set no ambient context.
+        EXPECT_EQ(outer.spanId(), 0u);
+        EXPECT_EQ(inner.spanId(), 0u);
+        EXPECT_EQ(obs::Spans::current().trace, 0u);
+    }
+    EXPECT_EQ(obs::Spans::recorded(), 0u);
+}
+
+TEST(Spans, ScopesNestAndExportChromeTimeline)
+{
+    std::string path = ::testing::TempDir() + "dcfb_spans_nest.json";
+    ASSERT_TRUE(obs::Spans::open(path));
+    ASSERT_TRUE(obs::Spans::enabled());
+
+    std::uint64_t outer_trace = 0;
+    std::uint64_t outer_span = 0;
+    {
+        obs::SpanScope outer("test.outer", "cell-0");
+        outer_trace = outer.traceId();
+        outer_span = outer.spanId();
+        ASSERT_NE(outer_trace, 0u);
+        // Ambient context is the live scope.
+        EXPECT_EQ(obs::Spans::current().trace, outer_trace);
+        EXPECT_EQ(obs::Spans::current().span, outer_span);
+        {
+            obs::SpanScope inner("test.inner");
+            // Nested scope joins the ambient trace.
+            EXPECT_EQ(inner.traceId(), outer_trace);
+            EXPECT_NE(inner.spanId(), outer_span);
+        }
+        // Inner scope restored the ambient pair on destruction.
+        EXPECT_EQ(obs::Spans::current().span, outer_span);
+    }
+    EXPECT_EQ(obs::Spans::current().trace, 0u);
+
+    // A second thread re-rooted under the outer IDs lands in the same
+    // trace on its own track (the cross-thread stitching pattern).
+    std::thread worker([&] {
+        obs::Spans::setThreadName("test-worker");
+        obs::SpanScope cross("test.cross", outer_trace, outer_span);
+        EXPECT_EQ(cross.traceId(), outer_trace);
+    });
+    worker.join();
+
+    EXPECT_EQ(obs::Spans::recorded(), 3u);
+    EXPECT_EQ(obs::Spans::dropped(), 0u);
+    obs::Spans::close();
+    ASSERT_FALSE(obs::Spans::enabled());
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    auto doc = obs::JsonValue::parse(buf.str());
+    ASSERT_TRUE(doc.has_value());
+    ASSERT_EQ(doc->kind(), obs::JsonValue::Kind::Array);
+
+    // Index the "X" events by span ID and verify every parent resolves
+    // (no orphans) and the cross-thread span is on a named track.
+    std::map<std::string, const obs::JsonValue *> by_span;
+    std::set<std::string> thread_names;
+    for (const auto &ev : doc->items()) {
+        const obs::JsonValue *ph = ev.find("ph");
+        ASSERT_NE(ph, nullptr);
+        if (ph->asString() == "M" &&
+            ev.find("name")->asString() == "thread_name") {
+            thread_names.insert(
+                ev.find("args")->find("name")->asString());
+        }
+        if (ph->asString() != "X")
+            continue;
+        by_span[ev.find("args")->find("span")->asString()] = &ev;
+    }
+    EXPECT_EQ(by_span.size(), 3u);
+    EXPECT_TRUE(thread_names.count("test-worker"));
+    for (const auto &kv : by_span) {
+        const obs::JsonValue *parent = kv.second->find("args")->find(
+            "parent");
+        if (parent)
+            EXPECT_TRUE(by_span.count(parent->asString()))
+                << "orphaned parent " << parent->asString();
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Spans, BoundedBufferCountsDrops)
+{
+    std::string path = ::testing::TempDir() + "dcfb_spans_bounded.json";
+    obs::Spans::Config cfg;
+    cfg.path = path;
+    cfg.maxPerThread = 4;
+    ASSERT_TRUE(obs::Spans::open(cfg));
+    for (int i = 0; i < 10; ++i)
+        obs::SpanScope scope("test.burst");
+    EXPECT_EQ(obs::Spans::recorded(), 4u);
+    EXPECT_EQ(obs::Spans::dropped(), 6u);
+    obs::Spans::close();
+    std::remove(path.c_str());
+}
+
+// -------------------------------------------------------------- prometheus
+
+TEST(Prometheus, NameSanitization)
+{
+    EXPECT_EQ(obs::promName("svc.op.submit.latency_us"),
+              "svc_op_submit_latency_us");
+    EXPECT_EQ(obs::promName("already_fine:ok"), "already_fine:ok");
+    EXPECT_EQ(obs::promName("9starts_with_digit"), "_9starts_with_digit");
+    EXPECT_EQ(obs::promName(""), "_");
+}
+
+TEST(Prometheus, CounterAndGaugeRender)
+{
+    std::string out;
+    obs::promCounter(out, "dcfb_svc_submitted_total", 42);
+    obs::promGauge(out, "dcfb_queue_depth", 3.5);
+    EXPECT_NE(out.find("# TYPE dcfb_svc_submitted_total counter\n"),
+              std::string::npos);
+    EXPECT_NE(out.find("dcfb_svc_submitted_total 42\n"),
+              std::string::npos);
+    EXPECT_NE(out.find("# TYPE dcfb_queue_depth gauge\n"),
+              std::string::npos);
+    EXPECT_NE(out.find("dcfb_queue_depth 3.5\n"), std::string::npos);
+}
+
+TEST(Prometheus, HistogramBucketsAreCumulativeAndEndAtInf)
+{
+    obs::StatRegistry reg;
+    obs::Histogram h = reg.histogram("lat");
+    for (std::uint64_t v : {0ull, 1ull, 5ull, 9ull, 1000ull})
+        h.sample(v);
+    auto snap = reg.histograms().at("lat");
+
+    std::string out;
+    obs::promHistogram(out, "dcfb_lat", snap);
+    EXPECT_NE(out.find("# TYPE dcfb_lat histogram\n"), std::string::npos);
+    EXPECT_NE(out.find("dcfb_lat_bucket{le=\"+Inf\"} 5\n"),
+              std::string::npos);
+    EXPECT_NE(out.find("dcfb_lat_sum 1015\n"), std::string::npos);
+    EXPECT_NE(out.find("dcfb_lat_count 5\n"), std::string::npos);
+
+    // Bucket samples must be cumulative: monotone non-decreasing in
+    // line order, with the last finite bucket equal to the count.
+    std::uint64_t prev = 0;
+    std::uint64_t last = 0;
+    std::size_t pos = 0;
+    while ((pos = out.find("dcfb_lat_bucket{le=\"", pos)) !=
+           std::string::npos) {
+        std::size_t sp = out.find("} ", pos);
+        ASSERT_NE(sp, std::string::npos);
+        std::uint64_t v = std::strtoull(out.c_str() + sp + 2, nullptr, 10);
+        EXPECT_GE(v, prev);
+        prev = v;
+        last = v;
+        pos = sp;
+    }
+    EXPECT_EQ(last, snap.count);
+}
+
+// -------------------------------------------------------------- timeseries
+
+TEST(Timeseries, RingEvictsOldestAndSerializes)
+{
+    obs::Timeseries ts(4);
+    EXPECT_EQ(ts.addSeries("a"), 0u);
+    EXPECT_EQ(ts.addSeries("b"), 1u);
+    for (std::uint64_t i = 0; i < 6; ++i)
+        ts.push(i * 100, {static_cast<double>(i)});
+    EXPECT_EQ(ts.size(), 4u);
+
+    auto samples = ts.snapshot();
+    ASSERT_EQ(samples.size(), 4u);
+    // Oldest two evicted; order is arrival order.
+    EXPECT_EQ(samples.front().tMs, 200u);
+    EXPECT_EQ(samples.back().tMs, 500u);
+    // Missing trailing values read as zero.
+    ASSERT_EQ(samples.front().values.size(), 2u);
+    EXPECT_EQ(samples.front().values[1], 0.0);
+
+    obs::JsonValue doc = ts.toJson();
+    ASSERT_EQ(doc.find("names")->items().size(), 2u);
+    ASSERT_EQ(doc.find("samples")->items().size(), 4u);
+    EXPECT_EQ(doc.find("samples")->items()[0].find("t_ms")->asUint(),
+              200u);
+}
+
+// ---------------------------------------------------------------- profiler
+
+TEST(Profiler, ProfJsonSchemaStableUnderJobs4)
+{
+    obs::Profiler::drain(); // discard records from earlier tests
+    obs::Profiler::setEnabled(true);
+
+    // Four cells run on four workers; the JSON section must come out
+    // sorted and schema-complete regardless of completion order.
+    struct CellSpec
+    {
+        const char *workload;
+        sim::Preset preset;
+    };
+    const CellSpec cells[] = {
+        {"Web (Apache)", sim::Preset::Baseline},
+        {"Web (Apache)", sim::Preset::SN4L},
+        {"Web Frontend", sim::Preset::Baseline},
+        {"Web Frontend", sim::Preset::SN4L},
+    };
+    exec::parallelFor(4, 4, [&](std::size_t i) {
+        auto cfg = sim::makeConfig(
+            workload::serverProfile(cells[i].workload), cells[i].preset);
+        cfg.functionalWarmInstrs = 40000;
+        sim::simulate(cfg, sim::RunWindows{4000, 6000});
+    });
+    obs::Profiler::setEnabled(false);
+
+    obs::JsonValue prof = obs::profJson(obs::Profiler::drain());
+    EXPECT_EQ(prof.find("schema")->asString(), "dcfb-prof-v1");
+    const auto &rows = prof.find("cells")->items();
+    ASSERT_EQ(rows.size(), 4u);
+
+    std::string prev_key;
+    for (const auto &cell : rows) {
+        for (const char *key :
+             {"workload", "design", "cycles", "instructions", "setup_s",
+              "warm_s", "measure_s", "sim_s", "cycles_per_sec",
+              "phase_s"}) {
+            EXPECT_NE(cell.find(key), nullptr) << "missing " << key;
+        }
+        // Deterministic order: sorted by (workload, design).
+        std::string key = cell.find("workload")->asString() + "\x01" +
+            cell.find("design")->asString();
+        EXPECT_GE(key, prev_key);
+        prev_key = key;
+
+        // Phase attribution must roughly tile the simulated walls: the
+        // phases cover the warm+measure cycle loops, so their sum is
+        // positive and bounded by the total simulation wall.
+        double phase_sum = 0.0;
+        for (const auto &kv : cell.find("phase_s")->members())
+            phase_sum += kv.second.asDouble();
+        double sim_s = cell.find("sim_s")->asDouble();
+        EXPECT_GT(phase_sum, 0.0);
+        EXPECT_LE(phase_sum, sim_s * 1.5 + 1e-3);
+    }
 }
 
 } // namespace

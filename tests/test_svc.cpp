@@ -13,10 +13,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/span.h"
 #include "sim/experiment.h"
 #include "sim/report.h"
 #include "sim/simulator.h"
@@ -360,6 +363,28 @@ TEST(SvcProtocol, ErrorReplyShape)
     EXPECT_EQ(reply.find("schema")->asString(), svc::kProtocolSchema);
 }
 
+TEST(SvcProtocol, ParsesMetricsOpAndSpanStitchingIds)
+{
+    auto metrics = svc::parseRequest(R"({"op":"metrics"})");
+    ASSERT_TRUE(metrics.ok());
+    EXPECT_EQ(metrics.value().op, svc::Request::Op::Metrics);
+    EXPECT_EQ(metrics.value().traceId, 0u);
+
+    // trace_id / parent_span ride on any op.
+    auto ping = svc::parseRequest(
+        R"({"op":"ping","trace_id":123,"parent_span":456})");
+    ASSERT_TRUE(ping.ok());
+    EXPECT_EQ(ping.value().traceId, 123u);
+    EXPECT_EQ(ping.value().parentSpan, 456u);
+
+    auto bad = svc::parseRequest(R"({"op":"ping","trace_id":"nope"})");
+    EXPECT_FALSE(bad.ok());
+
+    // Every op has a wire name and the count covers the enum.
+    EXPECT_STREQ(svc::opName(svc::Request::Op::Metrics), "metrics");
+    EXPECT_EQ(svc::kOpCount, 8u);
+}
+
 // -- server ---------------------------------------------------------------
 
 std::uint64_t
@@ -658,6 +683,159 @@ TEST(SvcServer, EndToEndOverTheSocket)
     client.close();
     other.close();
     server.shutdown();
+}
+
+TEST(SvcServer, MetricsOpServesPrometheusExposition)
+{
+    svc::ServerConfig config = testServerConfig("metrics");
+    config.cacheDir = scratchDir("metrics_cache");
+    svc::Server server(config);
+    ASSERT_TRUE(server.start().ok());
+
+    obs::JsonValue reply = server.handleLine(submitLine(61));
+    ASSERT_TRUE(reply.find("ok")->asBool()) << reply.dump();
+    awaitTerminal(server, reply.find("job")->asString());
+
+    obs::JsonValue metrics = server.handleLine(R"({"op":"metrics"})");
+    ASSERT_TRUE(metrics.find("ok")->asBool()) << metrics.dump();
+    EXPECT_EQ(metrics.find("op")->asString(), "metrics");
+    EXPECT_EQ(metrics.find("content_type")->asString(),
+              "text/plain; version=0.0.4");
+    ASSERT_NE(metrics.find("series"), nullptr);
+    EXPECT_EQ(
+        metrics.find("series")->find("names")->items().size(), 5u);
+
+    const std::string &body = metrics.find("body")->asString();
+    // Counters, per-op histograms and derived gauges all render.
+    EXPECT_NE(body.find("# TYPE dcfb_svc_submitted_total counter\n"),
+              std::string::npos);
+    EXPECT_NE(body.find("dcfb_svc_submitted_total 1\n"),
+              std::string::npos);
+    EXPECT_NE(
+        body.find("# TYPE dcfb_svc_op_submit_latency_us histogram\n"),
+        std::string::npos);
+    EXPECT_NE(body.find("dcfb_svc_op_submit_latency_us_count 1\n"),
+              std::string::npos);
+    for (const char *gauge :
+         {"dcfb_queue_depth", "dcfb_jobs_inflight", "dcfb_workers",
+          "dcfb_cache_hit_rate", "dcfb_pool_occupancy",
+          "dcfb_cells_per_second", "dcfb_uptime_seconds"}) {
+        EXPECT_NE(body.find(std::string("# TYPE ") + gauge + " gauge\n"),
+                  std::string::npos)
+            << "missing gauge " << gauge;
+    }
+    // Every sample line's metric name is already exposition-clean.
+    EXPECT_EQ(body.find('('), std::string::npos);
+
+    // After the drain the queue and pool are empty.
+    server.requestDrain();
+    server.awaitDrained();
+    obs::JsonValue after = server.handleLine(R"({"op":"metrics"})");
+    EXPECT_NE(after.find("body")->asString().find(
+                  "dcfb_jobs_inflight 0\n"),
+              std::string::npos);
+    server.shutdown();
+}
+
+TEST(SvcServer, StatsHistogramsCarryCumulativeBuckets)
+{
+    svc::Server server(testServerConfig("buckets"));
+    ASSERT_TRUE(server.start().ok());
+    obs::JsonValue reply = server.handleLine(submitLine(71));
+    ASSERT_TRUE(reply.find("ok")->asBool()) << reply.dump();
+    awaitTerminal(server, reply.find("job")->asString());
+
+    obs::JsonValue stats = server.statsSnapshot();
+    const obs::JsonValue *hists = stats.find("hists");
+    ASSERT_NE(hists, nullptr);
+    const obs::JsonValue *run = hists->find("svc.run_us");
+    ASSERT_NE(run, nullptr);
+    const obs::JsonValue *buckets = run->find("buckets");
+    ASSERT_NE(buckets, nullptr);
+    ASSERT_GT(buckets->items().size(), 0u);
+    std::uint64_t prev = 0;
+    for (const auto &b : buckets->items()) {
+        EXPECT_GE(b.find("count")->asUint(), prev);
+        prev = b.find("count")->asUint();
+    }
+    EXPECT_EQ(prev, run->find("count")->asUint());
+    server.shutdown();
+}
+
+TEST(SvcServer, SpansStitchClientToSimulate)
+{
+    std::string path = ::testing::TempDir() + "dcfb_svc_spans.json";
+    ASSERT_TRUE(obs::Spans::open(path));
+
+    svc::ServerConfig config = testServerConfig("spans");
+    config.cacheDir = scratchDir("spans_cache");
+    {
+        svc::Server server(config);
+        ASSERT_TRUE(server.start().ok());
+
+        // The client span is the trace root; its IDs ride the wire.
+        std::uint64_t root_trace = 0;
+        {
+            obs::SpanScope root("client.submit_wait", "test");
+            root_trace = root.traceId();
+            obs::JsonValue submit = obs::JsonValue::object();
+            submit["op"] = "submit";
+            submit["workload"] = "Web (Apache)";
+            submit["preset"] = "SN4L";
+            submit["seed"] = std::uint64_t{81};
+            submit["trace_id"] = root.traceId();
+            submit["parent_span"] = root.spanId();
+            obs::JsonValue reply = server.handleLine(submit.dump());
+            ASSERT_TRUE(reply.find("ok")->asBool()) << reply.dump();
+            // The daemon echoes the trace id back.
+            ASSERT_NE(reply.find("trace_id"), nullptr);
+            EXPECT_EQ(reply.find("trace_id")->asUint(), root.traceId());
+            awaitTerminal(server, reply.find("job")->asString());
+        }
+        ASSERT_NE(root_trace, 0u);
+        server.shutdown();
+
+        obs::Spans::close();
+        ASSERT_FALSE(obs::Spans::enabled());
+
+        std::ifstream in(path);
+        ASSERT_TRUE(in.is_open());
+        std::stringstream buf;
+        buf << in.rdbuf();
+        auto doc = obs::JsonValue::parse(buf.str());
+        ASSERT_TRUE(doc.has_value());
+        ASSERT_EQ(doc->kind(), obs::JsonValue::Kind::Array);
+
+        // Collect the "X" spans: every parent must resolve (no
+        // orphans) and the whole submit -> queue -> run -> simulate
+        // chain must share the client's trace id.
+        char want[24];
+        std::snprintf(want, sizeof(want), "0x%llx",
+                      static_cast<unsigned long long>(root_trace));
+        std::set<std::string> span_ids;
+        std::set<std::string> chain_names;
+        std::vector<std::string> parent_refs;
+        for (const auto &ev : doc->items()) {
+            if (ev.find("ph")->asString() != "X")
+                continue;
+            const obs::JsonValue *args = ev.find("args");
+            span_ids.insert(args->find("span")->asString());
+            if (const obs::JsonValue *p = args->find("parent"))
+                parent_refs.push_back(p->asString());
+            if (args->find("trace")->asString() == want)
+                chain_names.insert(ev.find("name")->asString());
+        }
+        for (const std::string &parent : parent_refs)
+            EXPECT_TRUE(span_ids.count(parent))
+                << "orphaned parent " << parent;
+        for (const char *name :
+             {"client.submit_wait", "svc.submit", "svc.queue_wait",
+              "svc.run", "sim.simulate", "sim.measure"}) {
+            EXPECT_TRUE(chain_names.count(name))
+                << "span " << name << " missing from trace " << want;
+        }
+    }
+    std::remove(path.c_str());
 }
 
 } // namespace

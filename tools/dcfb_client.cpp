@@ -9,20 +9,30 @@
  *   dcfb-client --socket PATH fetch JOB
  *   dcfb-client --socket PATH cancel JOB
  *   dcfb-client --socket PATH stats | ping | drain
+ *   dcfb-client --socket PATH metrics [--watch] [--interval-ms N]
  *   dcfb-client --socket PATH raw '<request json>'
+ *
+ * A global --trace-spans FILE flag (before the command) records the
+ * client side of the request as spans and sends the IDs along, so the
+ * daemon's timeline stitches through this invocation.
  *
  * The reply document is printed to stdout; exit status is 0 when the
  * daemon replied "ok":true, 1 when it replied with an error, and 2 on
  * usage/connection problems.  `submit --wait` retries admission
  * rejects with the daemon's retry_after_ms hint and blocks until the
- * result is available.
+ * result is available.  `metrics` prints the daemon's Prometheus
+ * exposition body as text; --watch redraws it every --interval-ms
+ * (default 1000) until interrupted, as a live top-style view.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
+#include "obs/span.h"
 #include "svc/client.h"
 
 namespace {
@@ -32,11 +42,12 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s --socket PATH COMMAND ...\n"
+        "usage: %s --socket PATH [--trace-spans FILE] COMMAND ...\n"
         "  submit --workload NAME --preset NAME [--warm N --measure N]\n"
         "         [--seed N] [--inject SPEC] [--deadline-ms N] [--wait]\n"
         "  status JOB | fetch JOB | cancel JOB\n"
         "  stats | ping | drain\n"
+        "  metrics [--watch] [--interval-ms N]\n"
         "  raw '<request json>'\n",
         argv0);
     std::exit(2);
@@ -65,14 +76,41 @@ main(int argc, char **argv)
     using namespace dcfb;
 
     std::string socket_path;
+    std::string span_path;
     int i = 1;
-    if (i + 1 < argc && std::strcmp(argv[i], "--socket") == 0) {
-        socket_path = argv[i + 1];
-        i += 2;
+    while (i + 1 < argc) {
+        if (std::strcmp(argv[i], "--socket") == 0) {
+            socket_path = argv[i + 1];
+            i += 2;
+        } else if (std::strcmp(argv[i], "--trace-spans") == 0) {
+            span_path = argv[i + 1];
+            i += 2;
+        } else {
+            break;
+        }
     }
     if (socket_path.empty() || i >= argc)
         usage(argv[0]);
     std::string command = argv[i++];
+
+    // RAII so every exit path below flushes the timeline.
+    struct SpanGuard
+    {
+        bool open = false;
+        ~SpanGuard()
+        {
+            if (open)
+                dcfb::obs::Spans::close();
+        }
+    } span_guard;
+    if (!span_path.empty()) {
+        if (!obs::Spans::open(span_path)) {
+            std::fprintf(stderr, "dcfb-client: cannot open %s\n",
+                         span_path.c_str());
+            return 2;
+        }
+        span_guard.open = true;
+    }
 
     svc::Client client;
     if (auto connected = client.connect(socket_path); !connected.ok()) {
@@ -101,6 +139,47 @@ main(int argc, char **argv)
         if (i >= argc)
             usage(argv[0]);
         return printReply(client.requestLine(argv[i]));
+    }
+
+    if (command == "metrics") {
+        bool watch = false;
+        unsigned interval_ms = 1000;
+        for (; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg == "--watch") {
+                watch = true;
+            } else if (arg == "--interval-ms" && i + 1 < argc) {
+                interval_ms = static_cast<unsigned>(std::atoi(argv[++i]));
+            } else {
+                usage(argv[0]);
+            }
+        }
+        obs::JsonValue req = obs::JsonValue::object();
+        req["op"] = "metrics";
+        for (;;) {
+            auto reply = client.request(req);
+            if (!reply.ok()) {
+                std::fprintf(stderr, "dcfb-client: %s\n",
+                             reply.error().render().c_str());
+                return 2;
+            }
+            const obs::JsonValue *body = reply.value().find("body");
+            if (!body ||
+                body->kind() != obs::JsonValue::Kind::String) {
+                std::fprintf(stderr,
+                             "dcfb-client: metrics reply has no body\n");
+                return 1;
+            }
+            if (watch)
+                std::printf("\x1b[H\x1b[2J"); // home + clear
+            std::fputs(body->asString().c_str(), stdout);
+            std::fflush(stdout);
+            if (!watch)
+                return 0;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(interval_ms ? interval_ms
+                                                      : 1000));
+        }
     }
 
     if (command != "submit")

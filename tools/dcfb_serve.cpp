@@ -4,12 +4,18 @@
  *
  *   dcfb-serve --socket /tmp/dcfb.sock [--jobs N] [--queue N]
  *              [--cache DIR] [--warm N --measure N]
- *              [--retry-after-ms N]
+ *              [--retry-after-ms N] [--metrics-interval-ms N]
+ *              [--trace-spans FILE]
  *
  * Runs until SIGTERM/SIGINT, then drains gracefully: admission stops,
  * every queued and running job finishes and is flushed to the result
  * cache, a final stats snapshot is printed to stdout, and the process
  * exits 0.  EXPERIMENTS.md documents the request protocol.
+ *
+ * The gauge sampler defaults to one sample per second (the `metrics`
+ * request serves the ring); --metrics-interval-ms 0 disables it.  With
+ * --trace-spans every request, queue wait and job run is recorded as a
+ * span and the Chrome trace-event timeline is written at exit.
  */
 
 #include <csignal>
@@ -19,6 +25,7 @@
 #include <string>
 #include <thread>
 
+#include "obs/span.h"
 #include "svc/server.h"
 
 namespace {
@@ -37,7 +44,8 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s --socket PATH [--jobs N] [--queue N] "
                  "[--cache DIR] [--warm N --measure N] "
-                 "[--retry-after-ms N]\n",
+                 "[--retry-after-ms N] [--metrics-interval-ms N] "
+                 "[--trace-spans FILE]\n",
                  argv0);
     std::exit(2);
 }
@@ -51,6 +59,8 @@ main(int argc, char **argv)
 
     svc::ServerConfig config;
     config.defaultWindows = sim::RunWindows{150000, 150000};
+    config.metricsIntervalMs = 1000;
+    std::string spanPath;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -77,11 +87,22 @@ main(int argc, char **argv)
         else if (arg == "--retry-after-ms")
             config.retryAfterMs =
                 static_cast<unsigned>(std::atoi(next()));
+        else if (arg == "--metrics-interval-ms")
+            config.metricsIntervalMs =
+                static_cast<unsigned>(std::atoi(next()));
+        else if (arg == "--trace-spans")
+            spanPath = next();
         else
             usage(argv[0]);
     }
     if (config.socketPath.empty())
         usage(argv[0]);
+
+    if (!spanPath.empty() && !obs::Spans::open(spanPath)) {
+        std::fprintf(stderr, "dcfb-serve: cannot open %s\n",
+                     spanPath.c_str());
+        return 1;
+    }
 
     svc::Server server(config);
     if (auto started = server.start(); !started.ok()) {
@@ -103,6 +124,11 @@ main(int argc, char **argv)
     server.awaitDrained();
     std::printf("%s\n", server.statsSnapshot().dump(2).c_str());
     server.shutdown();
+    if (!spanPath.empty()) {
+        obs::Spans::close();
+        std::fprintf(stderr, "dcfb-serve: span timeline written to %s\n",
+                     spanPath.c_str());
+    }
     std::fprintf(stderr, "dcfb-serve: drained, exiting\n");
     return 0;
 }
