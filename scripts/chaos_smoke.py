@@ -1,0 +1,542 @@
+#!/usr/bin/env python3
+"""Chaos harness for dcfb-serve's crash-safety contract (DESIGN.md #12).
+
+Runs the full fig16 grid (7 server workloads x 5 presets = 35 cells at
+warm=2000/measure=3000) through the daemon four times:
+
+  A. reference   -- clean run, journal off: the byte-level ground truth.
+  B. kill/replay -- journal on; all 35 jobs submitted, SIGKILL lands
+                    mid-grid, the daemon restarts on the same journal +
+                    cache and every client blindly resubmits.
+  C. torn tail   -- a fresh incarnation is SIGKILLed and the journal's
+                    final record is truncated mid-line before restart,
+                    modelling a crash inside append().
+  D. resets      -- journal on plus `--svc-inject reset:...`: the daemon
+                    slams connections shut after handling requests, and
+                    the clients must reconnect + resubmit idempotently.
+
+Pass criteria (any failure exits non-zero):
+  - zero lost jobs: every cell fetches a terminal ok result in every
+    round, no matter where the SIGKILL landed;
+  - zero duplicate sims: round B's second incarnation executes exactly
+    35 - (results already in the cache at the kill) simulations --
+    finished work is served from the cache, unfinished work is replayed
+    or resubmitted exactly once;
+  - byte-identical results: every round's fetched RunResult documents
+    equal round A's, so crash recovery is observably invisible;
+  - the journal always parses: every surviving line carries a valid
+    FNV-1a crc (reimplemented here, independent of the C++ code) and
+    segment headers pin schema dcfb-journal-v1;
+  - the truncated tail is repaired, reported in stats as
+    journal.torn_tails_repaired, and costs at most that one record;
+  - every incarnation that is asked to, drains on SIGTERM with exit 0
+    and a final stats JSON document on stdout.
+
+Stdlib only; no external dependencies.
+"""
+
+import argparse
+import json
+import os
+import random
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+WORKLOADS = [
+    "Media Streaming",
+    "OLTP (DB A)",
+    "OLTP (DB B)",
+    "Web (Apache)",
+    "Web (Zeus)",
+    "Web Frontend",
+    "Web Search",
+]
+PRESETS = ["Baseline", "NL", "SN4L+Dis+BTB", "Shotgun", "Confluence"]
+WARM, MEASURE = 2000, 3000
+
+JOURNAL_SCHEMA = "dcfb-journal-v1"
+
+
+def fnv1a_hex(text):
+    """FNV-1a 64-bit over the UTF-8 bytes, 16 lowercase hex chars.
+
+    Independent reimplementation of src/svc/fingerprint.cpp so the
+    harness validates journal checksums without trusting the C++ side.
+    """
+    h = 0xCBF29CE484222325
+    for byte in text.encode():
+        h ^= byte
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return f"{h:016x}"
+
+
+def grid_specs(seed):
+    return [(w, p, seed) for w in WORKLOADS for p in PRESETS]
+
+
+class Client:
+    """One NDJSON request/reply exchange per call, with line buffering."""
+
+    def __init__(self, path, timeout=30.0):
+        self.sock = None
+        self.buf = b""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                s.settimeout(timeout)
+                s.connect(path)
+                self.sock = s
+                return
+            except OSError:
+                s.close()
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.02)
+
+    def request_line(self, line):
+        self.sock.sendall(line.encode() + b"\n")
+        while b"\n" not in self.buf:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("daemon closed the connection")
+            self.buf += chunk
+        reply, self.buf = self.buf.split(b"\n", 1)
+        return json.loads(reply)
+
+    def request(self, doc):
+        return self.request_line(json.dumps(doc))
+
+    def close(self):
+        if self.sock:
+            self.sock.close()
+            self.sock = None
+
+
+def submit_doc(spec):
+    return {
+        "op": "submit",
+        "workload": spec[0],
+        "preset": spec[1],
+        "seed": spec[2],
+        "warm": WARM,
+        "measure": MEASURE,
+    }
+
+
+def run_cell(path, spec, out, idx, rng_seed):
+    """Drive one cell to a terminal result, absorbing every chaos mode.
+
+    Connection resets, dropped replies and unknown_job are the daemon's
+    documented failure surface; the client reconnects and resubmits --
+    the journal's idempotency index guarantees that retries dedupe onto
+    the same job, so blind resubmission is always safe.
+    """
+    rng = random.Random(rng_seed)
+    c = None
+    try:
+        deadline = time.monotonic() + 600
+        job = None
+        while time.monotonic() < deadline:
+            try:
+                if c is None:
+                    c = Client(path)
+                if job is None:
+                    reply = c.request(submit_doc(spec))
+                    if reply.get("ok"):
+                        job = reply["job"]
+                        continue
+                    if reply.get("error") in ("queue_full", "draining",
+                                              "journal_error"):
+                        time.sleep(reply.get("retry_after_ms", 50) /
+                                   1000.0 * (0.5 + rng.random()))
+                        continue
+                    out[idx] = ("reject", reply)
+                    return
+                reply = c.request({"op": "fetch", "job": job})
+                if reply.get("ok"):
+                    out[idx] = ("done", reply["result"])
+                    return
+                if reply.get("error") == "not_ready":
+                    time.sleep(reply.get("retry_after_ms", 50) / 1000.0)
+                    continue
+                if reply.get("error") == "unknown_job":
+                    job = None  # lost to a crash: resubmit idempotently
+                    continue
+                out[idx] = ("failed", reply)
+                return
+            except (OSError, ConnectionError, ValueError):
+                # Reset/dropped frame: reconnect, resubmit from scratch.
+                if c is not None:
+                    c.close()
+                c = None
+                job = None
+                time.sleep(0.02 * (0.5 + rng.random()))
+        out[idx] = ("timeout", None)
+    except Exception as exc:  # noqa: BLE001 - chaos harness, record all
+        out[idx] = ("exception", repr(exc))
+    finally:
+        if c is not None:
+            c.close()
+
+
+def run_grid(path, specs, rng_seed):
+    """All cells concurrently; returns list of (state, result)."""
+    out = [None] * len(specs)
+    threads = [
+        threading.Thread(target=run_cell,
+                         args=(path, spec, out, i, rng_seed * 1000 + i))
+        for i, spec in enumerate(specs)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=700)
+    return out
+
+
+class Daemon:
+    """One dcfb-serve incarnation with SIGTERM/SIGKILL helpers."""
+
+    def __init__(self, serve, sock, extra):
+        self.sock = sock
+        cmd = [serve, "--socket", sock, "--warm", str(WARM),
+               "--measure", str(MEASURE), "--retry-after-ms", "25"]
+        cmd += extra
+        self.proc = subprocess.Popen(cmd, stdout=subprocess.PIPE,
+                                     text=True)
+
+    def wait_ready(self, timeout=60):
+        deadline = time.monotonic() + timeout
+        while not os.path.exists(self.sock):
+            if self.proc.poll() is not None:
+                raise RuntimeError(
+                    f"daemon exited {self.proc.returncode} before ready")
+            if time.monotonic() > deadline:
+                raise RuntimeError("daemon failed to come up")
+            time.sleep(0.05)
+        ping = Client(self.sock)
+        try:
+            assert ping.request({"op": "ping"}).get("ok")
+        finally:
+            ping.close()
+
+    def stats(self):
+        c = Client(self.sock)
+        try:
+            return c.request({"op": "stats"})
+        finally:
+            c.close()
+
+    def kill(self):
+        self.proc.send_signal(signal.SIGKILL)
+        self.proc.wait(timeout=30)
+        if os.path.exists(self.sock):
+            os.unlink(self.sock)  # SIGKILL skips the daemon's cleanup
+
+    def drain(self, failures, label):
+        """SIGTERM; require exit 0 and final stats JSON on stdout."""
+        self.proc.send_signal(signal.SIGTERM)
+        try:
+            stdout, _ = self.proc.communicate(timeout=120)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.communicate()
+            failures.append(f"{label}: no drain within 120s of SIGTERM")
+            return None
+        if self.proc.returncode != 0:
+            failures.append(
+                f"{label}: drain exit {self.proc.returncode}, expected 0")
+        try:
+            final = json.loads(stdout)
+            assert "counters" in final
+            return final
+        except (ValueError, AssertionError):
+            failures.append(
+                f"{label}: final stats not valid JSON: {stdout[:200]!r}")
+            return None
+
+
+def check_results(label, specs, out, reference, failures):
+    """Zero lost jobs + byte-identical results against the reference."""
+    lost = [(spec, v) for spec, v in zip(specs, out)
+            if not v or v[0] != "done"]
+    if lost:
+        failures.append(f"{label}: {len(lost)} lost jobs: {lost[:3]}")
+        return
+    for spec, v in zip(specs, out):
+        blob = json.dumps(v[1], sort_keys=True)
+        if reference is not None and reference[spec] != blob:
+            failures.append(
+                f"{label}: result for {spec} diverged from reference")
+
+
+def validate_journal(journal_dir, failures, label,
+                     allow_torn_tail=False):
+    """Every surviving journal line must carry a valid crc.
+
+    Returns the parsed records.  A torn final line (no trailing
+    newline, or a half-written record) is tolerated only when
+    @p allow_torn_tail -- i.e. right after a SIGKILL, before the next
+    incarnation repairs it.
+    """
+    records = []
+    names = sorted(n for n in os.listdir(journal_dir)
+                   if n.startswith("journal-") and n.endswith(".ndjson"))
+    if not names:
+        failures.append(f"{label}: no journal segments in {journal_dir}")
+        return records
+    for seg_i, name in enumerate(names):
+        with open(os.path.join(journal_dir, name), "rb") as fh:
+            data = fh.read()
+        body, _, tail = data.rpartition(b"\n")
+        lines = body.split(b"\n") if body else []
+        if tail:
+            if allow_torn_tail and seg_i == len(names) - 1:
+                print(f"chaos: {label}: torn tail in {name} "
+                      f"({len(tail)} bytes), as injected", flush=True)
+            else:
+                failures.append(
+                    f"{label}: {name} ends mid-record: {tail[:60]!r}")
+        for line in lines:
+            if not line:
+                continue
+            text = line.decode()
+            key = ',"crc":"'
+            pos = text.rfind(key)
+            if pos < 0 or not text.endswith('"}'):
+                failures.append(f"{label}: no crc suffix: {text[:60]!r}")
+                continue
+            crc = text[pos + len(key):-2]
+            if fnv1a_hex(text[:pos] + "}") != crc:
+                failures.append(f"{label}: bad crc: {text[:60]!r}")
+                continue
+            rec = json.loads(text)
+            if rec.get("type") == "header":
+                if rec.get("schema") != JOURNAL_SCHEMA:
+                    failures.append(
+                        f"{label}: bad schema {rec.get('schema')!r}")
+            records.append(rec)
+    return records
+
+
+def cache_results(cache_dir):
+    """Keys of completed results on disk (tmp files are not results)."""
+    if not os.path.isdir(cache_dir):
+        return set()
+    return {n[:-5] for n in os.listdir(cache_dir)
+            if n.endswith(".json")}
+
+
+def counter(stats, name):
+    return stats.get("counters", {}).get(name, 0)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--serve", required=True, help="path to dcfb-serve")
+    ap.add_argument("--seed", type=int, default=7,
+                    help="grid seed, also seeds the fault injectors")
+    ap.add_argument("--kill-after", type=int, default=6,
+                    help="SIGKILL once this many results are cached")
+    ap.add_argument("--reset-rate", type=float, default=0.25)
+    args = ap.parse_args()
+
+    tmp = tempfile.mkdtemp(prefix="dcfb-chaos-")
+    specs = grid_specs(args.seed)
+    failures = []
+
+    # ---- Round A: clean reference run (journal off) ---------------------
+    print(f"chaos: round A (reference, {len(specs)} cells)", flush=True)
+    sock = os.path.join(tmp, "a.sock")
+    d = Daemon(args.serve, sock,
+               ["--cache", os.path.join(tmp, "a-cache")])
+    reference = None
+    try:
+        d.wait_ready()
+        out = run_grid(sock, specs, args.seed)
+        check_results("round A", specs, out, None, failures)
+        if not failures:
+            reference = {spec: json.dumps(v[1], sort_keys=True)
+                         for spec, v in zip(specs, out)}
+    finally:
+        d.drain(failures, "round A")
+    if reference is None:
+        for f in failures:
+            print("chaos FAIL:", f, file=sys.stderr)
+        print("chaos: reference run failed; aborting", file=sys.stderr)
+        return 1
+
+    # ---- Round B: SIGKILL mid-grid, restart, replay ---------------------
+    print("chaos: round B (SIGKILL mid-grid + journaled restart)",
+          flush=True)
+    sock = os.path.join(tmp, "b.sock")
+    cache_dir = os.path.join(tmp, "b-cache")
+    journal_dir = os.path.join(tmp, "b-journal")
+    flags = ["--cache", cache_dir, "--journal", journal_dir,
+             "--lease-ms", "30000"]
+    d = Daemon(args.serve, sock, flags)
+    d.wait_ready()
+    submitter = Client(sock)
+    for spec in specs:
+        reply = submitter.request(submit_doc(spec))
+        while not reply.get("ok"):
+            if reply.get("error") not in ("queue_full", "journal_error"):
+                failures.append(f"round B: submit rejected: {reply}")
+                break
+            time.sleep(reply.get("retry_after_ms", 50) / 1000.0)
+            reply = submitter.request(submit_doc(spec))
+    submitter.close()
+    # Let part of the grid finish, then pull the plug.  The cache count
+    # is only advisory here (results land while we poll); the
+    # authoritative count is taken after the process is dead.
+    deadline = time.monotonic() + 300
+    while len(cache_results(cache_dir)) < args.kill_after:
+        if time.monotonic() > deadline:
+            failures.append("round B: grid never reached the kill point")
+            break
+        time.sleep(0.02)
+    d.kill()
+    done_at_kill = cache_results(cache_dir)
+    print(f"chaos: round B: killed with {len(done_at_kill)}/"
+          f"{len(specs)} results cached", flush=True)
+    if not (0 < len(done_at_kill) < len(specs)):
+        failures.append(
+            f"round B: kill landed outside the grid "
+            f"({len(done_at_kill)} of {len(specs)} done) -- tune "
+            f"--kill-after")
+    validate_journal(journal_dir, failures, "round B post-kill",
+                     allow_torn_tail=True)
+
+    d = Daemon(args.serve, sock, flags)
+    d.wait_ready()
+    out = run_grid(sock, specs, args.seed + 1)
+    check_results("round B", specs, out, reference, failures)
+    stats = d.stats()
+    sims2 = counter(stats, "svc.sims_executed")
+    expected = len(specs) - len(done_at_kill)
+    if sims2 != expected:
+        failures.append(
+            f"round B: incarnation 2 ran {sims2} sims, expected "
+            f"{expected} (= {len(specs)} - {len(done_at_kill)} cached "
+            f"at kill): duplicate or lost work")
+    recovered = (counter(stats, "svc.recovery.replayed") +
+                 counter(stats, "svc.recovery.cache_hits"))
+    if recovered == 0:
+        failures.append("round B: restart recovered nothing from the "
+                        "journal")
+    if counter(stats, "svc.invariant_violations") != 0:
+        failures.append(f"round B: invariant violations: {stats}")
+    print(f"chaos: round B: sims={sims2} replayed="
+          f"{counter(stats, 'svc.recovery.replayed')} cache_hits="
+          f"{counter(stats, 'svc.recovery.cache_hits')} already_known="
+          f"{counter(stats, 'svc.already_known')}", flush=True)
+    final = d.drain(failures, "round B")
+    if final is not None:
+        journal_stats = final.get("journal", {})
+        if journal_stats.get("records_recovered", 0) <= 0:
+            failures.append(
+                f"round B: drain stats report no recovered records: "
+                f"{journal_stats}")
+    validate_journal(journal_dir, failures, "round B post-drain")
+
+    # ---- Round C: truncated journal tail --------------------------------
+    print("chaos: round C (torn journal tail)", flush=True)
+    sock = os.path.join(tmp, "c.sock")
+    cache_dir = os.path.join(tmp, "c-cache")
+    journal_dir = os.path.join(tmp, "c-journal")
+    flags = ["--cache", cache_dir, "--journal", journal_dir]
+    d = Daemon(args.serve, sock, flags)
+    d.wait_ready()
+    c = Client(sock)
+    for spec in specs[:3]:
+        reply = c.request(submit_doc(spec))
+        if not reply.get("ok"):
+            failures.append(f"round C: submit rejected: {reply}")
+    c.close()
+    d.kill()
+    done_at_kill = cache_results(cache_dir)
+    # Chop the final record mid-line: a crash inside append() leaves
+    # exactly this shape on disk.
+    seg = sorted(n for n in os.listdir(journal_dir)
+                 if n.endswith(".ndjson"))[-1]
+    seg_path = os.path.join(journal_dir, seg)
+    with open(seg_path, "rb") as fh:
+        data = fh.read()
+    cut = data.rstrip(b"\n").rfind(b"\n")
+    if cut < 0:
+        failures.append("round C: journal too short to truncate")
+    else:
+        with open(seg_path, "wb") as fh:
+            fh.write(data[:cut + 1 + (len(data) - cut - 1) // 2])
+        d = Daemon(args.serve, sock, flags)
+        d.wait_ready()
+        out = run_grid(sock, specs[:3], args.seed + 2)
+        check_results("round C", specs[:3], out, reference, failures)
+        stats = d.stats()
+        torn = stats.get("journal", {}).get("torn_tails_repaired", 0)
+        if torn != 1:
+            failures.append(
+                f"round C: torn_tails_repaired={torn}, expected 1")
+        # The truncated record is gone from the journal, but blind
+        # resubmission covers it: work cached before the kill is never
+        # re-simulated, everything else runs exactly once.
+        sims = counter(stats, "svc.sims_executed")
+        expected = 3 - len(done_at_kill)
+        if sims != expected:
+            failures.append(
+                f"round C: {sims} sims, expected {expected} "
+                f"(3 cells - {len(done_at_kill)} cached at kill)")
+        d.drain(failures, "round C")
+        validate_journal(journal_dir, failures, "round C post-drain")
+
+    # ---- Round D: connection resets under --svc-inject ------------------
+    print("chaos: round D (socket resets)", flush=True)
+    sock = os.path.join(tmp, "d.sock")
+    plan = f"reset:rate={args.reset_rate},seed={args.seed}"
+    d = Daemon(args.serve, sock,
+               ["--cache", os.path.join(tmp, "d-cache"),
+                "--journal", os.path.join(tmp, "d-journal"),
+                "--svc-inject", plan])
+    d.wait_ready()
+    out = run_grid(sock, specs, args.seed + 3)
+    check_results("round D", specs, out, reference, failures)
+    stats = None
+    for _ in range(50):  # the stats request itself can be reset
+        try:
+            stats = d.stats()
+            break
+        except (OSError, ConnectionError, ValueError):
+            time.sleep(0.05)
+    if stats is None:
+        failures.append("round D: could not fetch stats")
+    else:
+        resets = stats.get("svc_inject", {}).get("frames_reset", 0)
+        if resets < 1:
+            failures.append(
+                f"round D: injector reset no frames under {plan}")
+        sims = counter(stats, "svc.sims_executed")
+        if sims != len(specs):
+            failures.append(
+                f"round D: {sims} sims for {len(specs)} unique cells "
+                f"(idempotent resubmission broke dedup)")
+        print(f"chaos: round D: frames_reset={resets} sims={sims} "
+              f"already_known={counter(stats, 'svc.already_known')}",
+              flush=True)
+    d.drain(failures, "round D")
+
+    if failures:
+        for f in failures:
+            print("chaos FAIL:", f, file=sys.stderr)
+        return 1
+    print("chaos PASS", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -106,4 +106,33 @@ promHistogram(std::string &out, const std::string &name,
     out += '\n';
 }
 
+void
+promInfo(std::string &out, const std::string &name,
+         std::initializer_list<std::pair<std::string_view,
+                                         std::string_view>> labels)
+{
+    typeLine(out, name, "gauge");
+    out += name;
+    out += '{';
+    bool first = true;
+    for (const auto &label : labels) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += label.first;
+        out += "=\"";
+        for (char c : label.second) {
+            if (c == '\\' || c == '"')
+                out += '\\';
+            if (c == '\n') {
+                out += "\\n";
+                continue;
+            }
+            out += c;
+        }
+        out += '"';
+    }
+    out += "} 1\n";
+}
+
 } // namespace dcfb::obs

@@ -18,8 +18,10 @@
 #define DCFB_OBS_PROMETHEUS_H
 
 #include <cstdint>
+#include <initializer_list>
 #include <string>
 #include <string_view>
+#include <utility>
 
 #include "obs/registry.h"
 
@@ -41,6 +43,15 @@ void promGauge(std::string &out, const std::string &name, double value);
  *  `_count`. */
 void promHistogram(std::string &out, const std::string &name,
                    const HistogramSnapshot &snap);
+
+/** Append one info-style gauge: a constant `1` sample whose labels
+ *  carry configuration strings (the `foo_info{key="value"} 1` idiom —
+ *  e.g. the journal fsync policy or the active fault-injection plan).
+ *  Label values are escaped per the exposition format (backslash,
+ *  double quote, newline). */
+void promInfo(std::string &out, const std::string &name,
+              std::initializer_list<std::pair<std::string_view,
+                                              std::string_view>> labels);
 
 } // namespace dcfb::obs
 

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -53,6 +54,7 @@ rt::Expected<void>
 Client::connect(const std::string &socket_path)
 {
     close();
+    socketPath = socket_path;
     fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0)
         return clientError("cannot create socket");
@@ -72,7 +74,33 @@ Client::connect(const std::string &socket_path)
         close();
         return err;
     }
+    applyRecvTimeout();
     return {};
+}
+
+void
+Client::setRetryPolicy(const RetryPolicy &p)
+{
+    policy = p;
+    std::uint64_t seed = policy.jitterSeed;
+    if (seed == 0) {
+        seed = static_cast<std::uint64_t>(::getpid()) *
+            0x9e3779b97f4a7c15ull;
+    }
+    jitter = Rng(seed);
+    applyRecvTimeout();
+}
+
+void
+Client::applyRecvTimeout()
+{
+    if (fd < 0 || policy.recvTimeoutMs == 0)
+        return;
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(policy.recvTimeoutMs / 1000);
+    tv.tv_usec =
+        static_cast<suseconds_t>((policy.recvTimeoutMs % 1000) * 1000);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 }
 
 rt::Expected<void>
@@ -100,8 +128,11 @@ Client::recvLine()
         }
         char buf[4096];
         ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-        if (n <= 0)
+        if (n <= 0) {
+            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+                return clientError("daemon reply timed out");
             return clientError("daemon closed the connection");
+        }
         pending.append(buf, static_cast<std::size_t>(n));
     }
 }
@@ -146,64 +177,155 @@ Client::submitAndWait(const obs::JsonValue &doc, unsigned max_retries)
         submit["parent_span"] = span->spanId();
     }
 
-    std::string job;
-    for (unsigned attempt = 0;; ++attempt) {
-        auto reply = request(submit);
-        if (!reply.ok())
-            return reply.error();
-        const obs::JsonValue &r = reply.value();
-        const obs::JsonValue *ok = r.find("ok");
-        if (ok && ok->kind() == obs::JsonValue::Kind::Bool &&
-            ok->asBool()) {
-            const std::string *id = stringMember(r, "job");
-            if (!id) {
-                return rt::Error(rt::ErrorKind::Config,
-                                 "submit reply has no job id");
-            }
-            job = *id;
-            break;
-        }
-        const std::string *code = stringMember(r, "error");
-        bool retryable =
-            code && (*code == "queue_full" || *code == "draining");
-        if (!retryable || attempt + 1 >= max_retries) {
-            return rt::Error(rt::ErrorKind::Config, "submit rejected")
-                .with("error", code ? *code : "?")
-                .with("attempts", std::uint64_t{attempt} + 1);
-        }
-        std::uint64_t backoff_ms = 250;
-        if (const obs::JsonValue *hint = r.find("retry_after_ms");
-            hint && hint->kind() == obs::JsonValue::Kind::Uint) {
-            backoff_ms = hint->asUint();
-        }
-        std::this_thread::sleep_for(
-            std::chrono::milliseconds(backoff_ms));
-    }
+    // Failure accounting shared by the submit and fetch phases.
+    // `attempt` counts consecutive failures (admission rejects,
+    // transport errors, unknown_job restarts) and resets on any healthy
+    // reply; `retry_spent_ms` charges failure sleeps against the
+    // budget.  The exponential base doubles per consecutive failure up
+    // to capMs; `retry_after_ms` hints override the base for one sleep.
+    unsigned attempt = 0;
+    std::uint64_t retry_spent_ms = 0;
+    std::uint64_t backoff_base_ms = policy.submitBackoffMs;
 
-    obs::JsonValue fetch = obs::JsonValue::object();
-    fetch["op"] = "fetch";
-    fetch["job"] = job;
-    if (span) {
-        fetch["trace_id"] = span->traceId();
-        fetch["parent_span"] = span->spanId();
-    }
-    for (;;) {
-        auto reply = request(fetch);
-        if (!reply.ok())
-            return reply.error();
-        const obs::JsonValue &r = reply.value();
-        const std::string *code = stringMember(r, "error");
-        if (code && *code == "not_ready") {
-            std::uint64_t backoff_ms = 100;
-            if (const obs::JsonValue *hint = r.find("retry_after_ms");
+    auto jittered = [&](std::uint64_t base) -> std::uint64_t {
+        double scaled =
+            static_cast<double>(base) * (0.5 + jitter.uniform());
+        auto ms = static_cast<std::uint64_t>(scaled);
+        return ms ? ms : 1;
+    };
+    auto healthy = [&] {
+        attempt = 0;
+        backoff_base_ms = policy.submitBackoffMs;
+    };
+    auto budgetError = [&](const char *stage) {
+        return rt::Error(rt::ErrorKind::Config, "retry budget exhausted")
+            .with("stage", stage)
+            .with("budget_ms", policy.budgetMs)
+            .with("spent_ms", retry_spent_ms)
+            .with("attempts", std::uint64_t{attempt});
+    };
+    // One failure backoff: pick the delay (hint > exponential base),
+    // charge the budget, sleep, and grow the base for next time.
+    // Returns false when the budget cannot afford the sleep.
+    auto failureBackoff = [&](const obs::JsonValue *reply) -> bool {
+        std::uint64_t base = std::min(backoff_base_ms, policy.capMs);
+        if (reply) {
+            if (const obs::JsonValue *hint = reply->find("retry_after_ms");
                 hint && hint->kind() == obs::JsonValue::Kind::Uint) {
-                backoff_ms = hint->asUint();
+                base = hint->asUint();
             }
-            std::this_thread::sleep_for(
-                std::chrono::milliseconds(backoff_ms));
-            continue;
         }
-        return std::move(reply.value());
+        std::uint64_t ms = jittered(base);
+        if (policy.budgetMs && retry_spent_ms + ms > policy.budgetMs)
+            return false;
+        retry_spent_ms += ms;
+        backoff_base_ms = std::min(backoff_base_ms * 2, policy.capMs);
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+        return true;
+    };
+    auto reconnect = [&] {
+        if (!socketPath.empty())
+            (void)connect(socketPath);
+    };
+
+    // Outer loop: one full submit+fetch lifecycle per iteration; a
+    // post-restart `unknown_job` fetch reply restarts it with an
+    // idempotent resubmit (the daemon dedupes by fingerprint).
+    for (;;) {
+        std::string job;
+        for (;;) {
+            auto reply = request(submit);
+            if (!reply.ok()) {
+                if (++attempt >= max_retries) {
+                    rt::Error err = reply.error();
+                    return std::move(err).with("attempts",
+                                               std::uint64_t{attempt});
+                }
+                if (!failureBackoff(nullptr))
+                    return budgetError("submit");
+                reconnect();
+                continue;
+            }
+            const obs::JsonValue &r = reply.value();
+            const obs::JsonValue *ok = r.find("ok");
+            if (ok && ok->kind() == obs::JsonValue::Kind::Bool &&
+                ok->asBool()) {
+                const std::string *id = stringMember(r, "job");
+                if (!id) {
+                    return rt::Error(rt::ErrorKind::Config,
+                                     "submit reply has no job id");
+                }
+                job = *id;
+                healthy();
+                break;
+            }
+            const std::string *code = stringMember(r, "error");
+            bool retryable = code &&
+                (*code == "queue_full" || *code == "draining" ||
+                 *code == "journal_error");
+            if (!retryable || attempt + 1 >= max_retries) {
+                return rt::Error(rt::ErrorKind::Config, "submit rejected")
+                    .with("error", code ? *code : "?")
+                    .with("attempts", std::uint64_t{attempt} + 1);
+            }
+            ++attempt;
+            if (!failureBackoff(&r))
+                return budgetError("submit");
+        }
+
+        obs::JsonValue fetch = obs::JsonValue::object();
+        fetch["op"] = "fetch";
+        fetch["job"] = job;
+        if (span) {
+            fetch["trace_id"] = span->traceId();
+            fetch["parent_span"] = span->spanId();
+        }
+        bool resubmit = false;
+        while (!resubmit) {
+            auto reply = request(fetch);
+            if (!reply.ok()) {
+                if (++attempt >= max_retries) {
+                    rt::Error err = reply.error();
+                    return std::move(err).with("attempts",
+                                               std::uint64_t{attempt});
+                }
+                if (!failureBackoff(nullptr))
+                    return budgetError("fetch");
+                reconnect();
+                continue;
+            }
+            const obs::JsonValue &r = reply.value();
+            const std::string *code = stringMember(r, "error");
+            if (code && *code == "not_ready") {
+                // Healthy wait: the job is queued or running.  Poll
+                // sleeps are jittered but never charged to the budget.
+                healthy();
+                std::uint64_t base = policy.pollMs;
+                if (const obs::JsonValue *hint = r.find("retry_after_ms");
+                    hint && hint->kind() == obs::JsonValue::Kind::Uint) {
+                    base = hint->asUint();
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(jittered(base)));
+                continue;
+            }
+            if (code && *code == "unknown_job") {
+                // The daemon forgot the id — it restarted (journal off)
+                // or recovered the job under a new id.  Resubmitting is
+                // safe: admission dedupes by content fingerprint.
+                if (++attempt >= max_retries) {
+                    return rt::Error(rt::ErrorKind::Config,
+                                     "job lost after daemon restart")
+                        .with("job", job)
+                        .with("attempts", std::uint64_t{attempt});
+                }
+                if (!failureBackoff(&r))
+                    return budgetError("resubmit");
+                resubmit = true;
+                continue;
+            }
+            return std::move(reply.value());
+        }
     }
 }
 

@@ -6,10 +6,31 @@
  *
  * `Client` owns one connected socket and exchanges one reply per
  * request line.  `submitAndWait()` layers the full job lifecycle on
- * top: submit, honor `queue_full`/`draining` rejects by sleeping
- * `retry_after_ms` and retrying, then poll `status` until the job is
- * terminal and `fetch` the result.  Both the dcfb-client CLI and the
- * in-process tests drive this class.
+ * top: submit, honor `queue_full`/`draining` rejects by backing off
+ * and retrying, then poll `fetch` until the job is terminal.  Both the
+ * dcfb-client CLI and the in-process tests drive this class.
+ *
+ * Failure handling is governed by a `RetryPolicy`:
+ *
+ *   - Backoff sleeps are jittered by a factor uniform in [0.5, 1.5) so
+ *     a fleet of clients released by the same daemon restart does not
+ *     reconverge into a thundering herd.  Consecutive failures double
+ *     the base delay up to `capMs`; the daemon's `retry_after_ms` hint,
+ *     when present, replaces the base for that one sleep.
+ *   - `budgetMs` caps the cumulative time spent sleeping on *failure*
+ *     paths (admission rejects, transport errors).  Healthy `not_ready`
+ *     polling while a job runs is not charged against the budget.
+ *     0 means unbounded (the historical behavior).
+ *   - Transport errors (daemon crash, socket reset) trigger a
+ *     reconnect to the remembered socket path and an idempotent
+ *     resubmit: the daemon dedupes by content fingerprint, so a retried
+ *     submit can never double-run a simulation.
+ *   - A terminal `unknown_job` fetch reply — the signature of a daemon
+ *     that restarted without a journal, or recovered the job under a
+ *     new id — is handled by resubmitting the original document.
+ *   - `recvTimeoutMs` arms SO_RCVTIMEO so a swallowed reply (e.g. the
+ *     `--svc-inject drop` fault) surfaces as a transport error instead
+ *     of a hang.
  */
 
 #ifndef DCFB_SVC_CLIENT_H
@@ -18,11 +39,30 @@
 #include <cstdint>
 #include <string>
 
+#include "common/rng.h"
 #include "obs/json.h"
 #include "rt/error.h"
 #include "svc/protocol.h"
 
 namespace dcfb::svc {
+
+/** Backoff/budget knobs for Client::submitAndWait(). */
+struct RetryPolicy
+{
+    /** Cumulative failure-retry budget in ms; 0 = unbounded. */
+    std::uint64_t budgetMs = 0;
+    /** Base backoff for submit rejects and transport errors. */
+    std::uint64_t submitBackoffMs = 250;
+    /** Base poll interval while a job is `not_ready`. */
+    std::uint64_t pollMs = 100;
+    /** Ceiling for the exponential failure backoff. */
+    std::uint64_t capMs = 2000;
+    /** SO_RCVTIMEO on the socket in ms; 0 = block indefinitely. */
+    std::uint64_t recvTimeoutMs = 0;
+    /** Jitter seed; 0 derives one from the process id so concurrent
+     *  clients desynchronize by default. */
+    std::uint64_t jitterSeed = 0;
+};
 
 class Client
 {
@@ -33,11 +73,18 @@ class Client
     Client(const Client &) = delete;
     Client &operator=(const Client &) = delete;
 
-    /** Connect to the daemon socket at @p socket_path. */
+    /** Connect to the daemon socket at @p socket_path.  The path is
+     *  remembered so failure handling can reconnect after a daemon
+     *  restart. */
     rt::Expected<void> connect(const std::string &socket_path);
 
     bool connected() const { return fd >= 0; }
     void close();
+
+    /** Install @p p; applies the receive timeout immediately when
+     *  already connected. */
+    void setRetryPolicy(const RetryPolicy &p);
+    const RetryPolicy &retryPolicy() const { return policy; }
 
     /** One request line out, one reply document back. */
     rt::Expected<obs::JsonValue> request(const obs::JsonValue &doc);
@@ -47,10 +94,11 @@ class Client
 
     /**
      * Submit @p doc (an `op:"submit"` document) and block until the job
-     * is terminal, retrying admission rejects with the daemon's
-     * `retry_after_ms` hint.  Returns the `fetch` reply (carrying
-     * `result` on success) or a typed error after @p max_retries
-     * consecutive rejects.
+     * is terminal, retrying admission rejects, transport errors, and
+     * post-restart `unknown_job` replies per the RetryPolicy.  Returns
+     * the `fetch` reply (carrying `result` on success) or a typed error
+     * after @p max_retries consecutive failures or once the retry
+     * budget is exhausted.
      */
     rt::Expected<obs::JsonValue> submitAndWait(const obs::JsonValue &doc,
                                                unsigned max_retries = 40);
@@ -58,9 +106,13 @@ class Client
   private:
     rt::Expected<void> sendAll(const std::string &text);
     rt::Expected<std::string> recvLine();
+    void applyRecvTimeout();
 
     int fd = -1;
-    std::string pending; //!< bytes read past the last newline
+    std::string pending;    //!< bytes read past the last newline
+    std::string socketPath; //!< last connect() target, for reconnects
+    RetryPolicy policy;
+    Rng jitter;             //!< backoff jitter stream
 };
 
 } // namespace dcfb::svc

@@ -1,0 +1,581 @@
+#include "svc/journal.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <dirent.h>
+#include <fcntl.h>
+#include <fstream>
+#include <sstream>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "svc/fingerprint.h"
+
+namespace dcfb::svc {
+
+namespace {
+
+rt::Error
+ioError(const std::string &message, const std::string &path)
+{
+    return rt::Error(rt::ErrorKind::Result, message)
+        .with("path", path)
+        .with("errno", std::strerror(errno));
+}
+
+/**
+ * Wrap a record body as one journal line: the compact dump with
+ * `"crc"` appended as the LAST member.  The crc covers the body
+ * *without* the crc member, so the decoder can strip the suffix
+ * textually and recompute — validation never depends on key order
+ * surviving a re-serialization.
+ */
+std::string
+crcWrap(const obs::JsonValue &body)
+{
+    std::string text = body.dump();
+    std::string line = text.substr(0, text.size() - 1); // drop '}'
+    line += ",\"crc\":\"";
+    line += fnv1aHex(text);
+    line += "\"}";
+    return line;
+}
+
+/** Strip + verify the crc suffix; return the parsed record body. */
+rt::Expected<obs::JsonValue>
+crcUnwrap(std::string_view line)
+{
+    static constexpr std::string_view kCrcKey = ",\"crc\":\"";
+    static constexpr std::size_t kCrcHexLen = 16;
+    auto bad = [&](const char *why) {
+        return rt::Error(rt::ErrorKind::Result, "bad journal record")
+            .with("why", why);
+    };
+    // The crc member is always appended last:  ...,"crc":"<16hex>"}
+    if (line.size() < kCrcKey.size() + kCrcHexLen + 2 ||
+        line.substr(line.size() - 2) != "\"}") {
+        return bad("no crc suffix");
+    }
+    std::size_t pos = line.rfind(kCrcKey);
+    if (pos == std::string_view::npos)
+        return bad("no crc suffix");
+    std::string_view crc =
+        line.substr(pos + kCrcKey.size(),
+                    line.size() - pos - kCrcKey.size() - 2);
+    if (crc.size() != kCrcHexLen)
+        return bad("malformed crc");
+    std::string body(line.substr(0, pos));
+    body += '}';
+    if (fnv1aHex(body) != crc)
+        return bad("crc mismatch");
+    auto doc = obs::JsonValue::parse(body);
+    if (!doc || doc->kind() != obs::JsonValue::Kind::Object)
+        return bad("body is not a JSON object");
+    return std::move(*doc);
+}
+
+/** The segment header line (schema pin). */
+std::string
+headerLine()
+{
+    obs::JsonValue doc = obs::JsonValue::object();
+    doc["type"] = "header";
+    doc["schema"] = kJournalSchema;
+    return crcWrap(doc);
+}
+
+rt::Expected<JournalRecord>
+recordFromBody(const obs::JsonValue &body)
+{
+    auto bad = [&](const char *why) {
+        return rt::Error(rt::ErrorKind::Result, "bad journal record")
+            .with("why", why);
+    };
+    const obs::JsonValue *type = body.find("type");
+    if (!type || type->kind() != obs::JsonValue::Kind::String)
+        return bad("missing type");
+    JournalRecord record;
+    const std::string &name = type->asString();
+    if (name == "admit")
+        record.type = JournalRecord::Type::Admit;
+    else if (name == "done")
+        record.type = JournalRecord::Type::Done;
+    else if (name == "failed")
+        record.type = JournalRecord::Type::Failed;
+    else if (name == "cancelled")
+        record.type = JournalRecord::Type::Cancelled;
+    else
+        return bad("unknown record type");
+
+    const obs::JsonValue *key = body.find("key");
+    if (!key || key->kind() != obs::JsonValue::Kind::String ||
+        key->asString().empty()) {
+        return bad("missing key");
+    }
+    record.key = key->asString();
+    if (const obs::JsonValue *job = body.find("job"))
+        record.jobId = job->asUint();
+
+    if (record.type == JournalRecord::Type::Admit) {
+        if (const obs::JsonValue *label = body.find("label"))
+            record.label = label->asString();
+        const obs::JsonValue *spec = body.find("spec");
+        if (!spec || spec->kind() != obs::JsonValue::Kind::Object)
+            return bad("admit record has no spec");
+        record.spec = *spec;
+    } else if (record.type == JournalRecord::Type::Failed) {
+        if (const obs::JsonValue *code = body.find("error_code"))
+            record.errorCode = code->asString();
+        if (const obs::JsonValue *text = body.find("error_text"))
+            record.errorText = text->asString();
+    }
+    return record;
+}
+
+/** Parse `journal-<NNNNNN>.ndjson`; 0 when @p name is not a segment. */
+std::uint64_t
+segmentIndexOf(const std::string &name)
+{
+    static constexpr std::string_view kPrefix = "journal-";
+    static constexpr std::string_view kSuffix = ".ndjson";
+    if (name.size() <= kPrefix.size() + kSuffix.size() ||
+        name.compare(0, kPrefix.size(), kPrefix) != 0 ||
+        name.compare(name.size() - kSuffix.size(), kSuffix.size(),
+                     kSuffix) != 0) {
+        return 0;
+    }
+    std::string digits = name.substr(
+        kPrefix.size(), name.size() - kPrefix.size() - kSuffix.size());
+    char *end = nullptr;
+    std::uint64_t index = std::strtoull(digits.c_str(), &end, 10);
+    if (end != digits.c_str() + digits.size())
+        return 0;
+    return index;
+}
+
+/** fsync the journal directory so renames/unlinks are durable. */
+void
+fsyncDir(const std::string &dir)
+{
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd >= 0) {
+        ::fsync(fd);
+        ::close(fd);
+    }
+}
+
+} // namespace
+
+const char *
+fsyncPolicyName(FsyncPolicy policy)
+{
+    switch (policy) {
+      case FsyncPolicy::Always:
+        return "always";
+      case FsyncPolicy::Rotate:
+        return "rotate";
+      case FsyncPolicy::Never:
+        return "never";
+    }
+    return "?";
+}
+
+rt::Expected<FsyncPolicy>
+parseFsyncPolicy(std::string_view text)
+{
+    if (text == "always")
+        return FsyncPolicy::Always;
+    if (text == "rotate")
+        return FsyncPolicy::Rotate;
+    if (text == "never")
+        return FsyncPolicy::Never;
+    return rt::Error(rt::ErrorKind::Config, "bad --journal-fsync value")
+        .with("value", std::string(text))
+        .with("accepted", "always | rotate | never");
+}
+
+const char *
+journalRecordTypeName(JournalRecord::Type type)
+{
+    switch (type) {
+      case JournalRecord::Type::Admit:
+        return "admit";
+      case JournalRecord::Type::Done:
+        return "done";
+      case JournalRecord::Type::Failed:
+        return "failed";
+      case JournalRecord::Type::Cancelled:
+        return "cancelled";
+    }
+    return "?";
+}
+
+std::string
+Journal::encode(const JournalRecord &record)
+{
+    obs::JsonValue doc = obs::JsonValue::object();
+    doc["type"] = journalRecordTypeName(record.type);
+    doc["key"] = record.key;
+    doc["job"] = record.jobId;
+    if (record.type == JournalRecord::Type::Admit) {
+        doc["label"] = record.label;
+        doc["spec"] = record.spec;
+    } else if (record.type == JournalRecord::Type::Failed) {
+        doc["error_code"] = record.errorCode;
+        doc["error_text"] = record.errorText;
+    }
+    return crcWrap(doc);
+}
+
+rt::Expected<JournalRecord>
+Journal::decode(std::string_view line)
+{
+    auto body = crcUnwrap(line);
+    if (!body.ok())
+        return body.error();
+    const obs::JsonValue *type = body.value().find("type");
+    if (type && type->kind() == obs::JsonValue::Kind::String &&
+        type->asString() == "header") {
+        return rt::Error(rt::ErrorKind::Result, "bad journal record")
+            .with("why", "header line is not a record");
+    }
+    return recordFromBody(body.value());
+}
+
+Journal::Journal(Config config_) : config(std::move(config_)) {}
+
+Journal::~Journal()
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+std::string
+Journal::segmentPath(std::uint64_t index) const
+{
+    char name[32];
+    std::snprintf(name, sizeof(name), "journal-%06llu.ndjson",
+                  static_cast<unsigned long long>(index));
+    return config.dir + "/" + name;
+}
+
+rt::Expected<std::vector<JournalRecord>>
+Journal::open()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    if (config.dir.empty())
+        return rt::Error(rt::ErrorKind::Config, "empty journal path");
+    if (::mkdir(config.dir.c_str(), 0755) != 0 && errno != EEXIST)
+        return ioError("cannot create journal directory", config.dir);
+    struct stat st{};
+    if (::stat(config.dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode))
+        return ioError("journal path is not a directory", config.dir);
+
+    segmentsOnDisk.clear();
+    {
+        DIR *handle = ::opendir(config.dir.c_str());
+        if (!handle)
+            return ioError("cannot scan journal directory", config.dir);
+        while (struct dirent *entry = ::readdir(handle)) {
+            if (std::uint64_t index = segmentIndexOf(entry->d_name))
+                segmentsOnDisk.push_back(index);
+        }
+        ::closedir(handle);
+    }
+    std::sort(segmentsOnDisk.begin(), segmentsOnDisk.end());
+
+    std::vector<JournalRecord> records;
+    live.clear();
+    for (std::size_t i = 0; i < segmentsOnDisk.size(); ++i) {
+        std::string path = segmentPath(segmentsOnDisk[i]);
+        std::string content;
+        {
+            std::ifstream in(path, std::ios::in | std::ios::binary);
+            if (!in.is_open())
+                return ioError("cannot read journal segment", path);
+            std::ostringstream text;
+            text << in.rdbuf();
+            content = text.str();
+        }
+        bool lastSegment = (i + 1 == segmentsOnDisk.size());
+        // A file that does not end in '\n' carries a torn tail: the
+        // final append raced a crash.  Truncate it off the last
+        // segment so future appends start on a clean line boundary.
+        if (!content.empty() && content.back() != '\n') {
+            std::size_t cut = content.rfind('\n');
+            std::size_t keep = (cut == std::string::npos) ? 0 : cut + 1;
+            if (lastSegment) {
+                if (::truncate(path.c_str(),
+                               static_cast<off_t>(keep)) != 0) {
+                    return ioError("cannot repair torn journal tail",
+                                   path);
+                }
+                ++counters.tornTailsRepaired;
+            } else {
+                // Segments are rotated atomically; a torn interior
+                // segment means external tampering.  Contain, don't
+                // refuse: drop the partial line and keep scanning.
+                ++counters.checksumRejects;
+            }
+            content.resize(keep);
+        }
+
+        std::uint64_t lineRecords = 0;
+        std::size_t start = 0;
+        while (start < content.size()) {
+            std::size_t end = content.find('\n', start);
+            std::string_view line(content.data() + start, end - start);
+            start = end + 1;
+            if (line.empty())
+                continue;
+            auto body = crcUnwrap(line);
+            if (!body.ok()) {
+                // One corrupt line loses one record, never the
+                // segment: count it and keep scanning.
+                ++counters.checksumRejects;
+                continue;
+            }
+            const obs::JsonValue *type = body.value().find("type");
+            if (type && type->kind() == obs::JsonValue::Kind::String &&
+                type->asString() == "header") {
+                const obs::JsonValue *schema =
+                    body.value().find("schema");
+                if (!schema || schema->asString() != kJournalSchema) {
+                    return rt::Error(rt::ErrorKind::Config,
+                                     "journal schema mismatch")
+                        .with("path", path)
+                        .with("expected", kJournalSchema);
+                }
+                continue;
+            }
+            auto record = recordFromBody(body.value());
+            if (!record.ok()) {
+                ++counters.checksumRejects;
+                continue;
+            }
+            trackLocked(record.value());
+            records.push_back(std::move(record.value()));
+            ++counters.recordsRecovered;
+            ++lineRecords;
+        }
+        if (lastSegment)
+            segmentRecords = lineRecords;
+    }
+
+    if (segmentsOnDisk.empty()) {
+        segment = 1;
+        segmentsOnDisk.push_back(segment);
+        if (auto opened = openSegmentLocked(segment, /*fresh=*/true);
+            !opened.ok()) {
+            return opened.error();
+        }
+    } else {
+        segment = segmentsOnDisk.back();
+        // A last segment emptied by torn-tail repair lost its header
+        // too; recreate it so the schema pin survives.
+        struct stat seg{};
+        bool empty = ::stat(segmentPath(segment).c_str(), &seg) == 0 &&
+                     seg.st_size == 0;
+        if (auto opened = openSegmentLocked(segment, empty);
+            !opened.ok()) {
+            return opened.error();
+        }
+    }
+    counters.liveRecords = live.size();
+    return records;
+}
+
+rt::Expected<void>
+Journal::openSegmentLocked(std::uint64_t index, bool fresh)
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+    std::string path = segmentPath(index);
+    fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+    if (fd < 0)
+        return ioError("cannot open journal segment", path);
+    if (fresh) {
+        std::string line = headerLine() + "\n";
+        if (auto written = writeLineLocked(line); !written.ok())
+            return written;
+        // Segment creation is rare; make the header durable under
+        // every policy so the schema pin always survives.
+        if (config.fsync != FsyncPolicy::Always) {
+            ::fsync(fd);
+            ++counters.fsyncs;
+        }
+        fsyncDir(config.dir);
+    }
+    return {};
+}
+
+rt::Expected<void>
+Journal::writeLineLocked(const std::string &line)
+{
+    std::size_t off = 0;
+    while (off < line.size()) {
+        ssize_t n = ::write(fd, line.data() + off, line.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return ioError("journal append failed",
+                           segmentPath(segment));
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    if (config.fsync == FsyncPolicy::Always) {
+        ::fsync(fd);
+        ++counters.fsyncs;
+    }
+    return {};
+}
+
+void
+Journal::trackLocked(const JournalRecord &record)
+{
+    auto it = std::find_if(live.begin(), live.end(),
+                           [&](const JournalRecord &admit) {
+                               return admit.key == record.key;
+                           });
+    if (record.type == JournalRecord::Type::Admit) {
+        if (it != live.end())
+            *it = record;
+        else
+            live.push_back(record);
+    } else if (it != live.end()) {
+        live.erase(it);
+    }
+    counters.liveRecords = live.size();
+}
+
+rt::Expected<void>
+Journal::append(const JournalRecord &record)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    if (fd < 0) {
+        return rt::Error(rt::ErrorKind::Config, "journal not open")
+            .with("dir", config.dir);
+    }
+    std::string line = Journal::encode(record);
+    // Track before writing: a torn admit is re-persisted from the live
+    // set at the next compaction, shrinking the window where it is
+    // only in memory.
+    trackLocked(record);
+    ++counters.recordsAppended;
+    ++segmentRecords;
+
+    if (config.inject && config.inject->truncateWrite()) {
+        // A torn write: half the line reaches the file, no newline.
+        // From the process's view the write "succeeded" (page cache);
+        // the damage is only observable at the next open(), which
+        // contains it via the crc.  The next append leads with '\n'
+        // so exactly one record is lost, not two.
+        std::string torn = line.substr(0, line.size() / 2);
+        if (pendingTornTail)
+            torn.insert(torn.begin(), '\n');
+        FsyncPolicy saved = config.fsync;
+        config.fsync = FsyncPolicy::Never; // a torn write never syncs
+        auto written = writeLineLocked(torn);
+        config.fsync = saved;
+        pendingTornTail = true;
+        return written;
+    }
+
+    std::string out;
+    if (pendingTornTail) {
+        out += '\n';
+        pendingTornTail = false;
+    }
+    out += line;
+    out += '\n';
+    if (auto written = writeLineLocked(out); !written.ok())
+        return written;
+
+    // Compact once the segment has accumulated enough retired records
+    // to be worth rewriting (a segment that is all live admits would
+    // not shrink -- skip until terminals catch up).
+    if (segmentRecords >= config.rotateEvery &&
+        live.size() < segmentRecords) {
+        return rotateLocked();
+    }
+    return {};
+}
+
+rt::Expected<void>
+Journal::rotateLocked()
+{
+    std::uint64_t next = segment + 1;
+    std::string path = segmentPath(next);
+    std::string tmp = path + ".tmp";
+    {
+        int out = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+        if (out < 0)
+            return ioError("cannot create journal segment", tmp);
+        std::string content = headerLine() + "\n";
+        for (const JournalRecord &admit : live)
+            content += Journal::encode(admit) + "\n";
+        std::size_t off = 0;
+        while (off < content.size()) {
+            ssize_t n = ::write(out, content.data() + off,
+                                content.size() - off);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                rt::Error err = ioError("journal compaction failed", tmp);
+                ::close(out);
+                ::unlink(tmp.c_str());
+                return err;
+            }
+            off += static_cast<std::size_t>(n);
+        }
+        if (config.fsync != FsyncPolicy::Never) {
+            ::fsync(out);
+            ++counters.fsyncs;
+        }
+        ::close(out);
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        rt::Error err = ioError("journal segment rename failed", path);
+        ::unlink(tmp.c_str());
+        return err;
+    }
+    if (config.fsync != FsyncPolicy::Never)
+        fsyncDir(config.dir);
+
+    // The new segment is durable; the old ones are now garbage.
+    for (std::uint64_t old : segmentsOnDisk)
+        ::unlink(segmentPath(old).c_str());
+    if (config.fsync != FsyncPolicy::Never)
+        fsyncDir(config.dir);
+    segmentsOnDisk.assign(1, next);
+
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+    fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+    if (fd < 0)
+        return ioError("cannot reopen journal segment", path);
+    segment = next;
+    segmentRecords = live.size();
+    pendingTornTail = false;
+    ++counters.rotations;
+    return {};
+}
+
+JournalStats
+Journal::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    JournalStats out = counters;
+    out.liveRecords = live.size();
+    out.segmentIndex = segment;
+    return out;
+}
+
+} // namespace dcfb::svc

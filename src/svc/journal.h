@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Durable write-ahead job journal for the experiment service.
+ *
+ * The daemon's admission queue lives in memory; a SIGKILL (or power
+ * loss) would silently discard every admitted-but-unfinished job.  The
+ * journal closes that hole with the classic write-ahead discipline:
+ * before `submit` is acknowledged, an **admit** record carrying the
+ * job's content-addressed fingerprint key and its full submit spec is
+ * appended (and, under the default fsync policy, flushed to disk);
+ * when the job reaches a terminal state a matching **done** / **failed**
+ * / **cancelled** record follows.  A restarted `dcfb-serve --journal
+ * <dir>` replays admits without a terminal record: ones whose result
+ * already sits in the ResultCache complete instantly, the rest are
+ * re-enqueued.  Exactly-once *observable* results come from the
+ * fingerprint: re-running a replayed job is idempotent because equal
+ * fingerprints produce bit-identical RunResults and dedupe in the
+ * cache.
+ *
+ * Format (`dcfb-journal-v1`): append-only NDJSON segments named
+ * `journal-<NNNNNN>.ndjson`.  Every line is a compact JSON object whose
+ * **last** member is `"crc"`, the FNV-1a hex of the record body with
+ * the crc member removed — the decoder strips the suffix textually, so
+ * validation never depends on re-serialization key order.  Line one of
+ * each segment is a `header` record pinning the schema.  Crash
+ * containment rules, checked at open():
+ *
+ *  - a final line without a trailing newline is a **torn tail** (the
+ *    append raced the crash): it is truncated off the file and counted,
+ *    losing at most that one record;
+ *  - a complete line whose crc does not match is **corrupt**: skipped
+ *    and counted, the scan continues (one bad sector loses one record,
+ *    not the segment).
+ *
+ * Rotation bounds file growth: after `rotateEvery` appended records the
+ * journal **compacts** — live (admit-without-terminal) records are
+ * written to the next-numbered segment via temp file + rename + parent
+ * directory fsync, then the old segments are unlinked.  Terminal
+ * records for finished jobs are thereby garbage-collected.
+ *
+ * Fsync policy (`--journal-fsync`): `always` (default; every append is
+ * flushed — survives power loss), `rotate` (flush only on segment
+ * rotation — survives process SIGKILL, may lose recent records on power
+ * loss), `never` (leave it to the page cache — testing only).
+ *
+ * The service fault plane (`--svc-inject truncate`) hooks append() to
+ * tear writes short deliberately; see rt::SvcFaultInjector.
+ */
+
+#ifndef DCFB_SVC_JOURNAL_H
+#define DCFB_SVC_JOURNAL_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+#include "rt/error.h"
+#include "rt/faults.h"
+
+namespace dcfb::svc {
+
+/** Journal record / segment schema version.  Bump on layout change. */
+inline constexpr const char *kJournalSchema = "dcfb-journal-v1";
+
+/** When appended records reach the platter (see file comment). */
+enum class FsyncPolicy : std::uint8_t {
+    Always, //!< fsync every append (default; power-loss safe)
+    Rotate, //!< fsync only on segment rotation (kill-safe)
+    Never,  //!< never fsync (testing only)
+};
+
+const char *fsyncPolicyName(FsyncPolicy policy);
+
+/** Parse a `--journal-fsync` value (`always` | `rotate` | `never`). */
+rt::Expected<FsyncPolicy> parseFsyncPolicy(std::string_view text);
+
+/** One journal record. */
+struct JournalRecord
+{
+    enum class Type : std::uint8_t {
+        Admit,     //!< job accepted: key + full submit spec
+        Done,      //!< job finished with a result (now in the cache)
+        Failed,    //!< job finished with an error
+        Cancelled, //!< job cancelled before completion
+    };
+
+    Type type = Type::Admit;
+    std::string key;         //!< content-addressed fingerprint key
+    std::uint64_t jobId = 0; //!< server-local id (diagnostic only)
+    std::string label;       //!< Admit: human-readable job label
+    obs::JsonValue spec;     //!< Admit: submit-shaped request document
+    std::string errorCode;   //!< Failed: machine-readable code
+    std::string errorText;   //!< Failed: human-readable message
+};
+
+const char *journalRecordTypeName(JournalRecord::Type type);
+
+/** Counters for `stats` replies, tests and the chaos harness. */
+struct JournalStats
+{
+    std::uint64_t recordsAppended = 0;  //!< appends since open
+    std::uint64_t recordsRecovered = 0; //!< valid records read at open
+    std::uint64_t tornTailsRepaired = 0;
+    std::uint64_t checksumRejects = 0;
+    std::uint64_t rotations = 0;
+    std::uint64_t fsyncs = 0;
+    std::uint64_t liveRecords = 0; //!< admits without a terminal record
+    std::uint64_t segmentIndex = 0; //!< current segment number
+};
+
+/**
+ * The write-ahead journal.  One instance per daemon; append() is
+ * thread-safe (internally locked — the server calls it from the
+ * connection handlers and the worker pool).
+ */
+class Journal
+{
+  public:
+    struct Config
+    {
+        std::string dir;
+        FsyncPolicy fsync = FsyncPolicy::Always;
+        std::uint64_t rotateEvery = 4096; //!< appends before compaction
+        rt::SvcFaultInjector *inject = nullptr; //!< torn-write hook
+    };
+
+    explicit Journal(Config config);
+    ~Journal();
+
+    Journal(const Journal &) = delete;
+    Journal &operator=(const Journal &) = delete;
+
+    /**
+     * Open (creating the directory if needed), scan every segment
+     * oldest-first, repair a torn tail, and return the surviving
+     * records in append order.  The caller (Server) replays them.
+     */
+    rt::Expected<std::vector<JournalRecord>> open();
+
+    /**
+     * Append one record.  Admits enter the live set; terminal records
+     * retire the live admit with the same key.  May trigger rotation.
+     * A fault-injected torn write still returns success — the tear is
+     * only observable at the next open(), exactly like a real one.
+     */
+    rt::Expected<void> append(const JournalRecord &record);
+
+    JournalStats stats() const;
+    const std::string &dir() const { return config.dir; }
+
+    /** Render @p record as one NDJSON line (no trailing newline). */
+    static std::string encode(const JournalRecord &record);
+
+    /** Validate + parse one line; rejects bad crc / unknown shape. */
+    static rt::Expected<JournalRecord> decode(std::string_view line);
+
+  private:
+    std::string segmentPath(std::uint64_t index) const;
+    rt::Expected<void> openSegmentLocked(std::uint64_t index, bool fresh);
+    rt::Expected<void> writeLineLocked(const std::string &line);
+    rt::Expected<void> rotateLocked();
+    void trackLocked(const JournalRecord &record);
+
+    Config config;
+    mutable std::mutex mutex;
+    int fd = -1;
+    std::uint64_t segment = 0;          //!< current segment index
+    std::uint64_t segmentRecords = 0;   //!< records in current segment
+    std::vector<std::uint64_t> segmentsOnDisk; //!< unlinked on rotation
+    bool pendingTornTail = false;       //!< injected tear awaiting '\n'
+    // Admits not yet retired by a terminal record, in admit order (the
+    // compaction source).  Keyed by fingerprint; at most one live job
+    // per key exists at a time (equal keys coalesce in the server).
+    std::vector<JournalRecord> live;
+    JournalStats counters;
+};
+
+} // namespace dcfb::svc
+
+#endif // DCFB_SVC_JOURNAL_H

@@ -198,6 +198,26 @@ parseRequest(const std::string &line)
 }
 
 obs::JsonValue
+submitSpecToJson(const SubmitSpec &spec)
+{
+    obs::JsonValue doc = obs::JsonValue::object();
+    doc["op"] = "submit";
+    doc["workload"] = spec.workload;
+    doc["preset"] = sim::presetName(spec.preset);
+    if (spec.hasWindows) {
+        doc["warm"] = std::uint64_t{spec.windows.warm};
+        doc["measure"] = std::uint64_t{spec.windows.measure};
+    }
+    if (spec.seed)
+        doc["seed"] = *spec.seed;
+    if (spec.faults.active())
+        doc["inject"] = rt::faultPlanSpec(spec.faults);
+    if (spec.deadlineMs)
+        doc["deadline_ms"] = spec.deadlineMs;
+    return doc;
+}
+
+obs::JsonValue
 okReply()
 {
     obs::JsonValue reply = obs::JsonValue::object();

@@ -32,6 +32,17 @@
  *
  *   {"ok":false,"error":"queue_full","retry_after_ms":250,...}
  *
+ * Crash-safety fields (present only when true — replies are unchanged
+ * when the journal is off):
+ *
+ *  - "already_known": a submit whose fingerprint key matches a job the
+ *    journal-backed daemon already finished replies with that job's id
+ *    instead of admitting new work — the fingerprint doubles as a
+ *    client idempotency key, so blind resubmission after a lost reply
+ *    or daemon restart is always safe;
+ *  - "recovered": the job was replayed from the journal after a
+ *    restart (on submit/status/fetch replies).
+ *
  * The `metrics` reply wraps the Prometheus text-exposition body
  * (format 0.0.4) plus the sampler ring:
  *
@@ -108,6 +119,14 @@ const char *opName(Request::Op op);
 
 /** Parse one request line; typed error on any malformed input. */
 rt::Expected<Request> parseRequest(const std::string &line);
+
+/**
+ * Render @p spec back as a submit-shaped request document (the inverse
+ * of parseRequest for the submit fields).  The journal stores admits in
+ * this form so recovery replays them through the exact same validation
+ * path a live submit takes.
+ */
+obs::JsonValue submitSpecToJson(const SubmitSpec &spec);
 
 /** Reply skeletons (callers add op-specific fields). */
 obs::JsonValue okReply();

@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <dirent.h>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -46,6 +47,22 @@ ResultCache::open()
     struct stat st{};
     if (::stat(directory.c_str(), &st) != 0 || !S_ISDIR(st.st_mode))
         return ioError("result-cache path is not a directory", directory);
+    // Reap temp files stranded by a crash mid-put(): lookups already
+    // ignore them, but without collection they accumulate forever.
+    // Only put()'s own `<key>.json.tmp.<pid>` pattern is touched.
+    if (DIR *handle = ::opendir(directory.c_str())) {
+        std::uint64_t reaped = 0;
+        while (struct dirent *entry = ::readdir(handle)) {
+            std::string name = entry->d_name;
+            if (name.find(".json.tmp.") != std::string::npos &&
+                ::unlink((directory + "/" + name).c_str()) == 0) {
+                ++reaped;
+            }
+        }
+        ::closedir(handle);
+        std::lock_guard<std::mutex> lock(mutex);
+        counters.tmpReaped += reaped;
+    }
     return {};
 }
 
@@ -134,6 +151,17 @@ ResultCache::put(const std::string &key, const obs::JsonValue &fp,
     // on one temp name; last rename wins with identical content.
     std::string tmp =
         path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    if (inject && inject->truncateWrite()) {
+        // A torn store: half the entry reaches the temp file and the
+        // rename never happens -- exactly the debris a crash mid-put
+        // leaves behind.  Lookups miss (no entry), the next open()
+        // reaps the temp file, and the caller recomputes.
+        std::string text = doc.dump(2);
+        std::ofstream out(tmp, std::ios::out | std::ios::trunc |
+                                   std::ios::binary);
+        out << text.substr(0, text.size() / 2);
+        return {};
+    }
     {
         std::ofstream out(tmp, std::ios::out | std::ios::trunc |
                                    std::ios::binary);

@@ -14,7 +14,9 @@
  * Durability rules:
  *  - writes are atomic: the entry is written to a same-directory temp
  *    file and rename(2)d into place, so a crash mid-write leaves at
- *    worst a stray `*.tmp.*` file that lookups ignore;
+ *    worst a stray `*.tmp.*` file that lookups ignore; open() reaps
+ *    such leftovers (counted as `tmp_reaped`) so crash debris never
+ *    accumulates;
  *  - loads are fully validated (parse, schema, key, stored fingerprint
  *    == expected fingerprint) and report failures as typed rt::Errors;
  *    `get()` treats any invalid entry as a miss, unlinks it, and lets
@@ -38,6 +40,7 @@
 #include <string>
 
 #include "rt/error.h"
+#include "rt/faults.h"
 #include "sim/simulator.h"
 #include "svc/fingerprint.h"
 
@@ -50,6 +53,7 @@ struct ResultCacheStats
     std::uint64_t misses = 0;   //!< lookups with no entry on disk
     std::uint64_t stores = 0;   //!< entries written
     std::uint64_t rejects = 0;  //!< invalid/corrupt/colliding entries dropped
+    std::uint64_t tmpReaped = 0; //!< stray temp files removed at open()
 };
 
 class ResultCache
@@ -91,6 +95,11 @@ class ResultCache
 
     ResultCacheStats stats() const;
 
+    /** Hook the service fault plane into put(): a `truncate` draw tears
+     *  the store short (partial temp file, no rename) so crash-recovery
+     *  paths can be exercised deterministically.  Not owned. */
+    void setInjector(rt::SvcFaultInjector *injector) { inject = injector; }
+
     // -- process-global instance (the `--cache` flag) ---------------------
     /** Open @p dir as the process-wide cache; replaces any prior one. */
     static rt::Expected<void> openGlobal(const std::string &dir);
@@ -105,6 +114,7 @@ class ResultCache
     std::string directory;
     mutable std::mutex mutex;
     ResultCacheStats counters;
+    rt::SvcFaultInjector *inject = nullptr;
 };
 
 /**

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include <poll.h>
@@ -48,7 +49,8 @@ opSpanName(Request::Op op)
 
 } // namespace
 
-Server::Server(ServerConfig config) : cfg(std::move(config))
+Server::Server(ServerConfig config)
+    : cfg(std::move(config)), svcInject(cfg.svcInjectPlan)
 {
     cSubmitted = stats.counter("svc.submitted");
     cAdmitted = stats.counter("svc.admitted");
@@ -71,6 +73,18 @@ Server::Server(ServerConfig config) : cfg(std::move(config))
             std::string("svc.op.") +
             opName(static_cast<Request::Op>(i)) + ".latency_us");
     }
+    // Lazy: these intern a registry slot only on first increment, so
+    // the stats/counters key set stays exactly PR 6's until a crash
+    // -safety feature actually fires.
+    cRecoveryReplayed = stats.lazyCounter("svc.recovery.replayed");
+    cRecoveryCacheHits = stats.lazyCounter("svc.recovery.cache_hits");
+    cRecoveryKeyMismatch = stats.lazyCounter("svc.recovery.key_mismatch");
+    cAlreadyKnown = stats.lazyCounter("svc.already_known");
+    cLeaseReclaimed = stats.lazyCounter("svc.lease.reclaimed");
+    cLeaseExpiredFailed = stats.lazyCounter("svc.lease.expired_failed");
+    cLeaseStaleCompletions =
+        stats.lazyCounter("svc.lease.stale_completions");
+    cTmpReaped = stats.lazyCounter("svc.cache.tmp_reaped");
     series.addSeries("queue_depth");
     series.addSeries("jobs_inflight");
     series.addSeries("cache_hit_rate");
@@ -103,6 +117,25 @@ Server::start()
         cache = std::make_unique<ResultCache>(cfg.cacheDir);
         if (auto opened = cache->open(); !opened.ok())
             return opened.error();
+        if (svcInject.active())
+            cache->setInjector(&svcInject);
+        if (std::uint64_t reaped = cache->stats().tmpReaped) {
+            std::lock_guard<std::mutex> lock(mutex);
+            cTmpReaped.add(reaped);
+        }
+    }
+    if (!cfg.journalDir.empty()) {
+        Journal::Config jc;
+        jc.dir = cfg.journalDir;
+        jc.fsync = cfg.journalFsync;
+        jc.rotateEvery = cfg.journalRotateEvery;
+        if (svcInject.active())
+            jc.inject = &svcInject;
+        journal = std::make_unique<Journal>(jc);
+        // Replay before the socket opens: recovered jobs are queued (or
+        // served from the cache) before any client can race them.
+        if (auto recovered = recoverFromJournal(); !recovered.ok())
+            return recovered.error();
     }
     unsigned workers = exec::resolveJobs(cfg.jobs);
     // A tight pool queue keeps the admission queue authoritative: at
@@ -154,6 +187,8 @@ Server::start()
     dispatchThread = std::thread([this] { dispatchLoop(); });
     if (cfg.metricsIntervalMs)
         metricsThread = std::thread([this] { metricsLoop(); });
+    if (cfg.leaseMs)
+        leaseThread = std::thread([this] { leaseLoop(); });
     return {};
 }
 
@@ -183,8 +218,11 @@ Server::shutdown()
     stopFlag.store(true);
     queueReady.notify_all();
     metricsStop.notify_all();
+    leaseStop.notify_all();
     if (metricsThread.joinable())
         metricsThread.join();
+    if (leaseThread.joinable())
+        leaseThread.join();
     if (dispatchThread.joinable())
         dispatchThread.join();
     // Closing the listen fd makes the accept loop's poll() return with
@@ -279,13 +317,230 @@ Server::handleLine(const std::string &line)
 rt::Expected<void>
 Server::checkQueueBoundLocked()
 {
-    if (queue.size() <= cfg.queueCapacity)
+    // Journal replays and lease reclaims enter the queue without a
+    // client to reject, so they ride above the admission bound until
+    // dispatched; new submits are still held to `queueCapacity`.
+    if (queue.size() <= cfg.queueCapacity + boundExempt)
         return {};
     cInvariantViolations.add();
     return rt::Error(rt::ErrorKind::Invariant,
                      "admission queue exceeded its bound")
         .with("depth", std::uint64_t{queue.size()})
-        .with("capacity", std::uint64_t{cfg.queueCapacity});
+        .with("capacity", std::uint64_t{cfg.queueCapacity})
+        .with("bound_exempt", boundExempt);
+}
+
+// -- crash safety ---------------------------------------------------------
+
+void
+Server::journalAppendLocked(const JournalRecord &record)
+{
+    if (!journal)
+        return;
+    // Terminal records must never fail the transition they describe:
+    // a lost terminal only costs a redundant (idempotent) replay at
+    // the next restart.  Admit-side failures are handled by the caller
+    // (handleSubmit rejects the submit instead).
+    if (auto appended = journal->append(record); !appended.ok())
+        std::fprintf(stderr, "[svc] %s\n",
+                     appended.error().render().c_str());
+}
+
+void
+Server::journalTerminalLocked(const Job &job)
+{
+    if (!journal)
+        return;
+    JournalRecord record;
+    record.key = job.key;
+    record.jobId = std::strtoull(job.id.c_str() + 4, nullptr, 10);
+    switch (job.state) {
+      case JobState::Done:
+        record.type = JournalRecord::Type::Done;
+        break;
+      case JobState::Failed:
+        record.type = JournalRecord::Type::Failed;
+        record.errorCode = job.errorCode;
+        record.errorText = job.errorText;
+        break;
+      case JobState::Cancelled:
+        record.type = JournalRecord::Type::Cancelled;
+        break;
+      case JobState::Queued:
+      case JobState::Running:
+        return; // not terminal; nothing to record
+    }
+    journalAppendLocked(record);
+}
+
+rt::Expected<void>
+Server::recoverFromJournal()
+{
+    std::optional<obs::SpanScope> recoverSpan;
+    if (obs::Spans::enabled())
+        recoverSpan.emplace("svc.recover", cfg.journalDir);
+    auto opened = journal->open();
+    if (!opened.ok())
+        return opened.error();
+
+    // open() returned every surviving record; its live-set tracking
+    // already collapsed them, but replay wants admit order with
+    // terminals applied, so scan again here.
+    std::vector<JournalRecord> incomplete;
+    for (JournalRecord &record : opened.value()) {
+        auto match = std::find_if(incomplete.begin(), incomplete.end(),
+                                  [&](const JournalRecord &admit) {
+                                      return admit.key == record.key;
+                                  });
+        if (record.type == JournalRecord::Type::Admit) {
+            if (match != incomplete.end())
+                *match = std::move(record);
+            else
+                incomplete.push_back(std::move(record));
+        } else if (match != incomplete.end()) {
+            incomplete.erase(match);
+        }
+    }
+
+    for (const JournalRecord &admit : incomplete) {
+        // Replay through the live submit path: the stored spec is a
+        // submit-shaped document, so parseRequest applies the exact
+        // validation and config construction a client submit gets.
+        auto parsed = parseRequest(admit.spec.dump());
+        if (!parsed.ok() || parsed.value().op != Request::Op::Submit) {
+            std::lock_guard<std::mutex> lock(mutex);
+            cRecoveryKeyMismatch.add();
+            std::fprintf(stderr,
+                         "[svc] journal replay dropped %s (%s)\n",
+                         admit.key.c_str(),
+                         parsed.ok() ? "not a submit spec"
+                                     : parsed.error().render().c_str());
+            continue;
+        }
+        const SubmitSpec &spec = parsed.value().submit;
+        sim::SystemConfig config = sim::makeConfig(
+            workload::serverProfile(spec.workload), spec.preset);
+        config.faults = spec.faults;
+        if (spec.seed)
+            config.runSeed = *spec.seed;
+        if (cfg.configHook)
+            cfg.configHook(config);
+        sim::RunWindows windows =
+            spec.hasWindows ? spec.windows : cfg.defaultWindows;
+        obs::JsonValue fp = fingerprint(config, windows);
+        std::string key = fnv1aHex(fp.dump());
+
+        std::optional<sim::RunResult> hit;
+        if (cache)
+            hit = cache->get(key, fp);
+
+        std::lock_guard<std::mutex> lock(mutex);
+        if (key != admit.key) {
+            // The config hook or fingerprint schema changed between
+            // runs; the recomputed key is authoritative (it is what
+            // the cache and dedup maps use from here on).
+            cRecoveryKeyMismatch.add();
+        }
+        auto job = std::make_shared<Job>();
+        job->id = "job-" + std::to_string(nextJobId++);
+        job->key = key;
+        job->label =
+            spec.workload + "/" + sim::presetName(spec.preset);
+        job->recovered = true;
+        job->spec = submitSpecToJson(spec);
+        job->submittedAt = std::chrono::steady_clock::now();
+        jobs.emplace(job->id, job);
+        byKey[key] = job;
+        if (hit) {
+            // The job finished before the crash but its terminal
+            // record was lost (or never written): the cache has the
+            // result, so it completes without re-simulating.
+            job->state = JobState::Done;
+            job->cached = true;
+            job->result = std::move(*hit);
+            cCacheHits.add();
+            cCompleted.add();
+            cRecoveryCacheHits.add();
+            journalTerminalLocked(*job);
+        } else {
+            job->cfg = std::move(config);
+            job->windows = windows;
+            job->fp = std::move(fp);
+            job->deadlineMs = spec.deadlineMs;
+            job->boundExempt = true;
+            ++boundExempt;
+            inflight.emplace(key, job);
+            queue.push_back(job);
+            queuePeak = std::max(queuePeak, queue.size());
+            cRecoveryReplayed.add();
+            if (key != admit.key) {
+                // Re-journal under the authoritative key so a second
+                // crash replays against the right identity.
+                JournalRecord readmit;
+                readmit.type = JournalRecord::Type::Admit;
+                readmit.key = key;
+                readmit.jobId =
+                    std::strtoull(job->id.c_str() + 4, nullptr, 10);
+                readmit.label = job->label;
+                readmit.spec = job->spec;
+                journalAppendLocked(readmit);
+            }
+        }
+    }
+    return {};
+}
+
+void
+Server::leaseLoop()
+{
+    obs::Spans::setThreadName("lease");
+    // Two checks per lease period bounds reclaim latency at 1.5x the
+    // lease without busy-polling.
+    auto period = std::chrono::milliseconds(
+        std::max<std::uint64_t>(1, cfg.leaseMs / 2));
+    std::unique_lock<std::mutex> sleepLock(leaseMutex);
+    while (!stopFlag.load()) {
+        if (leaseStop.wait_for(sleepLock, period,
+                               [this] { return stopFlag.load(); })) {
+            return;
+        }
+        std::lock_guard<std::mutex> lock(mutex);
+        auto now = std::chrono::steady_clock::now();
+        for (auto &kv : jobs) {
+            const std::shared_ptr<Job> &job = kv.second;
+            if (job->state != JobState::Running ||
+                job->leaseExpiry > now) {
+                continue;
+            }
+            // The worker missed its lease: revoke this run (the
+            // generation bump makes its eventual completion a stale
+            // no-op) and either requeue or give up on the job.
+            ++job->generation;
+            ++job->reclaims;
+            cLeaseReclaimed.add();
+            if (job->reclaims > cfg.leaseMaxReclaims) {
+                job->state = JobState::Failed;
+                job->errorCode = "lease_expired";
+                job->errorText =
+                    "job exceeded its worker lease " +
+                    std::to_string(job->reclaims) + " times";
+                inflight.erase(job->key);
+                cLeaseExpiredFailed.add();
+                cFailed.add();
+                journalTerminalLocked(*job);
+                jobsSettled.notify_all();
+            } else {
+                job->state = JobState::Queued;
+                if (!job->boundExempt) {
+                    job->boundExempt = true;
+                    ++boundExempt;
+                }
+                queue.push_back(job);
+                queuePeak = std::max(queuePeak, queue.size());
+                queueReady.notify_one();
+            }
+        }
+    }
 }
 
 obs::JsonValue
@@ -328,6 +583,27 @@ Server::handleSubmit(const SubmitSpec &spec)
         return reply;
     }
 
+    if (journal) {
+        // The fingerprint key doubles as a client idempotency key: a
+        // resubmit of work this daemon already finished (a lost reply,
+        // a restarted client) is answered with the existing job, not
+        // admitted again.  Failed/cancelled jobs fall through so a
+        // deliberate retry re-runs them.
+        if (auto it = byKey.find(key);
+            it != byKey.end() && it->second->state == JobState::Done) {
+            cAlreadyKnown.add();
+            obs::JsonValue reply = okReply();
+            reply["job"] = it->second->id;
+            reply["key"] = key;
+            reply["state"] = "done";
+            reply["cached"] = it->second->cached;
+            reply["already_known"] = true;
+            if (it->second->recovered)
+                reply["recovered"] = true;
+            return reply;
+        }
+    }
+
     if (hit) {
         auto job = std::make_shared<Job>();
         job->id = "job-" + std::to_string(nextJobId++);
@@ -338,6 +614,8 @@ Server::handleSubmit(const SubmitSpec &spec)
         job->result = std::move(*hit);
         job->submittedAt = std::chrono::steady_clock::now();
         jobs.emplace(job->id, job);
+        if (journal)
+            byKey[key] = job; // future resubmits short-circuit in memory
         cCacheHits.add();
         cCompleted.add();
         obs::JsonValue reply = okReply();
@@ -366,10 +644,12 @@ Server::handleSubmit(const SubmitSpec &spec)
         reply["key"] = key;
         reply["state"] = stateName(it->second->state);
         reply["coalesced"] = true;
+        if (it->second->recovered)
+            reply["recovered"] = true;
         return reply;
     }
 
-    if (queue.size() >= cfg.queueCapacity) {
+    if (queue.size() >= cfg.queueCapacity + boundExempt) {
         cRejectedFull.add();
         obs::JsonValue reply = errorReply(
             "queue_full", "admission queue is at capacity; retry later");
@@ -396,6 +676,29 @@ Server::handleSubmit(const SubmitSpec &spec)
         job->traceId = cur.trace;
         job->parentSpan = cur.span;
         job->submitSpanUs = obs::Spans::nowUs();
+    }
+    if (journal) {
+        // Write-ahead: the admit record must be durable before the
+        // client hears "queued".  An append failure rejects the submit
+        // -- admitting work the journal cannot replay would silently
+        // reintroduce the lost-job window the journal exists to close.
+        job->spec = submitSpecToJson(spec);
+        JournalRecord record;
+        record.type = JournalRecord::Type::Admit;
+        record.key = key;
+        record.jobId = std::strtoull(job->id.c_str() + 4, nullptr, 10);
+        record.label = label;
+        record.spec = job->spec;
+        if (auto appended = journal->append(record); !appended.ok()) {
+            std::fprintf(stderr, "[svc] %s\n",
+                         appended.error().render().c_str());
+            obs::JsonValue reply = errorReply(
+                "journal_error",
+                "could not persist the admission; submit rejected");
+            reply["retry_after_ms"] = std::uint64_t{cfg.retryAfterMs};
+            return reply;
+        }
+        byKey[key] = job;
     }
     jobs.emplace(job->id, job);
     inflight.emplace(key, job);
@@ -434,6 +737,8 @@ Server::handleStatus(const std::string &job_id)
     reply["key"] = job->key;
     reply["state"] = stateName(job->state);
     reply["cached"] = job->cached;
+    if (job->recovered)
+        reply["recovered"] = true;
     if (job->state == JobState::Failed) {
         reply["error"] = job->errorCode;
         reply["message"] = job->errorText;
@@ -455,6 +760,8 @@ Server::handleFetch(const std::string &job_id)
         reply["label"] = job->label;
         reply["key"] = job->key;
         reply["cached"] = job->cached;
+        if (job->recovered)
+            reply["recovered"] = true;
         reply["result"] = sim::toJson(*job->result);
         return reply;
       }
@@ -500,6 +807,7 @@ Server::handleCancel(const std::string &job_id)
         job->state = JobState::Cancelled;
         inflight.erase(job->key);
         cCancelled.add();
+        journalTerminalLocked(*job);
         jobsSettled.notify_all();
     }
     reply["state"] = stateName(job->state);
@@ -576,7 +884,33 @@ Server::statsSnapshot()
         c["misses"] = cs.misses;
         c["stores"] = cs.stores;
         c["rejects"] = cs.rejects;
+        c["tmp_reaped"] = cs.tmpReaped;
         reply["cache"] = std::move(c);
+    }
+    if (journal) {
+        JournalStats js = journal->stats();
+        obs::JsonValue j = obs::JsonValue::object();
+        j["dir"] = journal->dir();
+        j["fsync"] = fsyncPolicyName(cfg.journalFsync);
+        j["records_appended"] = js.recordsAppended;
+        j["records_recovered"] = js.recordsRecovered;
+        j["torn_tails_repaired"] = js.tornTailsRepaired;
+        j["checksum_rejects"] = js.checksumRejects;
+        j["rotations"] = js.rotations;
+        j["fsyncs"] = js.fsyncs;
+        j["live_records"] = js.liveRecords;
+        j["segment"] = js.segmentIndex;
+        reply["journal"] = std::move(j);
+    }
+    if (svcInject.active()) {
+        rt::SvcFaultInjector::Counters fc = svcInject.counters();
+        obs::JsonValue f = obs::JsonValue::object();
+        f["plan"] = rt::svcFaultPlanSpec(svcInject.planRef());
+        f["frames_dropped"] = fc.framesDropped;
+        f["frames_delayed"] = fc.framesDelayed;
+        f["frames_reset"] = fc.framesReset;
+        f["writes_truncated"] = fc.writesTruncated;
+        reply["svc_inject"] = std::move(f);
     }
     return reply;
 }
@@ -647,6 +981,38 @@ Server::metricsSnapshot()
     obs::promGauge(body, "dcfb_cache_hit_rate", g.cacheHitRate);
     obs::promGauge(body, "dcfb_pool_occupancy", g.poolOccupancy);
     obs::promGauge(body, "dcfb_cells_per_second", g.cellsPerSec);
+    if (journal) {
+        JournalStats js = journal->stats();
+        obs::promCounter(body, "dcfb_journal_records_appended_total",
+                         js.recordsAppended);
+        obs::promCounter(body, "dcfb_journal_torn_tails_repaired_total",
+                         js.tornTailsRepaired);
+        obs::promCounter(body, "dcfb_journal_checksum_rejects_total",
+                         js.checksumRejects);
+        obs::promCounter(body, "dcfb_journal_rotations_total",
+                         js.rotations);
+        obs::promCounter(body, "dcfb_journal_fsyncs_total", js.fsyncs);
+        obs::promGauge(body, "dcfb_journal_live_records",
+                       static_cast<double>(js.liveRecords));
+        obs::promGauge(body, "dcfb_journal_segment",
+                       static_cast<double>(js.segmentIndex));
+        obs::promInfo(body, "dcfb_journal_info",
+                      {{"dir", cfg.journalDir},
+                       {"fsync", fsyncPolicyName(cfg.journalFsync)}});
+    }
+    if (svcInject.active()) {
+        rt::SvcFaultInjector::Counters fc = svcInject.counters();
+        obs::promCounter(body, "dcfb_svc_inject_frames_dropped_total",
+                         fc.framesDropped);
+        obs::promCounter(body, "dcfb_svc_inject_frames_delayed_total",
+                         fc.framesDelayed);
+        obs::promCounter(body, "dcfb_svc_inject_frames_reset_total",
+                         fc.framesReset);
+        obs::promCounter(body, "dcfb_svc_inject_writes_truncated_total",
+                         fc.writesTruncated);
+        std::string plan = rt::svcFaultPlanSpec(svcInject.planRef());
+        obs::promInfo(body, "dcfb_svc_inject_info", {{"plan", plan}});
+    }
 
     obs::JsonValue reply = okReply();
     reply["op"] = "metrics";
@@ -695,6 +1061,12 @@ Server::dispatchLoop()
                 return;
             job = queue.front();
             queue.pop_front();
+            if (job->boundExempt) {
+                // The replayed/reclaimed job left the queue; the
+                // admission bound reclaims its headroom.
+                job->boundExempt = false;
+                --boundExempt;
+            }
             if (job->state != JobState::Queued) {
                 // Cancelled while queued; it is already terminal.
                 jobsSettled.notify_all();
@@ -711,11 +1083,16 @@ Server::dispatchLoop()
                 inflight.erase(job->key);
                 cDeadlineExpired.add();
                 cFailed.add();
+                journalTerminalLocked(*job);
                 jobsSettled.notify_all();
                 continue;
             }
             job->state = JobState::Running;
             job->startedAt = now;
+            if (cfg.leaseMs) {
+                job->leaseExpiry =
+                    now + std::chrono::milliseconds(cfg.leaseMs);
+            }
             hQueueWaitUs.sample(microsSince(job->submittedAt, now));
             ++activeJobs;
         }
@@ -737,10 +1114,21 @@ Server::dispatchLoop()
 void
 Server::runJob(const std::shared_ptr<Job> &job)
 {
+    std::uint64_t gen;
     {
+        std::lock_guard<std::mutex> lock(mutex);
+        gen = job->generation;
+        if (job->state != JobState::Running) {
+            // The lease watchdog reclaimed the job while it sat in the
+            // pool's buffer; another worker (or the fail path) owns it
+            // now.  This run never happened.
+            cLeaseStaleCompletions.add();
+            --activeJobs;
+            jobsSettled.notify_all();
+            return;
+        }
         // Re-check the deadline now that a worker is actually free:
         // time buffered inside the pool counts against it too.
-        std::lock_guard<std::mutex> lock(mutex);
         auto now = std::chrono::steady_clock::now();
         if (job->deadlineMs &&
             microsSince(job->submittedAt, now) / 1000 > job->deadlineMs) {
@@ -752,11 +1140,31 @@ Server::runJob(const std::shared_ptr<Job> &job)
             inflight.erase(job->key);
             cDeadlineExpired.add();
             cFailed.add();
+            journalTerminalLocked(*job);
             --activeJobs;
             jobsSettled.notify_all();
             return;
         }
+        if (cfg.leaseMs) {
+            job->leaseExpiry = now +
+                std::chrono::milliseconds(cfg.leaseMs);
+        }
     }
+    // The lease is renewed at the phase boundaries this worker crosses
+    // (a heartbeat); a worker wedged inside any phase stops renewing
+    // and the watchdog reclaims its job.
+    auto renewLease = [&] {
+        if (!cfg.leaseMs)
+            return;
+        std::lock_guard<std::mutex> lock(mutex);
+        if (job->generation == gen) {
+            job->leaseExpiry = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(cfg.leaseMs);
+        }
+    };
+    if (cfg.runHook)
+        cfg.runHook(job->label);
+    renewLease();
     rt::Expected<sim::RunResult> outcome =
         rt::Error(rt::ErrorKind::Result, "job did not run");
     // Worker-side span; re-rooted under the submit op span stashed in
@@ -781,6 +1189,7 @@ Server::runJob(const std::shared_ptr<Job> &job)
     } catch (const std::exception &e) {
         outcome = rt::Error(rt::ErrorKind::Result, e.what());
     }
+    renewLease(); // the cache store below can be slow (fsync, faults)
 
     if (outcome.ok() && cache) {
         std::optional<obs::SpanScope> putSpan;
@@ -794,6 +1203,17 @@ Server::runJob(const std::shared_ptr<Job> &job)
     }
 
     std::lock_guard<std::mutex> lock(mutex);
+    if (job->generation != gen) {
+        // The watchdog reclaimed this job while we simulated (and a
+        // newer run -- or the lease-expired fail path -- owns its
+        // terminal state).  Drop this completion; the cache store
+        // above was idempotent, so no work is wasted twice.
+        cLeaseStaleCompletions.add();
+        cSimsExecuted.add();
+        --activeJobs;
+        jobsSettled.notify_all();
+        return;
+    }
     auto now = std::chrono::steady_clock::now();
     hRunUs.sample(microsSince(job->startedAt, now));
     cSimsExecuted.add();
@@ -807,6 +1227,10 @@ Server::runJob(const std::shared_ptr<Job> &job)
         job->errorText = outcome.error().render();
         cFailed.add();
     }
+    // The terminal record follows the cache store, so a journal that
+    // says "done" implies the result is already on disk -- recovery
+    // can trust a done-marked job to cache-hit.
+    journalTerminalLocked(*job);
     inflight.erase(job->key);
     --activeJobs;
     jobsSettled.notify_all();
@@ -860,6 +1284,23 @@ Server::handleConnection(int fd)
                 continue;
             std::string out = handleLine(line).dump();
             out += '\n';
+            if (svcInject.active()) {
+                // The request WAS handled (state changed, journal
+                // written); only the reply frame is perturbed -- the
+                // exact failure mode a crashed connection produces,
+                // which clients must absorb by reconnecting and
+                // resubmitting idempotently.
+                if (svcInject.resetFrame()) {
+                    closed = true; // close mid-request, no reply
+                    break;
+                }
+                if (svcInject.dropFrame())
+                    continue; // swallow the reply; client times out
+                if (std::uint64_t ms = svcInject.frameDelayMs()) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(ms));
+                }
+            }
             std::size_t off = 0;
             while (off < out.size()) {
                 ssize_t w = ::send(fd, out.data() + off,

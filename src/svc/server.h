@@ -33,6 +33,18 @@
  * (submits get a `draining` reject), lets every queued and running job
  * finish, flushes results to the cache, then shuts the socket down.
  *
+ * Crash safety (`--journal`, DESIGN.md "Failure model and recovery"):
+ * with a journal directory configured, every admission is written ahead
+ * to an svc::Journal before the submit reply goes out, and every
+ * terminal transition appends a matching record.  start() replays
+ * admits without a terminal record: finished work is served from the
+ * ResultCache (`recovered` + instant done), the rest re-enters the
+ * queue outside the admission bound.  The fingerprint key doubles as a
+ * client idempotency key (`already_known` replies), and an optional
+ * per-job lease lets a watchdog reclaim jobs from hung workers.  All
+ * of it is strictly additive: with the journal off, admission, replies
+ * and stats are bit-identical to a journal-less build.
+ *
  * Instrumentation: one obs::StatRegistry (guarded by the server mutex
  * — this is a control path, not a simulation hot path) counts
  * admissions, rejects, coalesces, cache hits, completions and
@@ -73,8 +85,10 @@
 #include "obs/registry.h"
 #include "obs/timeseries.h"
 #include "rt/error.h"
+#include "rt/faults.h"
 #include "sim/config.h"
 #include "sim/simulator.h"
+#include "svc/journal.h"
 #include "svc/protocol.h"
 #include "svc/result_cache.h"
 
@@ -91,10 +105,23 @@ struct ServerConfig
     sim::RunWindows defaultWindows; //!< when a submit names none
     unsigned metricsIntervalMs = 0; //!< gauge sampler period (0 = off)
 
+    // -- crash safety (DESIGN.md "Failure model and recovery") ------------
+    std::string journalDir;        //!< job journal dir ("" = off)
+    FsyncPolicy journalFsync = FsyncPolicy::Always;
+    std::uint64_t journalRotateEvery = 4096; //!< appends per segment
+    std::uint64_t leaseMs = 0;     //!< worker lease period (0 = off)
+    std::uint64_t leaseMaxReclaims = 3; //!< requeues before failing
+    rt::SvcFaultPlan svcInjectPlan; //!< service I/O fault plane
+
     /** Optional per-config tweak applied after makeConfig (tests use
      *  this to shrink workloads; applied before fingerprinting so
      *  tweaked configs get their own cache keys). */
     std::function<void(sim::SystemConfig &)> configHook;
+
+    /** Optional hook called by a worker right before it simulates
+     *  (tests use this to wedge a worker so the lease watchdog and the
+     *  graceful-drain path can be exercised deterministically). */
+    std::function<void(const std::string &label)> runHook;
 };
 
 class Server
@@ -153,6 +180,14 @@ class Server
         std::uint64_t traceId = 0;      //!< span stitching (0 = none)
         std::uint64_t parentSpan = 0;   //!< submit-op span to parent under
         std::uint64_t submitSpanUs = 0; //!< queue-wait span start
+
+        // -- crash safety -------------------------------------------------
+        obs::JsonValue spec;      //!< submit-shaped doc (journal mode)
+        bool recovered = false;   //!< replayed from the journal
+        bool boundExempt = false; //!< requeued outside admission control
+        std::uint64_t generation = 0; //!< lease-reclaim epoch
+        std::uint64_t reclaims = 0;   //!< lease reclaims so far
+        std::chrono::steady_clock::time_point leaseExpiry;
     };
 
     static const char *stateName(JobState state);
@@ -165,10 +200,21 @@ class Server
     /** rt invariant: the admission queue never exceeds its bound. */
     rt::Expected<void> checkQueueBoundLocked();
 
+    /** Replay incomplete journal records at start() (journal mode). */
+    rt::Expected<void> recoverFromJournal();
+
+    /** Append to the journal, surfacing failures on stderr (journal
+     *  mode; terminal records must never fail the job they retire). */
+    void journalAppendLocked(const JournalRecord &record);
+
+    /** Journal a job's terminal transition (no-op when journal off). */
+    void journalTerminalLocked(const Job &job);
+
     void acceptLoop();
     void handleConnection(int fd);
     void dispatchLoop();
     void runJob(const std::shared_ptr<Job> &job);
+    void leaseLoop();
 
     /** Gauge set shared by the `metrics` body and the sampler ring.
      *  Rate gauges are deltas against the previous call. */
@@ -189,6 +235,8 @@ class Server
 
     std::unique_ptr<ResultCache> cache;       //!< nullptr = no cache
     std::unique_ptr<exec::Pool> pool;
+    std::unique_ptr<Journal> journal;         //!< nullptr = no journal
+    rt::SvcFaultInjector svcInject;           //!< service I/O faults
 
     mutable std::mutex mutex;
     std::condition_variable queueReady;       //!< dispatcher wake-up
@@ -196,9 +244,17 @@ class Server
     std::deque<std::shared_ptr<Job>> queue;   //!< admitted, not started
     std::map<std::string, std::shared_ptr<Job>> jobs;       //!< by id
     std::map<std::string, std::shared_ptr<Job>> inflight;   //!< by key
+    // Idempotency index (journal mode only): the latest job per
+    // fingerprint key, *including* terminal Done jobs, so a blind
+    // resubmit after a lost reply finds its result (`already_known`).
+    std::map<std::string, std::shared_ptr<Job>> byKey;
     std::uint64_t nextJobId = 0;
     std::size_t queuePeak = 0;
     std::uint64_t activeJobs = 0;             //!< running on the pool
+    // Queued jobs exempt from the admission bound: journal replays and
+    // lease reclaims re-enter the queue without a client to reject, so
+    // the invariant allows `capacity + boundExempt` until they drain.
+    std::uint64_t boundExempt = 0;
 
     obs::StatRegistry stats;                  //!< guarded by `mutex`
     obs::Counter cSubmitted, cAdmitted, cRejectedFull, cRejectedDraining,
@@ -206,6 +262,11 @@ class Server
         cFailed, cCancelled, cDeadlineExpired, cInvariantViolations;
     obs::Histogram hQueueWaitUs, hRunUs, hRequestUs;
     obs::Histogram hOpLatencyUs[kOpCount];    //!< svc.op.<op>.latency_us
+    // Crash-safety counters bind lazily so the stats/counters key set
+    // is unchanged from PR 6 while these features sit unused.
+    obs::LazyCounter cRecoveryReplayed, cRecoveryCacheHits,
+        cRecoveryKeyMismatch, cAlreadyKnown, cLeaseReclaimed,
+        cLeaseExpiredFailed, cLeaseStaleCompletions, cTmpReaped;
 
     obs::Timeseries series;                   //!< gauge sampler ring
     std::thread metricsThread;
@@ -222,6 +283,9 @@ class Server
     int listenFd = -1;
     std::thread acceptThread;
     std::thread dispatchThread;
+    std::thread leaseThread;                  //!< lease watchdog
+    std::mutex leaseMutex;                    //!< watchdog sleep/stop only
+    std::condition_variable leaseStop;
     std::uint64_t activeConnections = 0;
     std::condition_variable connectionsIdle;
     std::chrono::steady_clock::time_point startedAt;

@@ -1,0 +1,783 @@
+/**
+ * @file
+ * Crash-safety tests: the write-ahead job journal (record encoding,
+ * torn-tail repair, checksum containment, rotation/compaction), the
+ * service fault plane (--svc-inject parsing and determinism), daemon
+ * recovery (warm and cold replay, idempotent resubmission), the lease
+ * watchdog, and the client retry policy (budget, timeouts) over a real
+ * socket against an injected daemon.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <dirent.h>
+
+#include "rt/faults.h"
+#include "sim/simulator.h"
+#include "svc/client.h"
+#include "svc/fingerprint.h"
+#include "svc/journal.h"
+#include "svc/protocol.h"
+#include "svc/server.h"
+#include "workload/profiles.h"
+
+namespace dcfb {
+namespace {
+
+/** Fresh scratch directory under TMPDIR for one test. */
+std::string
+scratchDir(const std::string &tag)
+{
+    std::string templ =
+        ::testing::TempDir() + "dcfb_jnl_" + tag + "_XXXXXX";
+    std::vector<char> buf(templ.begin(), templ.end());
+    buf.push_back('\0');
+    const char *made = ::mkdtemp(buf.data());
+    EXPECT_NE(made, nullptr);
+    return made ? made : templ;
+}
+
+/** Shrink a config so one simulation is fast but non-trivial. */
+void
+shrink(sim::SystemConfig &cfg)
+{
+    cfg.profile.numFunctions = 24;
+    cfg.profile.dataFootprint = 1ull << 20;
+    cfg.functionalWarmInstrs = 40000;
+}
+
+sim::RunWindows
+tinyWindows()
+{
+    return sim::RunWindows{4000, 6000};
+}
+
+std::string
+submitLine(std::uint64_t seed)
+{
+    return R"j({"op":"submit","workload":"Web (Apache)","preset":"SN4L",)j"
+           R"("seed":)" +
+        std::to_string(seed) + "}";
+}
+
+/** The fingerprint key the daemon under test computes for
+ *  submitLine(seed): same makeConfig + configHook + default windows. */
+std::string
+keyFor(std::uint64_t seed)
+{
+    sim::SystemConfig cfg =
+        sim::makeConfig(workload::serverProfile("Web (Apache)"),
+                        sim::Preset::SN4L);
+    cfg.faults = rt::FaultPlan{};
+    cfg.runSeed = seed;
+    shrink(cfg);
+    return svc::cacheKey(cfg, tinyWindows());
+}
+
+svc::JournalRecord
+admitRecordFor(std::uint64_t seed, std::uint64_t job_id)
+{
+    svc::JournalRecord rec;
+    rec.type = svc::JournalRecord::Type::Admit;
+    rec.key = keyFor(seed);
+    rec.jobId = job_id;
+    rec.label = "Web (Apache)/SN4L";
+    rec.spec = *obs::JsonValue::parse(submitLine(seed));
+    return rec;
+}
+
+std::vector<std::string>
+filesIn(const std::string &dir)
+{
+    std::vector<std::string> names;
+    if (DIR *d = ::opendir(dir.c_str())) {
+        while (dirent *e = ::readdir(d)) {
+            std::string name = e->d_name;
+            if (name != "." && name != "..")
+                names.push_back(name);
+        }
+        ::closedir(d);
+    }
+    return names;
+}
+
+svc::ServerConfig
+testServerConfig(const std::string &tag)
+{
+    svc::ServerConfig config;
+    config.socketPath = scratchDir(tag) + "/dcfb.sock";
+    config.jobs = 1;
+    config.queueCapacity = 8;
+    config.retryAfterMs = 10;
+    config.defaultWindows = tinyWindows();
+    config.configHook = shrink;
+    return config;
+}
+
+std::uint64_t
+counterOf(const obs::JsonValue &stats, const std::string &name)
+{
+    const obs::JsonValue *counters = stats.find("counters");
+    if (!counters)
+        return 0;
+    const obs::JsonValue *c = counters->find(name);
+    return c ? c->asUint() : 0;
+}
+
+/** Poll status until the job is terminal; returns the last reply. */
+obs::JsonValue
+awaitTerminal(svc::Server &server, const std::string &job)
+{
+    for (int i = 0; i < 2000; ++i) {
+        obs::JsonValue reply = server.handleLine(
+            R"({"op":"status","job":")" + job + R"("})");
+        const obs::JsonValue *state = reply.find("state");
+        if (state && state->asString() != "queued" &&
+            state->asString() != "running")
+            return reply;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ADD_FAILURE() << "job " << job << " never reached a terminal state";
+    return obs::JsonValue();
+}
+
+// -- journal format -------------------------------------------------------
+
+TEST(Journal, EncodeDecodeRoundTripsEveryRecordType)
+{
+    svc::JournalRecord admit;
+    admit.type = svc::JournalRecord::Type::Admit;
+    admit.key = "00c0ffee00c0ffee";
+    admit.jobId = 7;
+    admit.label = "Web (Apache)/SN4L";
+    admit.spec = *obs::JsonValue::parse(submitLine(3));
+
+    svc::JournalRecord failed;
+    failed.type = svc::JournalRecord::Type::Failed;
+    failed.key = admit.key;
+    failed.jobId = 7;
+    failed.errorCode = "deadline_exceeded";
+    failed.errorText = "job missed its deadline";
+
+    for (const svc::JournalRecord &rec : {admit, failed}) {
+        std::string line = svc::Journal::encode(rec);
+        EXPECT_EQ(line.find('\n'), std::string::npos);
+        auto back = svc::Journal::decode(line);
+        ASSERT_TRUE(back.ok()) << back.error().render();
+        EXPECT_EQ(back.value().type, rec.type);
+        EXPECT_EQ(back.value().key, rec.key);
+        EXPECT_EQ(back.value().jobId, rec.jobId);
+        EXPECT_EQ(back.value().label, rec.label);
+        EXPECT_EQ(back.value().spec.dump(), rec.spec.dump());
+        EXPECT_EQ(back.value().errorCode, rec.errorCode);
+        EXPECT_EQ(back.value().errorText, rec.errorText);
+    }
+}
+
+TEST(Journal, DecodeRejectsTamperedLines)
+{
+    std::string line = svc::Journal::encode(admitRecordFor(3, 1));
+    ASSERT_TRUE(svc::Journal::decode(line).ok());
+
+    // Flip one body byte: the crc no longer matches.
+    std::string bent = line;
+    bent[10] = bent[10] == 'x' ? 'y' : 'x';
+    EXPECT_FALSE(svc::Journal::decode(bent).ok());
+
+    EXPECT_FALSE(svc::Journal::decode("not json").ok());
+    EXPECT_FALSE(svc::Journal::decode(R"({"type":"admit"})").ok());
+    EXPECT_FALSE(svc::Journal::decode("").ok());
+}
+
+TEST(Journal, FreshDirectoryOpensEmptyWithAHeaderSegment)
+{
+    std::string dir = scratchDir("fresh");
+    svc::Journal journal({dir});
+    auto records = journal.open();
+    ASSERT_TRUE(records.ok()) << records.error().render();
+    EXPECT_TRUE(records.value().empty());
+    EXPECT_EQ(journal.stats().recordsRecovered, 0u);
+
+    // One segment, holding only the schema header line.
+    std::vector<std::string> files = filesIn(dir);
+    ASSERT_EQ(files.size(), 1u);
+    EXPECT_EQ(files[0], "journal-000001.ndjson");
+}
+
+TEST(Journal, EmptySegmentFileIsTolerated)
+{
+    std::string dir = scratchDir("empty");
+    { std::ofstream(dir + "/journal-000001.ndjson"); }
+    svc::Journal journal({dir});
+    auto records = journal.open();
+    ASSERT_TRUE(records.ok()) << records.error().render();
+    EXPECT_TRUE(records.value().empty());
+    // And the journal is writable afterwards.
+    ASSERT_TRUE(journal.append(admitRecordFor(5, 1)).ok());
+}
+
+TEST(Journal, TornFinalRecordIsRepairedLosingOnlyThatRecord)
+{
+    std::string dir = scratchDir("torn");
+    {
+        svc::Journal journal({dir});
+        ASSERT_TRUE(journal.open().ok());
+        ASSERT_TRUE(journal.append(admitRecordFor(11, 1)).ok());
+        ASSERT_TRUE(journal.append(admitRecordFor(12, 2)).ok());
+    }
+    // Simulate a crash mid-append: half a record, no newline.
+    {
+        std::string half =
+            svc::Journal::encode(admitRecordFor(13, 3));
+        std::ofstream out(dir + "/journal-000001.ndjson",
+                          std::ios::app);
+        out << half.substr(0, half.size() / 2);
+    }
+    svc::Journal journal({dir});
+    auto records = journal.open();
+    ASSERT_TRUE(records.ok()) << records.error().render();
+    ASSERT_EQ(records.value().size(), 2u);
+    EXPECT_EQ(records.value()[0].key, keyFor(11));
+    EXPECT_EQ(records.value()[1].key, keyFor(12));
+    EXPECT_EQ(journal.stats().tornTailsRepaired, 1u);
+    EXPECT_EQ(journal.stats().checksumRejects, 0u);
+
+    // The repaired journal accepts appends again.
+    ASSERT_TRUE(journal.append(admitRecordFor(13, 3)).ok());
+    svc::Journal reread({dir});
+    auto again = reread.open();
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again.value().size(), 3u);
+}
+
+TEST(Journal, ChecksumMismatchMidSegmentSkipsOnlyTheBadRecord)
+{
+    std::string dir = scratchDir("crc");
+    {
+        svc::Journal journal({dir});
+        ASSERT_TRUE(journal.open().ok());
+        for (std::uint64_t seed = 21; seed <= 23; ++seed)
+            ASSERT_TRUE(
+                journal.append(admitRecordFor(seed, seed)).ok());
+    }
+    // Corrupt the middle record in place (bit rot / bad sector), body
+    // intact as a line but failing its crc.
+    std::string path = dir + "/journal-000001.ndjson";
+    std::vector<std::string> lines;
+    {
+        std::ifstream in(path);
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(line);
+    }
+    ASSERT_EQ(lines.size(), 4u); // header + 3 admits
+    lines[2][lines[2].find(':') + 2] ^= 1;
+    {
+        std::ofstream out(path, std::ios::trunc);
+        for (const std::string &line : lines)
+            out << line << '\n';
+    }
+    svc::Journal journal({dir});
+    auto records = journal.open();
+    ASSERT_TRUE(records.ok()) << records.error().render();
+    ASSERT_EQ(records.value().size(), 2u);
+    EXPECT_EQ(records.value()[0].key, keyFor(21));
+    EXPECT_EQ(records.value()[1].key, keyFor(23));
+    EXPECT_EQ(journal.stats().checksumRejects, 1u);
+    EXPECT_EQ(journal.stats().tornTailsRepaired, 0u);
+}
+
+TEST(Journal, RotationCompactsRetiredRecordsAndUnlinksOldSegments)
+{
+    std::string dir = scratchDir("rotate");
+    svc::Journal::Config config{dir};
+    config.rotateEvery = 4;
+    svc::Journal journal(config);
+    ASSERT_TRUE(journal.open().ok());
+
+    // Admit+retire pairs push the record count past rotateEvery while
+    // the live set stays small, so compaction kicks in.
+    for (std::uint64_t seed = 31; seed <= 34; ++seed) {
+        ASSERT_TRUE(journal.append(admitRecordFor(seed, seed)).ok());
+        svc::JournalRecord done;
+        done.type = svc::JournalRecord::Type::Done;
+        done.key = keyFor(seed);
+        done.jobId = seed;
+        ASSERT_TRUE(journal.append(done).ok());
+    }
+    ASSERT_TRUE(journal.append(admitRecordFor(35, 35)).ok());
+    svc::JournalStats stats = journal.stats();
+    EXPECT_GE(stats.rotations, 1u);
+    EXPECT_EQ(stats.liveRecords, 1u);
+
+    // Exactly one segment remains on disk and reopening it recovers
+    // only the unretired admit.
+    std::vector<std::string> files = filesIn(dir);
+    ASSERT_EQ(files.size(), 1u);
+    svc::Journal reread({dir});
+    auto records = reread.open();
+    ASSERT_TRUE(records.ok()) << records.error().render();
+    ASSERT_EQ(records.value().size(), 1u);
+    EXPECT_EQ(records.value()[0].key, keyFor(35));
+    EXPECT_EQ(records.value()[0].type,
+              svc::JournalRecord::Type::Admit);
+}
+
+TEST(Journal, SchemaMismatchIsAHardError)
+{
+    std::string dir = scratchDir("schema");
+    {
+        svc::Journal journal({dir});
+        ASSERT_TRUE(journal.open().ok());
+        ASSERT_TRUE(journal.append(admitRecordFor(41, 1)).ok());
+    }
+    // Rewrite the header to claim a future schema: refusing to guess
+    // beats silently dropping someone else's records.
+    std::string path = dir + "/journal-000001.ndjson";
+    std::vector<std::string> lines;
+    {
+        std::ifstream in(path);
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(line);
+    }
+    ASSERT_GE(lines.size(), 2u);
+    {
+        // A well-formed header (valid crc) claiming a future schema.
+        std::string body =
+            R"({"type":"header","schema":"dcfb-journal-v9"})";
+        std::string header = body.substr(0, body.size() - 1) +
+            ",\"crc\":\"" + svc::fnv1aHex(body) + "\"}";
+        std::ofstream out(path, std::ios::trunc);
+        out << header << '\n' << lines[1] << '\n';
+    }
+    svc::Journal journal({dir});
+    EXPECT_FALSE(journal.open().ok());
+}
+
+TEST(Journal, FsyncPolicyParsesAndRenders)
+{
+    EXPECT_EQ(svc::parseFsyncPolicy("always").value(),
+              svc::FsyncPolicy::Always);
+    EXPECT_EQ(svc::parseFsyncPolicy("rotate").value(),
+              svc::FsyncPolicy::Rotate);
+    EXPECT_EQ(svc::parseFsyncPolicy("never").value(),
+              svc::FsyncPolicy::Never);
+    EXPECT_FALSE(svc::parseFsyncPolicy("sometimes").ok());
+    EXPECT_STREQ(svc::fsyncPolicyName(svc::FsyncPolicy::Rotate),
+                 "rotate");
+}
+
+TEST(Journal, InjectedTornWriteLosesExactlyOneRecord)
+{
+    std::string dir = scratchDir("inject");
+    rt::SvcFaultPlan plan =
+        rt::parseSvcFaultPlan("truncate:rate=1,seed=5").value();
+    rt::SvcFaultInjector inject(plan);
+    {
+        svc::Journal::Config config{dir};
+        svc::Journal journal(config);
+        ASSERT_TRUE(journal.open().ok());
+        ASSERT_TRUE(journal.append(admitRecordFor(51, 1)).ok());
+    }
+    {
+        svc::Journal::Config config{dir};
+        config.inject = &inject;
+        svc::Journal journal(config);
+        ASSERT_TRUE(journal.open().ok());
+        // The torn append still reports success: the damage is only
+        // observable at the next open, exactly like a real crash.
+        ASSERT_TRUE(journal.append(admitRecordFor(52, 2)).ok());
+        EXPECT_GE(inject.counters().writesTruncated, 1u);
+    }
+    svc::Journal reread({dir});
+    auto records = reread.open();
+    ASSERT_TRUE(records.ok()) << records.error().render();
+    ASSERT_EQ(records.value().size(), 1u);
+    EXPECT_EQ(records.value()[0].key, keyFor(51));
+    EXPECT_EQ(reread.stats().tornTailsRepaired, 1u);
+}
+
+// -- service fault plane --------------------------------------------------
+
+TEST(SvcFaultPlane, SpecsParseAndRenderCanonically)
+{
+    auto plan = rt::parseSvcFaultPlan("drop");
+    ASSERT_TRUE(plan.ok());
+    EXPECT_EQ(plan.value().kind, rt::SvcFaultKind::Drop);
+    EXPECT_DOUBLE_EQ(plan.value().rate, 0.05);
+
+    auto delay =
+        rt::parseSvcFaultPlan("delay:rate=0.5,delay_ms=10,seed=7");
+    ASSERT_TRUE(delay.ok());
+    EXPECT_EQ(delay.value().kind, rt::SvcFaultKind::Delay);
+    EXPECT_DOUBLE_EQ(delay.value().rate, 0.5);
+    EXPECT_EQ(delay.value().delayMs, 10u);
+    EXPECT_EQ(delay.value().seed, 7u);
+
+    // Canonical spec round-trips through the parser.
+    std::string spec = rt::svcFaultPlanSpec(delay.value());
+    auto again = rt::parseSvcFaultPlan(spec);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(rt::svcFaultPlanSpec(again.value()), spec);
+
+    EXPECT_EQ(rt::parseSvcFaultPlan("none").value().kind,
+              rt::SvcFaultKind::None);
+    EXPECT_FALSE(rt::parseSvcFaultPlan("frob").ok());
+    EXPECT_FALSE(rt::parseSvcFaultPlan("drop:rate=2").ok());
+    EXPECT_FALSE(rt::parseSvcFaultPlan("drop:bogus=1").ok());
+    EXPECT_FALSE(rt::parseSvcFaultPlan("drop:delay_ms=0").ok());
+}
+
+TEST(SvcFaultPlane, SeededInjectorIsDeterministic)
+{
+    rt::SvcFaultPlan plan =
+        rt::parseSvcFaultPlan("drop:rate=0.5,seed=9").value();
+    rt::SvcFaultInjector a(plan), b(plan);
+    unsigned dropped = 0;
+    for (int i = 0; i < 200; ++i) {
+        bool da = a.dropFrame();
+        EXPECT_EQ(da, b.dropFrame()) << "diverged at draw " << i;
+        dropped += da;
+    }
+    // An honest Bernoulli(0.5): not all-or-nothing.
+    EXPECT_GT(dropped, 50u);
+    EXPECT_LT(dropped, 150u);
+    EXPECT_EQ(a.counters().framesDropped, dropped);
+}
+
+// -- daemon recovery ------------------------------------------------------
+
+TEST(SvcRecovery, ColdReplayRerunsIncompleteJobs)
+{
+    svc::ServerConfig config = testServerConfig("cold");
+    config.journalDir = scratchDir("cold_journal");
+    // A crash after admit, before completion: the admit record is the
+    // only trace of the job.
+    {
+        svc::Journal journal({config.journalDir});
+        ASSERT_TRUE(journal.open().ok());
+        ASSERT_TRUE(journal.append(admitRecordFor(61, 9)).ok());
+    }
+    svc::Server server(config);
+    ASSERT_TRUE(server.start().ok());
+
+    obs::JsonValue stats = server.statsSnapshot();
+    EXPECT_EQ(counterOf(stats, "svc.recovery.replayed"), 1u);
+
+    server.requestDrain();
+    server.awaitDrained();
+    stats = server.statsSnapshot();
+    EXPECT_EQ(counterOf(stats, "svc.sims_executed"), 1u);
+    EXPECT_EQ(counterOf(stats, "svc.completed"), 1u);
+    const obs::JsonValue *journal_stats = stats.find("journal");
+    ASSERT_NE(journal_stats, nullptr);
+    EXPECT_EQ(journal_stats->find("records_recovered")->asUint(), 1u);
+    // The completion appended its own terminal record.
+    EXPECT_GE(journal_stats->find("records_appended")->asUint(), 1u);
+    server.shutdown();
+}
+
+TEST(SvcRecovery, WarmReplayCompletesFromTheResultCacheWithoutResim)
+{
+    std::string cache_dir = scratchDir("warm_cache");
+    std::string journal_dir = scratchDir("warm_journal");
+
+    // First incarnation computes the result and persists it.
+    {
+        svc::ServerConfig config = testServerConfig("warm_a");
+        config.cacheDir = cache_dir;
+        config.journalDir = journal_dir;
+        svc::Server server(config);
+        ASSERT_TRUE(server.start().ok());
+        obs::JsonValue reply = server.handleLine(submitLine(62));
+        ASSERT_TRUE(reply.find("ok")->asBool()) << reply.dump();
+        awaitTerminal(server, reply.find("job")->asString());
+        server.shutdown();
+    }
+    // The crash window: admit journaled, result cached, terminal
+    // record lost.
+    {
+        svc::Journal journal({journal_dir});
+        ASSERT_TRUE(journal.open().ok());
+        ASSERT_TRUE(journal.append(admitRecordFor(62, 9)).ok());
+    }
+    svc::ServerConfig config = testServerConfig("warm_b");
+    config.cacheDir = cache_dir;
+    config.journalDir = journal_dir;
+    svc::Server server(config);
+    ASSERT_TRUE(server.start().ok());
+
+    obs::JsonValue stats = server.statsSnapshot();
+    EXPECT_EQ(counterOf(stats, "svc.recovery.cache_hits"), 1u);
+    EXPECT_EQ(counterOf(stats, "svc.recovery.replayed"), 0u);
+    EXPECT_EQ(counterOf(stats, "svc.sims_executed"), 0u);
+
+    // A blind resubmit of the same spec finds the recovered result.
+    obs::JsonValue dup = server.handleLine(submitLine(62));
+    ASSERT_TRUE(dup.find("ok")->asBool()) << dup.dump();
+    const obs::JsonValue *known = dup.find("already_known");
+    ASSERT_NE(known, nullptr) << dup.dump();
+    EXPECT_TRUE(known->asBool());
+    EXPECT_EQ(dup.find("state")->asString(), "done");
+    ASSERT_NE(dup.find("recovered"), nullptr);
+    EXPECT_TRUE(dup.find("recovered")->asBool());
+    server.shutdown();
+}
+
+TEST(SvcRecovery, StaleKeyIsRecomputedAndCounted)
+{
+    svc::ServerConfig config = testServerConfig("rekey");
+    config.journalDir = scratchDir("rekey_journal");
+    {
+        svc::Journal journal({config.journalDir});
+        ASSERT_TRUE(journal.open().ok());
+        svc::JournalRecord admit = admitRecordFor(63, 9);
+        // A key from an older fingerprint schema: the recomputed one
+        // is authoritative and the mismatch is surfaced.
+        admit.key = "00000000deadbeef";
+        ASSERT_TRUE(journal.append(admit).ok());
+    }
+    svc::Server server(config);
+    ASSERT_TRUE(server.start().ok());
+    obs::JsonValue stats = server.statsSnapshot();
+    EXPECT_EQ(counterOf(stats, "svc.recovery.key_mismatch"), 1u);
+    EXPECT_EQ(counterOf(stats, "svc.recovery.replayed"), 1u);
+
+    server.requestDrain();
+    server.awaitDrained();
+    // The replayed job ran to completion under its recomputed key: a
+    // duplicate submit would have been deduplicated against it.
+    EXPECT_EQ(counterOf(server.statsSnapshot(), "svc.completed"), 1u);
+    server.shutdown();
+}
+
+TEST(SvcRecovery, ResubmitAfterCompletionIsAlreadyKnown)
+{
+    svc::ServerConfig config = testServerConfig("idem");
+    config.journalDir = scratchDir("idem_journal");
+    svc::Server server(config);
+    ASSERT_TRUE(server.start().ok());
+
+    obs::JsonValue first = server.handleLine(submitLine(64));
+    ASSERT_TRUE(first.find("ok")->asBool()) << first.dump();
+    std::string job = first.find("job")->asString();
+    awaitTerminal(server, job);
+
+    // No result cache configured: the idempotency index alone must
+    // recognize the retransmitted submit (a client whose reply frame
+    // was lost blindly retries).
+    obs::JsonValue dup = server.handleLine(submitLine(64));
+    ASSERT_TRUE(dup.find("ok")->asBool()) << dup.dump();
+    const obs::JsonValue *known = dup.find("already_known");
+    ASSERT_NE(known, nullptr) << dup.dump();
+    EXPECT_TRUE(known->asBool());
+    EXPECT_EQ(dup.find("job")->asString(), job);
+
+    obs::JsonValue stats = server.statsSnapshot();
+    EXPECT_EQ(counterOf(stats, "svc.already_known"), 1u);
+    EXPECT_EQ(counterOf(stats, "svc.sims_executed"), 1u);
+    server.shutdown();
+}
+
+// -- lease watchdog -------------------------------------------------------
+
+TEST(SvcLease, WedgedWorkerIsReclaimedAndTheJobStillCompletes)
+{
+    svc::ServerConfig config = testServerConfig("reclaim");
+    config.leaseMs = 50;
+    config.leaseMaxReclaims = 100; // reclaim, never give up
+    std::atomic<bool> wedged{false};
+    config.runHook = [&](const std::string &) {
+        // Wedge only the first run; the requeued attempt sails through.
+        if (!wedged.exchange(true))
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(300));
+    };
+    svc::Server server(config);
+    ASSERT_TRUE(server.start().ok());
+
+    obs::JsonValue reply = server.handleLine(submitLine(71));
+    ASSERT_TRUE(reply.find("ok")->asBool()) << reply.dump();
+    std::string job = reply.find("job")->asString();
+
+    obs::JsonValue status = awaitTerminal(server, job);
+    EXPECT_EQ(status.find("state")->asString(), "done")
+        << status.dump();
+
+    server.requestDrain();
+    server.awaitDrained();
+    obs::JsonValue stats = server.statsSnapshot();
+    EXPECT_GE(counterOf(stats, "svc.lease.reclaimed"), 1u);
+    // The wedged worker's late completion was discarded, not
+    // double-counted.
+    EXPECT_GE(counterOf(stats, "svc.lease.stale_completions"), 1u);
+    EXPECT_EQ(counterOf(stats, "svc.completed"), 1u);
+    EXPECT_EQ(counterOf(stats, "svc.invariant_violations"), 0u);
+    server.shutdown();
+}
+
+TEST(SvcLease, ExhaustedReclaimsFailTheJobWithATypedError)
+{
+    svc::ServerConfig config = testServerConfig("expire");
+    config.leaseMs = 40;
+    config.leaseMaxReclaims = 0; // first missed lease is fatal
+    config.runHook = [](const std::string &) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    };
+    svc::Server server(config);
+    ASSERT_TRUE(server.start().ok());
+
+    obs::JsonValue reply = server.handleLine(submitLine(72));
+    ASSERT_TRUE(reply.find("ok")->asBool()) << reply.dump();
+    std::string job = reply.find("job")->asString();
+
+    obs::JsonValue status = awaitTerminal(server, job);
+    EXPECT_EQ(status.find("state")->asString(), "failed")
+        << status.dump();
+    EXPECT_EQ(status.find("error")->asString(), "lease_expired");
+
+    server.requestDrain();
+    server.awaitDrained();
+    obs::JsonValue stats = server.statsSnapshot();
+    EXPECT_EQ(counterOf(stats, "svc.lease.expired_failed"), 1u);
+    EXPECT_GE(counterOf(stats, "svc.lease.reclaimed"), 1u);
+    EXPECT_EQ(counterOf(stats, "svc.failed"), 1u);
+    server.shutdown();
+}
+
+// -- client retry policy --------------------------------------------------
+
+TEST(SvcClientRetry, BudgetBoundsTimeSpentOnRejects)
+{
+    svc::ServerConfig config = testServerConfig("budget");
+    svc::Server server(config);
+    ASSERT_TRUE(server.start().ok());
+    server.requestDrain(); // every submit now gets a `draining` reject
+
+    svc::Client client;
+    svc::RetryPolicy policy;
+    policy.budgetMs = 120;
+    policy.submitBackoffMs = 20;
+    policy.jitterSeed = 4;
+    client.setRetryPolicy(policy);
+    ASSERT_TRUE(client.connect(config.socketPath).ok());
+
+    obs::JsonValue submit = *obs::JsonValue::parse(submitLine(81));
+    auto t0 = std::chrono::steady_clock::now();
+    auto reply = client.submitAndWait(submit);
+    auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+    ASSERT_FALSE(reply.ok());
+    EXPECT_EQ(reply.error().message, "retry budget exhausted")
+        << reply.error().render();
+    // The budget is a hard ceiling on failure sleeps; generous margin
+    // for the requests themselves.
+    EXPECT_LT(elapsed, 2000);
+    client.close();
+    server.shutdown();
+}
+
+TEST(SvcClientRetry, RecvTimeoutTurnsDroppedRepliesIntoTypedFailure)
+{
+    svc::ServerConfig config = testServerConfig("drop");
+    config.svcInjectPlan =
+        rt::parseSvcFaultPlan("drop:rate=1,seed=3").value();
+    svc::Server server(config);
+    ASSERT_TRUE(server.start().ok());
+
+    svc::Client client;
+    svc::RetryPolicy policy;
+    policy.budgetMs = 200;
+    policy.submitBackoffMs = 20;
+    policy.recvTimeoutMs = 50; // a swallowed frame is not a hang
+    policy.jitterSeed = 4;
+    client.setRetryPolicy(policy);
+    ASSERT_TRUE(client.connect(config.socketPath).ok());
+
+    obs::JsonValue submit = *obs::JsonValue::parse(submitLine(82));
+    auto reply = client.submitAndWait(submit);
+    ASSERT_FALSE(reply.ok());
+    EXPECT_EQ(reply.error().message, "retry budget exhausted")
+        << reply.error().render();
+
+    obs::JsonValue stats = server.statsSnapshot();
+    const obs::JsonValue *inject = stats.find("svc_inject");
+    ASSERT_NE(inject, nullptr);
+    EXPECT_GE(inject->find("frames_dropped")->asUint(), 1u);
+    client.close();
+    server.shutdown();
+}
+
+TEST(SvcClientRetry, DelayedFramesOnlySlowTheJobDown)
+{
+    svc::ServerConfig config = testServerConfig("delay");
+    config.svcInjectPlan =
+        rt::parseSvcFaultPlan("delay:rate=1,delay_ms=20,seed=3")
+            .value();
+    svc::Server server(config);
+    ASSERT_TRUE(server.start().ok());
+
+    svc::Client client;
+    ASSERT_TRUE(client.connect(config.socketPath).ok());
+    obs::JsonValue submit = *obs::JsonValue::parse(submitLine(83));
+    auto reply = client.submitAndWait(submit);
+    ASSERT_TRUE(reply.ok()) << reply.error().render();
+    ASSERT_NE(reply.value().find("result"), nullptr)
+        << reply.value().dump();
+
+    obs::JsonValue stats = server.statsSnapshot();
+    const obs::JsonValue *inject = stats.find("svc_inject");
+    ASSERT_NE(inject, nullptr);
+    EXPECT_GE(inject->find("frames_delayed")->asUint(), 1u);
+    client.close();
+    server.shutdown();
+}
+
+TEST(SvcClientRetry, ReconnectsAndResubmitsAfterConnectionReset)
+{
+    svc::ServerConfig config = testServerConfig("reset");
+    // Reset roughly half the reply frames: the client must survive
+    // torn connections by reconnecting and resubmitting idempotently.
+    config.svcInjectPlan =
+        rt::parseSvcFaultPlan("reset:rate=0.5,seed=11").value();
+    config.journalDir = scratchDir("reset_journal");
+    svc::Server server(config);
+    ASSERT_TRUE(server.start().ok());
+
+    svc::Client client;
+    svc::RetryPolicy policy;
+    policy.submitBackoffMs = 10;
+    policy.recvTimeoutMs = 2000;
+    policy.jitterSeed = 4;
+    client.setRetryPolicy(policy);
+    ASSERT_TRUE(client.connect(config.socketPath).ok());
+
+    obs::JsonValue submit = *obs::JsonValue::parse(submitLine(84));
+    auto reply = client.submitAndWait(submit, 200);
+    ASSERT_TRUE(reply.ok()) << reply.error().render();
+    ASSERT_NE(reply.value().find("result"), nullptr)
+        << reply.value().dump();
+
+    obs::JsonValue stats = server.statsSnapshot();
+    const obs::JsonValue *inject = stats.find("svc_inject");
+    ASSERT_NE(inject, nullptr);
+    EXPECT_GE(inject->find("frames_reset")->asUint(), 1u);
+    // Idempotency held: every retry deduped onto one simulation.
+    EXPECT_EQ(counterOf(stats, "svc.sims_executed"), 1u);
+    client.close();
+    server.shutdown();
+}
+
+} // namespace
+} // namespace dcfb

@@ -619,6 +619,63 @@ TEST(SvcServer, CancelQueuedJobAndExpireDeadlines)
     server.shutdown();
 }
 
+TEST(SvcServer, GracefulDrainSettlesCoalescedWaitersExactlyOnce)
+{
+    // Satellite of the crash-safety PR: a SIGTERM-style drain while
+    // duplicate submits are coalesced onto one in-flight job must hand
+    // every waiter a terminal reply and count the work exactly once.
+    svc::ServerConfig config = testServerConfig("drain_coalesce");
+    config.defaultWindows = sim::RunWindows{20000, 30000};
+    svc::Server server(config);
+    ASSERT_TRUE(server.start().ok());
+
+    obs::JsonValue first = server.handleLine(submitLine(91));
+    ASSERT_TRUE(first.find("ok")->asBool()) << first.dump();
+    std::string job = first.find("job")->asString();
+    // Two more clients pile onto the same fingerprint while it runs.
+    for (int dup = 0; dup < 2; ++dup) {
+        obs::JsonValue reply = server.handleLine(submitLine(91));
+        ASSERT_TRUE(reply.find("ok")->asBool()) << reply.dump();
+        EXPECT_EQ(reply.find("job")->asString(), job);
+    }
+
+    server.requestDrain(); // what SIGTERM triggers in dcfb-serve
+    server.awaitDrained();
+
+    obs::JsonValue status = server.handleLine(
+        R"({"op":"status","job":")" + job + R"("})");
+    EXPECT_EQ(status.find("state")->asString(), "done");
+    obs::JsonValue fetched = server.handleLine(
+        R"({"op":"fetch","job":")" + job + R"("})");
+    EXPECT_TRUE(fetched.find("ok")->asBool()) << fetched.dump();
+
+    obs::JsonValue stats = server.statsSnapshot();
+    EXPECT_EQ(counterOf(stats, "svc.submitted"), 3u);
+    EXPECT_EQ(counterOf(stats, "svc.coalesced"), 2u);
+    EXPECT_EQ(counterOf(stats, "svc.sims_executed"), 1u);
+    EXPECT_EQ(counterOf(stats, "svc.completed"), 1u);
+    server.shutdown();
+}
+
+TEST(SvcResultCache, StrayTempFilesAreReapedAtOpen)
+{
+    std::string dir = scratchDir("reap");
+    // Two writers killed mid-put left temp files; a finished entry and
+    // an unrelated file must survive the sweep.
+    { std::ofstream(dir + "/aaaa.json.tmp.101") << "{\"trunc"; }
+    { std::ofstream(dir + "/bbbb.json.tmp.102") << "{\"trunc"; }
+    { std::ofstream(dir + "/cccc.json") << "{}"; }
+    { std::ofstream(dir + "/README") << "not a cache file"; }
+
+    svc::ResultCache cache(dir);
+    ASSERT_TRUE(cache.open().ok());
+    EXPECT_EQ(cache.stats().tmpReaped, 2u);
+    EXPECT_FALSE(std::ifstream(dir + "/aaaa.json.tmp.101").is_open());
+    EXPECT_FALSE(std::ifstream(dir + "/bbbb.json.tmp.102").is_open());
+    EXPECT_TRUE(std::ifstream(dir + "/cccc.json").is_open());
+    EXPECT_TRUE(std::ifstream(dir + "/README").is_open());
+}
+
 TEST(SvcServer, MalformedLinesAreCountedNotFatal)
 {
     svc::Server server(testServerConfig("badreq"));

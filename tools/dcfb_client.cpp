@@ -2,7 +2,9 @@
  * @file
  * dcfb-client: CLI for the experiment service daemon.
  *
- *   dcfb-client --socket PATH submit --workload NAME --preset NAME
+ *   dcfb-client --socket PATH [--retry-budget-ms N]
+ *               [--recv-timeout-ms N]
+ *               submit --workload NAME --preset NAME
  *               [--warm N --measure N] [--seed N] [--inject SPEC]
  *               [--deadline-ms N] [--wait]
  *   dcfb-client --socket PATH status JOB
@@ -20,9 +22,13 @@
  * daemon replied "ok":true, 1 when it replied with an error, and 2 on
  * usage/connection problems.  `submit --wait` retries admission
  * rejects with the daemon's retry_after_ms hint and blocks until the
- * result is available.  `metrics` prints the daemon's Prometheus
- * exposition body as text; --watch redraws it every --interval-ms
- * (default 1000) until interrupted, as a live top-style view.
+ * result is available.  The global --retry-budget-ms flag caps the
+ * cumulative time `--wait` spends sleeping on failures (rejects,
+ * reconnects); --recv-timeout-ms bounds each reply wait so a dropped
+ * frame surfaces as a retryable error instead of a hang.  `metrics`
+ * prints the daemon's Prometheus exposition body as text; --watch
+ * redraws it every --interval-ms (default 1000) until interrupted, as
+ * a live top-style view.
  */
 
 #include <chrono>
@@ -42,7 +48,8 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s --socket PATH [--trace-spans FILE] COMMAND ...\n"
+        "usage: %s --socket PATH [--trace-spans FILE] "
+        "[--retry-budget-ms N] [--recv-timeout-ms N] COMMAND ...\n"
         "  submit --workload NAME --preset NAME [--warm N --measure N]\n"
         "         [--seed N] [--inject SPEC] [--deadline-ms N] [--wait]\n"
         "  status JOB | fetch JOB | cancel JOB\n"
@@ -77,6 +84,7 @@ main(int argc, char **argv)
 
     std::string socket_path;
     std::string span_path;
+    svc::RetryPolicy retry_policy;
     int i = 1;
     while (i + 1 < argc) {
         if (std::strcmp(argv[i], "--socket") == 0) {
@@ -84,6 +92,14 @@ main(int argc, char **argv)
             i += 2;
         } else if (std::strcmp(argv[i], "--trace-spans") == 0) {
             span_path = argv[i + 1];
+            i += 2;
+        } else if (std::strcmp(argv[i], "--retry-budget-ms") == 0) {
+            retry_policy.budgetMs =
+                static_cast<std::uint64_t>(std::atoll(argv[i + 1]));
+            i += 2;
+        } else if (std::strcmp(argv[i], "--recv-timeout-ms") == 0) {
+            retry_policy.recvTimeoutMs =
+                static_cast<std::uint64_t>(std::atoll(argv[i + 1]));
             i += 2;
         } else {
             break;
@@ -113,6 +129,7 @@ main(int argc, char **argv)
     }
 
     svc::Client client;
+    client.setRetryPolicy(retry_policy);
     if (auto connected = client.connect(socket_path); !connected.ok()) {
         std::fprintf(stderr, "dcfb-client: %s\n",
                      connected.error().render().c_str());

@@ -6,11 +6,18 @@
  *              [--cache DIR] [--warm N --measure N]
  *              [--retry-after-ms N] [--metrics-interval-ms N]
  *              [--trace-spans FILE]
+ *              [--journal DIR] [--journal-fsync always|rotate|never]
+ *              [--journal-rotate N] [--lease-ms N] [--svc-inject SPEC]
  *
  * Runs until SIGTERM/SIGINT, then drains gracefully: admission stops,
  * every queued and running job finishes and is flushed to the result
  * cache, a final stats snapshot is printed to stdout, and the process
  * exits 0.  EXPERIMENTS.md documents the request protocol.
+ *
+ * With --journal the daemon keeps a write-ahead job journal in DIR and
+ * replays incomplete jobs after a crash (DESIGN.md section 12).
+ * --lease-ms arms the in-flight lease watchdog; --svc-inject perturbs
+ * reply frames and durable writes for chaos testing.
  *
  * The gauge sampler defaults to one sample per second (the `metrics`
  * request serves the ring); --metrics-interval-ms 0 disables it.  With
@@ -45,7 +52,10 @@ usage(const char *argv0)
                  "usage: %s --socket PATH [--jobs N] [--queue N] "
                  "[--cache DIR] [--warm N --measure N] "
                  "[--retry-after-ms N] [--metrics-interval-ms N] "
-                 "[--trace-spans FILE]\n",
+                 "[--trace-spans FILE] [--journal DIR] "
+                 "[--journal-fsync always|rotate|never] "
+                 "[--journal-rotate N] [--lease-ms N] "
+                 "[--svc-inject SPEC]\n",
                  argv0);
     std::exit(2);
 }
@@ -92,7 +102,31 @@ main(int argc, char **argv)
                 static_cast<unsigned>(std::atoi(next()));
         else if (arg == "--trace-spans")
             spanPath = next();
-        else
+        else if (arg == "--journal")
+            config.journalDir = next();
+        else if (arg == "--journal-fsync") {
+            auto policy = svc::parseFsyncPolicy(next());
+            if (!policy.ok()) {
+                std::fprintf(stderr, "dcfb-serve: %s\n",
+                             policy.error().render().c_str());
+                return 2;
+            }
+            config.journalFsync = policy.value();
+        } else if (arg == "--journal-rotate")
+            config.journalRotateEvery =
+                static_cast<std::size_t>(std::atoll(next()));
+        else if (arg == "--lease-ms")
+            config.leaseMs =
+                static_cast<std::uint64_t>(std::atoll(next()));
+        else if (arg == "--svc-inject") {
+            auto plan = rt::parseSvcFaultPlan(next());
+            if (!plan.ok()) {
+                std::fprintf(stderr, "dcfb-serve: %s\n",
+                             plan.error().render().c_str());
+                return 2;
+            }
+            config.svcInjectPlan = plan.value();
+        } else
             usage(argv[0]);
     }
     if (config.socketPath.empty())
