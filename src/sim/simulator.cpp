@@ -111,6 +111,8 @@ trySimulate(const SystemConfig &config, const RunWindows &windows)
             system.step();
             if (system.now() % interval != 0)
                 continue;
+            if (ic.heartbeat)
+                ic.heartbeat();
             if (prof) {
                 obs::PhaseTimer t(system.profPhases,
                                   obs::ProfPhase::Integrity);

@@ -84,7 +84,13 @@ System::System(const SystemConfig &config)
     std::vector<workload::TraceEntry> warm_branches;
     bool decoupled_preset =
         cfg.preset == Preset::Boomerang || cfg.preset == Preset::Shotgun;
+    // The warmup pass can outlast a worker lease on its own, so it
+    // reports liveness at the same cadence the timed windows do.
+    const Cycle hb_interval =
+        cfg.integrity.sweepInterval ? cfg.integrity.sweepInterval : 8192;
     for (std::uint64_t i = 0; i < cfg.functionalWarmInstrs; ++i) {
+        if (cfg.integrity.heartbeat && i % hb_interval == 0)
+            cfg.integrity.heartbeat();
         workload::TraceEntry e = walker->next();
         llc->warmTouch(e.pc, true);
         l1i->warmInsert(e.pc);

@@ -110,6 +110,8 @@ Client::sendAll(const std::string &text)
     while (off < text.size()) {
         ssize_t w = ::send(fd, text.data() + off, text.size() - off,
                            MSG_NOSIGNAL);
+        if (w < 0 && errno == EINTR)
+            continue; // interrupted by a signal, not a dead socket
         if (w <= 0)
             return clientError("send to daemon failed");
         off += static_cast<std::size_t>(w);
@@ -128,6 +130,8 @@ Client::recvLine()
         }
         char buf[4096];
         ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n < 0 && errno == EINTR)
+            continue; // interrupted by a signal; the reply may still come
         if (n <= 0) {
             if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
                 return clientError("daemon reply timed out");

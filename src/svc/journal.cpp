@@ -462,19 +462,18 @@ Journal::append(const JournalRecord &record)
             .with("dir", config.dir);
     }
     std::string line = Journal::encode(record);
-    // Track before writing: a torn admit is re-persisted from the live
-    // set at the next compaction, shrinking the window where it is
-    // only in memory.
-    trackLocked(record);
-    ++counters.recordsAppended;
-    ++segmentRecords;
 
     if (config.inject && config.inject->truncateWrite()) {
         // A torn write: half the line reaches the file, no newline.
-        // From the process's view the write "succeeded" (page cache);
-        // the damage is only observable at the next open(), which
-        // contains it via the crc.  The next append leads with '\n'
-        // so exactly one record is lost, not two.
+        // From the process's view the write "succeeded" (page cache),
+        // so the record still enters the live set and is re-persisted
+        // from there at the next compaction; the damage is only
+        // observable at the next open(), which contains it via the
+        // crc.  The next append leads with '\n' so exactly one record
+        // is lost, not two.
+        trackLocked(record);
+        ++counters.recordsAppended;
+        ++segmentRecords;
         std::string torn = line.substr(0, line.size() / 2);
         if (pendingTornTail)
             torn.insert(torn.begin(), '\n');
@@ -495,6 +494,13 @@ Journal::append(const JournalRecord &record)
     out += '\n';
     if (auto written = writeLineLocked(out); !written.ok())
         return written;
+    // Track only after the write landed: an append whose caller was
+    // told it failed (handleSubmit rejects the submit) must not linger
+    // in the live set, where a later compaction would persist it and a
+    // restart would replay a job the client never saw admitted.
+    trackLocked(record);
+    ++counters.recordsAppended;
+    ++segmentRecords;
 
     // Compact once the segment has accumulated enough retired records
     // to be worth rewriting (a segment that is all live admits would

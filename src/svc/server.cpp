@@ -438,8 +438,17 @@ Server::recoverFromJournal()
         if (key != admit.key) {
             // The config hook or fingerprint schema changed between
             // runs; the recomputed key is authoritative (it is what
-            // the cache and dedup maps use from here on).
+            // the cache and dedup maps use from here on).  Retire the
+            // stale admit with a terminal record: nothing will ever
+            // complete under the old key, so without one it would stay
+            // in the journal's live set forever and replay again on
+            // every subsequent restart.
             cRecoveryKeyMismatch.add();
+            JournalRecord retire;
+            retire.type = JournalRecord::Type::Cancelled;
+            retire.key = admit.key;
+            retire.jobId = admit.jobId;
+            journalAppendLocked(retire);
         }
         auto job = std::make_shared<Job>();
         job->id = "job-" + std::to_string(nextJobId++);
@@ -1115,6 +1124,15 @@ void
 Server::runJob(const std::shared_ptr<Job> &job)
 {
     std::uint64_t gen;
+    // This run's private payload.  A lease reclaim can re-dispatch the
+    // same Job while a stale worker is still simulating, so two runs
+    // may be live at once; each gets its own copy of the config,
+    // windows and fingerprint (taken under the mutex) and never reads
+    // the shared Job's mutable fields again until the terminal
+    // transition, which re-takes the mutex and is generation-gated.
+    sim::SystemConfig runCfg;
+    sim::RunWindows runWindows;
+    obs::JsonValue runFp;
     {
         std::lock_guard<std::mutex> lock(mutex);
         gen = job->generation;
@@ -1149,10 +1167,15 @@ Server::runJob(const std::shared_ptr<Job> &job)
             job->leaseExpiry = now +
                 std::chrono::milliseconds(cfg.leaseMs);
         }
+        runCfg = job->cfg;
+        runWindows = job->windows;
+        runFp = job->fp;
     }
     // The lease is renewed at the phase boundaries this worker crosses
-    // (a heartbeat); a worker wedged inside any phase stops renewing
-    // and the watchdog reclaims its job.
+    // and, via the integrity heartbeat below, at the simulator's sweep
+    // cadence inside the run itself -- so a slow-but-healthy simulation
+    // keeps its lease and only a worker genuinely wedged (no forward
+    // progress at all) stops renewing and is reclaimed.
     auto renewLease = [&] {
         if (!cfg.leaseMs)
             return;
@@ -1178,12 +1201,20 @@ Server::runJob(const std::shared_ptr<Job> &job)
         // Image resolution happens here, not at admission: building a
         // multi-MB program is the expensive part, and the shared
         // ImageCache hands every job of a workload the same immutable
-        // Program.
-        if (!job->cfg.program) {
-            job->cfg.program =
-                workload::ImageCache::global().get(job->cfg.profile);
+        // Program.  Resolved on the run's private copy -- a stale run
+        // mutating the shared Job's config would race a reclaimed
+        // re-run of the same job.
+        if (!runCfg.program) {
+            runCfg.program =
+                workload::ImageCache::global().get(runCfg.profile);
+            renewLease(); // a cold image build can outlast a lease
         }
-        outcome = sim::trySimulate(job->cfg, job->windows);
+        // Mid-simulation liveness: the simulator calls this at its
+        // integrity sweep cadence (functional warmup included), so the
+        // lease stays renewed for as long as the run makes progress.
+        if (cfg.leaseMs)
+            runCfg.integrity.heartbeat = renewLease;
+        outcome = sim::trySimulate(runCfg, runWindows);
     } catch (const rt::Exception &e) {
         outcome = e.error();
     } catch (const std::exception &e) {
@@ -1195,7 +1226,7 @@ Server::runJob(const std::shared_ptr<Job> &job)
         std::optional<obs::SpanScope> putSpan;
         if (obs::Spans::enabled())
             putSpan.emplace("svc.cache_put", job->label);
-        if (auto stored = cache->put(job->key, job->fp, outcome.value());
+        if (auto stored = cache->put(job->key, runFp, outcome.value());
             !stored.ok()) {
             std::fprintf(stderr, "[svc] %s\n",
                          stored.error().render().c_str());

@@ -559,6 +559,24 @@ TEST(SvcRecovery, StaleKeyIsRecomputedAndCounted)
     // duplicate submit would have been deduplicated against it.
     EXPECT_EQ(counterOf(server.statsSnapshot(), "svc.completed"), 1u);
     server.shutdown();
+
+    // The stale admit was retired with a terminal record, not left
+    // behind: the journal's live set is empty, and a second
+    // incarnation replays nothing (without the retirement the old key
+    // would re-run on every restart forever).
+    {
+        svc::Journal journal({config.journalDir});
+        ASSERT_TRUE(journal.open().ok());
+        EXPECT_EQ(journal.stats().liveRecords, 0u);
+    }
+    svc::ServerConfig again = testServerConfig("rekey_b");
+    again.journalDir = config.journalDir;
+    svc::Server second(again);
+    ASSERT_TRUE(second.start().ok());
+    obs::JsonValue restats = second.statsSnapshot();
+    EXPECT_EQ(counterOf(restats, "svc.recovery.replayed"), 0u);
+    EXPECT_EQ(counterOf(restats, "svc.recovery.key_mismatch"), 0u);
+    second.shutdown();
 }
 
 TEST(SvcRecovery, ResubmitAfterCompletionIsAlreadyKnown)
@@ -623,6 +641,80 @@ TEST(SvcLease, WedgedWorkerIsReclaimedAndTheJobStillCompletes)
     EXPECT_GE(counterOf(stats, "svc.lease.stale_completions"), 1u);
     EXPECT_EQ(counterOf(stats, "svc.completed"), 1u);
     EXPECT_EQ(counterOf(stats, "svc.invariant_violations"), 0u);
+    server.shutdown();
+}
+
+TEST(SvcLease, ReclaimedJobRunsConcurrentlyWithItsStaleWorker)
+{
+    // Two pool workers: after the reclaim the stale run and its
+    // replacement really do execute at the same time, so this test
+    // (under TSan) proves the runs share no mutable job state.
+    svc::ServerConfig config = testServerConfig("concurrent");
+    config.jobs = 2;
+    config.leaseMs = 50;
+    config.leaseMaxReclaims = 100;
+    std::atomic<bool> wedged{false};
+    config.runHook = [&](const std::string &) {
+        // Wedge only the first run long enough for the watchdog to
+        // reclaim and the second worker to start simulating; the
+        // wedged worker then wakes and simulates the same job in
+        // parallel with (or after) its replacement.
+        if (!wedged.exchange(true))
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(120));
+    };
+    svc::Server server(config);
+    ASSERT_TRUE(server.start().ok());
+
+    obs::JsonValue reply = server.handleLine(submitLine(73));
+    ASSERT_TRUE(reply.find("ok")->asBool()) << reply.dump();
+    std::string job = reply.find("job")->asString();
+
+    obs::JsonValue status = awaitTerminal(server, job);
+    EXPECT_EQ(status.find("state")->asString(), "done")
+        << status.dump();
+
+    server.requestDrain();
+    server.awaitDrained();
+    obs::JsonValue stats = server.statsSnapshot();
+    EXPECT_GE(counterOf(stats, "svc.lease.reclaimed"), 1u);
+    EXPECT_GE(counterOf(stats, "svc.lease.stale_completions"), 1u);
+    // One observable completion, however many runs raced.
+    EXPECT_EQ(counterOf(stats, "svc.completed"), 1u);
+    server.shutdown();
+}
+
+TEST(SvcLease, HeartbeatKeepsASlowButHealthySimulationAlive)
+{
+    // A lease far shorter than the simulation, and a first missed
+    // lease is fatal: only the mid-simulation heartbeat (renewed at
+    // the integrity sweep cadence, including functional warmup) can
+    // carry this job to completion.
+    svc::ServerConfig config = testServerConfig("heartbeat");
+    config.leaseMs = 10;
+    config.leaseMaxReclaims = 0;
+    config.configHook = [](sim::SystemConfig &cfg) {
+        shrink(cfg);
+        // Enough functional warmup that the run comfortably outlasts
+        // several lease periods.
+        cfg.functionalWarmInstrs = 3000000;
+    };
+    svc::Server server(config);
+    ASSERT_TRUE(server.start().ok());
+
+    obs::JsonValue reply = server.handleLine(submitLine(74));
+    ASSERT_TRUE(reply.find("ok")->asBool()) << reply.dump();
+    obs::JsonValue status =
+        awaitTerminal(server, reply.find("job")->asString());
+    EXPECT_EQ(status.find("state")->asString(), "done")
+        << status.dump();
+
+    server.requestDrain();
+    server.awaitDrained();
+    obs::JsonValue stats = server.statsSnapshot();
+    EXPECT_EQ(counterOf(stats, "svc.lease.reclaimed"), 0u);
+    EXPECT_EQ(counterOf(stats, "svc.lease.expired_failed"), 0u);
+    EXPECT_EQ(counterOf(stats, "svc.completed"), 1u);
     server.shutdown();
 }
 
