@@ -37,6 +37,13 @@
  *                   emit the records as the JSON document's "prof"
  *                   section.  Simulated results are unchanged; see
  *                   DESIGN.md section 10 for the overhead model.
+ *   --generic-step  force the generic (virtual-dispatch) System::step
+ *                   path instead of the preset-specialized one; the
+ *                   two are bit-identical (DESIGN.md section 14), this
+ *                   is a debugging escape hatch.
+ *
+ * The authoritative flag reference is docs/FLAGS.md, generated from
+ * src/cli/flag_docs.cpp (which also feeds --help below).
  *
  * Every `--json` document's "meta" section also records the process's
  * peak RSS and CPU time (peak_rss_bytes, cpu_user_s, cpu_sys_s, from
@@ -56,6 +63,7 @@
 
 #include <sys/resource.h>
 
+#include "cli/flag_docs.h"
 #include "exec/schedule.h"
 #include "obs/json.h"
 #include "obs/profiler.h"
@@ -216,16 +224,18 @@ class Harness
                 std::exit(2);
             };
             if (arg == "--help" || arg == "-h") {
-                std::printf("usage: %s [--json <file>] [--trace <file>] "
-                            "[--trace-spans <file>] [--inject <spec>] "
-                            "[--jobs <n>|auto] [--cache <dir>] "
-                            "[--profile]\n",
-                            argv[0]);
+                // Usage text and docs/FLAGS.md render from one table.
+                std::printf("usage: %s %s\n", argv[0],
+                            cli::usageLine(cli::benchHarnessDocs())
+                                .c_str());
                 std::exit(0);
             } else if (arg == "--profile") {
                 obs::Profiler::setEnabled(true);
                 profileEnabled = true;
                 std::printf("  [profiling enabled]\n");
+            } else if (arg == "--generic-step") {
+                sim::setDefaultGenericStep(true);
+                std::printf("  [generic step path]\n");
             } else if (arg.rfind("--jobs", 0) == 0) {
                 std::string spec = value("--jobs");
                 if (spec == "auto") {

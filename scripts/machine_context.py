@@ -1,0 +1,57 @@
+"""Machine context shared by perf_baseline.py and update_golden.py.
+
+Absolute simulator throughput is machine-sensitive, so every
+dcfb-perf-v1 document records where it was measured: CPU model, core
+count and the cpufreq governor.  perf_baseline.py stamps this into the
+report's meta section; update_golden.py refuses to re-baseline when the
+current machine does not match the committed context (without --force),
+so a laptop run cannot silently replace numbers measured on the
+reference runner.
+"""
+
+import os
+import pathlib
+
+
+def cpu_model():
+    try:
+        with open("/proc/cpuinfo", encoding="utf-8") as f:
+            for line in f:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def governor():
+    path = pathlib.Path(
+        "/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor")
+    try:
+        return path.read_text(encoding="utf-8").strip()
+    except OSError:
+        return "unknown"
+
+
+def collect():
+    """The machine-context dict recorded in dcfb-perf-v1 meta."""
+    return {
+        "cpu_model": cpu_model(),
+        "cores": os.cpu_count() or 0,
+        "governor": governor(),
+    }
+
+
+def diff(recorded, current=None):
+    """List of human-readable mismatches between two contexts."""
+    if not recorded:
+        return []
+    if current is None:
+        current = collect()
+    mismatches = []
+    for key in ("cpu_model", "cores", "governor"):
+        want, have = recorded.get(key), current.get(key)
+        if want is not None and want != have:
+            mismatches.append(f"{key}: recorded {want!r}, this machine "
+                              f"{have!r}")
+    return mismatches

@@ -30,6 +30,8 @@ import subprocess
 import sys
 import tempfile
 
+import machine_context
+
 REPO = pathlib.Path(__file__).resolve().parent.parent
 
 
@@ -86,6 +88,10 @@ def summarize(cells, repeats, bench_name):
         "schema": "dcfb-perf-v1",
         "bench": bench_name,
         "repeats": repeats,
+        # Where these numbers were measured: absolute throughput is
+        # machine-sensitive, so the context travels with the document
+        # and update_golden.py refuses cross-machine re-baselining.
+        "meta": {"machine": machine_context.collect()},
         "presets": presets,
         "total": {
             "cells": len(cells),
@@ -100,6 +106,9 @@ def summarize(cells, repeats, bench_name):
 def compare(report, baseline, gate, advisory):
     """Return process exit code after printing the comparison."""
     failed = []
+    recorded = baseline.get("meta", {}).get("machine")
+    for m in machine_context.diff(recorded):
+        print(f"  [machine-context mismatch] {m}")
     print(f"\nbaseline comparison (gate: -{gate * 100:.0f}%):")
     rows = list(report["presets"].items()) + [("TOTAL", report["total"])]
     base_rows = dict(baseline["presets"])

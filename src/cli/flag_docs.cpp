@@ -1,0 +1,290 @@
+#include "cli/flag_docs.h"
+
+#include <sstream>
+
+#include "svc/client.h"
+#include "svc/server.h"
+
+namespace dcfb::cli {
+
+namespace {
+
+std::string
+num(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+/** The tables are built once; defaults that exist as struct initializers
+ *  (ServerConfig, RetryPolicy) are rendered from a default-constructed
+ *  instance so this file cannot drift from the code. */
+std::vector<BinaryDoc>
+buildDocs()
+{
+    std::vector<BinaryDoc> docs;
+
+    // -- shared bench harness --------------------------------------------
+    BinaryDoc bench;
+    bench.binary = "bench harnesses";
+    bench.synopsis =
+        "fig01_footprint_miss … fig18_btb_sweep, tab01_empty_ftq, "
+        "tab02_storage, sec7j_dvllc [flags]";
+    bench.description =
+        "Every per-figure bench binary routes its arguments through "
+        "`bench::Harness` (bench/bench_common.h) and accepts the same "
+        "flag set.  With no flags a bench prints its text tables and is "
+        "bit-identical to the historical serial runner.";
+    bench.flags = {
+        {"--json", "<file>", "",
+         "also write every reported table plus recorded scalars as one "
+         "dcfb-bench-v1 JSON document", false},
+        {"--trace", "<file>", "",
+         "stream miss-attribution events from every simulated run "
+         "(*.jsonl -> JSONL, else Chrome trace-event format)", false},
+        {"--trace-spans", "<file>", "",
+         "write a span timeline (Chrome trace-event JSON) of the whole "
+         "process: one exec.cell span per simulated cell", false},
+        {"--inject", "<spec>", "off",
+         "seeded fault injection applied to every run, e.g. "
+         "drop:rate=0.5,seed=3 (README \"Robustness\")", false},
+        {"--jobs", "<n>|auto", "auto",
+         "worker threads for experiment sweeps (auto = one per hardware "
+         "thread; --jobs 1 reproduces the serial runner bit for bit)",
+         false},
+        {"--cache", "<dir>", "off",
+         "persistent content-addressed result cache; cells already "
+         "computed under <dir> are served from it", false},
+        {"--profile", "", "off",
+         "time every simulated cell (setup/warm/measure wall split plus "
+         "per-phase cycle-loop attribution) and emit the records as the "
+         "JSON document's \"prof\" section", false},
+        {"--generic-step", "", "off",
+         "force the generic (virtual-dispatch) System::step path instead "
+         "of the preset-specialized one; results are bit-identical "
+         "(DESIGN.md section 14), this is a debugging escape hatch",
+         false},
+    };
+    docs.push_back(std::move(bench));
+
+    // -- dcfb-serve ------------------------------------------------------
+    svc::ServerConfig sc;
+    BinaryDoc serve;
+    serve.binary = "dcfb-serve";
+    serve.synopsis = "dcfb-serve --socket PATH [flags]";
+    serve.description =
+        "The experiment service daemon (DESIGN.md section 9).  Runs "
+        "until SIGTERM/SIGINT, then drains gracefully.  EXPERIMENTS.md "
+        "documents the request protocol.";
+    serve.flags = {
+        {"--socket", "PATH", "", "Unix-domain socket to bind", true},
+        {"--jobs", "N", "auto",
+         "simulation worker threads (0 or absent = one per hardware "
+         "thread)", false},
+        {"--queue", "N", num(sc.queueCapacity),
+         "admission bound: jobs queued before submits are rejected with "
+         "a retry hint", false},
+        {"--cache", "DIR", "off",
+         "persistent result cache shared with the bench --cache flag",
+         false},
+        {"--warm", "N", "150000",
+         "default warmup cycles when a submit names none", false},
+        {"--measure", "N", "150000",
+         "default measured cycles when a submit names none", false},
+        {"--retry-after-ms", "N", num(sc.retryAfterMs),
+         "backpressure hint returned with admission rejects", false},
+        {"--metrics-interval-ms", "N", "1000",
+         "gauge sampler period for the metrics ring (0 disables it)",
+         false},
+        {"--trace-spans", "FILE", "",
+         "record every request, queue wait and job run as spans; the "
+         "Chrome trace-event timeline is written at exit", false},
+        {"--journal", "DIR", "off",
+         "keep a write-ahead job journal in DIR and replay incomplete "
+         "jobs after a crash (DESIGN.md section 12)", false},
+        {"--journal-fsync", "always|rotate|never", "always",
+         "journal durability policy", false},
+        {"--journal-rotate", "N", num(sc.journalRotateEvery),
+         "journal appends per segment before rotation", false},
+        {"--lease-ms", "N", num(sc.leaseMs),
+         "in-flight lease watchdog period (0 = off); a wedged worker's "
+         "job is reclaimed and requeued", false},
+        {"--svc-inject", "SPEC", "off",
+         "perturb reply frames and durable writes for chaos testing",
+         false},
+    };
+    docs.push_back(std::move(serve));
+
+    // -- dcfb-client -----------------------------------------------------
+    svc::RetryPolicy rp;
+    BinaryDoc clientGlobal;
+    clientGlobal.binary = "dcfb-client (global flags)";
+    clientGlobal.synopsis =
+        "dcfb-client --socket PATH [global flags] COMMAND ...";
+    clientGlobal.description =
+        "CLI for the experiment daemon.  Commands: submit, status JOB, "
+        "fetch JOB, cancel JOB, stats, ping, drain, metrics, raw "
+        "'<request json>'.  The reply document is printed to stdout; "
+        "exit status is 0 on \"ok\":true, 1 on a daemon error, 2 on "
+        "usage/connection problems.";
+    clientGlobal.flags = {
+        {"--socket", "PATH", "", "daemon socket to connect to", true},
+        {"--trace-spans", "FILE", "",
+         "record the client side of the request as spans and send the "
+         "IDs along, so the daemon's timeline stitches through this "
+         "invocation", false},
+        {"--retry-budget-ms", "N", num(rp.budgetMs),
+         "cumulative cap on time `submit --wait` spends sleeping on "
+         "failures (0 = unbounded)", false},
+        {"--recv-timeout-ms", "N", num(rp.recvTimeoutMs),
+         "bound each reply wait so a dropped frame surfaces as a "
+         "retryable error instead of a hang (0 = block indefinitely)",
+         false},
+    };
+    docs.push_back(std::move(clientGlobal));
+
+    BinaryDoc submit;
+    submit.binary = "dcfb-client submit";
+    submit.synopsis =
+        "dcfb-client --socket PATH submit --workload NAME --preset NAME "
+        "[flags]";
+    submit.description = "Submit one simulation job to the daemon.";
+    submit.flags = {
+        {"--workload", "NAME", "", "server workload name", true},
+        {"--preset", "NAME", "", "design preset name", true},
+        {"--warm", "N", "daemon default", "warmup cycles", false},
+        {"--measure", "N", "daemon default", "measured cycles", false},
+        {"--seed", "N", "42", "trace-walk seed (\"checkpoint\")", false},
+        {"--inject", "SPEC", "off", "seeded fault-injection spec", false},
+        {"--deadline-ms", "N", "none",
+         "cancel the job if it has not finished in N ms", false},
+        {"--wait", "", "off",
+         "retry admission rejects with the daemon's retry_after_ms hint "
+         "and block until the result is available", false},
+    };
+    docs.push_back(std::move(submit));
+
+    BinaryDoc metrics;
+    metrics.binary = "dcfb-client metrics";
+    metrics.synopsis =
+        "dcfb-client --socket PATH metrics [--watch] [--interval-ms N]";
+    metrics.description =
+        "Print the daemon's Prometheus exposition body as text.";
+    metrics.flags = {
+        {"--watch", "", "off",
+         "redraw the exposition every interval until interrupted, as a "
+         "live top-style view", false},
+        {"--interval-ms", "N", "1000", "redraw period under --watch",
+         false},
+    };
+    docs.push_back(std::move(metrics));
+
+    // -- dcfb-golden -----------------------------------------------------
+    BinaryDoc golden;
+    golden.binary = "dcfb-golden";
+    golden.synopsis = "dcfb-golden [OUTDIR]";
+    golden.description =
+        "Golden-corpus generator: simulates every cell in "
+        "tests/golden_cells.h and writes one RunResult JSON per cell.  "
+        "Run through scripts/update_golden.py, which refuses to "
+        "regenerate over a dirty git tree or a foreign machine context.";
+    golden.flags = {
+        {"OUTDIR", "", "tests/golden", "output directory", false},
+    };
+    docs.push_back(std::move(golden));
+
+    return docs;
+}
+
+} // namespace
+
+const std::vector<BinaryDoc> &
+allBinaryDocs()
+{
+    static const std::vector<BinaryDoc> docs = buildDocs();
+    return docs;
+}
+
+const BinaryDoc &
+benchHarnessDocs()
+{
+    return allBinaryDocs().front();
+}
+
+std::string
+usageLine(const BinaryDoc &doc)
+{
+    std::ostringstream out;
+    bool first = true;
+    for (const auto &f : doc.flags) {
+        if (!first)
+            out << ' ';
+        first = false;
+        if (!f.required)
+            out << '[';
+        out << f.name;
+        if (!f.arg.empty())
+            out << ' ' << f.arg;
+        if (!f.required)
+            out << ']';
+    }
+    return out.str();
+}
+
+namespace {
+
+/** Escape '|' so metavariables like `<n>|auto` survive table cells. */
+std::string
+cell(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '|')
+            out += "\\|";
+        else
+            out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+flagsMarkdown()
+{
+    std::ostringstream out;
+    out << "# Command-line reference\n"
+        << "\n"
+        << "<!-- Generated by dcfb-docgen; do not edit by hand.\n"
+        << "     Regenerate: build/bin/dcfb-docgen --out docs/FLAGS.md\n"
+        << "     CI checks:  build/bin/dcfb-docgen --check docs/FLAGS.md "
+           "-->\n"
+        << "\n"
+        << "Every flag of every user-facing binary, rendered from the "
+           "tables in\n"
+        << "`src/cli/flag_docs.cpp` — the same tables the binaries' own "
+           "`--help`\n"
+        << "output comes from.  See `docs/SCHEMAS.md` for the JSON "
+           "documents the\n"
+        << "`--json` flags emit.\n";
+    for (const auto &doc : allBinaryDocs()) {
+        out << "\n## " << doc.binary << "\n\n"
+            << "```\n" << doc.synopsis << "\n```\n\n"
+            << doc.description << "\n\n"
+            << "| Flag | Argument | Default | Description |\n"
+            << "|---|---|---|---|\n";
+        for (const auto &f : doc.flags) {
+            std::string name = f.name;
+            if (f.required)
+                name += " (required)";
+            out << "| `" << cell(name) << "` | "
+                << (f.arg.empty() ? "—" : "`" + cell(f.arg) + "`")
+                << " | "
+                << (f.def.empty() ? "—" : "`" + cell(f.def) + "`")
+                << " | " << cell(f.help) << " |\n";
+        }
+    }
+    return out.str();
+}
+
+} // namespace dcfb::cli

@@ -19,7 +19,10 @@
 #include <cassert>
 #include <cstddef>
 #include <iterator>
+#include <type_traits>
 #include <vector>
+
+#include "exec/arena.h"
 
 namespace dcfb {
 
@@ -30,8 +33,9 @@ template <typename T>
 class BoundedQueue
 {
   public:
-    explicit BoundedQueue(std::size_t capacity)
-        : cap(capacity), ring(std::bit_ceil(capacity ? capacity : 1)),
+    explicit BoundedQueue(std::size_t capacity, exec::Arena *arena = nullptr)
+        : cap(capacity), ring(std::bit_ceil(capacity ? capacity : 1),
+                              exec::ArenaAlloc<T>(arena)),
           mask(ring.size() - 1)
     {
     }
@@ -60,7 +64,10 @@ class BoundedQueue
     pop()
     {
         assert(count > 0);
-        ring[head] = T{}; // drop payload eagerly (strings, vectors)
+        // Drop owning payloads (strings, vectors) eagerly; trivial
+        // elements are left in place -- the next push overwrites them.
+        if constexpr (!std::is_trivially_destructible_v<T>)
+            ring[head] = T{};
         head = (head + 1) & mask;
         --count;
     }
@@ -135,7 +142,7 @@ class BoundedQueue
 
   private:
     std::size_t cap;
-    std::vector<T> ring;
+    exec::ArenaVector<T> ring;
     std::size_t mask;
     std::size_t head = 0;
     std::size_t count = 0;

@@ -14,11 +14,12 @@
 #ifndef DCFB_CORE_BACKEND_H
 #define DCFB_CORE_BACKEND_H
 
+#include <bit>
 #include <cstdint>
-#include <deque>
 
 #include "common/stats.h"
 #include "common/types.h"
+#include "exec/arena.h"
 #include "isa/encoding.h"
 
 namespace dcfb::core {
@@ -39,15 +40,23 @@ struct BackendConfig
 class Backend
 {
   public:
-    explicit Backend(const BackendConfig &config = BackendConfig{})
-        : cfg(config)
+    explicit Backend(const BackendConfig &config = BackendConfig{},
+                     exec::Arena *arena = nullptr)
+        : cfg(config),
+          rob(std::bit_ceil(std::size_t{config.robEntries ? config.robEntries
+                                                          : 1}),
+              exec::ArenaAlloc<Cycle>(arena)),
+          robMask(rob.size() - 1),
+          cDispatched(statSet.lazy("dispatched")),
+          cRobFullCycles(statSet.lazy("rob_full_cycles")),
+          cSquashes(statSet.lazy("squashes"))
     {}
 
     /** Can another instruction be dispatched this cycle? */
     bool
     canDispatch() const
     {
-        return rob.size() < cfg.robEntries &&
+        return robCount < cfg.robEntries &&
             dispatchedThisCycle < cfg.dispatchWidth;
     }
 
@@ -63,9 +72,10 @@ class Backend
         if (kind == isa::InstrKind::Load && data_ready > 0)
             complete = std::max(complete, data_ready);
         // Stores complete at writeback; the store buffer hides the miss.
-        rob.push_back(complete);
+        rob[(robHead + robCount) & robMask] = complete;
+        ++robCount;
         ++dispatchedThisCycle;
-        statSet.add("dispatched");
+        cDispatched.add();
     }
 
     /**
@@ -77,26 +87,27 @@ class Backend
     {
         dispatchedThisCycle = 0;
         unsigned retired_now = 0;
-        while (!rob.empty() && retired_now < cfg.retireWidth &&
-               rob.front() <= now) {
-            rob.pop_front();
+        while (robCount > 0 && retired_now < cfg.retireWidth &&
+               rob[robHead] <= now) {
+            robHead = (robHead + 1) & robMask;
+            --robCount;
             ++retired_now;
             ++retiredTotal;
         }
-        if (rob.size() >= cfg.robEntries)
-            statSet.add("rob_full_cycles");
+        if (robCount >= cfg.robEntries)
+            cRobFullCycles.add();
     }
 
-    bool robFull() const { return rob.size() >= cfg.robEntries; }
-    bool robEmpty() const { return rob.empty(); }
-    std::size_t robOccupancy() const { return rob.size(); }
+    bool robFull() const { return robCount >= cfg.robEntries; }
+    bool robEmpty() const { return robCount == 0; }
+    std::size_t robOccupancy() const { return robCount; }
     std::uint64_t retired() const { return retiredTotal; }
 
     /** Squash everything younger than retirement (pipeline flush). */
     void
     squash()
     {
-        statSet.add("squashes");
+        cSquashes.add();
     }
 
     const StatSet &stats() const { return statSet; }
@@ -105,10 +116,22 @@ class Backend
 
   private:
     BackendConfig cfg;
-    std::deque<Cycle> rob; //!< in-order completion cycles
+    /** In-order completion cycles as a fixed pow2 ring: the ROB is
+     *  bounded by robEntries, so the previous std::deque's node churn
+     *  bought nothing. */
+    exec::ArenaVector<Cycle> rob;
+    std::size_t robMask;
+    std::size_t robHead = 0;
+    std::size_t robCount = 0;
     unsigned dispatchedThisCycle = 0;
     std::uint64_t retiredTotal = 0;
     StatSet statSet;
+    // Lazily-bound handles preserving key-presence semantics of the
+    // previous string-keyed adds (dispatched fired per instruction --
+    // a string hash on the hottest path in the simulator).
+    obs::LazyCounter cDispatched;
+    obs::LazyCounter cRobFullCycles;
+    obs::LazyCounter cSquashes;
 };
 
 } // namespace dcfb::core

@@ -36,13 +36,23 @@ class Btb
     /**
      * @param entries total entry count (power of two)
      * @param assoc   ways
+     * @param arena   optional cell arena backing the entry array
      */
-    explicit Btb(unsigned entries = 2048, unsigned assoc = 4)
-        : array(entries / assoc, assoc),
+    explicit Btb(unsigned entries = 2048, unsigned assoc = 4,
+                 exec::Arena *arena = nullptr)
+        : array(entries / assoc, assoc, arena),
           cLookups(statSet.lazy("btb_lookups")),
           cHits(statSet.lazy("btb_hits")),
           cMisses(statSet.lazy("btb_misses"))
     {}
+
+    /** Arena bytes an (entries, assoc) geometry wants. */
+    static std::size_t
+    arenaBytes(unsigned entries, unsigned assoc)
+    {
+        return mem::SetAssocCache<BtbEntry>::storageBytes(entries / assoc,
+                                                          assoc);
+    }
 
     /** Look up the branch at @p pc; nullptr on miss.  Counts stats. */
     const BtbEntry *

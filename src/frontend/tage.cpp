@@ -6,17 +6,20 @@
 
 namespace dcfb::frontend {
 
-Tage::Tage(const TageConfig &config)
+Tage::Tage(const TageConfig &config, exec::Arena *arena)
     : cfg(config), base(std::size_t{1} << config.baseEntriesLog2,
-                        SatCounter(2, 2)),
-      useAltOnNa(4, 8), cPredictions(statSet.lazy("tage_predictions")),
+                        SatCounter(2, 2), exec::ArenaAlloc<SatCounter>(arena)),
+      history(exec::ArenaAlloc<std::uint8_t>(arena)), useAltOnNa(4, 8),
+      cPredictions(statSet.lazy("tage_predictions")),
       cCorrect(statSet.lazy("tage_correct")),
       cMispredict(statSet.lazy("tage_mispredict")),
       cAllocations(statSet.lazy("tage_allocations"))
 {
     assert(cfg.numTables >= 2);
     assert(cfg.numTables <= kMaxTageTables);
-    tables.resize(cfg.numTables);
+    tables.resize(cfg.numTables,
+                  exec::ArenaVector<TaggedEntry>(
+                      exec::ArenaAlloc<TaggedEntry>(arena)));
     histLengths.resize(cfg.numTables);
     foldedIndex.resize(cfg.numTables);
     foldedTag0.resize(cfg.numTables);

@@ -21,6 +21,7 @@
 #include "common/sat_counter.h"
 #include "common/stats.h"
 #include "common/types.h"
+#include "exec/arena.h"
 
 namespace dcfb::frontend {
 
@@ -48,7 +49,21 @@ inline constexpr unsigned kMaxTageTables = 16;
 class Tage
 {
   public:
-    explicit Tage(const TageConfig &config = TageConfig{});
+    explicit Tage(const TageConfig &config = TageConfig{},
+                  exec::Arena *arena = nullptr);
+
+    /** Arena bytes this geometry's tables want (base + tagged + ring). */
+    static std::size_t
+    arenaBytes(const TageConfig &config = TageConfig{})
+    {
+        std::size_t bytes =
+            (std::size_t{1} << config.baseEntriesLog2) * sizeof(SatCounter);
+        bytes += std::size_t{config.numTables} *
+            (std::size_t{1} << config.taggedEntriesLog2) *
+            sizeof(TaggedEntry);
+        bytes += std::size_t{config.maxHistory} * 2 + 64;
+        return bytes;
+    }
 
     /** Predict the direction of the conditional branch at @p pc. */
     bool predict(Addr pc);
@@ -122,14 +137,16 @@ class Tage
     }
 
     TageConfig cfg;
-    std::vector<SatCounter> base;
-    std::vector<std::vector<TaggedEntry>> tables;
+    exec::ArenaVector<SatCounter> base;
+    /** Tagged components: outer spine is tiny (heap); the per-component
+     *  entry arrays live in the cell arena. */
+    std::vector<exec::ArenaVector<TaggedEntry>> tables;
     std::vector<unsigned> histLengths;
     std::vector<FoldedHistory> foldedIndex;
     std::vector<FoldedHistory> foldedTag0;
     std::vector<FoldedHistory> foldedTag1;
-    std::vector<std::uint8_t> history; //!< global-history ring, newest
-                                       //!< at histHead (pow2 sized)
+    exec::ArenaVector<std::uint8_t> history; //!< global-history ring,
+                                             //!< newest at histHead
     std::size_t histHead = 0;
     std::size_t histMask = 0;
     SatCounter useAltOnNa;       //!< use-alt-on-newly-allocated policy

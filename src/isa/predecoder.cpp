@@ -83,6 +83,48 @@ Predecoder::predecodeBlock(Addr block_addr) const
     return branches;
 }
 
+std::span<const PredecodedBranch>
+Predecoder::predecodeBlockSpan(Addr block_addr) const
+{
+    if (variableLength)
+        return {};
+    const CachedBlock &e = cachedBlock(block_addr);
+    if (!injector) [[likely]]
+        return {e.branches.data(), e.count};
+    // Injection: perturb a scratch copy so the cached clean decode stays
+    // clean and the RNG draw order matches predecodeBlock() exactly.
+    for (unsigned i = 0; i < e.count; ++i) {
+        scratch[i] = e.branches[i];
+        if (scratch[i].hasTarget)
+            scratch[i].target = injector->corruptTarget(scratch[i].target);
+    }
+    return {scratch.data(), e.count};
+}
+
+bool
+Predecoder::decodeBranchAt(Addr block_addr, unsigned byte_offset,
+                           PredecodedBranch &out) const
+{
+    if (byte_offset >= kBlockBytes)
+        return false;
+    bool found = false;
+    if (!variableLength) {
+        const CachedBlock &e = cachedBlock(block_addr);
+        for (unsigned i = 0; i < e.count; ++i) {
+            if (e.branches[i].byteOffset == byte_offset) {
+                out = e.branches[i];
+                found = true;
+                break;
+            }
+        }
+    } else {
+        found = decodeOne(image, variableLength, block_addr, byte_offset, out);
+    }
+    if (found && injector && out.hasTarget)
+        out.target = injector->corruptTarget(out.target);
+    return found;
+}
+
 std::vector<PredecodedBranch>
 Predecoder::predecodeWithFootprint(
     Addr block_addr, const std::vector<std::uint8_t> &footprint) const

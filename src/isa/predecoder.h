@@ -19,6 +19,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/types.h"
@@ -64,6 +65,24 @@ class Predecoder
      * paper works around); use predecodeWithFootprint() instead.
      */
     std::vector<PredecodedBranch> predecodeBlock(Addr block_addr) const;
+
+    /**
+     * Zero-copy variant of predecodeBlock() for per-cycle callers (BTB
+     * prefill): the returned span aliases the internal block cache (or,
+     * under fault injection, a perturbed scratch copy) and is valid only
+     * until the next Predecoder call.  Decoded contents and injector RNG
+     * draw order are identical to predecodeBlock().
+     */
+    std::span<const PredecodedBranch> predecodeBlockSpan(Addr block_addr) const;
+
+    /**
+     * Single-branch variant of decodeAt() for DisTable replay: writes the
+     * branch record to @p out and returns true only when the bytes at
+     * @p byte_offset decode to a branch.  Identical outcomes (and
+     * injector RNG draw order) to decodeAt().
+     */
+    bool decodeBranchAt(Addr block_addr, unsigned byte_offset,
+                        PredecodedBranch &out) const;
 
     /**
      * Variable-length mode: decode exactly the instructions whose starting
@@ -119,6 +138,8 @@ class Predecoder
     bool variableLength;
     rt::FaultInjector *injector = nullptr;
     mutable std::vector<CachedBlock> cache; //!< sized on first use
+    /** Perturbed copy backing predecodeBlockSpan() under injection. */
+    mutable std::array<PredecodedBranch, kInstrPerBlock> scratch{};
 };
 
 } // namespace dcfb::isa

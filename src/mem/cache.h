@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "exec/arena.h"
 
 namespace dcfb::mem {
 
@@ -49,9 +50,13 @@ class SetAssocCache
     /**
      * @param num_sets number of sets (power of two)
      * @param assoc_   ways per set
+     * @param arena    optional cell arena backing the line array
      */
-    SetAssocCache(unsigned num_sets, unsigned assoc_)
-        : numSets(num_sets), assoc(assoc_), lines(num_sets * assoc_)
+    SetAssocCache(unsigned num_sets, unsigned assoc_,
+                  exec::Arena *arena = nullptr)
+        : numSets(num_sets), assoc(assoc_),
+          lines(std::size_t{num_sets} * assoc_,
+                exec::ArenaAlloc<Line>(arena))
     {
         assert(isPowerOfTwo(num_sets));
         assert(assoc_ > 0);
@@ -59,10 +64,20 @@ class SetAssocCache
 
     /** Build from capacity in bytes (64-byte blocks). */
     static SetAssocCache
-    fromBytes(std::size_t bytes, unsigned assoc_)
+    fromBytes(std::size_t bytes, unsigned assoc_,
+              exec::Arena *arena = nullptr)
     {
         return SetAssocCache(
-            static_cast<unsigned>(bytes / kBlockBytes / assoc_), assoc_);
+            static_cast<unsigned>(bytes / kBlockBytes / assoc_), assoc_,
+            arena);
+    }
+
+    /** Bytes of line-array storage a (sets, ways) geometry needs --
+     *  arena sizing for cells that place the array in a slab. */
+    static std::size_t
+    storageBytes(unsigned num_sets, unsigned assoc_)
+    {
+        return std::size_t{num_sets} * assoc_ * sizeof(Line);
     }
 
     unsigned setIndex(Addr addr) const
@@ -193,7 +208,7 @@ class SetAssocCache
   private:
     unsigned numSets;
     unsigned assoc;
-    std::vector<Line> lines;
+    exec::ArenaVector<Line> lines;
     std::uint64_t tick = 0;
 };
 

@@ -34,24 +34,38 @@ struct L1dConfig
 class L1dCache
 {
   public:
-    L1dCache(const L1dConfig &config, Llc &llc_)
+    L1dCache(const L1dConfig &config, Llc &llc_,
+             exec::Arena *arena = nullptr)
         : cfg(config), llc(llc_),
           array(SetAssocCache<Empty>::fromBytes(config.capacityBytes,
-                                                config.assoc))
+                                                config.assoc, arena)),
+          cAccesses(statSet.lazy("l1d_accesses")),
+          cStores(statSet.lazy("l1d_stores")),
+          cHits(statSet.lazy("l1d_hits")),
+          cMisses(statSet.lazy("l1d_misses"))
     {}
+
+    /** Arena bytes this configuration's line array wants. */
+    static std::size_t
+    arenaBytes(const L1dConfig &config)
+    {
+        auto sets = static_cast<unsigned>(config.capacityBytes /
+                                          kBlockBytes / config.assoc);
+        return SetAssocCache<Empty>::storageBytes(sets, config.assoc);
+    }
 
     /** Access @p addr at @p now; returns the data-ready cycle. */
     Cycle
     access(Addr addr, Cycle now, bool is_store)
     {
-        statSet.add("l1d_accesses");
+        cAccesses.add();
         if (is_store)
-            statSet.add("l1d_stores");
+            cStores.add();
         if (array.lookup(addr)) {
-            statSet.add("l1d_hits");
+            cHits.add();
             return now + cfg.hitLatency;
         }
-        statSet.add("l1d_misses");
+        cMisses.add();
         auto res = llc.access(blockAlign(addr), now + cfg.hitLatency,
                               /*is_instruction=*/false);
         array.insert(addr, Empty{});
@@ -75,8 +89,11 @@ class L1dCache
 
     L1dConfig cfg;
     Llc &llc;
-    SetAssocCache<Empty> array;
     StatSet statSet;
+    SetAssocCache<Empty> array;
+    // Lazily-bound handles preserving the key-presence semantics of the
+    // previous per-access string adds (see obs::LazyCounter).
+    obs::LazyCounter cAccesses, cStores, cHits, cMisses;
 };
 
 } // namespace dcfb::mem

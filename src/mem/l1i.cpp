@@ -20,12 +20,16 @@ missClassOf(bool sequential)
 
 } // namespace
 
-L1iCache::L1iCache(const L1iConfig &config, Llc &llc_)
+L1iCache::L1iCache(const L1iConfig &config, Llc &llc_, exec::Arena *arena)
     : cfg(config), llc(llc_),
       array(SetAssocCache<L1iMeta>::fromBytes(config.capacityBytes,
-                                              config.assoc)),
-      buffer(config.prefetchBufferEntries)
+                                              config.assoc, arena)),
+      buffer(config.prefetchBufferEntries),
+      mshrs(exec::ArenaAlloc<MshrEntry>(arena))
 {
+    // The MSHR file is bounded by cfg.mshrs; reserving it keeps the
+    // entries inside the slab (growth would abandon the old block).
+    mshrs.reserve(cfg.mshrs);
     cLookups = statSet.counter("l1i_lookups");
     cAccesses = statSet.counter("l1i_accesses");
     cWpAccesses = statSet.counter("l1i_wp_accesses");

@@ -6,11 +6,11 @@
 namespace dcfb::mem {
 
 Llc::Llc(const LlcConfig &config, noc::MeshModel &mesh_, MemoryModel &mem_,
-         unsigned core_tile)
+         unsigned core_tile, exec::Arena *arena)
     : cfg(config), mesh(mesh_), memory(mem_), coreTile(core_tile),
       array(SetAssocCache<LineMeta>::fromBytes(config.capacityBytes,
-                                               config.assoc)),
-      bfSets(array.sets())
+                                               config.assoc, arena)),
+      bfSets(array.sets(), exec::ArenaAlloc<BfSet>(arena))
 {
     assert(core_tile < mesh.numTiles());
     assert(cfg.banks <= mesh.numTiles());

@@ -25,6 +25,7 @@
 
 #include "common/stats.h"
 #include "common/types.h"
+#include "exec/arena.h"
 #include "mem/cache.h"
 #include "mem/memory.h"
 #include "noc/mesh.h"
@@ -68,7 +69,18 @@ class Llc
     };
 
     Llc(const LlcConfig &config, noc::MeshModel &mesh_, MemoryModel &mem_,
-        unsigned core_tile);
+        unsigned core_tile, exec::Arena *arena = nullptr);
+
+    /** Arena bytes this configuration's flat tables want (line array +
+     *  per-set BF state); used to size a cell's slab up front. */
+    static std::size_t
+    arenaBytes(const LlcConfig &config)
+    {
+        auto sets = static_cast<unsigned>(config.capacityBytes /
+                                          kBlockBytes / config.assoc);
+        return SetAssocCache<LineMeta>::storageBytes(sets, config.assoc) +
+            sets * sizeof(BfSet);
+    }
 
     /**
      * Fetch the block at @p addr, starting at @p now, on behalf of the
@@ -137,7 +149,7 @@ class Llc
     MemoryModel &memory;
     unsigned coreTile;
     SetAssocCache<LineMeta> array;
-    std::vector<BfSet> bfSets;
+    exec::ArenaVector<BfSet> bfSets;
     std::uint64_t bfTick = 0;
     StatSet statSet;
 };

@@ -16,10 +16,12 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/stats.h"
 #include "common/types.h"
+#include "exec/arena.h"
 #include "isa/encoding.h"
 #include "isa/predecoder.h"
 #include "mem/cache.h"
@@ -59,8 +61,9 @@ class BtbPrefetchBuffer
      * @param entries_ block entries (paper: 32)
      * @param assoc_   associativity (paper: 2-way; Shotgun: fully assoc.)
      */
-    explicit BtbPrefetchBuffer(unsigned entries_ = 32, unsigned assoc_ = 2)
-        : array(entries_ / assoc_, assoc_),
+    explicit BtbPrefetchBuffer(unsigned entries_ = 32, unsigned assoc_ = 2,
+                               exec::Arena *arena = nullptr)
+        : array(entries_ / assoc_, assoc_, arena),
           cInserts(statSet.lazy("btbpb_inserts")),
           cProbes(statSet.lazy("btbpb_probes")),
           cHits(statSet.lazy("btbpb_hits"))
@@ -69,7 +72,7 @@ class BtbPrefetchBuffer
     /** Install the pre-decoded branches of @p block_addr (one access). */
     void
     insertBlock(Addr block_addr,
-                const std::vector<isa::PredecodedBranch> &branches)
+                std::span<const isa::PredecodedBranch> branches)
     {
         cInserts.add();
         BufferedBlock blk;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "exec/arena.h"
 #include "prefetch/prefetcher.h"
 
 namespace dcfb::prefetch {
@@ -26,18 +27,30 @@ namespace dcfb::prefetch {
  * Address-table discontinuity prefetcher, optionally with a next-line
  * companion (the HPCA'05 deployment pairs it with a sequential one).
  */
-class ClassicDiscontinuity : public InstrPrefetcher
+class ClassicDiscontinuity final : public InstrPrefetcher
 {
   public:
     /**
      * @param l1i_     cache to prefetch into
      * @param entries_ direct-mapped table size
      * @param with_nl  also prefetch the next line on every access
+     * @param arena    optional cell arena for the address table
      */
     ClassicDiscontinuity(mem::L1iCache &l1i_, std::size_t entries_ = 4096,
-                         bool with_nl = true)
-        : l1i(l1i_), table(entries_), withNl(with_nl)
+                         bool with_nl = true, exec::Arena *arena = nullptr)
+        : l1i(l1i_), table(entries_, exec::ArenaAlloc<Entry>(arena)),
+          withNl(with_nl),
+          cRecorded(statSet.lazy("cdis_recorded")),
+          cReplayed(statSet.lazy("cdis_replayed")),
+          cIssued(statSet.lazy("cdis_issued"))
     {}
+
+    /** Arena bytes an @p entries_ table wants. */
+    static std::size_t
+    arenaBytes(std::size_t entries_)
+    {
+        return entries_ * sizeof(Entry) + 64;
+    }
 
     std::string name() const override { return "ClassicDis"; }
 
@@ -58,7 +71,7 @@ class ClassicDiscontinuity : public InstrPrefetcher
             Entry &e = table[index(lastBlock)];
             e.trigger = lastBlock;
             e.target = blockAlign(block_addr);
-            statSet.add("cdis_recorded");
+            cRecorded.add();
         }
         lastBlock = blockAlign(block_addr);
     }
@@ -72,10 +85,10 @@ class ClassicDiscontinuity : public InstrPrefetcher
         lastBlock = pending;
         const Entry &e = table[index(pending)];
         if (e.trigger == pending && e.target != kInvalidAddr) {
-            statSet.add("cdis_replayed");
+            cReplayed.add();
             if (l1i.prefetch(e.target, now) ==
                 mem::L1iCache::PfOutcome::Issued) {
-                statSet.add("cdis_issued");
+                cIssued.add();
             }
         }
         if (withNl)
@@ -106,12 +119,15 @@ class ClassicDiscontinuity : public InstrPrefetcher
     }
 
     mem::L1iCache &l1i;
-    std::vector<Entry> table;
+    exec::ArenaVector<Entry> table;
     bool withNl;
     Addr lastBlock = kInvalidAddr;
     Addr pending = 0;
     bool havePending = false;
     StatSet statSet;
+    obs::LazyCounter cRecorded;
+    obs::LazyCounter cReplayed;
+    obs::LazyCounter cIssued;
 };
 
 } // namespace dcfb::prefetch

@@ -3,10 +3,26 @@
 namespace dcfb::prefetch {
 
 ConfluencePrefetcher::ConfluencePrefetcher(mem::L1iCache &l1i_,
-                                           const ConfluenceConfig &config)
-    : l1i(l1i_), cfg(config), history(config.historyEntries, kInvalidAddr),
-      index(config.indexEntries)
+                                           const ConfluenceConfig &config,
+                                           exec::Arena *arena)
+    : l1i(l1i_), cfg(config),
+      history(config.historyEntries, kInvalidAddr,
+              exec::ArenaAlloc<Addr>(arena)),
+      index(config.indexEntries, exec::ArenaAlloc<IndexEntry>(arena)),
+      cRecorded(statSet.lazy("shift_recorded")),
+      cStreamFollows(statSet.lazy("shift_stream_follows")),
+      cIndexMisses(statSet.lazy("shift_index_misses")),
+      cStreamStarts(statSet.lazy("shift_stream_starts")),
+      cStreamOverwritten(statSet.lazy("shift_stream_overwritten")),
+      cIssued(statSet.lazy("shift_issued"))
 {
+}
+
+std::size_t
+ConfluencePrefetcher::arenaBytes(const ConfluenceConfig &config)
+{
+    return config.historyEntries * sizeof(Addr) +
+        config.indexEntries * sizeof(IndexEntry) + 64;
 }
 
 std::uint64_t
@@ -31,7 +47,7 @@ ConfluencePrefetcher::onDemandAccess(Addr block_addr, bool hit)
         ie.position = writePos;
         ++writePos;
         lastRecorded = block;
-        statSet.add("shift_recorded");
+        cRecorded.add();
     }
     // Stream follow: if the access matches the next predicted block,
     // advance the cursor and top up the in-flight window from tick().
@@ -40,7 +56,7 @@ ConfluencePrefetcher::onDemandAccess(Addr block_addr, bool hit)
         if (expected == block) {
             ++streamPos;
             workPending = true;
-            statSet.add("shift_stream_follows");
+            cStreamFollows.add();
         }
     }
 }
@@ -59,12 +75,12 @@ ConfluencePrefetcher::onDemandMiss(Addr block_addr, bool sequential)
         ? ie.prev
         : (ie.blockAddr == block ? ie.position : kNoPosition);
     if (pos == kNoPosition) {
-        statSet.add("shift_index_misses");
+        cIndexMisses.add();
         streaming = false;
         return;
     }
     // (Re)start the stream right after the trigger's recorded position.
-    statSet.add("shift_stream_starts");
+    cStreamStarts.add();
     streaming = true;
     streamPos = pos + 1;
     issuedUpTo = pos;
@@ -82,7 +98,7 @@ ConfluencePrefetcher::issueAhead(Cycle now)
     if (issuedUpTo + 1 + history.size() < writePos + 1) {
         // Our cursor was overwritten by newer history: abandon.
         streaming = false;
-        statSet.add("shift_stream_overwritten");
+        cStreamOverwritten.add();
         return;
     }
     unsigned issued_now = 0;
@@ -94,7 +110,7 @@ ConfluencePrefetcher::issueAhead(Cycle now)
             continue;
         auto out = l1i.prefetch(candidate, now);
         if (out == mem::L1iCache::PfOutcome::Issued)
-            statSet.add("shift_issued");
+            cIssued.add();
         ++issued_now;
     }
 }

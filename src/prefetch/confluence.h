@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "exec/arena.h"
 #include "prefetch/prefetcher.h"
 
 namespace dcfb::prefetch {
@@ -36,11 +37,15 @@ struct ConfluenceConfig
 /**
  * SHIFT-style temporal stream prefetcher.
  */
-class ConfluencePrefetcher : public InstrPrefetcher
+class ConfluencePrefetcher final : public InstrPrefetcher
 {
   public:
     ConfluencePrefetcher(mem::L1iCache &l1i_,
-                         const ConfluenceConfig &config = ConfluenceConfig{});
+                         const ConfluenceConfig &config = ConfluenceConfig{},
+                         exec::Arena *arena = nullptr);
+
+    /** Arena bytes this configuration's history and index want. */
+    static std::size_t arenaBytes(const ConfluenceConfig &config);
 
     std::string name() const override { return "Confluence"; }
     void tick(Cycle now) override;
@@ -68,9 +73,9 @@ class ConfluencePrefetcher : public InstrPrefetcher
 
     mem::L1iCache &l1i;
     ConfluenceConfig cfg;
-    std::vector<Addr> history;      //!< circular, absolute positions
+    exec::ArenaVector<Addr> history; //!< circular, absolute positions
     std::uint64_t writePos = 0;
-    std::vector<IndexEntry> index;
+    exec::ArenaVector<IndexEntry> index;
     Addr lastRecorded = kInvalidAddr;
 
     bool streaming = false;
@@ -79,6 +84,9 @@ class ConfluencePrefetcher : public InstrPrefetcher
     Cycle pendingTick = 0;
     bool workPending = false;
     StatSet statSet;
+    // Lazily-bound per-event counters (see obs::LazyCounter).
+    obs::LazyCounter cRecorded, cStreamFollows, cIndexMisses, cStreamStarts,
+        cStreamOverwritten, cIssued;
 };
 
 } // namespace dcfb::prefetch

@@ -25,6 +25,7 @@
 
 #include "common/stats.h"
 #include "common/types.h"
+#include "exec/arena.h"
 
 namespace dcfb::prefetch {
 
@@ -49,9 +50,11 @@ struct DisTableConfig
 class DisTable
 {
   public:
-    explicit DisTable(const DisTableConfig &config = DisTableConfig{})
+    explicit DisTable(const DisTableConfig &config = DisTableConfig{},
+                      exec::Arena *arena = nullptr)
         : cfg(config),
-          table(cfg.entries ? cfg.entries : 0),
+          table(cfg.entries ? cfg.entries : 0,
+                exec::ArenaAlloc<Entry>(arena)),
           cRecords(statSet.lazy("distable_records")),
           cLookups(statSet.lazy("distable_lookups"))
     {
@@ -108,6 +111,13 @@ class DisTable
 
     bool unlimited() const { return cfg.entries == 0; }
 
+    /** Arena bytes this configuration's table wants. */
+    static std::size_t
+    arenaBytes(const DisTableConfig &config)
+    {
+        return config.entries * sizeof(Entry);
+    }
+
     /** Storage: offset bits + tag bits per entry (paper: 4+4 = 1 B for
      *  FL, 6+4 = 10 bits for VL, Section V.D). */
     std::uint64_t
@@ -156,7 +166,7 @@ class DisTable
     }
 
     DisTableConfig cfg;
-    std::vector<Entry> table;
+    exec::ArenaVector<Entry> table;
     std::unordered_map<Addr, std::uint8_t> dedicated;
     std::optional<unsigned> tagShift; //!< set when entries is pow2
     mutable StatSet statSet;

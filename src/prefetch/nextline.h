@@ -19,7 +19,7 @@ namespace dcfb::prefetch {
 /**
  * NXL prefetcher with configurable depth.
  */
-class NextLinePrefetcher : public InstrPrefetcher
+class NextLinePrefetcher final : public InstrPrefetcher
 {
   public:
     /**
@@ -27,7 +27,7 @@ class NextLinePrefetcher : public InstrPrefetcher
      * @param depth X in next-X-line (1 = classic NL)
      */
     NextLinePrefetcher(mem::L1iCache &l1i_, unsigned depth_)
-        : l1i(l1i_), depth(depth_)
+        : l1i(l1i_), depth(depth_), cIssued(statSet.lazy("nxl_issued"))
     {}
 
     std::string
@@ -54,7 +54,7 @@ class NextLinePrefetcher : public InstrPrefetcher
             Addr candidate = pending + Addr{i} * kBlockBytes;
             auto out = l1i.prefetch(candidate, now);
             if (out == mem::L1iCache::PfOutcome::Issued)
-                statSet.add("nxl_issued");
+                cIssued.add();
         }
     }
 
@@ -66,6 +66,7 @@ class NextLinePrefetcher : public InstrPrefetcher
     Addr pending = 0;
     bool havePending = false;
     StatSet statSet;
+    obs::LazyCounter cIssued;
 };
 
 } // namespace dcfb::prefetch

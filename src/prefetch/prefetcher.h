@@ -63,7 +63,7 @@ class InstrPrefetcher : public mem::L1iListener
 };
 
 /** A prefetcher that never prefetches (the baseline). */
-class NullPrefetcher : public InstrPrefetcher
+class NullPrefetcher final : public InstrPrefetcher
 {
   public:
     std::string name() const override { return "baseline"; }

@@ -17,6 +17,7 @@
 
 #include "common/stats.h"
 #include "common/types.h"
+#include "exec/arena.h"
 
 namespace dcfb::prefetch {
 
@@ -27,8 +28,10 @@ class Rlu
 {
   public:
     /** @param entries_ filter size; 0 disables filtering entirely. */
-    explicit Rlu(std::size_t entries_ = 8)
-        : ring(entries_, kInvalidAddr)
+    explicit Rlu(std::size_t entries_ = 8, exec::Arena *arena = nullptr)
+        : ring(entries_, kInvalidAddr, exec::ArenaAlloc<Addr>(arena)),
+          cChecks(statSet.lazy("rlu_checks")),
+          cHits(statSet.lazy("rlu_hits"))
     {}
 
     /** Record a lookup of @p block_addr. */
@@ -48,9 +51,9 @@ class Rlu
     bool
     contains(Addr block_addr)
     {
-        statSet.add("rlu_checks");
+        cChecks.add();
         if (containsNoStat(blockAlign(block_addr))) {
-            statSet.add("rlu_hits");
+            cHits.add();
             return true;
         }
         return false;
@@ -74,9 +77,13 @@ class Rlu
         return false;
     }
 
-    std::vector<Addr> ring;
+    exec::ArenaVector<Addr> ring;
     std::size_t head = 0;
     StatSet statSet;
+    // Lazily-bound handles preserving the key-presence semantics of the
+    // previous per-check string adds (see obs::LazyCounter).
+    obs::LazyCounter cChecks;
+    obs::LazyCounter cHits;
 };
 
 } // namespace dcfb::prefetch

@@ -19,6 +19,7 @@
 
 #include "common/stats.h"
 #include "common/types.h"
+#include "exec/arena.h"
 
 namespace dcfb::prefetch {
 
@@ -32,12 +33,23 @@ class SeqTable
      * @param entries_ table size (power of two); 0 = unlimited (one
      *                 dedicated entry per block, the Fig. 11 reference)
      */
-    explicit SeqTable(std::size_t entries_ = 16 * 1024)
-        : entries(entries_), bits(entries_ ? entries_ : 0, true),
-          owners(entries_ ? entries_ : 0, kInvalidAddr),
+    explicit SeqTable(std::size_t entries_ = 16 * 1024,
+                      exec::Arena *arena = nullptr)
+        : entries(entries_),
+          bits(entries_ ? entries_ : 0, true,
+               exec::ArenaAlloc<bool>(arena)),
+          owners(entries_ ? entries_ : 0, kInvalidAddr,
+                 exec::ArenaAlloc<Addr>(arena)),
           cConflicts(statSet.lazy("seqtable_conflicts")),
           cWrites(statSet.lazy("seqtable_writes"))
     {}
+
+    /** Arena bytes an @p entries_ table wants (bit table + owners). */
+    static std::size_t
+    arenaBytes(std::size_t entries_)
+    {
+        return entries_ / 8 + entries_ * sizeof(Addr) + 64;
+    }
 
     /** Read the prefetch-status bit for @p block_addr. */
     bool
@@ -104,10 +116,10 @@ class SeqTable
     }
 
     std::size_t entries;
-    std::vector<bool> bits;
+    std::vector<bool, exec::ArenaAlloc<bool>> bits;
     std::unordered_map<Addr, bool> dedicated; //!< unlimited mode
     StatSet statSet;
-    std::vector<Addr> owners; //!< last writer per entry (stats only)
+    exec::ArenaVector<Addr> owners; //!< last writer per entry (stats only)
     obs::LazyCounter cConflicts;
     obs::LazyCounter cWrites;
 };

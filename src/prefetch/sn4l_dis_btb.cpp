@@ -1,6 +1,7 @@
 #include "prefetch/sn4l_dis_btb.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "rt/faults.h"
 #include "rt/invariants.h"
@@ -9,13 +10,14 @@ namespace dcfb::prefetch {
 
 Sn4lDisBtb::Sn4lDisBtb(mem::L1iCache &l1i_,
                        const isa::Predecoder &predecoder,
-                       frontend::Btb *btb_, const Sn4lDisBtbConfig &config)
+                       frontend::Btb *btb_, const Sn4lDisBtbConfig &config,
+                       exec::Arena *arena)
     : l1i(l1i_), pd(predecoder), btb(btb_), cfg(config),
-      seq(config.seqTableEntries), dis(config.disTable),
-      rluFilter(config.rluEntries),
-      btbPb(config.btbPbEntries, config.btbPbAssoc),
-      seqQueue(config.queueEntries), disQueue(config.queueEntries),
-      rluQueue(config.queueEntries)
+      seq(config.seqTableEntries, arena), dis(config.disTable, arena),
+      rluFilter(config.rluEntries, arena),
+      btbPb(config.btbPbEntries, config.btbPbAssoc, arena),
+      seqQueue(config.queueEntries, arena), disQueue(config.queueEntries, arena),
+      rluQueue(config.queueEntries, arena)
 {
     cLocalStatusHits = statSet.counter("local_status_hits");
     cLocalStatusFills = statSet.counter("local_status_fills");
@@ -36,6 +38,21 @@ Sn4lDisBtb::Sn4lDisBtb(mem::L1iCache &l1i_,
     cDisCandidates = statSet.lazy("dis_candidates");
     cPrefillNoFootprint = statSet.lazy("btb_prefill_no_footprint");
     cPrefillBlocks = statSet.lazy("btb_prefill_blocks");
+}
+
+std::size_t
+Sn4lDisBtb::arenaBytes(const Sn4lDisBtbConfig &config)
+{
+    // Tables plus the cache-array backing of the BTB prefetch buffer and
+    // the three trigger rings (BoundedQueue rounds up to a power of two).
+    std::size_t queue_slots = std::bit_ceil(
+        std::size_t{config.queueEntries ? config.queueEntries : 1});
+    return SeqTable::arenaBytes(config.seqTableEntries) +
+        DisTable::arenaBytes(config.disTable) +
+        config.rluEntries * sizeof(Addr) +
+        mem::SetAssocCache<BufferedBlock>::storageBytes(
+               config.btbPbEntries / config.btbPbAssoc, config.btbPbAssoc) +
+        3 * queue_slots * (sizeof(Addr) + sizeof(unsigned)) + 256;
 }
 
 std::string
@@ -215,13 +232,12 @@ Sn4lDisBtb::processDis(const Trigger &t, Cycle now)
     unsigned byte_offset = dis.config().byteOffsets
         ? *offset
         : *offset * kInstrBytes;
-    auto hits = pd.decodeAt(t.blockAddr, byte_offset);
-    if (hits.empty()) {
+    isa::PredecodedBranch br;
+    if (!pd.decodeBranchAt(t.blockAddr, byte_offset, br)) {
         // Stale or aliased entry: the instruction there is not a branch.
         cDisNotBranch.add();
         return;
     }
-    const auto &br = hits.front();
     Addr target = kInvalidAddr;
     if (br.hasTarget) {
         target = br.target;
@@ -241,19 +257,24 @@ Sn4lDisBtb::processDis(const Trigger &t, Cycle now)
 void
 Sn4lDisBtb::prefillBtb(Addr block_addr)
 {
-    std::vector<isa::PredecodedBranch> branches;
     if (pd.isVariableLength()) {
         // VL-ISA: the pre-decoder needs the branch footprint fetched
         // with the block from the DV-LLC.
-        if (const auto *bf = l1i.footprintFor(block_addr)) {
-            branches = pd.predecodeWithFootprint(block_addr, bf->offsets);
-        } else {
+        const auto *bf = l1i.footprintFor(block_addr);
+        if (!bf) {
             cPrefillNoFootprint.add();
             return;
         }
-    } else {
-        branches = pd.predecodeBlock(block_addr);
+        auto branches = pd.predecodeWithFootprint(block_addr, bf->offsets);
+        if (!branches.empty()) {
+            btbPb.insertBlock(block_addr, branches);
+            cPrefillBlocks.add();
+        }
+        return;
     }
+    // FL-ISA hot path: a zero-copy span over the pre-decoder's block
+    // cache (no per-call vector).
+    auto branches = pd.predecodeBlockSpan(block_addr);
     if (!branches.empty()) {
         btbPb.insertBlock(block_addr, branches);
         cPrefillBlocks.add();

@@ -76,7 +76,7 @@ struct Sn4lDisBtbConfig
 /**
  * The SN4L+Dis+BTB prefetcher.
  */
-class Sn4lDisBtb : public InstrPrefetcher
+class Sn4lDisBtb final : public InstrPrefetcher
 {
   public:
     /**
@@ -85,10 +85,15 @@ class Sn4lDisBtb : public InstrPrefetcher
      * @param btb_       core BTB, consulted for indirect Dis targets
      *                   (may be nullptr)
      * @param config     engine configuration
+     * @param arena      optional cell arena for the metadata tables
      */
     Sn4lDisBtb(mem::L1iCache &l1i_, const isa::Predecoder &predecoder,
                frontend::Btb *btb_,
-               const Sn4lDisBtbConfig &config = Sn4lDisBtbConfig{});
+               const Sn4lDisBtbConfig &config = Sn4lDisBtbConfig{},
+               exec::Arena *arena = nullptr);
+
+    /** Arena bytes this configuration's tables and queues want. */
+    static std::size_t arenaBytes(const Sn4lDisBtbConfig &config);
 
     std::string name() const override;
     void tick(Cycle now) override;

@@ -105,6 +105,15 @@ struct SystemConfig
      *  BTB, branch predictor); this pass reproduces that before the
      *  timed warm window. */
     std::uint64_t functionalWarmInstrs = 2000000;
+
+    /**
+     * Force the generic (virtual-dispatch) step path instead of the
+     * preset-specialized one.  The two paths execute identical
+     * statements and must produce bit-identical RunResults; this switch
+     * exists for the dispatch-equivalence tests and as a debugging
+     * escape hatch (`--generic-step` on the benches).
+     */
+    bool genericStep = false;
 };
 
 /** A config with the preset's structures sized per Section VI.D. */
@@ -119,6 +128,14 @@ SystemConfig makeConfig(const workload::WorkloadProfile &profile,
  */
 void setDefaultFaultPlan(const rt::FaultPlan &plan);
 const rt::FaultPlan &defaultFaultPlan();
+
+/**
+ * Process-wide default for SystemConfig::genericStep, stamped into
+ * every makeConfig() result.  The bench harness sets this from
+ * `--generic-step`; results must be bit-identical either way.
+ */
+void setDefaultGenericStep(bool generic);
+bool defaultGenericStep();
 
 } // namespace dcfb::sim
 

@@ -20,10 +20,10 @@ DecoupledFetchEngine::DecoupledFetchEngine(
     const FetchConfig &config, Kind kind_, workload::TraceWalker &walker_,
     mem::L1iCache &l1i_, frontend::Tage &tage_,
     const isa::Predecoder &predecoder, unsigned boomerang_btb_entries,
-    const frontend::ShotgunBtbConfig &shotgun_cfg)
-    : FetchEngine(config), kind(kind_), walker(walker_), l1i(l1i_),
+    const frontend::ShotgunBtbConfig &shotgun_cfg, exec::Arena *arena)
+    : FetchEngine(config, arena), kind(kind_), walker(walker_), l1i(l1i_),
       tage(tage_), pd(predecoder), bbtb(boomerang_btb_entries, 4),
-      sgBtb(shotgun_cfg), btbPb(32, 32), ftq(config.ftqEntries)
+      sgBtb(shotgun_cfg), btbPb(32, 32, arena), ftq(config.ftqEntries)
 {
     cFetched = statSet.counter("fe_fetched");
     cIcacheStallCycles = statSet.counter("fe_icache_stall_cycles");

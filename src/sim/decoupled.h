@@ -44,7 +44,7 @@ namespace dcfb::sim {
 /**
  * BTB-directed frontend (Boomerang / Shotgun).
  */
-class DecoupledFetchEngine : public FetchEngine, public mem::L1iListener
+class DecoupledFetchEngine final : public FetchEngine, public mem::L1iListener
 {
   public:
     enum class Kind { Boomerang, Shotgun };
@@ -54,7 +54,8 @@ class DecoupledFetchEngine : public FetchEngine, public mem::L1iListener
                          frontend::Tage &tage,
                          const isa::Predecoder &predecoder,
                          unsigned boomerang_btb_entries,
-                         const frontend::ShotgunBtbConfig &shotgun_cfg);
+                         const frontend::ShotgunBtbConfig &shotgun_cfg,
+                         exec::Arena *arena = nullptr);
 
     void cycle(Cycle now) override;
     StallReason stallReason(Cycle now) const override;

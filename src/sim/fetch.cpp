@@ -1,276 +1,10 @@
 #include "sim/fetch.h"
 
-#include "obs/trace.h"
-#include "prefetch/btb_prefetch_buffer.h"
-
 namespace dcfb::sim {
 
-using isa::InstrKind;
-using workload::TraceEntry;
-
-CoupledFetchEngine::CoupledFetchEngine(
-    const FetchConfig &config, workload::TraceWalker &walker_,
-    mem::L1iCache &l1i_, frontend::Btb &btb_, frontend::Tage &tage_,
-    const workload::ProgramImage &image_,
-    prefetch::InstrPrefetcher &prefetcher)
-    : FetchEngine(config), walker(walker_), l1i(l1i_), btb(btb_),
-      tage(tage_), image(image_), pf(prefetcher)
-{
-    cFetched = statSet.counter("fe_fetched");
-    cIcacheStallCycles = statSet.counter("fe_icache_stall_cycles");
-    cBtbStallCycles = statSet.counter("fe_btb_stall_cycles");
-    cMispredictStallCycles = statSet.counter("fe_mispredict_stall_cycles");
-    cWrongPathBlocks = statSet.counter("fe_wrong_path_blocks");
-    hBufferOcc = statSet.histogram("fetch_buffer_occ");
-    cBtbRedirects = statSet.lazy("fe_btb_redirects");
-    cMispredictRedirects = statSet.lazy("fe_mispredict_redirects");
-    cBtbBufferFills = statSet.lazy("fe_btb_buffer_fills");
-    cBtbMissTaken = statSet.lazy("fe_btb_miss_taken");
-    cBtbMissNotTaken = statSet.lazy("fe_btb_miss_not_taken");
-    cCondMispredicts = statSet.lazy("fe_cond_mispredicts");
-    cStaleTarget = statSet.lazy("fe_stale_target");
-    cIndirectMispredicts = statSet.lazy("fe_indirect_mispredicts");
-    cRasMispredicts = statSet.lazy("fe_ras_mispredicts");
-    refill();
-}
-
-void
-CoupledFetchEngine::refill()
-{
-    while (!look.full())
-        look.push(walker.next());
-}
-
-StallReason
-CoupledFetchEngine::stallReason(Cycle now) const
-{
-    if (blockedOnFill && now < fillReady)
-        return StallReason::ICacheMiss;
-    if (now < redirectUntil)
-        return redirectReason;
-    return StallReason::FetchPipe;
-}
-
-void
-CoupledFetchEngine::redirect(Cycle now, Cycle penalty, Addr wrong_path_pc,
-                             StallReason reason)
-{
-    redirectUntil = now + penalty;
-    redirectReason = reason;
-    wrongPathPc = wrong_path_pc;
-    wrongPathBlock = kInvalidAddr;
-    (reason == StallReason::BtbMissRedirect ? cBtbRedirects
-                                            : cMispredictRedirects)
-        .add();
-}
-
-void
-CoupledFetchEngine::wrongPathFetch(Cycle now)
-{
-    // The frontend keeps fetching down the wrong path until the squash.
-    // We model up to one new block touched per cycle; wrong-path
-    // accesses really hit the cache/MSHRs (pollution and, at times,
-    // accidental prefetching - both real effects).
-    if (wrongPathPc == kInvalidAddr)
-        return;
-    if (!image.contains(wrongPathPc)) {
-        wrongPathPc = kInvalidAddr; // ran off mapped code
-        return;
-    }
-    Addr block = blockAlign(wrongPathPc);
-    if (block != wrongPathBlock) {
-        wrongPathBlock = block;
-        l1i.demandAccess(wrongPathPc, now, /*wrong_path=*/true);
-        cWrongPathBlocks.add();
-    }
-    wrongPathPc += cfg.fetchWidth * kInstrBytes;
-}
-
-bool
-CoupledFetchEngine::handleBranch(const TraceEntry &e, Cycle now)
-{
-    // Direction prediction for conditionals.
-    bool predicted_taken = true;
-    if (e.kind == InstrKind::CondBranch) {
-        // Note: perfectBtb only removes BTB misses; direction prediction
-        // still comes from TAGE (Fig. 17's BTB-infinity is a 32 K-entry
-        // BTB, not an oracle).
-        predicted_taken = tage.predict(e.pc);
-        tage.update(e.pc, e.taken);
-    } else {
-        tage.updateHistoryUnconditional(e.pc);
-    }
-
-    // RAS maintenance.
-    Addr ras_target = kInvalidAddr;
-    if (e.kind == InstrKind::Call || e.kind == InstrKind::IndirectCall)
-        ras.push(e.pc + e.len);
-    else if (e.kind == InstrKind::Return)
-        ras_target = ras.pop();
-
-    // BTB: identifies the branch and provides the target.
-    const frontend::BtbEntry *entry = nullptr;
-    frontend::BtbEntry from_buffer;
-    if (cfg.perfectBtb) {
-        from_buffer = {e.target, e.kind};
-        entry = &from_buffer;
-    } else {
-        entry = btb.lookup(e.pc);
-        if (!entry) {
-            // Probe the BTB prefetch buffer (Section V.C): a hit moves
-            // the entry into the BTB and avoids the miss.
-            if (auto *pb = pf.btbPrefetchBuffer()) {
-                if (const auto *b = pb->findBranch(e.pc)) {
-                    btb.update(e.pc, b->hasTarget ? b->target : e.target,
-                               b->kind);
-                    from_buffer = {b->hasTarget ? b->target : e.target,
-                                   b->kind};
-                    entry = &from_buffer;
-                    cBtbBufferFills.add();
-                    if (obs::Tracing::enabled()) {
-                        obs::Tracing::record("btb", now, e.pc,
-                                             obs::MissClass::Btb,
-                                             obs::MissOutcome::Covered);
-                    }
-                }
-            }
-        }
-    }
-
-    if (!entry) {
-        // The frontend does not know this is a branch.  Fall-through
-        // fetch is accidentally correct for a not-taken conditional;
-        // anything taken costs a decode-time redirect.
-        if (e.taken) {
-            cBtbMissTaken.add();
-            if (obs::Tracing::enabled()) {
-                obs::Tracing::record("btb", now, e.pc, obs::MissClass::Btb,
-                                     obs::MissOutcome::Uncovered);
-            }
-            redirect(now, cfg.decodeRedirectPenalty, e.pc + e.len,
-                     StallReason::BtbMissRedirect);
-            btb.update(e.pc, e.target, e.kind);
-            return true;
-        }
-        cBtbMissNotTaken.add();
-        btb.update(e.pc, e.target, e.kind);
-        return false;
-    }
-
-    // Known branch: check the predicted direction and target.
-    switch (e.kind) {
-      case InstrKind::CondBranch:
-        if (predicted_taken != e.taken) {
-            cCondMispredicts.add();
-            Addr wrong = predicted_taken ? entry->target : e.pc + e.len;
-            redirect(now, cfg.execRedirectPenalty, wrong,
-                     StallReason::MispredictRedirect);
-            btb.update(e.pc, e.target, e.kind);
-            return true;
-        }
-        if (e.taken && entry->target != e.target) {
-            cStaleTarget.add();
-            redirect(now, cfg.execRedirectPenalty, entry->target,
-                     StallReason::MispredictRedirect);
-            btb.update(e.pc, e.target, e.kind);
-            return true;
-        }
-        return e.taken;
-      case InstrKind::Jump:
-      case InstrKind::Call:
-        if (entry->target != e.target) {
-            cStaleTarget.add();
-            redirect(now, cfg.decodeRedirectPenalty, entry->target,
-                     StallReason::MispredictRedirect);
-            btb.update(e.pc, e.target, e.kind);
-            return true;
-        }
-        return true;
-      case InstrKind::IndirectCall:
-        if (entry->target != e.target) {
-            cIndirectMispredicts.add();
-            redirect(now, cfg.execRedirectPenalty, entry->target,
-                     StallReason::MispredictRedirect);
-            btb.update(e.pc, e.target, e.kind);
-            return true;
-        }
-        return true;
-      case InstrKind::Return:
-        if (ras_target != e.target) {
-            cRasMispredicts.add();
-            redirect(now, cfg.execRedirectPenalty,
-                     ras_target == kInvalidAddr ? e.pc + e.len : ras_target,
-                     StallReason::MispredictRedirect);
-            return true;
-        }
-        return true;
-      default:
-        return false;
-    }
-}
-
-void
-CoupledFetchEngine::cycle(Cycle now)
-{
-    refill();
-    hBufferOcc.sample(fetchBuffer.size());
-
-    if (blockedOnFill) {
-        if (now < fillReady) {
-            cIcacheStallCycles.add();
-            return;
-        }
-        blockedOnFill = false;
-    }
-
-    if (now < redirectUntil) {
-        (redirectReason == StallReason::BtbMissRedirect
-             ? cBtbStallCycles
-             : cMispredictStallCycles)
-            .add();
-        wrongPathFetch(now);
-        return;
-    }
-
-    unsigned budget = cfg.fetchWidth;
-    while (budget > 0 && fetchBuffer.size() < cfg.fetchBufferEntries) {
-        // Copy: pop_front() below invalidates references into the queue,
-        // and e is still needed for the branch handling afterwards.
-        const TraceEntry e = look.front();
-
-        // Block transition: access the I-cache (VL instructions may
-        // straddle two blocks; both must be present).
-        Addr first = blockAlign(e.pc);
-        Addr last = blockAlign(e.pc + e.len - 1);
-        for (Addr block = first; block <= last; block += kBlockBytes) {
-            if (block == currentBlock)
-                continue;
-            if (cfg.perfectL1i) {
-                currentBlock = block;
-                continue;
-            }
-            auto res = l1i.demandAccess(block, now);
-            currentBlock = block;
-            if (!res.hit) {
-                blockedOnFill = true;
-                fillReady = res.ready;
-                cIcacheStallCycles.add();
-                return;
-            }
-        }
-
-        fetchBuffer.push({e, now + cfg.frontendStages});
-        pf.onFetchInstr({e.pc, e.len, e.kind, e.taken, e.target}, now);
-        look.pop();
-        --budget;
-        cFetched.add();
-
-        if (e.isBranch()) {
-            bool stop = handleBranch(e, now);
-            if (stop)
-                break;
-        }
-    }
-}
+// The generic engine is instantiated here once; specialized
+// instantiations (one per preset family) live with their selection
+// logic in system.cpp.
+template class CoupledFetchEngineT<prefetch::InstrPrefetcher>;
 
 } // namespace dcfb::sim

@@ -4,12 +4,23 @@
  *
  * Two frontend organizations are modeled:
  *
- *  - **CoupledFetchEngine**: the conventional frontend used by the
+ *  - **CoupledFetchEngineT**: the conventional frontend used by the
  *    baseline, the NXL family, SN4L+Dis+BTB and Confluence.  Fetch
  *    follows the predicted stream; on a BTB miss for a taken branch or a
  *    direction/target misprediction the frontend runs down the wrong
  *    path for the redirect penalty (issuing real wrong-path I-cache
  *    accesses) before resuming.
+ *
+ *    The engine is a template over the *concrete* prefetcher type: when
+ *    the System selects a specialized step path (see sim/system.h), the
+ *    per-instruction onFetchInstr() notification and the per-branch
+ *    btbPrefetchBuffer() probe devirtualize and inline.  A preset whose
+ *    prefetcher never prefills a BTB buffer (Baseline, NL/NXL,
+ *    Confluence) compiles the probe out entirely.  The
+ *    `CoupledFetchEngine` alias instantiates the template with the
+ *    abstract base and is bit-identical to the pre-template engine; it
+ *    backs the `generic_step` escape hatch and the dispatch-equivalence
+ *    tests.
  *
  *  - **DecoupledFetchEngine** (sim/decoupled.h): the BTB-directed
  *    frontend of Boomerang and Shotgun, with a branch-prediction unit
@@ -27,10 +38,13 @@
 
 #include "common/queue.h"
 #include "common/stats.h"
+#include "exec/arena.h"
 #include "frontend/btb.h"
 #include "frontend/ras.h"
 #include "frontend/tage.h"
 #include "mem/l1i.h"
+#include "obs/trace.h"
+#include "prefetch/btb_prefetch_buffer.h"
 #include "prefetch/prefetcher.h"
 #include "sim/config.h"
 #include "workload/trace.h"
@@ -60,8 +74,9 @@ struct FetchedSlot
 class FetchEngine
 {
   public:
-    explicit FetchEngine(const FetchConfig &config)
-        : cfg(config), fetchBuffer(config.fetchBufferEntries)
+    explicit FetchEngine(const FetchConfig &config,
+                         exec::Arena *arena = nullptr)
+        : cfg(config), fetchBuffer(config.fetchBufferEntries, arena)
     {}
     virtual ~FetchEngine() = default;
 
@@ -82,9 +97,19 @@ class FetchEngine
 };
 
 /**
- * Conventional (coupled) frontend.
+ * Conventional (coupled) frontend, parameterized on the concrete
+ * prefetcher type @p Pf.
+ *
+ * @tparam Pf the prefetcher's static type.  `prefetch::InstrPrefetcher`
+ *            gives the fully generic (virtual-dispatch) engine; a final
+ *            concrete class devirtualizes the two per-instruction
+ *            prefetcher calls.  Both instantiations execute the same
+ *            statements in the same order, so RunResults are
+ *            bit-identical across them (asserted by the dispatch
+ *            equivalence tests).
  */
-class CoupledFetchEngine : public FetchEngine
+template <typename Pf>
+class CoupledFetchEngineT final : public FetchEngine
 {
   public:
     /**
@@ -95,34 +120,292 @@ class CoupledFetchEngine : public FetchEngine
      * @param tage       direction predictor
      * @param image      program image (wrong-path reconstruction)
      * @param prefetcher bound prefetcher (never null; NullPrefetcher ok)
+     * @param arena      optional cell arena for the fetch rings
      */
-    CoupledFetchEngine(const FetchConfig &config,
-                       workload::TraceWalker &walker, mem::L1iCache &l1i,
-                       frontend::Btb &btb, frontend::Tage &tage,
-                       const workload::ProgramImage &image,
-                       prefetch::InstrPrefetcher &prefetcher);
+    CoupledFetchEngineT(const FetchConfig &config,
+                        workload::TraceWalker &walker_, mem::L1iCache &l1i_,
+                        frontend::Btb &btb_, frontend::Tage &tage_,
+                        const workload::ProgramImage &image_,
+                        Pf &prefetcher, exec::Arena *arena = nullptr)
+        : FetchEngine(config, arena), walker(walker_), l1i(l1i_), btb(btb_),
+          tage(tage_), image(image_), pf(prefetcher), look(kLookahead, arena)
+    {
+        cFetched = statSet.counter("fe_fetched");
+        cIcacheStallCycles = statSet.counter("fe_icache_stall_cycles");
+        cBtbStallCycles = statSet.counter("fe_btb_stall_cycles");
+        cMispredictStallCycles =
+            statSet.counter("fe_mispredict_stall_cycles");
+        cWrongPathBlocks = statSet.counter("fe_wrong_path_blocks");
+        hBufferOcc = statSet.histogram("fetch_buffer_occ");
+        cBtbRedirects = statSet.lazy("fe_btb_redirects");
+        cMispredictRedirects = statSet.lazy("fe_mispredict_redirects");
+        cBtbBufferFills = statSet.lazy("fe_btb_buffer_fills");
+        cBtbMissTaken = statSet.lazy("fe_btb_miss_taken");
+        cBtbMissNotTaken = statSet.lazy("fe_btb_miss_not_taken");
+        cCondMispredicts = statSet.lazy("fe_cond_mispredicts");
+        cStaleTarget = statSet.lazy("fe_stale_target");
+        cIndirectMispredicts = statSet.lazy("fe_indirect_mispredicts");
+        cRasMispredicts = statSet.lazy("fe_ras_mispredicts");
+        refill();
+    }
 
-    void cycle(Cycle now) override;
-    StallReason stallReason(Cycle now) const override;
+    void
+    cycle(Cycle now) override
+    {
+        refill();
+        hBufferOcc.sample(fetchBuffer.size());
+
+        if (blockedOnFill) {
+            if (now < fillReady) {
+                cIcacheStallCycles.add();
+                return;
+            }
+            blockedOnFill = false;
+        }
+
+        if (now < redirectUntil) {
+            (redirectReason == StallReason::BtbMissRedirect
+                 ? cBtbStallCycles
+                 : cMispredictStallCycles)
+                .add();
+            wrongPathFetch(now);
+            return;
+        }
+
+        unsigned budget = cfg.fetchWidth;
+        while (budget > 0 && fetchBuffer.size() < cfg.fetchBufferEntries) {
+            // Copy: pop() below invalidates references into the queue,
+            // and e is still needed for the branch handling afterwards.
+            const workload::TraceEntry e = look.front();
+
+            // Block transition: access the I-cache (VL instructions may
+            // straddle two blocks; both must be present).
+            Addr first = blockAlign(e.pc);
+            Addr last = blockAlign(e.pc + e.len - 1);
+            for (Addr block = first; block <= last; block += kBlockBytes) {
+                if (block == currentBlock)
+                    continue;
+                if (cfg.perfectL1i) {
+                    currentBlock = block;
+                    continue;
+                }
+                auto res = l1i.demandAccess(block, now);
+                currentBlock = block;
+                if (!res.hit) {
+                    blockedOnFill = true;
+                    fillReady = res.ready;
+                    cIcacheStallCycles.add();
+                    return;
+                }
+            }
+
+            fetchBuffer.push({e, now + cfg.frontendStages});
+            pf.onFetchInstr({e.pc, e.len, e.kind, e.taken, e.target}, now);
+            look.pop();
+            --budget;
+            cFetched.add();
+
+            if (e.isBranch()) {
+                bool stop = handleBranch(e, now);
+                if (stop)
+                    break;
+            }
+        }
+    }
+
+    StallReason
+    stallReason(Cycle now) const override
+    {
+        if (blockedOnFill && now < fillReady)
+            return StallReason::ICacheMiss;
+        if (now < redirectUntil)
+            return redirectReason;
+        return StallReason::FetchPipe;
+    }
 
   private:
     /** Handle the branch just fetched; returns true when fetch must stop
      *  (taken branch or redirect). */
-    bool handleBranch(const workload::TraceEntry &e, Cycle now);
+    bool
+    handleBranch(const workload::TraceEntry &e, Cycle now)
+    {
+        using isa::InstrKind;
+
+        // Direction prediction for conditionals.
+        bool predicted_taken = true;
+        if (e.kind == InstrKind::CondBranch) {
+            // Note: perfectBtb only removes BTB misses; direction
+            // prediction still comes from TAGE (Fig. 17's BTB-infinity
+            // is a 32 K-entry BTB, not an oracle).
+            predicted_taken = tage.predict(e.pc);
+            tage.update(e.pc, e.taken);
+        } else {
+            tage.updateHistoryUnconditional(e.pc);
+        }
+
+        // RAS maintenance.
+        Addr ras_target = kInvalidAddr;
+        if (e.kind == InstrKind::Call || e.kind == InstrKind::IndirectCall)
+            ras.push(e.pc + e.len);
+        else if (e.kind == InstrKind::Return)
+            ras_target = ras.pop();
+
+        // BTB: identifies the branch and provides the target.
+        const frontend::BtbEntry *entry = nullptr;
+        frontend::BtbEntry from_buffer;
+        if (cfg.perfectBtb) {
+            from_buffer = {e.target, e.kind};
+            entry = &from_buffer;
+        } else {
+            entry = btb.lookup(e.pc);
+            if (!entry) {
+                // Probe the BTB prefetch buffer (Section V.C): a hit
+                // moves the entry into the BTB and avoids the miss.
+                // When Pf is a concrete type without a buffer this
+                // whole probe folds away.
+                if (auto *pb = pf.btbPrefetchBuffer()) {
+                    if (const auto *b = pb->findBranch(e.pc)) {
+                        btb.update(e.pc,
+                                   b->hasTarget ? b->target : e.target,
+                                   b->kind);
+                        from_buffer = {b->hasTarget ? b->target : e.target,
+                                       b->kind};
+                        entry = &from_buffer;
+                        cBtbBufferFills.add();
+                        if (obs::Tracing::enabled()) {
+                            obs::Tracing::record("btb", now, e.pc,
+                                                 obs::MissClass::Btb,
+                                                 obs::MissOutcome::Covered);
+                        }
+                    }
+                }
+            }
+        }
+
+        if (!entry) {
+            // The frontend does not know this is a branch.  Fall-through
+            // fetch is accidentally correct for a not-taken conditional;
+            // anything taken costs a decode-time redirect.
+            if (e.taken) {
+                cBtbMissTaken.add();
+                if (obs::Tracing::enabled()) {
+                    obs::Tracing::record("btb", now, e.pc,
+                                         obs::MissClass::Btb,
+                                         obs::MissOutcome::Uncovered);
+                }
+                redirect(now, cfg.decodeRedirectPenalty, e.pc + e.len,
+                         StallReason::BtbMissRedirect);
+                btb.update(e.pc, e.target, e.kind);
+                return true;
+            }
+            cBtbMissNotTaken.add();
+            btb.update(e.pc, e.target, e.kind);
+            return false;
+        }
+
+        // Known branch: check the predicted direction and target.
+        switch (e.kind) {
+          case InstrKind::CondBranch:
+            if (predicted_taken != e.taken) {
+                cCondMispredicts.add();
+                Addr wrong = predicted_taken ? entry->target : e.pc + e.len;
+                redirect(now, cfg.execRedirectPenalty, wrong,
+                         StallReason::MispredictRedirect);
+                btb.update(e.pc, e.target, e.kind);
+                return true;
+            }
+            if (e.taken && entry->target != e.target) {
+                cStaleTarget.add();
+                redirect(now, cfg.execRedirectPenalty, entry->target,
+                         StallReason::MispredictRedirect);
+                btb.update(e.pc, e.target, e.kind);
+                return true;
+            }
+            return e.taken;
+          case InstrKind::Jump:
+          case InstrKind::Call:
+            if (entry->target != e.target) {
+                cStaleTarget.add();
+                redirect(now, cfg.decodeRedirectPenalty, entry->target,
+                         StallReason::MispredictRedirect);
+                btb.update(e.pc, e.target, e.kind);
+                return true;
+            }
+            return true;
+          case InstrKind::IndirectCall:
+            if (entry->target != e.target) {
+                cIndirectMispredicts.add();
+                redirect(now, cfg.execRedirectPenalty, entry->target,
+                         StallReason::MispredictRedirect);
+                btb.update(e.pc, e.target, e.kind);
+                return true;
+            }
+            return true;
+          case InstrKind::Return:
+            if (ras_target != e.target) {
+                cRasMispredicts.add();
+                redirect(now, cfg.execRedirectPenalty,
+                         ras_target == kInvalidAddr ? e.pc + e.len
+                                                    : ras_target,
+                         StallReason::MispredictRedirect);
+                return true;
+            }
+            return true;
+          default:
+            return false;
+        }
+    }
 
     /** Begin a redirect window. */
-    void redirect(Cycle now, Cycle penalty, Addr wrong_path_pc,
-                  StallReason reason);
+    void
+    redirect(Cycle now, Cycle penalty, Addr wrong_path_pc,
+             StallReason reason)
+    {
+        redirectUntil = now + penalty;
+        redirectReason = reason;
+        wrongPathPc = wrong_path_pc;
+        wrongPathBlock = kInvalidAddr;
+        (reason == StallReason::BtbMissRedirect ? cBtbRedirects
+                                                : cMispredictRedirects)
+            .add();
+    }
 
     /** Issue wrong-path fetches during a redirect window. */
-    void wrongPathFetch(Cycle now);
+    void
+    wrongPathFetch(Cycle now)
+    {
+        // The frontend keeps fetching down the wrong path until the
+        // squash.  We model up to one new block touched per cycle;
+        // wrong-path accesses really hit the cache/MSHRs (pollution and,
+        // at times, accidental prefetching - both real effects).
+        if (wrongPathPc == kInvalidAddr)
+            return;
+        if (!image.contains(wrongPathPc)) {
+            wrongPathPc = kInvalidAddr; // ran off mapped code
+            return;
+        }
+        Addr block = blockAlign(wrongPathPc);
+        if (block != wrongPathBlock) {
+            wrongPathBlock = block;
+            l1i.demandAccess(wrongPathPc, now, /*wrong_path=*/true);
+            cWrongPathBlocks.add();
+        }
+        wrongPathPc += cfg.fetchWidth * kInstrBytes;
+    }
+
+    void
+    refill()
+    {
+        while (!look.full())
+            look.push(walker.next());
+    }
 
     workload::TraceWalker &walker;
     mem::L1iCache &l1i;
     frontend::Btb &btb;
     frontend::Tage &tage;
     const workload::ProgramImage &image;
-    prefetch::InstrPrefetcher &pf;
+    Pf &pf;
     frontend::ReturnAddressStack ras;
 
     // Typed handles for the per-cycle hot path.
@@ -137,7 +420,7 @@ class CoupledFetchEngine : public FetchEngine
 
     static constexpr std::size_t kLookahead = 64;
     /** Trace lookahead window (ring; refilled to capacity each cycle). */
-    BoundedQueue<workload::TraceEntry> look{kLookahead};
+    BoundedQueue<workload::TraceEntry> look;
     Addr currentBlock = kInvalidAddr;      //!< last block fetch accessed
 
     bool blockedOnFill = false;
@@ -147,9 +430,15 @@ class CoupledFetchEngine : public FetchEngine
     StallReason redirectReason = StallReason::None;
     Addr wrongPathPc = kInvalidAddr;
     Addr wrongPathBlock = kInvalidAddr;
-
-    void refill();
 };
+
+/** The generic (virtual-dispatch) coupled engine: the pre-template
+ *  behaviour, used by the `generic_step` escape hatch and anywhere the
+ *  prefetcher's concrete type is not known at compile time. */
+using CoupledFetchEngine = CoupledFetchEngineT<prefetch::InstrPrefetcher>;
+
+// The generic instantiation is compiled once in fetch.cpp.
+extern template class CoupledFetchEngineT<prefetch::InstrPrefetcher>;
 
 } // namespace dcfb::sim
 

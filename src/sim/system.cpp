@@ -1,5 +1,7 @@
 #include "sim/system.h"
 
+#include <bit>
+
 #include "prefetch/classic_discontinuity.h"
 #include "prefetch/confluence.h"
 #include "prefetch/nextline.h"
@@ -7,8 +9,61 @@
 
 namespace dcfb::sim {
 
+namespace {
+
+/** Classic-discontinuity table size (the prefetcher's default). */
+constexpr std::size_t kClassicDisEntries = 4096;
+
+} // namespace
+
+std::size_t
+System::estimateArenaBytes(const SystemConfig &config)
+{
+    // Sum of every component's arena appetite.  The estimate errs high
+    // (container headers, allocator rounding); a low estimate would only
+    // cost locality — the arena overflows to the heap, never fails.
+    std::size_t bytes = mem::Llc::arenaBytes(config.llc) +
+        mem::L1iCache::arenaBytes(config.l1i) +
+        mem::L1dCache::arenaBytes(config.l1d) +
+        frontend::Tage::arenaBytes() +
+        frontend::Btb::arenaBytes(config.btbEntries, config.btbAssoc) +
+        std::bit_ceil(std::size_t{config.backend.robEntries
+                                      ? config.backend.robEntries
+                                      : 1}) *
+            sizeof(Cycle);
+
+    // Fetch-side rings: the dispatch buffer and the trace lookahead.
+    bytes += std::bit_ceil(std::size_t{config.fetch.fetchBufferEntries
+                                           ? config.fetch.fetchBufferEntries
+                                           : 1}) *
+        sizeof(FetchedSlot);
+    bytes += 64 * sizeof(workload::TraceEntry);
+
+    switch (config.preset) {
+      case Preset::N4LPlain:
+      case Preset::SN4L:
+      case Preset::DisOnly:
+      case Preset::SN4LDis:
+      case Preset::SN4LDisBtb:
+        bytes += prefetch::Sn4lDisBtb::arenaBytes(config.sn4l);
+        break;
+      case Preset::ClassicDis:
+        bytes +=
+            prefetch::ClassicDiscontinuity::arenaBytes(kClassicDisEntries);
+        break;
+      case Preset::Confluence:
+        bytes += prefetch::ConfluencePrefetcher::arenaBytes(config.confluence);
+        break;
+      default:
+        break;
+    }
+
+    // Per-allocation alignment waste plus slack for small containers.
+    return bytes + bytes / 8 + 4096;
+}
+
 System::System(const SystemConfig &config)
-    : cfg(config),
+    : cfg(config), arena(estimateArenaBytes(config)),
       program(config.program
                   ? config.program
                   : std::make_shared<const workload::Program>(
@@ -30,13 +85,15 @@ System::System(const SystemConfig &config)
 
     mesh = std::make_unique<noc::MeshModel>(cfg.mesh);
     memory = std::make_unique<mem::MemoryModel>(cfg.memory);
-    llc = std::make_unique<mem::Llc>(cfg.llc, *mesh, *memory, cfg.coreTile);
-    l1i = std::make_unique<mem::L1iCache>(cfg.l1i, *llc);
-    l1d = std::make_unique<mem::L1dCache>(cfg.l1d, *llc);
+    llc = std::make_unique<mem::Llc>(cfg.llc, *mesh, *memory, cfg.coreTile,
+                                     &arena);
+    l1i = std::make_unique<mem::L1iCache>(cfg.l1i, *llc, &arena);
+    l1d = std::make_unique<mem::L1dCache>(cfg.l1d, *llc, &arena);
 
-    tage = std::make_unique<frontend::Tage>();
-    btb = std::make_unique<frontend::Btb>(cfg.btbEntries, cfg.btbAssoc);
-    backend = std::make_unique<core::Backend>(cfg.backend);
+    tage = std::make_unique<frontend::Tage>(frontend::TageConfig{}, &arena);
+    btb = std::make_unique<frontend::Btb>(cfg.btbEntries, cfg.btbAssoc,
+                                          &arena);
+    backend = std::make_unique<core::Backend>(cfg.backend, &arena);
 
     switch (cfg.preset) {
       case Preset::NL:
@@ -61,15 +118,15 @@ System::System(const SystemConfig &config)
       case Preset::SN4LDis:
       case Preset::SN4LDisBtb:
         prefetcher = std::make_unique<prefetch::Sn4lDisBtb>(
-            *l1i, *predecoder, btb.get(), cfg.sn4l);
+            *l1i, *predecoder, btb.get(), cfg.sn4l, &arena);
         break;
       case Preset::ClassicDis:
-        prefetcher =
-            std::make_unique<prefetch::ClassicDiscontinuity>(*l1i);
+        prefetcher = std::make_unique<prefetch::ClassicDiscontinuity>(
+            *l1i, kClassicDisEntries, true, &arena);
         break;
       case Preset::Confluence:
         prefetcher = std::make_unique<prefetch::ConfluencePrefetcher>(
-            *l1i, cfg.confluence);
+            *l1i, cfg.confluence, &arena);
         break;
       default:
         prefetcher = std::make_unique<prefetch::NullPrefetcher>();
@@ -120,7 +177,7 @@ System::System(const SystemConfig &config)
                 ? DecoupledFetchEngine::Kind::Boomerang
                 : DecoupledFetchEngine::Kind::Shotgun,
             *walker, *l1i, *tage, *predecoder, cfg.boomerangBtbEntries,
-            cfg.shotgunBtb);
+            cfg.shotgunBtb, &arena);
         decoupled = engine.get();
         l1i->setListener(decoupled);
         // Prime the Shotgun BTB from the warm branch stream (footprints
@@ -145,12 +202,100 @@ System::System(const SystemConfig &config)
         fetch = std::move(engine);
     } else {
         l1i->setListener(prefetcher.get());
-        fetch = std::make_unique<CoupledFetchEngine>(
-            cfg.fetch, *walker, *l1i, *btb, *tage, program->image,
-            *prefetcher);
+        if (cfg.genericStep) {
+            makeCoupledFetch<prefetch::InstrPrefetcher>();
+        } else {
+            switch (cfg.preset) {
+              case Preset::NL:
+              case Preset::N2L:
+              case Preset::N4L:
+              case Preset::N8L:
+                makeCoupledFetch<prefetch::NextLinePrefetcher>();
+                break;
+              case Preset::N4LPlain:
+              case Preset::SN4L:
+              case Preset::DisOnly:
+              case Preset::SN4LDis:
+              case Preset::SN4LDisBtb:
+                makeCoupledFetch<prefetch::Sn4lDisBtb>();
+                break;
+              case Preset::ClassicDis:
+                makeCoupledFetch<prefetch::ClassicDiscontinuity>();
+                break;
+              case Preset::Confluence:
+                makeCoupledFetch<prefetch::ConfluencePrefetcher>();
+                break;
+              default:
+                makeCoupledFetch<prefetch::NullPrefetcher>();
+                break;
+            }
+        }
     }
 
+    selectStepFns();
     registerIntegrity();
+}
+
+template <typename Pf>
+void
+System::makeCoupledFetch()
+{
+    fetch = std::make_unique<CoupledFetchEngineT<Pf>>(
+        cfg.fetch, *walker, *l1i, *btb, *tage, program->image,
+        static_cast<Pf &>(*prefetcher), &arena);
+}
+
+template <typename Pf, typename Fe>
+void
+System::bindStep()
+{
+    stepFn = &System::stepImpl<Pf, Fe>;
+    stepProfFn = &System::stepProfiledImpl<Pf, Fe>;
+}
+
+void
+System::selectStepFns()
+{
+    // Which concrete (Pf, Fe) pair a preset steps with.  Must mirror the
+    // fetch-engine construction above: stepImpl static_casts to these
+    // types.  DESIGN.md §14 documents the family table.
+    if (cfg.genericStep) {
+        bindStep<prefetch::InstrPrefetcher, FetchEngine>();
+        return;
+    }
+    switch (cfg.preset) {
+      case Preset::Boomerang:
+      case Preset::Shotgun:
+        bindStep<prefetch::NullPrefetcher, DecoupledFetchEngine>();
+        break;
+      case Preset::NL:
+      case Preset::N2L:
+      case Preset::N4L:
+      case Preset::N8L:
+        bindStep<prefetch::NextLinePrefetcher,
+                 CoupledFetchEngineT<prefetch::NextLinePrefetcher>>();
+        break;
+      case Preset::N4LPlain:
+      case Preset::SN4L:
+      case Preset::DisOnly:
+      case Preset::SN4LDis:
+      case Preset::SN4LDisBtb:
+        bindStep<prefetch::Sn4lDisBtb,
+                 CoupledFetchEngineT<prefetch::Sn4lDisBtb>>();
+        break;
+      case Preset::ClassicDis:
+        bindStep<prefetch::ClassicDiscontinuity,
+                 CoupledFetchEngineT<prefetch::ClassicDiscontinuity>>();
+        break;
+      case Preset::Confluence:
+        bindStep<prefetch::ConfluencePrefetcher,
+                 CoupledFetchEngineT<prefetch::ConfluencePrefetcher>>();
+        break;
+      default:
+        bindStep<prefetch::NullPrefetcher,
+                 CoupledFetchEngineT<prefetch::NullPrefetcher>>();
+        break;
+    }
 }
 
 void
@@ -221,6 +366,17 @@ System::snapshot() const
     doc["inflight_prefetches"] = inflight_prefetches;
     doc["mshrs"] = std::move(mshrs);
 
+    // Cell arena health: a persistent overflow means the estimate in
+    // estimateArenaBytes() has drifted from a component's real appetite.
+    const auto &as = arena.stats();
+    obs::JsonValue aj = obs::JsonValue::object();
+    aj["slab_bytes"] = static_cast<std::uint64_t>(as.slabBytes);
+    aj["used_bytes"] = static_cast<std::uint64_t>(as.usedBytes);
+    aj["allocs"] = static_cast<std::uint64_t>(as.allocs);
+    aj["overflow_allocs"] = static_cast<std::uint64_t>(as.overflowAllocs);
+    aj["overflow_bytes"] = static_cast<std::uint64_t>(as.overflowBytes);
+    doc["arena"] = std::move(aj);
+
     if (auto *p =
             dynamic_cast<const prefetch::Sn4lDisBtb *>(prefetcher.get())) {
         auto depths = p->queueDepths();
@@ -273,10 +429,11 @@ System::recordRetiredFootprints(const workload::TraceEntry &e)
     }
 }
 
+template <typename Fe>
 void
-System::dispatchStage()
+System::dispatchStageImpl(Fe &fe)
 {
-    auto &buffer = fetch->buffer();
+    auto &buffer = fe.buffer();
     unsigned dispatched = 0;
     while (backend->canDispatch() && !buffer.empty() &&
            buffer.front().ready <= cycleCount) {
@@ -301,7 +458,7 @@ System::dispatchStage()
         cStallBackend.add();
         return;
     }
-    switch (fetch->stallReason(cycleCount)) {
+    switch (fe.stallReason(cycleCount)) {
       case StallReason::ICacheMiss:
         cStallIcache.add();
         cStallFrontend.add();
@@ -323,46 +480,45 @@ System::dispatchStage()
     }
 }
 
+template <typename Pf, typename Fe>
 void
-System::step()
+System::stepImpl()
 {
-    if (obs::Profiler::enabled()) [[unlikely]] {
-        stepProfiled();
-        return;
-    }
+    auto &pf = static_cast<Pf &>(*prefetcher);
+    auto &fe = static_cast<Fe &>(*fetch);
     backend->beginCycle(cycleCount);
     l1i->tick(cycleCount);
-    prefetcher->tick(cycleCount);
-    dispatchStage();
-    fetch->cycle(cycleCount);
+    pf.tick(cycleCount);
+    dispatchStageImpl(fe);
+    fe.cycle(cycleCount);
     ++cycleCount;
 }
 
+template <typename Pf, typename Fe>
 void
-System::stepProfiled()
+System::stepProfiledImpl()
 {
-    using obs::PhaseTimer;
     using obs::ProfPhase;
-    {
-        PhaseTimer t(profPhases, ProfPhase::Backend);
-        backend->beginCycle(cycleCount);
-    }
-    {
-        PhaseTimer t(profPhases, ProfPhase::L1iTick);
-        l1i->tick(cycleCount);
-    }
-    {
-        PhaseTimer t(profPhases, ProfPhase::Prefetcher);
-        prefetcher->tick(cycleCount);
-    }
-    {
-        PhaseTimer t(profPhases, ProfPhase::Dispatch);
-        dispatchStage();
-    }
-    {
-        PhaseTimer t(profPhases, ProfPhase::Fetch);
-        fetch->cycle(cycleCount);
-    }
+    auto &pf = static_cast<Pf &>(*prefetcher);
+    auto &fe = static_cast<Fe &>(*fetch);
+    // Chained boundary timestamps: each read ends one phase and starts
+    // the next, so five phases cost six clock reads per cycle.
+    double t0 = obs::profNow();
+    backend->beginCycle(cycleCount);
+    double t1 = obs::profNow();
+    l1i->tick(cycleCount);
+    double t2 = obs::profNow();
+    pf.tick(cycleCount);
+    double t3 = obs::profNow();
+    dispatchStageImpl(fe);
+    double t4 = obs::profNow();
+    fe.cycle(cycleCount);
+    double t5 = obs::profNow();
+    profPhases[static_cast<unsigned>(ProfPhase::Backend)] += t1 - t0;
+    profPhases[static_cast<unsigned>(ProfPhase::L1iTick)] += t2 - t1;
+    profPhases[static_cast<unsigned>(ProfPhase::Prefetcher)] += t3 - t2;
+    profPhases[static_cast<unsigned>(ProfPhase::Dispatch)] += t4 - t3;
+    profPhases[static_cast<unsigned>(ProfPhase::Fetch)] += t5 - t4;
     ++cycleCount;
 }
 

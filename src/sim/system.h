@@ -2,6 +2,25 @@
  * @file
  * System: one fully-wired simulated node (program + walker + memory
  * hierarchy + frontend + backend + the configured prefetcher/engine).
+ *
+ * Two mechanics make a cell fast without changing any result
+ * (DESIGN.md §14):
+ *
+ *  - **Preset-specialized stepping.**  step() dispatches through a
+ *    member-function pointer bound once at construction to a
+ *    `stepImpl<Pf, Fe>` instantiation for the preset's concrete
+ *    prefetcher and fetch-engine types.  Inside one instantiation every
+ *    per-cycle prefetcher/fetch call devirtualizes; a Baseline cell
+ *    pays zero SN4L/Dis/BTB branches.  `SystemConfig::genericStep`
+ *    forces the fully generic instantiation (virtual dispatch), which
+ *    must be bit-identical — the dispatch-equivalence tests assert it.
+ *
+ *  - **Arena-resident state.**  The cell's flat tables (cache line
+ *    arrays, TAGE tables, BTB ways, prefetcher tables/queues, ROB ring,
+ *    fetch rings) are placed into one per-cell bump arena sized at
+ *    construction (exec/arena.h), so a pool thread's working set is one
+ *    contiguous slab.  The arena is declared first, hence destroyed
+ *    last — after every component that allocated from it.
  */
 
 #ifndef DCFB_SIM_SYSTEM_H
@@ -10,6 +29,7 @@
 #include <memory>
 
 #include "core/backend.h"
+#include "exec/arena.h"
 #include "frontend/btb.h"
 #include "frontend/tage.h"
 #include "isa/predecoder.h"
@@ -38,7 +58,15 @@ class System
     explicit System(const SystemConfig &config);
 
     /** Advance the machine by one cycle. */
-    void step();
+    void
+    step()
+    {
+        if (obs::Profiler::enabled()) [[unlikely]] {
+            (this->*stepProfFn)();
+            return;
+        }
+        (this->*stepFn)();
+    }
 
     /** Current cycle. */
     Cycle now() const { return cycleCount; }
@@ -56,7 +84,16 @@ class System
      */
     obs::JsonValue snapshot() const;
 
+    /** Slab size the cell arena is created with for @p config. */
+    static std::size_t estimateArenaBytes(const SystemConfig &config);
+
     SystemConfig cfg;
+
+    /** The cell arena.  Declared before every component so it is
+     *  destroyed last; components hand ArenaAlloc copies to their
+     *  containers, so the slab must outlive them all. */
+    exec::Arena arena;
+
     /** The program under simulation.  Either the shared immutable image
      *  from cfg.program (experiment runners, one build per workload) or
      *  a privately-built one (standalone simulate() callers). */
@@ -89,13 +126,33 @@ class System
     obs::PhaseSeconds profPhases{};
 
   private:
+    /** One step-path entry point (specialized or generic). */
+    using StepFn = void (System::*)();
+
     /** Wire the fault injector and register every component invariant. */
     void registerIntegrity();
 
-    void dispatchStage();
+    /** Bind stepFn/stepProfFn to the preset's specialization family. */
+    void selectStepFns();
 
-    /** step() with per-phase wall attribution (profiling runs only). */
-    void stepProfiled();
+    /** Construct the coupled fetch engine for concrete prefetcher @p Pf. */
+    template <typename Pf> void makeCoupledFetch();
+
+    template <typename Pf, typename Fe> void bindStep();
+
+    /** One simulated cycle, specialized on the concrete prefetcher and
+     *  fetch-engine types (the generic instantiation uses the abstract
+     *  bases and is the pre-specialization behaviour). */
+    template <typename Pf, typename Fe> void stepImpl();
+
+    /** stepImpl with per-phase wall attribution (profiling runs only):
+     *  chained timestamps, so N phases cost N+1 clock reads. */
+    template <typename Pf, typename Fe> void stepProfiledImpl();
+
+    template <typename Fe> void dispatchStageImpl(Fe &fe);
+
+    StepFn stepFn = nullptr;
+    StepFn stepProfFn = nullptr;
 
     Cycle cycleCount = 0;
     std::uint64_t instructionsRetired = 0;

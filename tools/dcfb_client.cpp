@@ -38,6 +38,7 @@
 #include <string>
 #include <thread>
 
+#include "cli/flag_docs.h"
 #include "obs/span.h"
 #include "svc/client.h"
 
@@ -46,17 +47,24 @@ namespace {
 [[noreturn]] void
 usage(const char *argv0)
 {
-    std::fprintf(
-        stderr,
-        "usage: %s --socket PATH [--trace-spans FILE] "
-        "[--retry-budget-ms N] [--recv-timeout-ms N] COMMAND ...\n"
-        "  submit --workload NAME --preset NAME [--warm N --measure N]\n"
-        "         [--seed N] [--inject SPEC] [--deadline-ms N] [--wait]\n"
-        "  status JOB | fetch JOB | cancel JOB\n"
-        "  stats | ping | drain\n"
-        "  metrics [--watch] [--interval-ms N]\n"
-        "  raw '<request json>'\n",
-        argv0);
+    // Global and submit flag lists render from the same tables as
+    // docs/FLAGS.md (src/cli/flag_docs.cpp).
+    std::string global_flags = "[flags]";
+    std::string submit_flags;
+    for (const auto &doc : dcfb::cli::allBinaryDocs()) {
+        if (doc.binary == "dcfb-client (global flags)")
+            global_flags = dcfb::cli::usageLine(doc);
+        else if (doc.binary == "dcfb-client submit")
+            submit_flags = dcfb::cli::usageLine(doc);
+    }
+    std::fprintf(stderr,
+                 "usage: %s %s COMMAND ...\n"
+                 "  submit %s\n"
+                 "  status JOB | fetch JOB | cancel JOB\n"
+                 "  stats | ping | drain\n"
+                 "  metrics [--watch] [--interval-ms N]\n"
+                 "  raw '<request json>'\n",
+                 argv0, global_flags.c_str(), submit_flags.c_str());
     std::exit(2);
 }
 

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * dcfb-docgen: renders docs/FLAGS.md from the flag tables in
+ * src/cli/flag_docs.cpp — the same tables the binaries' own --help
+ * output comes from.
+ *
+ *   dcfb-docgen                    print the document to stdout
+ *   dcfb-docgen --out FILE         write FILE
+ *   dcfb-docgen --check FILE       exit 1 unless FILE matches, with a
+ *                                  regeneration hint (the CI docs job)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cli/flag_docs.h"
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path;
+    std::string check_path;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg == "--check" && i + 1 < argc) {
+            check_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--out FILE | --check FILE]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    const std::string doc = dcfb::cli::flagsMarkdown();
+
+    if (!check_path.empty()) {
+        std::ifstream in(check_path, std::ios::in | std::ios::binary);
+        if (!in.is_open()) {
+            std::fprintf(stderr, "dcfb-docgen: cannot open %s\n",
+                         check_path.c_str());
+            return 1;
+        }
+        std::ostringstream have;
+        have << in.rdbuf();
+        if (have.str() != doc) {
+            std::fprintf(stderr,
+                         "dcfb-docgen: %s is out of date with "
+                         "src/cli/flag_docs.cpp\n"
+                         "  regenerate: dcfb-docgen --out %s\n",
+                         check_path.c_str(), check_path.c_str());
+            return 1;
+        }
+        std::printf("dcfb-docgen: %s is in sync\n", check_path.c_str());
+        return 0;
+    }
+
+    if (!out_path.empty()) {
+        std::ofstream out(out_path,
+                          std::ios::out | std::ios::trunc |
+                              std::ios::binary);
+        if (!out.is_open()) {
+            std::fprintf(stderr, "dcfb-docgen: cannot open %s\n",
+                         out_path.c_str());
+            return 1;
+        }
+        out << doc;
+        std::printf("dcfb-docgen: wrote %s\n", out_path.c_str());
+        return 0;
+    }
+
+    std::fputs(doc.c_str(), stdout);
+    return 0;
+}

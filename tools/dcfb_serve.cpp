@@ -32,6 +32,7 @@
 #include <string>
 #include <thread>
 
+#include "cli/flag_docs.h"
 #include "obs/span.h"
 #include "svc/server.h"
 
@@ -48,15 +49,16 @@ onSignal(int)
 [[noreturn]] void
 usage(const char *argv0)
 {
-    std::fprintf(stderr,
-                 "usage: %s --socket PATH [--jobs N] [--queue N] "
-                 "[--cache DIR] [--warm N --measure N] "
-                 "[--retry-after-ms N] [--metrics-interval-ms N] "
-                 "[--trace-spans FILE] [--journal DIR] "
-                 "[--journal-fsync always|rotate|never] "
-                 "[--journal-rotate N] [--lease-ms N] "
-                 "[--svc-inject SPEC]\n",
-                 argv0);
+    // Rendered from the same table as docs/FLAGS.md (src/cli/flag_docs.cpp).
+    const auto &docs = dcfb::cli::allBinaryDocs();
+    for (const auto &doc : docs) {
+        if (doc.binary != "dcfb-serve")
+            continue;
+        std::fprintf(stderr, "usage: %s %s\n", argv0,
+                     dcfb::cli::usageLine(doc).c_str());
+        std::exit(2);
+    }
+    std::fprintf(stderr, "usage: %s --socket PATH ...\n", argv0);
     std::exit(2);
 }
 
