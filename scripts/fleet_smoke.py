@@ -1,0 +1,359 @@
+#!/usr/bin/env python3
+"""Fleet smoke test: a dcfb-coord coordinator sharding the full fig16
+grid across three dcfb-serve workers over TCP (DESIGN.md section 15).
+
+Phases, in order:
+
+  1. Start a dedicated single-host reference worker (`--jobs 0`, auto
+     parallelism) behind a 1-worker coordinator and run the full
+     35-cell fig16 grid twice (two seeds).  The merged dcfb-grid-v1
+     reports are the byte-identity references, and the first run's
+     wall time is the single-host baseline the fleet must beat.
+  2. Start three TCP workers, each with its own result cache, behind a
+     3-worker coordinator.  Run the same grid cold: the report must be
+     byte-identical to the single-host reference, every cell must have
+     been simulated (none cached), and every worker must have executed
+     at least one simulation.
+  3. Run the grid again against the warm fleet: zero simulations —
+     every cell is answered from the federated caches — and the report
+     bytes are again identical.
+  4. Run the grid on a fresh seed and SIGKILL one worker after the
+     first cell lands.  The grid must still complete, the coordinator
+     must record the death and rebalance the orphaned cells, and the
+     merged report must be byte-identical to the single-host reference
+     for that seed.
+  5. SIGTERM the coordinator and check its final fleet-stats
+     accounting, and that every surviving daemon drains with exit 0.
+
+The perf assertion (fleet wall < single-host wall) needs real
+parallel headroom, so it is enforced only when the host has at least
+two CPUs; on a single-core box it is reported but advisory.
+
+Stdlib only; binaries are found in build/bin (or --bindir).
+"""
+
+import argparse
+import json
+import os
+import re
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+PORT_RE = re.compile(r"listening on tcp port (\d+)")
+
+
+def log(msg):
+    print(f"[fleet_smoke] {msg}", flush=True)
+
+
+def fail(msg):
+    print(f"[fleet_smoke] FAIL: {msg}", file=sys.stderr, flush=True)
+    sys.exit(1)
+
+
+class Daemon:
+    """One dcfb-serve or dcfb-coord child with its stderr tailed by a
+    thread (the announcement lines carry the ephemeral port)."""
+
+    def __init__(self, name, argv):
+        self.name = name
+        self.proc = subprocess.Popen(
+            argv,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        self.stderr_lines = []
+        self._port = None
+        self._port_ready = threading.Event()
+        self._reader = threading.Thread(target=self._drain, daemon=True)
+        self._reader.start()
+
+    def _drain(self):
+        for line in self.proc.stderr:
+            self.stderr_lines.append(line.rstrip("\n"))
+            m = PORT_RE.search(line)
+            if m:
+                self._port = int(m.group(1))
+                self._port_ready.set()
+        self._port_ready.set()  # EOF: unblock waiters even on crash
+
+    def port(self, timeout=15.0):
+        if not self._port_ready.wait(timeout) or self._port is None:
+            fail(
+                f"{self.name} never announced a TCP port; stderr:\n"
+                + "\n".join(self.stderr_lines)
+            )
+        return self._port
+
+    def sigkill(self):
+        self.proc.kill()
+        self.proc.wait()
+
+    def stop(self, expect_zero=True, timeout=60):
+        """SIGTERM, wait, return the drained stdout (final stats)."""
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+        try:
+            out, _ = self.proc.communicate(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            fail(f"{self.name} did not drain within {timeout}s")
+        self._reader.join(timeout=5)
+        if expect_zero and self.proc.returncode != 0:
+            fail(
+                f"{self.name} exited {self.proc.returncode}; stderr:\n"
+                + "\n".join(self.stderr_lines)
+            )
+        return out
+
+
+def coord_request(port, doc, on_event=None, timeout=600.0):
+    """Send one dcfb-coord-v1 request and collect the streamed events
+    until a terminal one ("done", "error", or a plain reply)."""
+    with socket.create_connection(("127.0.0.1", port), timeout=timeout) as sock:
+        sock.settimeout(timeout)
+        sock.sendall((json.dumps(doc) + "\n").encode())
+        events = []
+        reader = sock.makefile("rb")
+        for raw in reader:
+            event = json.loads(raw)
+            events.append(event)
+            if on_event:
+                on_event(event)
+            # A grid streams "accepted" then "cell"s; anything else
+            # ("done", "error", or a one-shot reply) ends the exchange.
+            if event.get("event") not in ("accepted", "cell"):
+                return events
+    fail("coordinator closed the stream without a terminal event")
+
+
+def run_grid(port, seed, on_event=None):
+    """Run one full-default fig16 grid; returns (done_event, report
+    bytes, wall seconds)."""
+    t0 = time.monotonic()
+    events = coord_request(port, {"op": "grid", "seed": seed}, on_event)
+    wall = time.monotonic() - t0
+    done = events[-1]
+    if done.get("event") != "done":
+        fail(f"grid seed={seed} did not finish: {json.dumps(done)[:500]}")
+    report = done.get("report")
+    if not isinstance(report, dict):
+        fail(f"grid seed={seed} done event carries no report")
+    if report.get("schema") != "dcfb-grid-v1":
+        fail(f"unexpected report schema: {report.get('schema')}")
+    # Canonical bytes for identity checks: the coordinator guarantees
+    # the report content is deterministic, so a stable re-encoding is
+    # a faithful byte-level comparison.
+    blob = json.dumps(report, sort_keys=True).encode()
+    return done, blob, wall
+
+
+def start_worker(bindir, name, cache_dir):
+    return Daemon(
+        name,
+        [
+            os.path.join(bindir, "dcfb-serve"),
+            "--listen", "127.0.0.1:0",
+            "--jobs", "0",
+            "--queue", "64",
+            "--cache", cache_dir,
+            "--retry-after-ms", "25",
+            "--metrics-interval-ms", "0",
+        ],
+    )
+
+
+def start_coord(bindir, name, workers):
+    argv = [
+        os.path.join(bindir, "dcfb-coord"),
+        "--listen", "127.0.0.1:0",
+        "--connect-budget-ms", "2000",
+        "--recv-timeout-ms", "10000",
+    ]
+    for wname, port in workers:
+        argv += ["--worker", f"{wname}=127.0.0.1:{port}"]
+    return Daemon(name, argv)
+
+
+def worker_sims(stats_event):
+    """Map worker name -> svc.sims_executed from a fleet-stats reply."""
+    sims = {}
+    for entry in stats_event.get("workers", []):
+        counters = entry.get("stats", {}).get("counters", {})
+        sims[entry["name"]] = counters.get("svc.sims_executed", 0)
+    return sims
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--bindir",
+        default=os.path.join("build", "bin"),
+        help="directory holding dcfb-serve and dcfb-coord",
+    )
+    args = parser.parse_args()
+    bindir = os.path.abspath(args.bindir)
+    for binary in ("dcfb-serve", "dcfb-coord"):
+        if not os.path.exists(os.path.join(bindir, binary)):
+            fail(f"{binary} not found in {bindir}; build first")
+
+    scratch = tempfile.mkdtemp(prefix="dcfb_fleet_smoke_")
+    daemons = []
+    try:
+        # -- phase 1: single-host reference ---------------------------
+        ref_worker = start_worker(
+            bindir, "ref-worker", os.path.join(scratch, "cache_ref")
+        )
+        daemons.append(ref_worker)
+        ref_coord = start_coord(
+            bindir, "ref-coord", [("ref", ref_worker.port())]
+        )
+        daemons.append(ref_coord)
+        ref_port = ref_coord.port()
+
+        log("single-host reference: full fig16 grid, seed 1")
+        ref_done, ref_blob, single_wall = run_grid(ref_port, seed=1)
+        if ref_done["simulated"] != 35 or ref_done["cached"] != 0:
+            fail(
+                "reference grid expected 35 simulated / 0 cached cells, "
+                f"got {ref_done['simulated']} / {ref_done['cached']}"
+            )
+        log(f"single-host wall: {single_wall:.2f}s (35 cells, --jobs auto)")
+
+        log("single-host reference: seed 2 (for the worker-kill phase)")
+        _, ref_blob_seed2, _ = run_grid(ref_port, seed=2)
+
+        # -- phase 2: cold 3-worker fleet -----------------------------
+        workers = []
+        for i in range(3):
+            worker = start_worker(
+                bindir, f"w{i}", os.path.join(scratch, f"cache_w{i}")
+            )
+            daemons.append(worker)
+            workers.append(worker)
+        ports = [w.port() for w in workers]
+        coord = start_coord(
+            bindir, "coord", [(f"w{i}", p) for i, p in enumerate(ports)]
+        )
+        daemons.append(coord)
+        coord_port = coord.port()
+
+        log("cold fleet grid: 3 workers, seed 1")
+        cold_done, cold_blob, fleet_wall = run_grid(coord_port, seed=1)
+        if cold_done["simulated"] != 35 or cold_done["cached"] != 0:
+            fail(
+                "cold fleet grid expected 35 simulated / 0 cached, got "
+                f"{cold_done['simulated']} / {cold_done['cached']}"
+            )
+        if cold_blob != ref_blob:
+            fail("cold fleet report differs from the single-host report")
+        log(f"fleet wall: {fleet_wall:.2f}s; report byte-identical")
+
+        stats = coord_request(coord_port, {"op": "stats"})[-1]
+        sims = worker_sims(stats)
+        idle = [name for name, n in sims.items() if n == 0]
+        if idle:
+            fail(f"workers ran no simulations (sharding broken?): {idle}")
+        log(f"per-worker simulations: {sims}")
+
+        # -- perf: the fleet must beat the single host ----------------
+        # Wall-clock noise can flip a close race, so a loss gets one
+        # fresh-seed rerun of both sides before the verdict.  Enforced
+        # only with real parallel headroom (>= 2 CPUs).
+        cpus = os.cpu_count() or 1
+        if fleet_wall >= single_wall and cpus >= 2:
+            log("perf: close race, re-measuring both sides on seed 3")
+            _, _, single_wall = run_grid(ref_port, seed=3)
+            _, _, fleet_wall = run_grid(coord_port, seed=3)
+        verdict = f"fleet {fleet_wall:.2f}s vs single-host {single_wall:.2f}s"
+        if fleet_wall < single_wall:
+            log(f"perf: {verdict} -- fleet wins")
+        elif cpus < 2:
+            log(f"perf (advisory, {cpus} cpu): {verdict}")
+        else:
+            fail(f"fleet did not beat single-host: {verdict}")
+
+        ref_coord.stop()
+        daemons.remove(ref_coord)
+        ref_worker.stop()
+        daemons.remove(ref_worker)
+
+        # -- phase 3: warm fleet, federated cache hits ----------------
+        log("warm fleet grid: same seed, expecting zero simulations")
+        warm_done, warm_blob, warm_wall = run_grid(coord_port, seed=1)
+        if warm_done["simulated"] != 0:
+            fail(
+                "warm fleet grid re-simulated "
+                f"{warm_done['simulated']} cells; federated cache broken"
+            )
+        if warm_done["cached"] != 35:
+            fail(f"warm grid served {warm_done['cached']}/35 from cache")
+        if warm_blob != ref_blob:
+            fail("warm fleet report differs from the cold report")
+        log(f"warm wall: {warm_wall:.2f}s, all 35 cells from cache")
+
+        # -- phase 4: SIGKILL one worker mid-grid ---------------------
+        log("kill phase: seed 2 grid, SIGKILL w0 after the first cell")
+        killed = threading.Event()
+
+        def kill_on_first_cell(event):
+            if event.get("event") == "cell" and not killed.is_set():
+                killed.set()
+                workers[0].sigkill()
+                log("w0 SIGKILLed")
+
+        kill_done, kill_blob, _ = run_grid(
+            coord_port, seed=2, on_event=kill_on_first_cell
+        )
+        if not killed.is_set():
+            fail("kill phase never saw a cell event")
+        if kill_done["worker_deaths"] < 1:
+            fail("coordinator did not record the worker death")
+        if kill_done["rebalanced"] < 1:
+            fail("no cells were rebalanced off the dead worker")
+        if kill_blob != ref_blob_seed2:
+            fail("post-kill report differs from the single-host report")
+        log(
+            f"grid survived: {kill_done['worker_deaths']} death(s), "
+            f"{kill_done['rebalanced']} cell(s) rebalanced"
+        )
+
+        stats = coord_request(coord_port, {"op": "stats"})[-1]
+        alive = [e["name"] for e in stats["workers"] if e["alive"]]
+        if sorted(alive) != ["w1", "w2"]:
+            fail(f"expected w1+w2 alive after the kill, got {alive}")
+
+        # -- phase 5: drain + final accounting ------------------------
+        out = coord.stop()
+        daemons.remove(coord)
+        final = json.loads(out)
+        fleet = final.get("fleet", {})
+        # w0's counters died with it; the survivors alone must account
+        # for at least the rebalanced share of the seed-2 grid.
+        if fleet.get("sims_executed", 0) < kill_done["rebalanced"]:
+            fail(f"implausible final fleet accounting: {fleet}")
+        log(f"coordinator drained; fleet stats: {fleet}")
+
+        for worker in workers[1:]:
+            worker.stop()
+            daemons.remove(worker)
+        daemons.remove(workers[0])  # already SIGKILLed
+
+        log("OK")
+    finally:
+        for daemon in daemons:
+            if daemon.proc.poll() is None:
+                daemon.proc.kill()
+                daemon.proc.wait()
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -40,6 +40,7 @@ import argparse
 import json
 import os
 import random
+import re
 import signal
 import socket
 import subprocess
@@ -74,19 +75,24 @@ INVALID_LINES = [
 
 
 class Client:
-    """One NDJSON request/reply exchange per call, with line buffering."""
+    """One NDJSON request/reply exchange per call, with line buffering.
 
-    def __init__(self, path, timeout=30.0):
+    `addr` is either a Unix-socket path (str) or a TCP (host, port)
+    tuple -- the storm runs unchanged over both transports.
+    """
+
+    def __init__(self, addr, timeout=30.0):
         self.sock = None
         self.buf = b""
         deadline = time.monotonic() + timeout
+        family = socket.AF_INET if isinstance(addr, tuple) else socket.AF_UNIX
         # The listener's backlog can overflow under the thundering herd;
         # retry the connect until the daemon drains the backlog.
         while True:
             try:
-                s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                s = socket.socket(family, socket.SOCK_STREAM)
                 s.settimeout(timeout)
-                s.connect(path)
+                s.connect(addr)
                 self.sock = s
                 return
             except OSError:
@@ -242,29 +248,61 @@ def main():
     ap.add_argument("--invalid", type=int, default=50)
     ap.add_argument("--queue", type=int, default=8)
     ap.add_argument("--jobs", type=int, default=0)
+    ap.add_argument("--transport", choices=("unix", "tcp"), default="unix",
+                    help="run the storm over the Unix socket or the "
+                         "TCP listener (--listen 127.0.0.1:0)")
     args = ap.parse_args()
 
     tmp = tempfile.mkdtemp(prefix="dcfb-smoke-")
     sock_path = os.path.join(tmp, "svc.sock")
     cache_dir = os.path.join(tmp, "cache")
     cmd = [
-        args.serve, "--socket", sock_path, "--queue", str(args.queue),
+        args.serve, "--queue", str(args.queue),
         "--cache", cache_dir, "--warm", "2000", "--measure", "3000",
         "--retry-after-ms", "25",
     ]
+    if args.transport == "tcp":
+        cmd += ["--listen", "127.0.0.1:0"]
+    else:
+        cmd += ["--socket", sock_path]
     if args.jobs:
         cmd += ["--jobs", str(args.jobs)]
     print("smoke: starting", " ".join(cmd), flush=True)
-    serve = subprocess.Popen(cmd, stdout=subprocess.PIPE, text=True)
+    serve = subprocess.Popen(cmd, stdout=subprocess.PIPE,
+                             stderr=subprocess.PIPE, text=True)
+
+    # Tail the daemon's stderr: in TCP mode the ephemeral port arrives
+    # as a "listening on tcp port N" announcement, and the pipe must be
+    # drained either way so the daemon never blocks on a full pipe.
+    stderr_lines = []
+    port_box = {}
+    port_ready = threading.Event()
+
+    def drain_stderr():
+        for line in serve.stderr:
+            stderr_lines.append(line.rstrip("\n"))
+            m = re.search(r"listening on tcp port (\d+)", line)
+            if m:
+                port_box["port"] = int(m.group(1))
+                port_ready.set()
+        port_ready.set()
+    threading.Thread(target=drain_stderr, daemon=True).start()
 
     failures = []
     try:
-        deadline = time.monotonic() + 30
-        while not os.path.exists(sock_path):
-            if serve.poll() is not None or time.monotonic() > deadline:
-                print("smoke: daemon failed to come up", file=sys.stderr)
+        if args.transport == "tcp":
+            if not port_ready.wait(30) or "port" not in port_box:
+                print("smoke: daemon never announced its TCP port:",
+                      "\n".join(stderr_lines), file=sys.stderr)
                 return 1
-            time.sleep(0.05)
+            sock_path = ("127.0.0.1", port_box["port"])
+        else:
+            deadline = time.monotonic() + 30
+            while not os.path.exists(sock_path):
+                if serve.poll() is not None or time.monotonic() > deadline:
+                    print("smoke: daemon failed to come up", file=sys.stderr)
+                    return 1
+                time.sleep(0.05)
         ping = Client(sock_path).request({"op": "ping"})
         assert ping.get("ok"), ping
 

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "svc/client.h"
+#include "svc/coordinator.h"
 #include "svc/server.h"
 
 namespace dcfb::cli {
@@ -70,13 +71,20 @@ buildDocs()
     svc::ServerConfig sc;
     BinaryDoc serve;
     serve.binary = "dcfb-serve";
-    serve.synopsis = "dcfb-serve --socket PATH [flags]";
+    serve.synopsis =
+        "dcfb-serve --socket PATH and/or --listen HOST:PORT [flags]";
     serve.description =
-        "The experiment service daemon (DESIGN.md section 9).  Runs "
-        "until SIGTERM/SIGINT, then drains gracefully.  EXPERIMENTS.md "
-        "documents the request protocol.";
+        "The experiment service daemon (DESIGN.md section 9).  Listens "
+        "on a Unix socket, a TCP endpoint (fleet workers behind a "
+        "dcfb-coord, DESIGN.md section 15), or both; at least one is "
+        "required.  Runs until SIGTERM/SIGINT, then drains gracefully.  "
+        "EXPERIMENTS.md documents the request protocol.";
     serve.flags = {
-        {"--socket", "PATH", "", "Unix-domain socket to bind", true},
+        {"--socket", "PATH", "off", "Unix-domain socket to bind", false},
+        {"--listen", "HOST:PORT", "off",
+         "TCP endpoint to bind as well/instead; port 0 picks an "
+         "ephemeral port, announced on stderr as \"listening on tcp "
+         "port N\"", false},
         {"--jobs", "N", "auto",
          "simulation worker threads (0 or absent = one per hardware "
          "thread)", false},
@@ -114,20 +122,76 @@ buildDocs()
     };
     docs.push_back(std::move(serve));
 
+    // -- dcfb-coord ------------------------------------------------------
+    svc::CoordinatorConfig cc;
+    BinaryDoc coord;
+    coord.binary = "dcfb-coord";
+    coord.synopsis =
+        "dcfb-coord --worker NAME=ENDPOINT [--worker ...] "
+        "--socket PATH and/or --listen HOST:PORT [flags]";
+    coord.description =
+        "The fleet coordinator (DESIGN.md section 15): shards "
+        "experiment grids across N dcfb-serve workers on a "
+        "consistent-hash ring keyed by result-cache fingerprints, "
+        "streams per-cell dcfb-coord-v1 events and merges a "
+        "deterministic dcfb-grid-v1 report.  Repeat cells route to the "
+        "worker whose cache holds them, so a warm fleet answers a grid "
+        "with zero simulations.  Runs until SIGTERM/SIGINT, then "
+        "drains: running grids finish, fleet stats print to stdout, "
+        "exit 0.";
+    coord.flags = {
+        {"--worker", "NAME=ENDPOINT", "",
+         "one worker daemon (repeatable; at least one).  NAME is the "
+         "stable ring identity, ENDPOINT a Unix-socket path or TCP "
+         "host:port; a bare ENDPOINT doubles as the name", true},
+        {"--socket", "PATH", "off",
+         "Unix-domain socket to serve clients on", false},
+        {"--listen", "HOST:PORT", "off",
+         "TCP endpoint to serve clients on; port 0 picks an ephemeral "
+         "port, announced on stderr", false},
+        {"--vnodes", "N", num(cc.vnodes),
+         "virtual nodes per worker on the hash ring (more = smoother "
+         "spread, slower ring edits)", false},
+        {"--warm", "N", "150000",
+         "default warmup cycles when a grid names none", false},
+        {"--measure", "N", "150000",
+         "default measured cycles when a grid names none", false},
+        {"--connect-budget-ms", "N", num(cc.connectBudgetMs),
+         "retry budget for each worker connection (jittered backoff on "
+         "ECONNREFUSED/timeouts)", false},
+        {"--recv-timeout-ms", "N", num(cc.recvTimeoutMs),
+         "per-reply wait before a worker is declared dead and its "
+         "cells are rebalanced", false},
+        {"--poll-ms", "N", num(cc.pollMs),
+         "fetch poll interval while a shard's cells simulate", false},
+        {"--cell-attempts", "N", num(cc.cellAttempts),
+         "placements per cell before the grid fails with a typed "
+         "error", false},
+        {"--trace-spans", "FILE", "",
+         "record grid handling as spans; the Chrome trace-event "
+         "timeline is written at exit", false},
+    };
+    docs.push_back(std::move(coord));
+
     // -- dcfb-client -----------------------------------------------------
     svc::RetryPolicy rp;
     BinaryDoc clientGlobal;
     clientGlobal.binary = "dcfb-client (global flags)";
     clientGlobal.synopsis =
-        "dcfb-client --socket PATH [global flags] COMMAND ...";
+        "dcfb-client --endpoint PATH|HOST:PORT [global flags] COMMAND ...";
     clientGlobal.description =
-        "CLI for the experiment daemon.  Commands: submit, status JOB, "
+        "CLI for the experiment daemon (and, for the grid command, the "
+        "fleet coordinator).  Commands: submit, grid, status JOB, "
         "fetch JOB, cancel JOB, stats, ping, drain, metrics, raw "
         "'<request json>'.  The reply document is printed to stdout; "
         "exit status is 0 on \"ok\":true, 1 on a daemon error, 2 on "
         "usage/connection problems.";
     clientGlobal.flags = {
-        {"--socket", "PATH", "", "daemon socket to connect to", true},
+        {"--endpoint", "PATH|HOST:PORT", "",
+         "daemon to connect to: a Unix-socket path (anything with a "
+         "'/' or without a ':') or a TCP host:port", true},
+        {"--socket", "PATH|HOST:PORT", "",
+         "alias of --endpoint (predates the TCP transport)", false},
         {"--trace-spans", "FILE", "",
          "record the client side of the request as spans and send the "
          "IDs along, so the daemon's timeline stitches through this "
@@ -162,6 +226,30 @@ buildDocs()
          "and block until the result is available", false},
     };
     docs.push_back(std::move(submit));
+
+    BinaryDoc grid;
+    grid.binary = "dcfb-client grid";
+    grid.synopsis =
+        "dcfb-client --endpoint HOST:PORT|PATH grid [flags]";
+    grid.description =
+        "Run an experiment grid through a dcfb-coord coordinator: the "
+        "streamed per-cell events go to stderr as progress, the merged "
+        "dcfb-grid-v1 report to stdout (or --out).  With no flags the "
+        "full fig16 grid (every server workload x every preset) is "
+        "requested.";
+    grid.flags = {
+        {"--workloads", "A,B,...", "all server workloads",
+         "comma-separated workload names", false},
+        {"--presets", "A,B,...", "all presets",
+         "comma-separated preset names", false},
+        {"--warm", "N", "coordinator default", "warmup cycles", false},
+        {"--measure", "N", "coordinator default", "measured cycles",
+         false},
+        {"--seed", "N", "42", "trace-walk seed for every cell", false},
+        {"--out", "FILE", "stdout",
+         "write the merged report to FILE instead of stdout", false},
+    };
+    docs.push_back(std::move(grid));
 
     BinaryDoc metrics;
     metrics.binary = "dcfb-client metrics";

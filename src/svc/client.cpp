@@ -1,5 +1,6 @@
 #include "svc/client.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -47,35 +48,66 @@ Client::close()
         ::close(fd);
         fd = -1;
     }
-    pending.clear();
+    framer.reset();
 }
 
 rt::Expected<void>
-Client::connect(const std::string &socket_path)
+Client::connect(const std::string &endpoint)
 {
     close();
-    socketPath = socket_path;
-    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd < 0)
-        return clientError("cannot create socket");
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (socket_path.size() >= sizeof(addr.sun_path)) {
-        close();
-        return rt::Error(rt::ErrorKind::Config, "socket path too long")
-            .with("path", socket_path);
+    socketPath = endpoint;
+    auto connected = isTcpEndpoint(endpoint) ? tcpConnect(endpoint)
+                                             : unixConnect(endpoint);
+    if (!connected.ok()) {
+        lastErrno = errno;
+        return connected.error();
     }
-    std::strncpy(addr.sun_path, socket_path.c_str(),
-                 sizeof(addr.sun_path) - 1);
-    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
-                  sizeof(addr)) != 0) {
-        rt::Error err = clientError("cannot connect to daemon")
-                            .with("path", socket_path);
-        close();
-        return err;
-    }
+    fd = connected.value();
+    lastErrno = 0;
     applyRecvTimeout();
     return {};
+}
+
+rt::Expected<void>
+Client::connectWithRetry(const std::string &endpoint,
+                         unsigned max_retries)
+{
+    std::uint64_t backoff_ms = policy.submitBackoffMs;
+    std::uint64_t spent_ms = 0;
+    for (unsigned attempt = 0;; ++attempt) {
+        auto connected = connect(endpoint);
+        if (connected.ok())
+            return {};
+        // Only the "daemon not up yet" family is worth waiting out:
+        // refused (nothing listening), timed out (host slow to come
+        // up), and a Unix-socket file not bound yet.  Anything else
+        // (bad host, permissions) will not improve by retrying.
+        bool transient = lastErrno == ECONNREFUSED ||
+            lastErrno == ETIMEDOUT || lastErrno == ENOENT ||
+            lastErrno == ECONNRESET;
+        if (!transient || attempt + 1 >= max_retries) {
+            rt::Error err = connected.error();
+            return std::move(err)
+                .with("attempts", std::uint64_t{attempt} + 1)
+                .with("spent_ms", spent_ms);
+        }
+        double scaled = static_cast<double>(
+                            std::min(backoff_ms, policy.capMs)) *
+            (0.5 + jitter.uniform());
+        std::uint64_t ms = static_cast<std::uint64_t>(scaled);
+        ms = ms ? ms : 1;
+        if (policy.budgetMs && spent_ms + ms > policy.budgetMs) {
+            rt::Error err = connected.error();
+            return std::move(err)
+                .with("stage", "connect")
+                .with("budget_ms", policy.budgetMs)
+                .with("spent_ms", spent_ms)
+                .with("attempts", std::uint64_t{attempt} + 1);
+        }
+        spent_ms += ms;
+        backoff_ms = std::min(backoff_ms * 2, policy.capMs);
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    }
 }
 
 void
@@ -112,8 +144,10 @@ Client::sendAll(const std::string &text)
                            MSG_NOSIGNAL);
         if (w < 0 && errno == EINTR)
             continue; // interrupted by a signal, not a dead socket
-        if (w <= 0)
+        if (w <= 0) {
+            lastErrno = w < 0 ? errno : 0;
             return clientError("send to daemon failed");
+        }
         off += static_cast<std::size_t>(w);
     }
     return {};
@@ -123,31 +157,30 @@ rt::Expected<std::string>
 Client::recvLine()
 {
     for (;;) {
-        if (std::size_t nl = pending.find('\n'); nl != std::string::npos) {
-            std::string line = pending.substr(0, nl);
-            pending.erase(0, nl + 1);
-            return line;
-        }
+        if (auto line = framer.next())
+            return std::move(*line);
         char buf[4096];
         ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
         if (n < 0 && errno == EINTR)
             continue; // interrupted by a signal; the reply may still come
         if (n <= 0) {
+            lastErrno = n < 0 ? errno : 0;
             if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
                 return clientError("daemon reply timed out");
             return clientError("daemon closed the connection");
         }
-        pending.append(buf, static_cast<std::size_t>(n));
+        if (auto fed = framer.feed(buf, static_cast<std::size_t>(n));
+            !fed.ok()) {
+            return fed.error();
+        }
     }
 }
 
 rt::Expected<obs::JsonValue>
-Client::requestLine(const std::string &line)
+Client::receive()
 {
     if (fd < 0)
         return rt::Error(rt::ErrorKind::Config, "client is not connected");
-    if (auto sent = sendAll(line + "\n"); !sent.ok())
-        return sent.error();
     auto reply_line = recvLine();
     if (!reply_line.ok())
         return reply_line.error();
@@ -158,6 +191,16 @@ Client::requestLine(const std::string &line)
             .with("reply", reply_line.value());
     }
     return std::move(*reply);
+}
+
+rt::Expected<obs::JsonValue>
+Client::requestLine(const std::string &line)
+{
+    if (fd < 0)
+        return rt::Error(rt::ErrorKind::Config, "client is not connected");
+    if (auto sent = sendAll(line + "\n"); !sent.ok())
+        return sent.error();
+    return receive();
 }
 
 rt::Expected<obs::JsonValue>

@@ -1,11 +1,12 @@
 /**
  * @file
  * Client side of the dcfb-svc-v1 protocol: a thin blocking connection
- * to a dcfb-serve socket plus the retry/backoff policy the daemon's
- * backpressure replies ask for.
+ * to a dcfb-serve endpoint (Unix socket or TCP `host:port`) plus the
+ * retry/backoff policy the daemon's backpressure replies ask for.
  *
  * `Client` owns one connected socket and exchanges one reply per
- * request line.  `submitAndWait()` layers the full job lifecycle on
+ * request line; replies are reassembled with svc::LineFramer, so
+ * fragmentation over TCP is invisible.  `submitAndWait()` layers the full job lifecycle on
  * top: submit, honor `queue_full`/`draining` rejects by backing off
  * and retrying, then poll `fetch` until the job is terminal.  Both the
  * dcfb-client CLI and the in-process tests drive this class.
@@ -42,6 +43,7 @@
 #include "common/rng.h"
 #include "obs/json.h"
 #include "rt/error.h"
+#include "svc/net.h"
 #include "svc/protocol.h"
 
 namespace dcfb::svc {
@@ -73,10 +75,25 @@ class Client
     Client(const Client &) = delete;
     Client &operator=(const Client &) = delete;
 
-    /** Connect to the daemon socket at @p socket_path.  The path is
-     *  remembered so failure handling can reconnect after a daemon
-     *  restart. */
-    rt::Expected<void> connect(const std::string &socket_path);
+    /**
+     * Connect to the daemon at @p endpoint — a Unix-socket path or a
+     * TCP `host:port` (svc::isTcpEndpoint decides).  The endpoint is
+     * remembered so failure handling can reconnect after a daemon
+     * restart.
+     */
+    rt::Expected<void> connect(const std::string &endpoint);
+
+    /**
+     * connect(), retrying refused/timed-out attempts (ECONNREFUSED,
+     * ETIMEDOUT, and ENOENT for a Unix socket not bound yet) with the
+     * policy's jittered exponential backoff.  Fleet startup races the
+     * coordinator against its workers; this absorbs the window where a
+     * daemon's socket is not listening yet.  Bounded by the policy's
+     * `budgetMs` (and @p max_retries); non-transient errors (a bad
+     * host, a refused permission) fail immediately.
+     */
+    rt::Expected<void> connectWithRetry(const std::string &endpoint,
+                                        unsigned max_retries = 40);
 
     bool connected() const { return fd >= 0; }
     void close();
@@ -91,6 +108,11 @@ class Client
 
     /** request() on a raw line (the CLI's passthrough mode). */
     rt::Expected<obs::JsonValue> requestLine(const std::string &line);
+
+    /** Receive one more reply document without sending anything —
+     *  streaming ops (the coordinator's `grid`) answer one request
+     *  with many frames. */
+    rt::Expected<obs::JsonValue> receive();
 
     /**
      * Submit @p doc (an `op:"submit"` document) and block until the job
@@ -109,8 +131,9 @@ class Client
     void applyRecvTimeout();
 
     int fd = -1;
-    std::string pending;    //!< bytes read past the last newline
+    LineFramer framer;      //!< reply-line reassembly (partial reads)
     std::string socketPath; //!< last connect() target, for reconnects
+    int lastErrno = 0;      //!< errno of the last transport failure
     RetryPolicy policy;
     Rng jitter;             //!< backoff jitter stream
 };

@@ -1,0 +1,744 @@
+#include "svc/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <thread>
+
+#include "obs/span.h"
+#include "svc/fingerprint.h"
+#include "svc/protocol.h"
+#include "workload/profiles.h"
+
+namespace dcfb::svc {
+
+namespace {
+
+std::uint64_t
+microsSince(std::chrono::steady_clock::time_point t0,
+            std::chrono::steady_clock::time_point t1)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+            .count());
+}
+
+const std::string *
+stringMember(const obs::JsonValue &doc, const std::string &name)
+{
+    const obs::JsonValue *v = doc.find(name);
+    if (!v || v->kind() != obs::JsonValue::Kind::String)
+        return nullptr;
+    return &v->asString();
+}
+
+std::optional<std::uint64_t>
+uintMember(const obs::JsonValue &doc, const std::string &name)
+{
+    const obs::JsonValue *v = doc.find(name);
+    if (!v || v->kind() != obs::JsonValue::Kind::Uint)
+        return std::nullopt;
+    return v->asUint();
+}
+
+obs::JsonValue
+coordEvent(const std::string &event)
+{
+    obs::JsonValue ev = okReply();
+    ev["schema"] = kCoordSchema;
+    ev["event"] = event;
+    return ev;
+}
+
+obs::JsonValue
+coordError(const std::string &code, const std::string &message)
+{
+    obs::JsonValue ev = errorReply(code, message);
+    ev["schema"] = kCoordSchema;
+    ev["event"] = "error";
+    return ev;
+}
+
+/** The fig16 design set: what a `grid` request means by default. */
+std::vector<std::string>
+defaultPresetNames()
+{
+    return {sim::presetName(sim::Preset::Baseline),
+            sim::presetName(sim::Preset::NL),
+            sim::presetName(sim::Preset::SN4LDisBtb),
+            sim::presetName(sim::Preset::Shotgun),
+            sim::presetName(sim::Preset::Confluence)};
+}
+
+} // namespace
+
+Coordinator::Coordinator(CoordinatorConfig config) : cfg(std::move(config))
+{
+    cGrids = stats.counter("coord.grids");
+    cGridFailures = stats.counter("coord.grid_failures");
+    cCells = stats.counter("coord.cells_completed");
+    cCellsCached = stats.counter("coord.cells_cached");
+    cCellsSimulated = stats.counter("coord.cells_simulated");
+    cRebalanced = stats.counter("coord.rebalanced");
+    cWorkerDeaths = stats.counter("coord.worker_deaths");
+    cCellRetries = stats.counter("coord.cell_retries");
+    hGridUs = stats.histogram("coord.grid_us");
+    hCellUs = stats.histogram("coord.cell_us");
+}
+
+Coordinator::~Coordinator()
+{
+    shutdown();
+}
+
+rt::Expected<void>
+Coordinator::start()
+{
+    if (cfg.workers.empty()) {
+        return rt::Error(rt::ErrorKind::Config,
+                         "coordinator needs at least one worker");
+    }
+    std::map<std::string, bool> seen;
+    for (const WorkerSpec &w : cfg.workers) {
+        if (w.name.empty() || w.endpoint.empty()) {
+            return rt::Error(rt::ErrorKind::Config,
+                             "worker needs a name and an endpoint");
+        }
+        if (!seen.emplace(w.name, true).second) {
+            return rt::Error(rt::ErrorKind::Config,
+                             "duplicate worker name")
+                .with("name", w.name);
+        }
+    }
+    if (!cfg.socketPath.empty() || !cfg.listenAddr.empty()) {
+        auto bound = listener.start(
+            cfg.socketPath, cfg.listenAddr,
+            [this](const std::string &line,
+                   const Listener::WriteFn &write) {
+                handleLine(line, [&](const obs::JsonValue &event) {
+                    write(event.dump());
+                });
+            });
+        if (!bound.ok())
+            return bound.error();
+    }
+    started = true;
+    return {};
+}
+
+void
+Coordinator::requestDrain()
+{
+    drainFlag.store(true);
+}
+
+void
+Coordinator::shutdown()
+{
+    if (!started)
+        return;
+    requestDrain();
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        gridsSettled.wait(lock, [this] { return activeGrids == 0; });
+    }
+    listener.shutdown();
+    started = false;
+}
+
+const WorkerSpec *
+Coordinator::findWorker(const std::string &name) const
+{
+    for (const WorkerSpec &w : cfg.workers) {
+        if (w.name == name)
+            return &w;
+    }
+    return nullptr;
+}
+
+// -- request handling -----------------------------------------------------
+
+void
+Coordinator::handleLine(const std::string &line, const EmitFn &emit)
+{
+    auto parsed = obs::JsonValue::parse(line);
+    if (!parsed) {
+        emit(coordError("bad_request", "request is not valid JSON"));
+        return;
+    }
+    const std::string *op = stringMember(*parsed, "op");
+    if (!op) {
+        emit(coordError("bad_request", "request has no op"));
+        return;
+    }
+    if (*op == "ping") {
+        obs::JsonValue ev = coordEvent("pong");
+        ev["op"] = "ping";
+        ev["workers"] = std::uint64_t{cfg.workers.size()};
+        emit(ev);
+        return;
+    }
+    if (*op == "stats") {
+        emit(fleetStats());
+        return;
+    }
+    if (*op == "drain") {
+        requestDrain();
+        obs::JsonValue ev = coordEvent("drain");
+        ev["op"] = "drain";
+        ev["draining"] = true;
+        emit(ev);
+        return;
+    }
+    if (*op == "grid") {
+        handleGrid(*parsed, emit);
+        return;
+    }
+    emit(coordError("bad_request", "unknown op: " + *op));
+}
+
+void
+Coordinator::handleGrid(const obs::JsonValue &req, const EmitFn &emit)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    if (drainFlag.load()) {
+        emit(coordError("draining",
+                        "coordinator is draining; no new grids"));
+        return;
+    }
+
+    // -- parse the grid spec ---------------------------------------------
+    std::vector<std::string> workloads;
+    if (const obs::JsonValue *w = req.find("workloads")) {
+        if (w->kind() != obs::JsonValue::Kind::Array) {
+            emit(coordError("bad_request", "workloads must be an array"));
+            return;
+        }
+        for (const obs::JsonValue &item : w->items()) {
+            if (item.kind() != obs::JsonValue::Kind::String) {
+                emit(coordError("bad_request",
+                                "workloads must be strings"));
+                return;
+            }
+            workloads.push_back(item.asString());
+        }
+    } else {
+        workloads = workload::serverWorkloadNames();
+    }
+    std::vector<std::string> preset_names;
+    if (const obs::JsonValue *p = req.find("presets")) {
+        if (p->kind() != obs::JsonValue::Kind::Array) {
+            emit(coordError("bad_request", "presets must be an array"));
+            return;
+        }
+        for (const obs::JsonValue &item : p->items()) {
+            if (item.kind() != obs::JsonValue::Kind::String) {
+                emit(coordError("bad_request",
+                                "presets must be strings"));
+                return;
+            }
+            preset_names.push_back(item.asString());
+        }
+    } else {
+        preset_names = defaultPresetNames();
+    }
+    if (workloads.empty() || preset_names.empty()) {
+        emit(coordError("bad_request",
+                        "grid needs at least one workload and preset"));
+        return;
+    }
+    sim::RunWindows windows = cfg.defaultWindows;
+    if (auto warm = uintMember(req, "warm"))
+        windows.warm = *warm;
+    if (auto measure = uintMember(req, "measure"))
+        windows.measure = *measure;
+    std::optional<std::uint64_t> seed = uintMember(req, "seed");
+    std::uint64_t traceId = uintMember(req, "trace_id").value_or(0);
+    std::uint64_t parentSpan = uintMember(req, "parent_span").value_or(0);
+
+    // -- build the cells: every (workload, preset) with its key ----------
+    // The fingerprint is computed here, coordinator-side, with the same
+    // makeConfig path the workers use, so ring placement and the
+    // workers' cache keys agree byte for byte.
+    std::vector<Cell> cells;
+    cells.reserve(workloads.size() * preset_names.size());
+    for (const std::string &workload : workloads) {
+        auto profile = workload::tryServerProfile(workload);
+        if (!profile.ok()) {
+            emit(coordError("bad_request",
+                            "unknown workload: " + workload));
+            return;
+        }
+        for (const std::string &preset_name : preset_names) {
+            auto preset = presetFromName(preset_name);
+            if (!preset.ok()) {
+                emit(coordError("bad_request",
+                                "unknown preset: " + preset_name));
+                return;
+            }
+            sim::SystemConfig config =
+                sim::makeConfig(profile.value(), preset.value());
+            if (seed)
+                config.runSeed = *seed;
+            if (cfg.configHook)
+                cfg.configHook(config);
+            Cell cell;
+            cell.index = cells.size();
+            cell.workload = workload;
+            cell.presetName = sim::presetName(preset.value());
+            cell.key = cacheKey(config, windows);
+            obs::JsonValue doc = obs::JsonValue::object();
+            doc["op"] = "submit";
+            doc["workload"] = workload;
+            doc["preset"] = cell.presetName;
+            // Windows ride along explicitly so the workers' default
+            // windows can never skew the fingerprint.
+            doc["warm"] = windows.warm;
+            doc["measure"] = windows.measure;
+            if (seed)
+                doc["seed"] = *seed;
+            cell.submitDoc = std::move(doc);
+            cells.push_back(std::move(cell));
+        }
+    }
+
+    std::string gridId;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        gridId = "grid-" + std::to_string(nextGridId++);
+        ++activeGrids;
+        cGrids.add();
+    }
+    std::optional<obs::SpanScope> gridSpan;
+    if (obs::Spans::enabled()) {
+        gridSpan.emplace("coord.grid", traceId, parentSpan, gridId);
+        traceId = gridSpan->traceId();
+        parentSpan = gridSpan->spanId();
+    }
+
+    {
+        obs::JsonValue ev = coordEvent("accepted");
+        ev["grid"] = gridId;
+        ev["cells"] = std::uint64_t{cells.size()};
+        obs::JsonValue names = obs::JsonValue::array();
+        for (const WorkerSpec &w : cfg.workers)
+            names.push(w.name);
+        ev["workers"] = std::move(names);
+        emit(ev);
+    }
+
+    // -- place and run, rebalancing as workers die -----------------------
+    HashRing ring(cfg.vnodes);
+    for (const WorkerSpec &w : cfg.workers)
+        ring.add(w.name);
+
+    std::vector<std::optional<CellResult>> results(cells.size());
+    std::vector<Cell *> pending;
+    pending.reserve(cells.size());
+    for (Cell &cell : cells)
+        pending.push_back(&cell);
+
+    GridOutcome outcome;
+    std::mutex emitMutex; // serializes frames from the shard threads
+    std::string failure;
+
+    auto finishGrid = [&](bool failed) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (failed)
+            cGridFailures.add();
+        hGridUs.sample(
+            microsSince(t0, std::chrono::steady_clock::now()));
+        --activeGrids;
+        gridsSettled.notify_all();
+    };
+
+    while (!pending.empty()) {
+        if (ring.empty()) {
+            finishGrid(true);
+            emit(coordError("no_workers",
+                            "every worker died before the grid "
+                            "finished"));
+            return;
+        }
+        // A cell that keeps missing — its owners dying under it — is
+        // capped so a flapping fleet cannot loop forever.
+        for (Cell *cell : pending) {
+            ++cell->attempts;
+            if (cell->attempts > cfg.cellAttempts) {
+                finishGrid(true);
+                obs::JsonValue ev = coordError(
+                    "cell_failed", "cell exceeded its attempt budget");
+                ev["workload"] = cell->workload;
+                ev["preset"] = cell->presetName;
+                ev["attempts"] = std::uint64_t{cell->attempts - 1};
+                emit(ev);
+                return;
+            }
+            if (cell->attempts > 1) {
+                std::lock_guard<std::mutex> lock(mutex);
+                cCellRetries.add();
+            }
+        }
+
+        // Shard the pending cells by ring ownership.
+        std::map<std::string, std::vector<Cell *>> shards;
+        for (Cell *cell : pending)
+            shards[ring.owner(cell->key)].push_back(cell);
+
+        // One thread per owner: each shard streams independently, so a
+        // slow worker never blocks a fast one's cell events.
+        std::vector<std::thread> threads;
+        std::mutex deadMutex;
+        std::vector<std::string> dead;
+        threads.reserve(shards.size());
+        for (auto &kv : shards) {
+            const WorkerSpec *worker = findWorker(kv.first);
+            std::vector<Cell *> *shard = &kv.second;
+            threads.emplace_back([&, worker, shard] {
+                std::string shardFailure;
+                bool alive = worker &&
+                    runShard(*worker, *shard, results, emitMutex, emit,
+                             gridId, traceId, parentSpan,
+                             &shardFailure);
+                std::lock_guard<std::mutex> lock(deadMutex);
+                if (!alive)
+                    dead.push_back(worker ? worker->name : "?");
+                if (!shardFailure.empty() && failure.empty())
+                    failure = std::move(shardFailure);
+            });
+        }
+        for (std::thread &t : threads)
+            t.join();
+
+        if (!failure.empty()) {
+            // A cell failed terminally (the simulation itself errored):
+            // retrying elsewhere would fail identically, so the grid
+            // fails fast with the worker's error.
+            finishGrid(true);
+            emit(coordError("cell_failed", failure));
+            return;
+        }
+
+        std::vector<Cell *> unfinished;
+        for (Cell *cell : pending) {
+            if (!results[cell->index])
+                unfinished.push_back(cell);
+        }
+        for (const std::string &name : dead) {
+            if (!ring.contains(name))
+                continue;
+            ring.remove(name);
+            ++outcome.workerDeaths;
+            std::lock_guard<std::mutex> lock(mutex);
+            cWorkerDeaths.add();
+        }
+        if (!unfinished.empty() && !dead.empty()) {
+            outcome.rebalanced += unfinished.size();
+            std::lock_guard<std::mutex> lock(mutex);
+            cRebalanced.add(unfinished.size());
+        }
+        pending = std::move(unfinished);
+    }
+
+    // -- merge: deterministic report, cells in request order -------------
+    obs::JsonValue report = obs::JsonValue::object();
+    report["schema"] = kGridReportSchema;
+    obs::JsonValue w = obs::JsonValue::object();
+    w["warm"] = windows.warm;
+    w["measure"] = windows.measure;
+    report["windows"] = std::move(w);
+    if (seed)
+        report["seed"] = *seed;
+    obs::JsonValue wl = obs::JsonValue::array();
+    for (const std::string &name : workloads)
+        wl.push(name);
+    report["workloads"] = std::move(wl);
+    obs::JsonValue pr = obs::JsonValue::array();
+    for (const std::string &name : preset_names)
+        pr.push(name);
+    report["presets"] = std::move(pr);
+    obs::JsonValue cellsJson = obs::JsonValue::array();
+    for (const Cell &cell : cells) {
+        const CellResult &r = *results[cell.index];
+        obs::JsonValue c = obs::JsonValue::object();
+        c["workload"] = cell.workload;
+        c["preset"] = cell.presetName;
+        c["key"] = cell.key;
+        c["result"] = r.result;
+        cellsJson.push(std::move(c));
+        if (r.cached)
+            ++outcome.cached;
+        else
+            ++outcome.simulated;
+    }
+    report["cells"] = std::move(cellsJson);
+
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        cCells.add(cells.size());
+        cCellsCached.add(outcome.cached);
+        cCellsSimulated.add(outcome.simulated);
+    }
+    finishGrid(false);
+
+    obs::JsonValue ev = coordEvent("done");
+    ev["grid"] = gridId;
+    ev["cells"] = std::uint64_t{cells.size()};
+    ev["cached"] = outcome.cached;
+    ev["simulated"] = outcome.simulated;
+    ev["rebalanced"] = outcome.rebalanced;
+    ev["worker_deaths"] = outcome.workerDeaths;
+    if (traceId)
+        ev["trace_id"] = traceId;
+    ev["report"] = std::move(report);
+    emit(ev);
+}
+
+bool
+Coordinator::runShard(const WorkerSpec &w,
+                      const std::vector<Cell *> &cells,
+                      std::vector<std::optional<CellResult>> &results,
+                      std::mutex &emitMutex, const EmitFn &emit,
+                      const std::string &gridId, std::uint64_t traceId,
+                      std::uint64_t parentSpan, std::string *failure)
+{
+    obs::Spans::setThreadName("shard");
+    std::optional<obs::SpanScope> shardSpan;
+    if (obs::Spans::enabled())
+        shardSpan.emplace("coord.shard", traceId, parentSpan, w.name);
+
+    Client client;
+    RetryPolicy rp;
+    rp.budgetMs = cfg.connectBudgetMs;
+    rp.recvTimeoutMs = cfg.recvTimeoutMs;
+    rp.submitBackoffMs = 50;
+    rp.capMs = 1000;
+    // Distinct jitter streams per worker keep shard threads from
+    // backing off in lockstep.
+    if (cfg.jitterSeed)
+        rp.jitterSeed = cfg.jitterSeed ^ fnv1a64(w.name);
+    client.setRetryPolicy(rp);
+    if (!client.connectWithRetry(w.endpoint).ok())
+        return false;
+
+    // Phase 1: submit the whole shard.  Submits return as soon as the
+    // job is admitted, so the worker's pool runs its cells in parallel
+    // while we move on to polling.
+    struct Slot
+    {
+        Cell *cell;
+        std::string job;
+        std::chrono::steady_clock::time_point submittedAt;
+    };
+    std::vector<Slot> slots;
+    slots.reserve(cells.size());
+    for (Cell *cell : cells) {
+        obs::JsonValue doc = cell->submitDoc;
+        if (traceId) {
+            doc["trace_id"] = traceId;
+            doc["parent_span"] = parentSpan;
+        }
+        for (;;) {
+            auto reply = client.request(doc);
+            if (!reply.ok())
+                return false; // transport death; shard re-places
+            const obs::JsonValue &r = reply.value();
+            const obs::JsonValue *ok = r.find("ok");
+            if (ok && ok->kind() == obs::JsonValue::Kind::Bool &&
+                ok->asBool()) {
+                const std::string *job = stringMember(r, "job");
+                if (!job) {
+                    *failure = "submit reply from " + w.name +
+                        " has no job id";
+                    return true;
+                }
+                slots.push_back(
+                    {cell, *job, std::chrono::steady_clock::now()});
+                break;
+            }
+            const std::string *code = stringMember(r, "error");
+            if (code && (*code == "queue_full" ||
+                         *code == "journal_error")) {
+                // Backpressure: honor the hint and resubmit.  The
+                // shard rarely exceeds a worker's queue, but a shared
+                // worker may be busy with someone else's cells.
+                std::uint64_t ms = 50;
+                if (auto hint = uintMember(r, "retry_after_ms"))
+                    ms = *hint;
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(ms));
+                continue;
+            }
+            if (code && *code == "draining")
+                return false; // the worker is going away: re-place
+            *failure = "worker " + w.name + " rejected " +
+                cell->workload + "/" + cell->presetName + ": " +
+                (code ? *code : "unknown error");
+            return true;
+        }
+    }
+
+    // Phase 2: round-robin fetch until every slot is terminal.  One
+    // pass polls each outstanding job once; the sleep between passes
+    // keeps the poll rate bounded however large the shard.
+    std::size_t remaining = slots.size();
+    std::vector<bool> done(slots.size(), false);
+    while (remaining > 0) {
+        bool progressed = false;
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            if (done[i])
+                continue;
+            obs::JsonValue fetch = obs::JsonValue::object();
+            fetch["op"] = "fetch";
+            fetch["job"] = slots[i].job;
+            if (traceId) {
+                fetch["trace_id"] = traceId;
+                fetch["parent_span"] = parentSpan;
+            }
+            auto reply = client.request(fetch);
+            if (!reply.ok())
+                return false; // transport death mid-poll
+            const obs::JsonValue &r = reply.value();
+            const obs::JsonValue *ok = r.find("ok");
+            if (ok && ok->kind() == obs::JsonValue::Kind::Bool &&
+                ok->asBool()) {
+                const obs::JsonValue *result = r.find("result");
+                if (!result) {
+                    *failure = "fetch reply from " + w.name +
+                        " has no result";
+                    return true;
+                }
+                Cell *cell = slots[i].cell;
+                CellResult cr;
+                cr.result = *result;
+                cr.worker = w.name;
+                if (const obs::JsonValue *cached = r.find("cached")) {
+                    cr.cached =
+                        cached->kind() == obs::JsonValue::Kind::Bool &&
+                        cached->asBool();
+                }
+                bool cachedCell = cr.cached;
+                // Distinct indices per shard: the results slot needs
+                // no lock, only the counters and the event stream do.
+                results[cell->index] = std::move(cr);
+                {
+                    std::lock_guard<std::mutex> lock(mutex);
+                    hCellUs.sample(microsSince(
+                        slots[i].submittedAt,
+                        std::chrono::steady_clock::now()));
+                }
+                obs::JsonValue ev = coordEvent("cell");
+                ev["grid"] = gridId;
+                ev["workload"] = cell->workload;
+                ev["preset"] = cell->presetName;
+                ev["key"] = cell->key;
+                ev["worker"] = w.name;
+                ev["cached"] = cachedCell;
+                ev["attempts"] = std::uint64_t{cell->attempts};
+                {
+                    std::lock_guard<std::mutex> lock(emitMutex);
+                    emit(ev);
+                }
+                done[i] = true;
+                --remaining;
+                progressed = true;
+                continue;
+            }
+            const std::string *code = stringMember(r, "error");
+            if (code && *code == "not_ready")
+                continue; // queued or running; poll again next pass
+            if (code && *code == "unknown_job") {
+                // The worker restarted under us and lost the id.  Its
+                // journal/cache may still answer a resubmit, but the
+                // simplest correct move is to treat it as a death and
+                // let the rebalance place the cell again (dedup by
+                // fingerprint makes the retry idempotent).
+                return false;
+            }
+            // Terminal failure (sim_error, cancelled, deadline...):
+            // deterministic, so no other worker would do better.
+            *failure = "cell " + slots[i].cell->workload + "/" +
+                slots[i].cell->presetName + " failed on " + w.name +
+                ": " + (code ? *code : "unknown error");
+            return true;
+        }
+        if (remaining > 0 && !progressed) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(cfg.pollMs));
+        }
+    }
+    return true;
+}
+
+// -- fleet stats ----------------------------------------------------------
+
+obs::JsonValue
+Coordinator::fleetStats()
+{
+    obs::JsonValue reply = coordEvent("stats");
+    reply["op"] = "stats";
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        reply["draining"] = drainFlag.load();
+        reply["active_grids"] = activeGrids;
+        obs::JsonValue counters = obs::JsonValue::object();
+        for (const auto &kv : stats.counters())
+            counters[kv.first] = kv.second;
+        reply["counters"] = std::move(counters);
+    }
+    obs::JsonValue ring = obs::JsonValue::object();
+    ring["vnodes"] = std::uint64_t{cfg.vnodes};
+    obs::JsonValue names = obs::JsonValue::array();
+    for (const WorkerSpec &w : cfg.workers)
+        names.push(w.name);
+    ring["workers"] = std::move(names);
+    reply["ring"] = std::move(ring);
+
+    // Live per-worker snapshots: one short-timeout probe each, so one
+    // dead worker costs a bounded wait, not a hang.
+    std::uint64_t fleetSims = 0;
+    std::uint64_t fleetCacheHits = 0;
+    obs::JsonValue workers = obs::JsonValue::array();
+    for (const WorkerSpec &w : cfg.workers) {
+        obs::JsonValue entry = obs::JsonValue::object();
+        entry["name"] = w.name;
+        entry["endpoint"] = w.endpoint;
+        Client client;
+        RetryPolicy rp;
+        rp.recvTimeoutMs =
+            cfg.recvTimeoutMs ? cfg.recvTimeoutMs : 2000;
+        client.setRetryPolicy(rp);
+        bool alive = false;
+        if (client.connect(w.endpoint).ok()) {
+            obs::JsonValue req = obs::JsonValue::object();
+            req["op"] = "stats";
+            if (auto statsReply = client.request(req);
+                statsReply.ok()) {
+                alive = true;
+                const obs::JsonValue *counters =
+                    statsReply.value().find("counters");
+                if (counters) {
+                    if (const obs::JsonValue *sims =
+                            counters->find("svc.sims_executed")) {
+                        fleetSims += sims->asUint();
+                    }
+                    if (const obs::JsonValue *hits =
+                            counters->find("svc.cache_hits")) {
+                        fleetCacheHits += hits->asUint();
+                    }
+                }
+                entry["stats"] = std::move(statsReply.value());
+            }
+        }
+        entry["alive"] = alive;
+        workers.push(std::move(entry));
+    }
+    reply["workers"] = std::move(workers);
+    obs::JsonValue fleet = obs::JsonValue::object();
+    fleet["sims_executed"] = fleetSims;
+    fleet["cache_hits"] = fleetCacheHits;
+    reply["fleet"] = std::move(fleet);
+    return reply;
+}
+
+} // namespace dcfb::svc

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * The fleet coordinator (dcfb-coord): shards experiment grids across N
+ * dcfb-serve worker daemons and reassembles the results into one
+ * deterministic report (DESIGN.md section 15).
+ *
+ * Topology.  The coordinator is the only process clients talk to; it
+ * holds one dcfb-svc-v1 client connection per worker (Unix socket or
+ * TCP).  Grid cells are placed on a consistent-hash ring keyed by the
+ * cell's content-addressed ResultCache fingerprint — the same key the
+ * workers' caches store results under.  Placement is therefore stable
+ * across grids, coordinators and restarts: a repeat cell lands on the
+ * worker whose cache already holds its result, so a warm fleet answers
+ * a whole grid with zero simulations (the federated cache).
+ *
+ * Protocol (`dcfb-coord-v1`, NDJSON like the service protocol):
+ *
+ *   {"op":"ping"}                      one reply
+ *   {"op":"stats"}                     fleet stats: coordinator
+ *                                      counters + ring + live per-
+ *                                      worker stats snapshots
+ *   {"op":"drain"}                     stop admitting grids
+ *   {"op":"grid","workloads":[...],"presets":[...],
+ *    "warm":N,"measure":N,"seed":S}    STREAMED reply: one "accepted"
+ *                                      event, one "cell" event per
+ *                                      finished cell as it lands, one
+ *                                      final "done" event carrying the
+ *                                      merged report
+ *
+ * Every event carries `"schema":"dcfb-coord-v1"` and `"event"`; the
+ * merged report inside "done" is its own `dcfb-grid-v1` document and
+ * contains only deterministic content (cells in request order, each
+ * with its fingerprint key and RunResult JSON) — no worker names,
+ * cache flags or timings — so a 3-worker fleet, a 1-worker fleet and
+ * a warm repeat all produce byte-identical reports.
+ *
+ * Failure handling.  Submits and fetches ride the svc::Client retry
+ * machinery (jittered backoff, reconnect, idempotent resubmit).  A
+ * worker that dies mid-grid (connection reset, reply timeout) is
+ * removed from the ring and its unfinished cells are re-placed on the
+ * survivors — re-placement only moves the dead worker's shard, and
+ * each retried submit dedupes by fingerprint on the new owner, so a
+ * rebalance never double-runs a cell that already completed.  Cells
+ * have a bounded attempt count; an empty ring or an exhausted cell
+ * fails the grid with a typed error event.
+ */
+
+#ifndef DCFB_SVC_COORDINATOR_H
+#define DCFB_SVC_COORDINATOR_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/registry.h"
+#include "rt/error.h"
+#include "sim/config.h"
+#include "sim/simulator.h"
+#include "svc/client.h"
+#include "svc/hash_ring.h"
+#include "svc/net.h"
+
+namespace dcfb::svc {
+
+/** Coordinator protocol schema tag, carried by every event. */
+inline constexpr const char *kCoordSchema = "dcfb-coord-v1";
+
+/** Schema of the merged grid report inside the "done" event. */
+inline constexpr const char *kGridReportSchema = "dcfb-grid-v1";
+
+/** One worker daemon the coordinator shards onto. */
+struct WorkerSpec
+{
+    std::string name;     //!< ring identity (stable across restarts)
+    std::string endpoint; //!< Unix-socket path or TCP host:port
+};
+
+/** Coordinator configuration (CLI flags of dcfb-coord map 1:1). */
+struct CoordinatorConfig
+{
+    std::string socketPath;        //!< Unix-domain socket ("" = none)
+    std::string listenAddr;        //!< TCP host:port ("" = none)
+    std::vector<WorkerSpec> workers;
+    unsigned vnodes = HashRing::kDefaultVnodes;
+    sim::RunWindows defaultWindows; //!< when a grid names none
+    std::uint64_t connectBudgetMs = 10000; //!< worker connect retries
+    std::uint64_t recvTimeoutMs = 5000; //!< per-reply wait (death bound)
+    std::uint64_t pollMs = 25;     //!< fetch poll interval per pass
+    unsigned cellAttempts = 3;     //!< placements per cell before failing
+    std::uint64_t jitterSeed = 0;  //!< backoff jitter (0 = per-pid)
+
+    /** Optional per-config tweak applied before fingerprinting.  MUST
+     *  match the workers' --config hook (tests shrink workloads on
+     *  both sides); keys are computed independently on each side and
+     *  federation relies on them agreeing. */
+    std::function<void(sim::SystemConfig &)> configHook;
+};
+
+class Coordinator
+{
+  public:
+    explicit Coordinator(CoordinatorConfig config);
+    ~Coordinator();
+
+    Coordinator(const Coordinator &) = delete;
+    Coordinator &operator=(const Coordinator &) = delete;
+
+    /** Validate the fleet and start the listener (when configured). */
+    rt::Expected<void> start();
+
+    /** Stop admitting grids; running grids finish. */
+    void requestDrain();
+
+    /** Full shutdown: drain, wait for running grids, close sockets. */
+    void shutdown();
+
+    bool draining() const { return drainFlag.load(); }
+
+    /** Resolved TCP port (0 when no `listenAddr` was bound). */
+    std::uint16_t tcpPort() const { return listener.tcpPort(); }
+
+    /** Event sink for one request: called once per reply frame. */
+    using EmitFn = std::function<void(const obs::JsonValue &event)>;
+
+    /** One request line -> one or more emitted events (the socket
+     *  handler and in-process tests share this entry point). */
+    void handleLine(const std::string &line, const EmitFn &emit);
+
+    /** The `stats` reply (fleet-stats op). */
+    obs::JsonValue fleetStats();
+
+  private:
+    /** One grid cell: a (workload, preset) pair with its precomputed
+     *  fingerprint key and submit document. */
+    struct Cell
+    {
+        std::size_t index = 0;      //!< position in the merged report
+        std::string workload;
+        std::string presetName;
+        std::string key;            //!< content-addressed cache key
+        obs::JsonValue submitDoc;   //!< dcfb-svc-v1 submit request
+        unsigned attempts = 0;      //!< placements so far
+    };
+
+    /** Per-cell completion as reported by a worker. */
+    struct CellResult
+    {
+        obs::JsonValue result;      //!< RunResult JSON from the fetch
+        bool cached = false;
+        std::string worker;
+    };
+
+    struct GridOutcome
+    {
+        std::uint64_t cached = 0;
+        std::uint64_t simulated = 0;
+        std::uint64_t rebalanced = 0;
+        std::uint64_t workerDeaths = 0;
+    };
+
+    void handleGrid(const obs::JsonValue &req, const EmitFn &emit);
+
+    /** Run @p cells against worker @p w; completed cells land in
+     *  @p results (mutex-guarded) with a streamed "cell" event each.
+     *  Returns false when the worker died (unfinished cells stay
+     *  un-filled and are re-placed by the caller). */
+    bool runShard(const WorkerSpec &w, const std::vector<Cell *> &cells,
+                  std::vector<std::optional<CellResult>> &results,
+                  std::mutex &emitMutex, const EmitFn &emit,
+                  const std::string &gridId, std::uint64_t traceId,
+                  std::uint64_t parentSpan, std::string *failure);
+
+    const WorkerSpec *findWorker(const std::string &name) const;
+
+    CoordinatorConfig cfg;
+    Listener listener;
+    std::atomic<bool> drainFlag{false};
+
+    mutable std::mutex mutex;             //!< stats + grid bookkeeping
+    std::condition_variable gridsSettled;
+    std::uint64_t activeGrids = 0;
+    std::uint64_t nextGridId = 0;
+
+    obs::StatRegistry stats;              //!< guarded by `mutex`
+    obs::Counter cGrids, cGridFailures, cCells, cCellsCached,
+        cCellsSimulated, cRebalanced, cWorkerDeaths, cCellRetries;
+    obs::Histogram hGridUs, hCellUs;
+    bool started = false;
+};
+
+} // namespace dcfb::svc
+
+#endif // DCFB_SVC_COORDINATOR_H

@@ -141,14 +141,21 @@ fingerprint(const sim::SystemConfig &c, const sim::RunWindows &w)
     return fp;
 }
 
-std::string
-fnv1aHex(const std::string &text)
+std::uint64_t
+fnv1a64(const std::string &text)
 {
     std::uint64_t h = 0xcbf29ce484222325ull;
     for (unsigned char ch : text) {
         h ^= ch;
         h *= 0x100000001b3ull;
     }
+    return h;
+}
+
+std::string
+fnv1aHex(const std::string &text)
+{
+    std::uint64_t h = fnv1a64(text);
     char buf[17];
     static const char *digits = "0123456789abcdef";
     for (int i = 15; i >= 0; --i) {

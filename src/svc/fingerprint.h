@@ -25,6 +25,7 @@
 #ifndef DCFB_SVC_FINGERPRINT_H
 #define DCFB_SVC_FINGERPRINT_H
 
+#include <cstdint>
 #include <string>
 
 #include "obs/json.h"
@@ -39,6 +40,10 @@ inline constexpr const char *kCacheSchema = "dcfb-cache-v1";
 /** The canonical fingerprint document for one (config, windows) run. */
 obs::JsonValue fingerprint(const sim::SystemConfig &config,
                            const sim::RunWindows &windows);
+
+/** FNV-1a 64-bit hash of @p text (the raw value behind fnv1aHex; the
+ *  consistent-hash ring places keys with it). */
+std::uint64_t fnv1a64(const std::string &text);
 
 /** FNV-1a 64-bit hash of @p text, rendered as 16 lowercase hex chars. */
 std::string fnv1aHex(const std::string &text);

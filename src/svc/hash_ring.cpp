@@ -1,0 +1,85 @@
+#include "svc/hash_ring.h"
+
+#include "svc/fingerprint.h"
+
+namespace dcfb::svc {
+
+namespace {
+
+/**
+ * Ring position for an arbitrary string.  FNV-1a alone is unusable
+ * here: its final byte barely reaches the high bits, so the points for
+ * "w1#0".."w1#63" (and the hex cache keys) cluster on one arc and the
+ * map ordering — which IS the ring — degenerates.  A splitmix64-style
+ * finalizer avalanches the full word; still fully deterministic.
+ */
+std::uint64_t
+ringPoint(const std::string &text)
+{
+    std::uint64_t x = fnv1a64(text);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+}
+
+} // namespace
+
+void
+HashRing::add(const std::string &name)
+{
+    if (members.count(name))
+        return;
+    members.emplace(name, true);
+    for (unsigned i = 0; i < vnodesPerNode; ++i) {
+        std::uint64_t point =
+            ringPoint(name + "#" + std::to_string(i));
+        // Collisions between members are astronomically unlikely but
+        // must still be deterministic: first-inserted keeps the point.
+        ring.emplace(point, name);
+    }
+}
+
+void
+HashRing::remove(const std::string &name)
+{
+    if (!members.erase(name))
+        return;
+    for (auto it = ring.begin(); it != ring.end();) {
+        if (it->second == name)
+            it = ring.erase(it);
+        else
+            ++it;
+    }
+}
+
+bool
+HashRing::contains(const std::string &name) const
+{
+    return members.count(name) != 0;
+}
+
+std::vector<std::string>
+HashRing::nodes() const
+{
+    std::vector<std::string> out;
+    out.reserve(members.size());
+    for (const auto &kv : members)
+        out.push_back(kv.first);
+    return out;
+}
+
+const std::string &
+HashRing::owner(const std::string &key) const
+{
+    if (ring.empty())
+        return none;
+    auto it = ring.lower_bound(ringPoint(key));
+    if (it == ring.end())
+        it = ring.begin(); // wrap past the top of the ring
+    return it->second;
+}
+
+} // namespace dcfb::svc

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Consistent-hash ring: the coordinator's shard map from result-cache
+ * fingerprint keys to worker daemons (DESIGN.md section 15).
+ *
+ * Each worker contributes `vnodes` points at fnv1a64(name + "#" + i)
+ * on a 64-bit ring; a key is owned by the first point clockwise from
+ * fnv1a64(key), wrapping at the top.  Properties the fleet depends on
+ * (all pinned by tests/test_fleet.cpp):
+ *
+ *  - Determinism: placement is a pure function of the member names —
+ *    every coordinator (and every restart) computes the same map, so
+ *    a repeat cell is routed to the worker whose ResultCache already
+ *    holds its result (the federated cache hit).
+ *  - Uniformity: with the default 64 vnodes, 1k keys over 3 workers
+ *    land within a reasonable factor of an even split.
+ *  - Minimal remapping: removing a worker moves only the keys it
+ *    owned (its arcs fall to the next point clockwise); keys owned by
+ *    survivors never move, so a rebalance after a worker death
+ *    re-runs only the dead worker's shard.
+ */
+
+#ifndef DCFB_SVC_HASH_RING_H
+#define DCFB_SVC_HASH_RING_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dcfb::svc {
+
+class HashRing
+{
+  public:
+    /** Virtual nodes per member; more points = smoother split. */
+    static constexpr unsigned kDefaultVnodes = 64;
+
+    explicit HashRing(unsigned vnodes = kDefaultVnodes)
+        : vnodesPerNode(vnodes ? vnodes : 1)
+    {
+    }
+
+    /** Add member @p name (idempotent). */
+    void add(const std::string &name);
+
+    /** Remove member @p name; its arcs fall to the survivors. */
+    void remove(const std::string &name);
+
+    bool contains(const std::string &name) const;
+    std::size_t size() const { return members.size(); }
+    bool empty() const { return members.empty(); }
+
+    /** Members in insertion-independent (sorted) order. */
+    std::vector<std::string> nodes() const;
+
+    /** Owner of @p key; empty string when the ring is empty. */
+    const std::string &owner(const std::string &key) const;
+
+  private:
+    unsigned vnodesPerNode;
+    std::map<std::uint64_t, std::string> ring; //!< point -> member
+    std::map<std::string, bool> members;
+    std::string none; //!< returned for an empty ring
+};
+
+} // namespace dcfb::svc
+
+#endif // DCFB_SVC_HASH_RING_H

@@ -1,0 +1,407 @@
+#include "svc/net.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "obs/span.h"
+
+namespace dcfb::svc {
+
+namespace {
+
+rt::Error
+netError(const std::string &message)
+{
+    return rt::Error(rt::ErrorKind::Config, message)
+        .with("errno", std::strerror(errno));
+}
+
+} // namespace
+
+// -- LineFramer -----------------------------------------------------------
+
+rt::Expected<void>
+LineFramer::feed(const char *data, std::size_t len)
+{
+    buf.append(data, len);
+    // The overflow check runs against the *unterminated* tail: a burst
+    // holding many complete lines is fine however large, but a single
+    // line growing past the cap with no newline in sight is a broken
+    // or hostile peer.
+    if (buf.size() > maxLine &&
+        buf.find('\n', scan) == std::string::npos) {
+        std::size_t size = buf.size();
+        buf.clear();
+        scan = 0;
+        return rt::Error(rt::ErrorKind::Config,
+                         "line exceeds the framing cap")
+            .with("buffered", std::uint64_t{size})
+            .with("max", std::uint64_t{maxLine});
+    }
+    return {};
+}
+
+std::optional<std::string>
+LineFramer::next()
+{
+    // Resume scanning where the last call stopped: bytes before `scan`
+    // are known newline-free, so a long line fed in small pieces is
+    // scanned once, not once per piece.
+    std::size_t nl = buf.find('\n', scan);
+    if (nl == std::string::npos) {
+        scan = buf.size();
+        return std::nullopt;
+    }
+    std::string line = buf.substr(0, nl);
+    buf.erase(0, nl + 1);
+    scan = 0;
+    return line;
+}
+
+// -- endpoint helpers -----------------------------------------------------
+
+bool
+isTcpEndpoint(const std::string &endpoint)
+{
+    if (endpoint.find('/') != std::string::npos)
+        return false;
+    return endpoint.find(':') != std::string::npos;
+}
+
+rt::Expected<std::pair<std::string, std::string>>
+splitHostPort(const std::string &endpoint)
+{
+    std::size_t colon = endpoint.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == endpoint.size()) {
+        return rt::Error(rt::ErrorKind::Config,
+                         "TCP endpoint is not host:port")
+            .with("endpoint", endpoint);
+    }
+    return std::make_pair(endpoint.substr(0, colon),
+                          endpoint.substr(colon + 1));
+}
+
+namespace {
+
+rt::Expected<int>
+tcpSocketFor(const std::string &endpoint, bool listening, int &fd_out,
+             addrinfo **info_out)
+{
+    auto parts = splitHostPort(endpoint);
+    if (!parts.ok())
+        return parts.error();
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    if (listening)
+        hints.ai_flags = AI_PASSIVE;
+    addrinfo *info = nullptr;
+    int rc = ::getaddrinfo(parts.value().first.c_str(),
+                           parts.value().second.c_str(), &hints, &info);
+    if (rc != 0) {
+        // getaddrinfo does not set errno; pin it so callers that
+        // classify transient failures by errno (Client::connectWithRetry)
+        // never misread a stale ECONNREFUSED as "worth retrying".
+        errno = EINVAL;
+        return rt::Error(rt::ErrorKind::Config, "cannot resolve endpoint")
+            .with("endpoint", endpoint)
+            .with("gai", gai_strerror(rc));
+    }
+    int fd = ::socket(info->ai_family, info->ai_socktype,
+                      info->ai_protocol);
+    if (fd < 0) {
+        rt::Error err = netError("cannot create TCP socket");
+        ::freeaddrinfo(info);
+        return err;
+    }
+    fd_out = fd;
+    *info_out = info;
+    return fd;
+}
+
+} // namespace
+
+rt::Expected<int>
+tcpListen(const std::string &endpoint, std::uint16_t *bound_port)
+{
+    int fd = -1;
+    addrinfo *info = nullptr;
+    if (auto made = tcpSocketFor(endpoint, true, fd, &info); !made.ok())
+        return made.error();
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, info->ai_addr, info->ai_addrlen) != 0 ||
+        ::listen(fd, 128) != 0) {
+        rt::Error err =
+            netError("cannot bind/listen").with("endpoint", endpoint);
+        ::freeaddrinfo(info);
+        ::close(fd);
+        return err;
+    }
+    ::freeaddrinfo(info);
+    if (bound_port) {
+        // `--listen host:0` asks the kernel for an ephemeral port;
+        // report back what it picked so callers can announce it.
+        sockaddr_storage ss{};
+        socklen_t len = sizeof(ss);
+        *bound_port = 0;
+        if (::getsockname(fd, reinterpret_cast<sockaddr *>(&ss), &len) ==
+            0) {
+            if (ss.ss_family == AF_INET) {
+                *bound_port = ntohs(
+                    reinterpret_cast<sockaddr_in *>(&ss)->sin_port);
+            } else if (ss.ss_family == AF_INET6) {
+                *bound_port = ntohs(
+                    reinterpret_cast<sockaddr_in6 *>(&ss)->sin6_port);
+            }
+        }
+    }
+    return fd;
+}
+
+rt::Expected<int>
+tcpConnect(const std::string &endpoint)
+{
+    int fd = -1;
+    addrinfo *info = nullptr;
+    if (auto made = tcpSocketFor(endpoint, false, fd, &info); !made.ok())
+        return made.error();
+    if (::connect(fd, info->ai_addr, info->ai_addrlen) != 0) {
+        int saved = errno;
+        rt::Error err = netError("cannot connect to daemon")
+                            .with("endpoint", endpoint);
+        ::freeaddrinfo(info);
+        ::close(fd);
+        errno = saved; // callers classify transient failures by errno
+        return err;
+    }
+    ::freeaddrinfo(info);
+    // Request/reply with small frames: Nagle would hold every request
+    // back ~40ms waiting for a payload that never comes.
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd;
+}
+
+rt::Expected<int>
+unixListen(const std::string &path)
+{
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return netError("cannot create socket");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        ::close(fd);
+        return rt::Error(rt::ErrorKind::Config, "socket path too long")
+            .with("path", path)
+            .with("max", std::uint64_t{sizeof(addr.sun_path) - 1});
+    }
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    // A stale socket file from a crashed daemon would fail the bind;
+    // the path is daemon-owned, so reclaim it.
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) !=
+            0 ||
+        ::listen(fd, 128) != 0) {
+        rt::Error err = netError("cannot bind/listen").with("path", path);
+        ::close(fd);
+        return err;
+    }
+    return fd;
+}
+
+rt::Expected<int>
+unixConnect(const std::string &path)
+{
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return netError("cannot create socket");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        ::close(fd);
+        errno = EINVAL; // not a transient failure; see tcpSocketFor
+        return rt::Error(rt::ErrorKind::Config, "socket path too long")
+            .with("path", path);
+    }
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        int saved = errno;
+        rt::Error err =
+            netError("cannot connect to daemon").with("path", path);
+        ::close(fd);
+        errno = saved; // callers classify transient failures by errno
+        return err;
+    }
+    return fd;
+}
+
+// -- Listener -------------------------------------------------------------
+
+Listener::~Listener()
+{
+    shutdown();
+}
+
+rt::Expected<void>
+Listener::start(const std::string &unix_path,
+                const std::string &tcp_endpoint, HandlerFn handler_fn)
+{
+    if (unix_path.empty() && tcp_endpoint.empty()) {
+        return rt::Error(rt::ErrorKind::Config,
+                         "listener needs a socket path or a TCP "
+                         "endpoint");
+    }
+    handler = std::move(handler_fn);
+    unixPath = unix_path;
+    if (!unix_path.empty()) {
+        auto bound = unixListen(unix_path);
+        if (!bound.ok())
+            return bound.error();
+        unixFd = bound.value();
+    }
+    if (!tcp_endpoint.empty()) {
+        auto bound = tcpListen(tcp_endpoint, &boundPort);
+        if (!bound.ok()) {
+            if (unixFd >= 0) {
+                ::close(unixFd);
+                unixFd = -1;
+            }
+            return bound.error();
+        }
+        tcpFd = bound.value();
+    }
+    started = true;
+    acceptThread = std::thread([this] { acceptLoop(); });
+    return {};
+}
+
+void
+Listener::shutdown()
+{
+    if (!started)
+        return;
+    stopFlag.store(true);
+    if (acceptThread.joinable())
+        acceptThread.join();
+    if (unixFd >= 0) {
+        ::close(unixFd);
+        unixFd = -1;
+    }
+    if (tcpFd >= 0) {
+        ::close(tcpFd);
+        tcpFd = -1;
+    }
+    {
+        // Poke every open connection so its handler's recv() returns
+        // now instead of waiting out the idle timeout.
+        std::unique_lock<std::mutex> lock(mutex);
+        for (int fd : connectionFds)
+            ::shutdown(fd, SHUT_RDWR);
+        connectionsIdle.wait(lock,
+                             [this] { return activeConnections == 0; });
+    }
+    if (!unixPath.empty())
+        ::unlink(unixPath.c_str());
+    started = false;
+}
+
+void
+Listener::acceptLoop()
+{
+    for (;;) {
+        pollfd pfds[2];
+        nfds_t n = 0;
+        if (unixFd >= 0)
+            pfds[n++] = {unixFd, POLLIN, 0};
+        if (tcpFd >= 0)
+            pfds[n++] = {tcpFd, POLLIN, 0};
+        int rc = ::poll(pfds, n, 200);
+        if (stopFlag.load())
+            return;
+        if (rc <= 0)
+            continue;
+        for (nfds_t i = 0; i < n; ++i) {
+            if (!(pfds[i].revents & POLLIN))
+                continue;
+            int fd = ::accept(pfds[i].fd, nullptr, nullptr);
+            if (fd < 0)
+                continue;
+            if (pfds[i].fd == tcpFd) {
+                int one = 1;
+                ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                             sizeof(one));
+            }
+            // Idle connections are reaped so a dead client cannot pin
+            // a handler thread past shutdown.
+            timeval timeout{30, 0};
+            ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                         sizeof(timeout));
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                ++activeConnections;
+                connectionFds.insert(fd);
+            }
+            std::thread([this, fd] { handleConnection(fd); }).detach();
+        }
+    }
+}
+
+void
+Listener::handleConnection(int fd)
+{
+    obs::Spans::setThreadName("conn");
+    WriteFn write = [fd](const std::string &frame) {
+        std::string out = frame;
+        out += '\n';
+        std::size_t off = 0;
+        while (off < out.size()) {
+            ssize_t w = ::send(fd, out.data() + off, out.size() - off,
+                               MSG_NOSIGNAL);
+            if (w < 0 && errno == EINTR)
+                continue;
+            if (w <= 0)
+                return false;
+            off += static_cast<std::size_t>(w);
+        }
+        return true;
+    };
+    LineFramer framer;
+    char buf[4096];
+    for (;;) {
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            break; // EOF, timeout or error: drop the connection
+        if (!framer.feed(buf, static_cast<std::size_t>(n)).ok())
+            break; // unterminated line past the cap: hostile peer
+        while (auto line = framer.next()) {
+            if (line->empty())
+                continue;
+            handler(*line, write);
+        }
+    }
+    // Deregister before closing: shutdown() pokes registered fds and
+    // must never touch one the kernel may have already reassigned.
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        connectionFds.erase(fd);
+        ::close(fd);
+        --activeConnections;
+        connectionsIdle.notify_all();
+    }
+}
+
+} // namespace dcfb::svc

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Transport plumbing shared by the service daemon, the client and the
+ * coordinator: length-robust NDJSON line framing and the Unix/TCP
+ * endpoint helpers behind `--listen` / `--endpoint`.
+ *
+ * Framing.  The dcfb-svc-v1 and dcfb-coord-v1 protocols are one JSON
+ * document per '\n'-terminated line, but TCP gives no alignment
+ * guarantees: a recv() may return one byte of a line or three lines
+ * and a half.  `LineFramer` owns the reassembly — feed() appends raw
+ * bytes, next() pops complete lines — with a tracked scan offset so a
+ * line arriving one byte at a time costs O(n), not O(n^2) rescans, and
+ * a hard cap on the unterminated-line length so a peer streaming
+ * garbage without a newline cannot grow the buffer unbounded.  Lines
+ * well past 64 KiB (a grid report) reassemble fine; the cap defaults
+ * to 64 MiB.
+ *
+ * Endpoints.  One string names either transport: anything containing a
+ * '/' (or lacking a ':') is a Unix-socket path, `host:port` is TCP.
+ * `dcfb-serve --listen 127.0.0.1:0` binds an ephemeral port;
+ * tcpListen() reports the resolved port back so scripts and tests can
+ * discover it (the daemon prints it on stderr).  TCP sockets get
+ * TCP_NODELAY — the protocol is strictly request/reply and Nagle would
+ * add 40 ms stalls to every round-trip.
+ *
+ * `Listener` is the small accept-loop harness the coordinator builds
+ * on (the Server keeps its own richer loop): it binds a Unix and/or a
+ * TCP endpoint, runs one thread per connection, frames lines with
+ * LineFramer and hands each to a handler that may write any number of
+ * reply frames — which is what lets the coordinator stream per-cell
+ * grid events over a single connection.
+ */
+
+#ifndef DCFB_SVC_NET_H
+#define DCFB_SVC_NET_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "rt/error.h"
+
+namespace dcfb::svc {
+
+/** Reassembles '\n'-delimited lines from arbitrarily-split reads. */
+class LineFramer
+{
+  public:
+    /** Default cap on one unterminated line (64 MiB). */
+    static constexpr std::size_t kDefaultMaxLine = 64u << 20;
+
+    explicit LineFramer(std::size_t max_line = kDefaultMaxLine)
+        : maxLine(max_line)
+    {
+    }
+
+    /** Append @p len raw bytes; fails when the (still unterminated)
+     *  current line would exceed the cap. */
+    rt::Expected<void> feed(const char *data, std::size_t len);
+
+    /** Pop the next complete line (newline stripped), if any. */
+    std::optional<std::string> next();
+
+    /** Bytes buffered past the last complete line. */
+    std::size_t buffered() const { return buf.size(); }
+
+    /** Drop buffered bytes (a reconnect invalidates half a line). */
+    void reset()
+    {
+        buf.clear();
+        scan = 0;
+    }
+
+  private:
+    std::string buf;
+    std::size_t scan = 0; //!< no '\n' in buf[0, scan)
+    std::size_t maxLine;
+};
+
+/** True when @p endpoint names a TCP `host:port`, false for a
+ *  Unix-socket path.  A '/' anywhere (or no ':') means a path, so
+ *  relative socket paths like `dcfb.sock` keep working. */
+bool isTcpEndpoint(const std::string &endpoint);
+
+/** Split a TCP endpoint into host and port (both non-empty). */
+rt::Expected<std::pair<std::string, std::string>>
+splitHostPort(const std::string &endpoint);
+
+/** Bind + listen on TCP @p endpoint (`host:port`; port 0 = ephemeral).
+ *  Returns the listening fd; @p bound_port receives the resolved
+ *  port. */
+rt::Expected<int> tcpListen(const std::string &endpoint,
+                            std::uint16_t *bound_port);
+
+/** Connect to TCP @p endpoint; returns the connected fd (NODELAY on). */
+rt::Expected<int> tcpConnect(const std::string &endpoint);
+
+/** Bind + listen on Unix-socket @p path (unlinks a stale file). */
+rt::Expected<int> unixListen(const std::string &path);
+
+/** Connect to Unix-socket @p path. */
+rt::Expected<int> unixConnect(const std::string &path);
+
+/**
+ * Minimal line-oriented socket server: one accept loop over an
+ * optional Unix and an optional TCP listening socket, one detached
+ * thread per connection.  The handler receives each complete request
+ * line plus a `write` callback that sends one reply frame (the
+ * trailing '\n' is appended); it may call `write` any number of times
+ * per line — zero (swallow), one (request/reply) or many (streaming).
+ */
+class Listener
+{
+  public:
+    using WriteFn = std::function<bool(const std::string &frame)>;
+    using HandlerFn =
+        std::function<void(const std::string &line, const WriteFn &write)>;
+
+    Listener() = default;
+    ~Listener();
+
+    Listener(const Listener &) = delete;
+    Listener &operator=(const Listener &) = delete;
+
+    /** Bind @p unix_path and/or @p tcp_endpoint (either may be empty,
+     *  not both) and start accepting. */
+    rt::Expected<void> start(const std::string &unix_path,
+                             const std::string &tcp_endpoint,
+                             HandlerFn handler);
+
+    /** Stop accepting, wait for in-flight connections, close+unlink. */
+    void shutdown();
+
+    /** Resolved TCP port (0 when no TCP endpoint was bound). */
+    std::uint16_t tcpPort() const { return boundPort; }
+
+  private:
+    void acceptLoop();
+    void handleConnection(int fd);
+
+    HandlerFn handler;
+    std::string unixPath;
+    int unixFd = -1;
+    int tcpFd = -1;
+    std::uint16_t boundPort = 0;
+    std::thread acceptThread;
+    std::atomic<bool> stopFlag{false};
+    std::mutex mutex;
+    std::condition_variable connectionsIdle;
+    std::uint64_t activeConnections = 0;
+    std::set<int> connectionFds; //!< open handler sockets
+    bool started = false;
+};
+
+} // namespace dcfb::svc
+
+#endif // DCFB_SVC_NET_H

@@ -6,12 +6,15 @@
 #include <cstdlib>
 #include <cstring>
 
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include "exec/schedule.h"
+#include "svc/net.h"
 #include "obs/prometheus.h"
 #include "obs/span.h"
 #include "sim/report.h"
@@ -144,41 +147,27 @@ Server::start()
     // silently piling up inside the pool.
     pool = std::make_unique<exec::Pool>(workers, workers);
 
-    listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (listenFd < 0) {
-        return rt::Error(rt::ErrorKind::Config, "cannot create socket")
-            .with("errno", std::strerror(errno));
+    if (cfg.socketPath.empty() && cfg.listenAddr.empty()) {
+        return rt::Error(rt::ErrorKind::Config,
+                         "daemon needs a socket path or a TCP listen "
+                         "endpoint");
     }
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (cfg.socketPath.size() >= sizeof(addr.sun_path)) {
-        ::close(listenFd);
-        listenFd = -1;
-        return rt::Error(rt::ErrorKind::Config, "socket path too long")
-            .with("path", cfg.socketPath)
-            .with("max", std::uint64_t{sizeof(addr.sun_path) - 1});
+    if (!cfg.socketPath.empty()) {
+        auto bound = unixListen(cfg.socketPath);
+        if (!bound.ok())
+            return bound.error();
+        listenFd = bound.value();
     }
-    std::strncpy(addr.sun_path, cfg.socketPath.c_str(),
-                 sizeof(addr.sun_path) - 1);
-    // A stale socket file from a crashed daemon would fail the bind;
-    // the path is daemon-owned, so reclaim it.
-    ::unlink(cfg.socketPath.c_str());
-    if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
-               sizeof(addr)) != 0) {
-        rt::Error err = rt::Error(rt::ErrorKind::Config, "bind failed")
-                            .with("path", cfg.socketPath)
-                            .with("errno", std::strerror(errno));
-        ::close(listenFd);
-        listenFd = -1;
-        return err;
-    }
-    if (::listen(listenFd, 128) != 0) {
-        rt::Error err = rt::Error(rt::ErrorKind::Config, "listen failed")
-                            .with("path", cfg.socketPath)
-                            .with("errno", std::strerror(errno));
-        ::close(listenFd);
-        listenFd = -1;
-        return err;
+    if (!cfg.listenAddr.empty()) {
+        auto bound = tcpListen(cfg.listenAddr, &boundTcpPort);
+        if (!bound.ok()) {
+            if (listenFd >= 0) {
+                ::close(listenFd);
+                listenFd = -1;
+            }
+            return bound.error();
+        }
+        tcpListenFd = bound.value();
     }
 
     startedAt = std::chrono::steady_clock::now();
@@ -225,21 +214,31 @@ Server::shutdown()
         leaseThread.join();
     if (dispatchThread.joinable())
         dispatchThread.join();
-    // Closing the listen fd makes the accept loop's poll() return with
-    // an error/POLLNVAL; the stop flag then exits the loop.
+    // Closing the listen fds makes the accept loop's poll() return
+    // with an error/POLLNVAL; the stop flag then exits the loop.
     if (listenFd >= 0) {
         ::close(listenFd);
         listenFd = -1;
     }
+    if (tcpListenFd >= 0) {
+        ::close(tcpListenFd);
+        tcpListenFd = -1;
+    }
     if (acceptThread.joinable())
         acceptThread.join();
     {
+        // Poke every open connection so its handler's recv() returns
+        // now instead of waiting out the idle timeout; the fds are
+        // closed by the handlers themselves.
         std::unique_lock<std::mutex> lock(mutex);
+        for (int fd : connectionFds)
+            ::shutdown(fd, SHUT_RDWR);
         connectionsIdle.wait(lock,
                              [this] { return activeConnections == 0; });
     }
     pool.reset(); // joins the workers; all tasks already finished
-    ::unlink(cfg.socketPath.c_str());
+    if (!cfg.socketPath.empty())
+        ::unlink(cfg.socketPath.c_str());
     started = false;
 }
 
@@ -1272,26 +1271,47 @@ Server::runJob(const std::shared_ptr<Job> &job)
 void
 Server::acceptLoop()
 {
+    // One poll over both transports: the Unix socket keeps its
+    // single-host latency, the TCP listener serves the fleet, and
+    // every accepted connection lands in the same handleConnection --
+    // so admission control, journaling and the svc fault plane behave
+    // identically whichever way a request arrived.
     for (;;) {
-        pollfd pfd{listenFd, POLLIN, 0};
-        int rc = ::poll(&pfd, 1, 200);
+        pollfd pfds[2];
+        nfds_t n = 0;
+        if (listenFd >= 0)
+            pfds[n++] = {listenFd, POLLIN, 0};
+        if (tcpListenFd >= 0)
+            pfds[n++] = {tcpListenFd, POLLIN, 0};
+        int rc = ::poll(pfds, n, 200);
         if (stopFlag.load())
             return;
         if (rc <= 0)
             continue;
-        int fd = ::accept(listenFd, nullptr, nullptr);
-        if (fd < 0)
-            continue;
-        // Idle connections are reaped so a dead client cannot pin a
-        // handler thread past shutdown.
-        timeval timeout{10, 0};
-        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout,
-                     sizeof(timeout));
-        {
-            std::lock_guard<std::mutex> lock(mutex);
-            ++activeConnections;
+        for (nfds_t i = 0; i < n; ++i) {
+            if (!(pfds[i].revents & POLLIN))
+                continue;
+            int fd = ::accept(pfds[i].fd, nullptr, nullptr);
+            if (fd < 0)
+                continue;
+            if (pfds[i].fd == tcpListenFd) {
+                // Request/reply protocol: Nagle would stall replies.
+                int one = 1;
+                ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                             sizeof(one));
+            }
+            // Idle connections are reaped so a dead client cannot pin
+            // a handler thread past shutdown.
+            timeval timeout{10, 0};
+            ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                         sizeof(timeout));
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                ++activeConnections;
+                connectionFds.insert(fd);
+            }
+            std::thread([this, fd] { handleConnection(fd); }).detach();
         }
-        std::thread([this, fd] { handleConnection(fd); }).detach();
     }
 }
 
@@ -1299,18 +1319,23 @@ void
 Server::handleConnection(int fd)
 {
     obs::Spans::setThreadName("conn");
-    std::string pending;
+    // LineFramer reassembles lines however recv() fragments them --
+    // over TCP a request routinely arrives in several pieces -- and
+    // caps an unterminated line so a peer streaming garbage cannot
+    // grow the buffer unbounded.
+    LineFramer framer;
     char buf[4096];
     for (;;) {
         ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
         if (n <= 0)
             break; // EOF, timeout or error: drop the connection
-        pending.append(buf, static_cast<std::size_t>(n));
-        std::size_t nl;
+        if (!framer.feed(buf, static_cast<std::size_t>(n)).ok())
+            break; // unterminated line past the framing cap
         bool closed = false;
-        while ((nl = pending.find('\n')) != std::string::npos) {
-            std::string line = pending.substr(0, nl);
-            pending.erase(0, nl + 1);
+        while (auto framed = framer.next()) {
+            std::string line = std::move(*framed);
             if (line.empty())
                 continue;
             std::string out = handleLine(line).dump();
@@ -1336,6 +1361,8 @@ Server::handleConnection(int fd)
             while (off < out.size()) {
                 ssize_t w = ::send(fd, out.data() + off,
                                    out.size() - off, MSG_NOSIGNAL);
+                if (w < 0 && errno == EINTR)
+                    continue;
                 if (w <= 0) {
                     closed = true;
                     break;
@@ -1348,10 +1375,15 @@ Server::handleConnection(int fd)
         if (closed)
             break;
     }
-    ::close(fd);
-    std::lock_guard<std::mutex> lock(mutex);
-    --activeConnections;
-    connectionsIdle.notify_all();
+    // Deregister before closing: shutdown() pokes registered fds and
+    // must never touch one the kernel may have already reassigned.
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        connectionFds.erase(fd);
+        ::close(fd);
+        --activeConnections;
+        connectionsIdle.notify_all();
+    }
 }
 
 } // namespace dcfb::svc

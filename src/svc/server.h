@@ -77,6 +77,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -97,7 +98,9 @@ namespace dcfb::svc {
 /** Daemon configuration (CLI flags of dcfb-serve map 1:1). */
 struct ServerConfig
 {
-    std::string socketPath;        //!< Unix-domain socket to bind
+    std::string socketPath;        //!< Unix-domain socket ("" = none)
+    std::string listenAddr;        //!< TCP host:port ("" = none); port
+                                   //!< 0 binds ephemeral (see tcpPort())
     unsigned jobs = 0;             //!< simulation workers (0 = auto)
     std::size_t queueCapacity = 64; //!< admission bound (jobs waiting)
     unsigned retryAfterMs = 250;   //!< backpressure hint to clients
@@ -147,6 +150,11 @@ class Server
     void shutdown();
 
     bool draining() const { return drainFlag.load(); }
+
+    /** Resolved TCP port (0 when no `listenAddr` was bound).  With
+     *  `--listen host:0` this is how tests and scripts learn the
+     *  ephemeral port the kernel picked. */
+    std::uint16_t tcpPort() const { return boundTcpPort; }
 
     /** Snapshot of the `stats` reply (tests read it in-process). */
     obs::JsonValue statsSnapshot();
@@ -280,13 +288,16 @@ class Server
 
     std::atomic<bool> drainFlag{false};
     std::atomic<bool> stopFlag{false};
-    int listenFd = -1;
+    int listenFd = -1;                        //!< Unix-domain listener
+    int tcpListenFd = -1;                     //!< TCP listener
+    std::uint16_t boundTcpPort = 0;
     std::thread acceptThread;
     std::thread dispatchThread;
     std::thread leaseThread;                  //!< lease watchdog
     std::mutex leaseMutex;                    //!< watchdog sleep/stop only
     std::condition_variable leaseStop;
     std::uint64_t activeConnections = 0;
+    std::set<int> connectionFds;              //!< open handler sockets
     std::condition_variable connectionsIdle;
     std::chrono::steady_clock::time_point startedAt;
     bool started = false;

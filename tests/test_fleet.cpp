@@ -1,0 +1,845 @@
+/**
+ * @file
+ * Distributed-fabric tests: NDJSON line framing under adversarial
+ * splits, the consistent-hash ring's placement guarantees, the TCP
+ * transport end to end, the client's connect retry, and the
+ * coordinator itself — sharding, the federated warm path, worker
+ * death/rebalance, and the dcfb-coord-v1 protocol — driven against
+ * real in-process dcfb-serve instances.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "svc/client.h"
+#include "svc/coordinator.h"
+#include "svc/fingerprint.h"
+#include "svc/hash_ring.h"
+#include "svc/net.h"
+#include "svc/result_cache.h"
+#include "svc/server.h"
+
+namespace dcfb {
+namespace {
+
+/** Fresh scratch directory under TMPDIR for one test. */
+std::string
+scratchDir(const std::string &tag)
+{
+    std::string templ =
+        ::testing::TempDir() + "dcfb_fleet_" + tag + "_XXXXXX";
+    std::vector<char> buf(templ.begin(), templ.end());
+    buf.push_back('\0');
+    const char *made = ::mkdtemp(buf.data());
+    EXPECT_NE(made, nullptr);
+    return made ? made : templ;
+}
+
+/** Shrink a config so one simulation is fast but non-trivial.  The
+ *  coordinator and the workers must apply the same hook: federation
+ *  relies on both sides fingerprinting identical configs. */
+void
+shrink(sim::SystemConfig &cfg)
+{
+    cfg.profile.numFunctions = 24;
+    cfg.profile.dataFootprint = 1ull << 20;
+    cfg.functionalWarmInstrs = 40000;
+}
+
+sim::RunWindows
+tinyWindows()
+{
+    return sim::RunWindows{4000, 6000};
+}
+
+/** RAII guard: no process-global result cache leaks across tests. */
+struct GlobalCacheGuard
+{
+    ~GlobalCacheGuard() { svc::ResultCache::closeGlobal(); }
+};
+
+// -- line framing ---------------------------------------------------------
+
+TEST(FleetFraming, OneBytePerFeedReassembles)
+{
+    svc::LineFramer framer;
+    const std::string wire = "{\"a\":1}\n{\"b\":2}\n";
+    for (char c : wire) {
+        ASSERT_TRUE(framer.feed(&c, 1).ok());
+    }
+    auto first = framer.next();
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(*first, "{\"a\":1}");
+    auto second = framer.next();
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(*second, "{\"b\":2}");
+    EXPECT_FALSE(framer.next().has_value());
+    EXPECT_EQ(framer.buffered(), 0u);
+}
+
+TEST(FleetFraming, ManyLinesInOneFeedPlusPartial)
+{
+    svc::LineFramer framer;
+    const std::string wire = "one\ntwo\nthree\nfour-without-newline";
+    ASSERT_TRUE(framer.feed(wire.data(), wire.size()).ok());
+    EXPECT_EQ(framer.next().value(), "one");
+    EXPECT_EQ(framer.next().value(), "two");
+    EXPECT_EQ(framer.next().value(), "three");
+    EXPECT_FALSE(framer.next().has_value());
+    const std::string tail = "\n";
+    ASSERT_TRUE(framer.feed(tail.data(), 1).ok());
+    EXPECT_EQ(framer.next().value(), "four-without-newline");
+}
+
+TEST(FleetFraming, LinesPastSixtyFourKiBReassemble)
+{
+    // A merged fig16 grid report is far larger than one recv() buffer;
+    // the framer must not care.
+    svc::LineFramer framer;
+    std::string big(200u << 10, 'x');
+    big += "\n";
+    for (std::size_t off = 0; off < big.size(); off += 1000) {
+        std::size_t len = std::min<std::size_t>(1000, big.size() - off);
+        ASSERT_TRUE(framer.feed(big.data() + off, len).ok());
+    }
+    auto line = framer.next();
+    ASSERT_TRUE(line.has_value());
+    EXPECT_EQ(line->size(), 200u << 10);
+}
+
+TEST(FleetFraming, UnterminatedOverflowIsATypedError)
+{
+    svc::LineFramer framer(64); // tiny cap for the test
+    std::string garbage(65, 'g');
+    auto fed = framer.feed(garbage.data(), garbage.size());
+    ASSERT_FALSE(fed.ok());
+    // The buffer is dropped so a poisoned connection cannot keep
+    // growing it.
+    EXPECT_EQ(framer.buffered(), 0u);
+}
+
+TEST(FleetFraming, TerminatedLinesMayExceedTheCapWindow)
+{
+    // The cap bounds *unterminated* buffering; several complete lines
+    // whose sum exceeds the cap are fine within one feed.
+    svc::LineFramer framer(32);
+    std::string wire;
+    for (int i = 0; i < 8; ++i)
+        wire += std::string(16, static_cast<char>('a' + i)) + "\n";
+    ASSERT_TRUE(framer.feed(wire.data(), wire.size()).ok());
+    for (int i = 0; i < 8; ++i) {
+        auto line = framer.next();
+        ASSERT_TRUE(line.has_value());
+        EXPECT_EQ(line->size(), 16u);
+    }
+}
+
+TEST(FleetFraming, FuzzRandomSplitsNeverCorruptLines)
+{
+    // Deterministic fuzz: random-length lines, random-length feeds (1
+    // byte up to 4 KiB), popped lines must match the corpus exactly.
+    Rng rng(0xf1ee7);
+    std::vector<std::string> corpus;
+    std::string wire;
+    for (int i = 0; i < 500; ++i) {
+        std::size_t len = static_cast<std::size_t>(rng.below(300));
+        std::string line;
+        line.reserve(len);
+        for (std::size_t j = 0; j < len; ++j) {
+            // Printable, newline-free payload bytes.
+            line.push_back(
+                static_cast<char>(' ' + rng.below(94)));
+        }
+        corpus.push_back(line);
+        wire += line;
+        wire += "\n";
+    }
+
+    svc::LineFramer framer;
+    std::vector<std::string> got;
+    std::size_t off = 0;
+    while (off < wire.size()) {
+        std::size_t chunk = 1 + static_cast<std::size_t>(rng.below(4096));
+        chunk = std::min(chunk, wire.size() - off);
+        ASSERT_TRUE(framer.feed(wire.data() + off, chunk).ok());
+        off += chunk;
+        while (auto line = framer.next())
+            got.push_back(std::move(*line));
+    }
+    ASSERT_EQ(got.size(), corpus.size());
+    EXPECT_EQ(got, corpus);
+    EXPECT_EQ(framer.buffered(), 0u);
+}
+
+TEST(FleetFraming, ResetDropsHalfALine)
+{
+    svc::LineFramer framer;
+    const std::string partial = "half-a-li";
+    ASSERT_TRUE(framer.feed(partial.data(), partial.size()).ok());
+    framer.reset();
+    const std::string fresh = "ne\nclean\n";
+    ASSERT_TRUE(framer.feed(fresh.data(), fresh.size()).ok());
+    // The pre-reset bytes are gone: the first popped line is only what
+    // arrived after the reset.
+    EXPECT_EQ(framer.next().value(), "ne");
+    EXPECT_EQ(framer.next().value(), "clean");
+}
+
+// -- endpoint classification ----------------------------------------------
+
+TEST(FleetEndpoint, PathsAndHostPortsAreToldApart)
+{
+    EXPECT_FALSE(svc::isTcpEndpoint("/tmp/dcfb.sock"));
+    EXPECT_FALSE(svc::isTcpEndpoint("dcfb.sock"));
+    EXPECT_FALSE(svc::isTcpEndpoint("./dir:with:colons/sock"));
+    EXPECT_TRUE(svc::isTcpEndpoint("127.0.0.1:4100"));
+    EXPECT_TRUE(svc::isTcpEndpoint("localhost:0"));
+
+    auto split = svc::splitHostPort("127.0.0.1:4100");
+    ASSERT_TRUE(split.ok());
+    EXPECT_EQ(split.value().first, "127.0.0.1");
+    EXPECT_EQ(split.value().second, "4100");
+    EXPECT_FALSE(svc::splitHostPort("nohost").ok());
+    EXPECT_FALSE(svc::splitHostPort(":4100").ok());
+    EXPECT_FALSE(svc::splitHostPort("host:").ok());
+}
+
+// -- consistent-hash ring -------------------------------------------------
+
+/** 1k synthetic content keys shaped like real cache fingerprints. */
+std::vector<std::string>
+syntheticKeys(std::size_t n)
+{
+    std::vector<std::string> keys;
+    keys.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        keys.push_back(svc::fnv1aHex("cell-" + std::to_string(i)));
+    return keys;
+}
+
+TEST(FleetHashRing, PlacementIsDeterministic)
+{
+    svc::HashRing a;
+    svc::HashRing b;
+    for (const char *node : {"w1", "w2", "w3"}) {
+        a.add(node);
+        b.add(node);
+    }
+    for (const std::string &key : syntheticKeys(1000))
+        EXPECT_EQ(a.owner(key), b.owner(key));
+}
+
+TEST(FleetHashRing, InsertionOrderDoesNotMatter)
+{
+    svc::HashRing a;
+    a.add("w1");
+    a.add("w2");
+    a.add("w3");
+    svc::HashRing b;
+    b.add("w3");
+    b.add("w1");
+    b.add("w2");
+    for (const std::string &key : syntheticKeys(1000))
+        EXPECT_EQ(a.owner(key), b.owner(key));
+}
+
+TEST(FleetHashRing, OneThousandKeysSpreadAcrossThreeWorkers)
+{
+    svc::HashRing ring;
+    ring.add("w1");
+    ring.add("w2");
+    ring.add("w3");
+    std::map<std::string, std::size_t> load;
+    for (const std::string &key : syntheticKeys(1000))
+        ++load[ring.owner(key)];
+    ASSERT_EQ(load.size(), 3u);
+    for (const auto &[node, count] : load) {
+        // Perfect balance is 333 each; 64 vnodes keeps every worker
+        // within a loose band — no worker starved, none doubled up.
+        EXPECT_GE(count, 150u) << node;
+        EXPECT_LE(count, 550u) << node;
+    }
+}
+
+TEST(FleetHashRing, JoinMovesOnlyItsOwnShare)
+{
+    svc::HashRing ring;
+    ring.add("w1");
+    ring.add("w2");
+    ring.add("w3");
+    std::vector<std::string> keys = syntheticKeys(1000);
+    std::map<std::string, std::string> before;
+    for (const std::string &key : keys)
+        before[key] = ring.owner(key);
+
+    ring.add("w4");
+    std::size_t moved = 0;
+    for (const std::string &key : keys) {
+        const std::string &now = ring.owner(key);
+        if (now != before[key]) {
+            ++moved;
+            // Every moved key moved TO the joiner, never between
+            // incumbents — the consistent-hashing contract.
+            EXPECT_EQ(now, "w4");
+        }
+    }
+    // The joiner should take roughly 1/4 of the keyspace, and a join
+    // must never reshuffle the bulk of the ring.
+    EXPECT_GT(moved, 100u);
+    EXPECT_LT(moved, 450u);
+}
+
+TEST(FleetHashRing, LeaveRestoresThePriorPlacement)
+{
+    svc::HashRing ring;
+    ring.add("w1");
+    ring.add("w2");
+    ring.add("w3");
+    std::vector<std::string> keys = syntheticKeys(1000);
+    std::map<std::string, std::string> before;
+    for (const std::string &key : keys)
+        before[key] = ring.owner(key);
+
+    ring.add("w4");
+    ring.remove("w4");
+    for (const std::string &key : keys)
+        EXPECT_EQ(ring.owner(key), before[key]);
+
+    // Removing an incumbent only re-homes that incumbent's keys.
+    ring.remove("w2");
+    for (const std::string &key : keys) {
+        if (before[key] != "w2")
+            EXPECT_EQ(ring.owner(key), before[key]);
+        else
+            EXPECT_NE(ring.owner(key), "w2");
+    }
+}
+
+TEST(FleetHashRing, EmptyRingOwnsNothing)
+{
+    svc::HashRing ring;
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.owner("anything"), "");
+    ring.add("w1");
+    EXPECT_EQ(ring.owner("anything"), "w1");
+    ring.remove("w1");
+    EXPECT_EQ(ring.owner("anything"), "");
+}
+
+// -- TCP transport (exec-filtered: spawns server threads) -----------------
+
+svc::ServerConfig
+tcpServerConfig(const std::string &tag)
+{
+    svc::ServerConfig config;
+    (void)tag;
+    config.listenAddr = "127.0.0.1:0"; // ephemeral port
+    config.jobs = 1;
+    config.queueCapacity = 8;
+    config.retryAfterMs = 10;
+    config.defaultWindows = tinyWindows();
+    config.configHook = shrink;
+    return config;
+}
+
+TEST(TcpTransport, EphemeralPortRoundTrip)
+{
+    GlobalCacheGuard guard;
+    svc::Server server(tcpServerConfig("rt"));
+    ASSERT_TRUE(server.start().ok());
+    ASSERT_GT(server.tcpPort(), 0);
+
+    svc::Client client;
+    std::string endpoint =
+        "127.0.0.1:" + std::to_string(server.tcpPort());
+    ASSERT_TRUE(client.connect(endpoint).ok());
+
+    obs::JsonValue ping = obs::JsonValue::object();
+    ping["op"] = "ping";
+    auto reply = client.request(ping);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_TRUE(reply.value().find("ok")->asBool());
+    server.shutdown();
+}
+
+TEST(TcpTransport, SubmitAndWaitMatchesUnixSocketResult)
+{
+    GlobalCacheGuard guard;
+    // Same job over both transports must produce the identical result
+    // document — the transport is invisible to the protocol.
+    svc::ServerConfig config = tcpServerConfig("both");
+    config.socketPath = scratchDir("both") + "/dcfb.sock";
+    svc::Server server(config);
+    ASSERT_TRUE(server.start().ok());
+
+    obs::JsonValue submit = obs::JsonValue::object();
+    submit["op"] = "submit";
+    submit["workload"] = "Web (Apache)";
+    submit["preset"] = "SN4L";
+    submit["seed"] = std::uint64_t{7};
+
+    svc::Client tcp;
+    ASSERT_TRUE(
+        tcp.connect("127.0.0.1:" + std::to_string(server.tcpPort()))
+            .ok());
+    auto viaTcp = tcp.submitAndWait(submit);
+    ASSERT_TRUE(viaTcp.ok());
+
+    svc::Client unix_client;
+    ASSERT_TRUE(unix_client.connect(config.socketPath).ok());
+    auto viaUnix = unix_client.submitAndWait(submit);
+    ASSERT_TRUE(viaUnix.ok());
+
+    EXPECT_EQ(viaTcp.value().find("result")->dump(),
+              viaUnix.value().find("result")->dump());
+    server.shutdown();
+}
+
+TEST(TcpTransport, FaultInjectionAppliesOverTcp)
+{
+    GlobalCacheGuard guard;
+    // The --svc-inject plane sits in the shared connection handler, so
+    // reply-frame faults must fire over TCP exactly as over the Unix
+    // socket — and the client retry machinery must ride them out.
+    svc::ServerConfig config = tcpServerConfig("inject");
+    config.svcInjectPlan =
+        rt::parseSvcFaultPlan("drop:rate=0.4,seed=5").value();
+    svc::Server server(config);
+    ASSERT_TRUE(server.start().ok());
+
+    svc::Client client;
+    svc::RetryPolicy policy;
+    policy.recvTimeoutMs = 200; // swallowed frames surface fast
+    policy.submitBackoffMs = 10;
+    policy.pollMs = 10;
+    policy.jitterSeed = 42;
+    client.setRetryPolicy(policy);
+    ASSERT_TRUE(
+        client.connect("127.0.0.1:" + std::to_string(server.tcpPort()))
+            .ok());
+
+    obs::JsonValue submit = obs::JsonValue::object();
+    submit["op"] = "submit";
+    submit["workload"] = "Web (Apache)";
+    submit["preset"] = "NL";
+    submit["seed"] = std::uint64_t{3};
+    auto reply = client.submitAndWait(submit, 200);
+    ASSERT_TRUE(reply.ok()) << reply.error().render();
+    EXPECT_TRUE(reply.value().find("result") != nullptr);
+    server.shutdown();
+}
+
+// -- connect retry (exec-filtered: thread + sleeps) -----------------------
+
+TEST(FleetConnectRetry, AbsorbsADaemonThatBindsLate)
+{
+    GlobalCacheGuard guard;
+    // Fleet startup races the coordinator against its workers: the
+    // client must absorb the window where nothing is listening yet.
+    std::string socket = scratchDir("late") + "/late.sock";
+    svc::Server server(tcpServerConfig("late"));
+
+    svc::ServerConfig config;
+    config.socketPath = socket;
+    config.jobs = 1;
+    config.defaultWindows = tinyWindows();
+    config.configHook = shrink;
+    svc::Server late(config);
+
+    std::thread binder([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(150));
+        ASSERT_TRUE(late.start().ok());
+    });
+
+    svc::Client client;
+    svc::RetryPolicy policy;
+    policy.submitBackoffMs = 20;
+    policy.capMs = 100;
+    policy.budgetMs = 5000;
+    policy.jitterSeed = 7;
+    client.setRetryPolicy(policy);
+    auto connected = client.connectWithRetry(socket);
+    binder.join();
+    ASSERT_TRUE(connected.ok()) << connected.error().render();
+
+    obs::JsonValue ping = obs::JsonValue::object();
+    ping["op"] = "ping";
+    EXPECT_TRUE(client.request(ping).ok());
+    late.shutdown();
+}
+
+TEST(FleetConnectRetry, BudgetBoundsTheWait)
+{
+    svc::Client client;
+    svc::RetryPolicy policy;
+    policy.submitBackoffMs = 20;
+    policy.capMs = 50;
+    policy.budgetMs = 200;
+    policy.jitterSeed = 9;
+    client.setRetryPolicy(policy);
+
+    auto start = std::chrono::steady_clock::now();
+    auto connected =
+        client.connectWithRetry("/nonexistent/dir/never.sock");
+    auto elapsed_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    ASSERT_FALSE(connected.ok());
+    // The budget caps cumulative sleeping; generous ceiling for slow CI.
+    EXPECT_LT(elapsed_ms, 2000);
+    EXPECT_NE(connected.error().render().find("attempts"),
+              std::string::npos);
+}
+
+TEST(FleetConnectRetry, NonTransientErrorsFailImmediately)
+{
+    svc::Client client;
+    svc::RetryPolicy policy;
+    policy.submitBackoffMs = 500;
+    policy.budgetMs = 60000;
+    client.setRetryPolicy(policy);
+    // An unresolvable host is not a "daemon not up yet" condition; the
+    // retry loop must not burn the budget on it.
+    auto start = std::chrono::steady_clock::now();
+    auto connected =
+        client.connectWithRetry("host.invalid.dcfb.test:1");
+    auto elapsed_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    ASSERT_FALSE(connected.ok());
+    EXPECT_LT(elapsed_ms, 5000);
+}
+
+// -- coordinator (exec-filtered: real workers + threads) ------------------
+
+/** One in-process worker daemon on a Unix socket with its own result
+ *  cache, as a fleet member. */
+struct TestWorker
+{
+    std::string socket;
+    std::unique_ptr<svc::Server> server;
+};
+
+TestWorker
+makeWorker(const std::string &tag)
+{
+    TestWorker w;
+    std::string dir = scratchDir(tag);
+    w.socket = dir + "/worker.sock";
+    svc::ServerConfig config;
+    config.socketPath = w.socket;
+    config.jobs = 1;
+    config.queueCapacity = 16;
+    config.retryAfterMs = 10;
+    config.defaultWindows = tinyWindows();
+    config.configHook = shrink;
+    config.cacheDir = dir + "/cache"; // the federated half of the design
+    w.server = std::make_unique<svc::Server>(config);
+    EXPECT_TRUE(w.server->start().ok());
+    return w;
+}
+
+svc::CoordinatorConfig
+coordConfig(const std::vector<svc::WorkerSpec> &workers)
+{
+    svc::CoordinatorConfig config;
+    config.workers = workers;
+    config.defaultWindows = tinyWindows();
+    config.configHook = shrink;
+    config.connectBudgetMs = 500; // dead endpoints fail fast in tests
+    config.recvTimeoutMs = 2000;
+    config.pollMs = 5;
+    config.jitterSeed = 11;
+    return config;
+}
+
+/** Drive one request through handleLine, collecting every event. */
+std::vector<obs::JsonValue>
+drive(svc::Coordinator &coord, const std::string &line)
+{
+    std::vector<obs::JsonValue> events;
+    coord.handleLine(line,
+                     [&](const obs::JsonValue &ev) { events.push_back(ev); });
+    return events;
+}
+
+const std::string kSmallGrid =
+    R"j({"op":"grid","workloads":["Web (Apache)","Web Search"],)j"
+    R"j("presets":["Baseline","NL"]})j";
+
+TEST(FleetCoordinator, ColdGridShardsSimulatesAndMerges)
+{
+    GlobalCacheGuard guard;
+    TestWorker w1 = makeWorker("cold_w1");
+    TestWorker w2 = makeWorker("cold_w2");
+    svc::Coordinator coord(
+        coordConfig({{"w1", w1.socket}, {"w2", w2.socket}}));
+    ASSERT_TRUE(coord.start().ok());
+
+    std::vector<obs::JsonValue> events = drive(coord, kSmallGrid);
+    ASSERT_GE(events.size(), 2u);
+
+    const obs::JsonValue &accepted = events.front();
+    EXPECT_EQ(accepted.find("event")->asString(), "accepted");
+    EXPECT_EQ(accepted.find("cells")->asUint(), 4u);
+    EXPECT_EQ(accepted.find("schema")->asString(), "dcfb-coord-v1");
+
+    const obs::JsonValue &done = events.back();
+    ASSERT_EQ(done.find("event")->asString(), "done") << done.dump();
+    EXPECT_EQ(done.find("cells")->asUint(), 4u);
+    EXPECT_EQ(done.find("simulated")->asUint(), 4u);
+    EXPECT_EQ(done.find("cached")->asUint(), 0u);
+    EXPECT_EQ(done.find("worker_deaths")->asUint(), 0u);
+
+    // One streamed "cell" event per cell, between accepted and done.
+    std::size_t cellEvents = 0;
+    for (const obs::JsonValue &ev : events)
+        if (ev.find("event")->asString() == "cell")
+            ++cellEvents;
+    EXPECT_EQ(cellEvents, 4u);
+
+    // The merged report: request order, fingerprint keys, results.
+    const obs::JsonValue *report = done.find("report");
+    ASSERT_NE(report, nullptr);
+    EXPECT_EQ(report->find("schema")->asString(), "dcfb-grid-v1");
+    const obs::JsonValue *cells = report->find("cells");
+    ASSERT_NE(cells, nullptr);
+    ASSERT_EQ(cells->size(), 4u);
+    EXPECT_EQ(cells->items()[0].find("workload")->asString(),
+              "Web (Apache)");
+    EXPECT_EQ(cells->items()[0].find("preset")->asString(), "Baseline");
+    EXPECT_EQ(cells->items()[1].find("preset")->asString(), "NL");
+    EXPECT_EQ(cells->items()[2].find("workload")->asString(),
+              "Web Search");
+    for (const obs::JsonValue &cell : cells->items()) {
+        EXPECT_EQ(cell.find("key")->asString().size(), 16u);
+        EXPECT_NE(cell.find("result"), nullptr);
+    }
+    // Determinism: nothing fleet-shaped (worker names, cached flags,
+    // timings) may leak into the report.
+    EXPECT_EQ(report->dump().find("worker"), std::string::npos);
+    EXPECT_EQ(report->dump().find("cached"), std::string::npos);
+
+    coord.shutdown();
+    w1.server->shutdown();
+    w2.server->shutdown();
+}
+
+TEST(FleetCoordinator, WarmFleetAnswersWithZeroSimulations)
+{
+    GlobalCacheGuard guard;
+    TestWorker w1 = makeWorker("warm_w1");
+    TestWorker w2 = makeWorker("warm_w2");
+    svc::Coordinator coord(
+        coordConfig({{"w1", w1.socket}, {"w2", w2.socket}}));
+    ASSERT_TRUE(coord.start().ok());
+
+    std::vector<obs::JsonValue> cold = drive(coord, kSmallGrid);
+    ASSERT_EQ(cold.back().find("event")->asString(), "done");
+
+    std::vector<obs::JsonValue> warm = drive(coord, kSmallGrid);
+    const obs::JsonValue &done = warm.back();
+    ASSERT_EQ(done.find("event")->asString(), "done") << done.dump();
+    // The tentpole guarantee: a warm fleet answers a repeat grid
+    // entirely from the federated cache.
+    EXPECT_EQ(done.find("simulated")->asUint(), 0u);
+    EXPECT_EQ(done.find("cached")->asUint(), 4u);
+
+    // And the merged reports are byte-identical.
+    EXPECT_EQ(cold.back().find("report")->dump(),
+              done.find("report")->dump());
+
+    coord.shutdown();
+    w1.server->shutdown();
+    w2.server->shutdown();
+}
+
+TEST(FleetCoordinator, FleetSizeDoesNotChangeTheReportBytes)
+{
+    GlobalCacheGuard guard;
+    TestWorker solo = makeWorker("size_solo");
+    svc::Coordinator one(coordConfig({{"solo", solo.socket}}));
+    ASSERT_TRUE(one.start().ok());
+    std::vector<obs::JsonValue> ref = drive(one, kSmallGrid);
+    ASSERT_EQ(ref.back().find("event")->asString(), "done");
+
+    TestWorker w1 = makeWorker("size_w1");
+    TestWorker w2 = makeWorker("size_w2");
+    TestWorker w3 = makeWorker("size_w3");
+    svc::Coordinator three(coordConfig(
+        {{"w1", w1.socket}, {"w2", w2.socket}, {"w3", w3.socket}}));
+    ASSERT_TRUE(three.start().ok());
+    std::vector<obs::JsonValue> wide = drive(three, kSmallGrid);
+    ASSERT_EQ(wide.back().find("event")->asString(), "done");
+
+    EXPECT_EQ(ref.back().find("report")->dump(),
+              wide.back().find("report")->dump());
+
+    one.shutdown();
+    three.shutdown();
+    solo.server->shutdown();
+    w1.server->shutdown();
+    w2.server->shutdown();
+    w3.server->shutdown();
+}
+
+TEST(FleetCoordinator, DeadWorkerIsRebalancedAway)
+{
+    GlobalCacheGuard guard;
+    TestWorker w1 = makeWorker("dead_w1");
+    TestWorker w2 = makeWorker("dead_w2");
+    // The third worker does not exist: every cell placed on it fails
+    // its connect budget and must be re-placed on the survivors.
+    std::string ghost = scratchDir("dead_ghost") + "/ghost.sock";
+    svc::Coordinator coord(coordConfig(
+        {{"w1", w1.socket}, {"w2", w2.socket}, {"ghost", ghost}}));
+    ASSERT_TRUE(coord.start().ok());
+
+    std::vector<obs::JsonValue> events = drive(coord, kSmallGrid);
+    const obs::JsonValue &done = events.back();
+    ASSERT_EQ(done.find("event")->asString(), "done") << done.dump();
+    EXPECT_EQ(done.find("cells")->asUint(), 4u);
+    EXPECT_EQ(done.find("worker_deaths")->asUint(), 1u);
+
+    // The grid completed correctly despite the death: the report is
+    // byte-identical to a healthy fleet's.
+    TestWorker ref = makeWorker("dead_ref");
+    svc::Coordinator healthy(coordConfig({{"ref", ref.socket}}));
+    ASSERT_TRUE(healthy.start().ok());
+    std::vector<obs::JsonValue> refEvents = drive(healthy, kSmallGrid);
+    EXPECT_EQ(done.find("report")->dump(),
+              refEvents.back().find("report")->dump());
+
+    coord.shutdown();
+    healthy.shutdown();
+    w1.server->shutdown();
+    w2.server->shutdown();
+    ref.server->shutdown();
+}
+
+TEST(FleetCoordinator, SeedRidesIntoEveryCell)
+{
+    GlobalCacheGuard guard;
+    TestWorker w = makeWorker("seed_w");
+    svc::Coordinator coord(coordConfig({{"w", w.socket}}));
+    ASSERT_TRUE(coord.start().ok());
+
+    const std::string seeded =
+        R"j({"op":"grid","workloads":["Web (Apache)"],)j"
+        R"j("presets":["Baseline"],"seed":99})j";
+    std::vector<obs::JsonValue> a = drive(coord, seeded);
+    ASSERT_EQ(a.back().find("event")->asString(), "done");
+    EXPECT_EQ(a.back().find("report")->find("seed")->asUint(), 99u);
+
+    // A different seed is a different fingerprint: nothing cached.
+    const std::string reseeded =
+        R"j({"op":"grid","workloads":["Web (Apache)"],)j"
+        R"j("presets":["Baseline"],"seed":100})j";
+    std::vector<obs::JsonValue> b = drive(coord, reseeded);
+    ASSERT_EQ(b.back().find("event")->asString(), "done");
+    EXPECT_EQ(b.back().find("cached")->asUint(), 0u);
+    EXPECT_NE(a.back().find("report")->dump(),
+              b.back().find("report")->dump());
+
+    coord.shutdown();
+    w.server->shutdown();
+}
+
+TEST(FleetCoordinator, StatsExposeRingAndLiveWorkers)
+{
+    GlobalCacheGuard guard;
+    TestWorker w1 = makeWorker("stats_w1");
+    TestWorker w2 = makeWorker("stats_w2");
+    svc::Coordinator coord(
+        coordConfig({{"w1", w1.socket}, {"w2", w2.socket}}));
+    ASSERT_TRUE(coord.start().ok());
+
+    (void)drive(coord, kSmallGrid);
+    std::vector<obs::JsonValue> events =
+        drive(coord, R"({"op":"stats"})");
+    ASSERT_EQ(events.size(), 1u);
+    const obs::JsonValue &stats = events.front();
+    EXPECT_EQ(stats.find("schema")->asString(), "dcfb-coord-v1");
+    ASSERT_NE(stats.find("ring"), nullptr);
+    EXPECT_EQ(stats.find("ring")->find("workers")->size(), 2u);
+
+    const obs::JsonValue *workers = stats.find("workers");
+    ASSERT_NE(workers, nullptr);
+    std::uint64_t alive = 0;
+    for (const obs::JsonValue &w : workers->items())
+        if (w.find("alive")->asBool())
+            ++alive;
+    EXPECT_EQ(alive, 2u);
+    // The aggregated federated view: the grid's sims all show up.
+    EXPECT_EQ(stats.find("fleet")->find("sims_executed")->asUint(), 4u);
+
+    coord.shutdown();
+    w1.server->shutdown();
+    w2.server->shutdown();
+}
+
+TEST(FleetCoordinator, DrainRejectsNewGrids)
+{
+    GlobalCacheGuard guard;
+    TestWorker w = makeWorker("drain_w");
+    svc::Coordinator coord(coordConfig({{"w", w.socket}}));
+    ASSERT_TRUE(coord.start().ok());
+
+    std::vector<obs::JsonValue> drained =
+        drive(coord, R"({"op":"drain"})");
+    ASSERT_EQ(drained.size(), 1u);
+    EXPECT_TRUE(coord.draining());
+
+    std::vector<obs::JsonValue> events = drive(coord, kSmallGrid);
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_FALSE(events.front().find("ok")->asBool());
+
+    coord.shutdown();
+    w.server->shutdown();
+}
+
+TEST(FleetCoordinator, MalformedRequestsAreTypedErrors)
+{
+    GlobalCacheGuard guard;
+    TestWorker w = makeWorker("bad_w");
+    svc::Coordinator coord(coordConfig({{"w", w.socket}}));
+    ASSERT_TRUE(coord.start().ok());
+
+    for (const char *line :
+         {"not json", "{}", R"({"op":"unknown"})",
+          R"({"op":"grid","workloads":["No Such Workload"]})",
+          R"({"op":"grid","presets":["NoSuchPreset"]})"}) {
+        std::vector<obs::JsonValue> events = drive(coord, line);
+        ASSERT_GE(events.size(), 1u) << line;
+        EXPECT_FALSE(events.back().find("ok")->asBool()) << line;
+    }
+
+    coord.shutdown();
+    w.server->shutdown();
+}
+
+TEST(FleetCoordinator, StartRejectsABrokenFleetSpec)
+{
+    svc::CoordinatorConfig empty;
+    svc::Coordinator none(empty);
+    EXPECT_FALSE(none.start().ok());
+
+    svc::CoordinatorConfig dup;
+    dup.workers = {{"w", "/tmp/a.sock"}, {"w", "/tmp/b.sock"}};
+    svc::Coordinator twice(dup);
+    EXPECT_FALSE(twice.start().ok());
+}
+
+} // namespace
+} // namespace dcfb

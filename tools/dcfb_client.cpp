@@ -13,6 +13,20 @@
  *   dcfb-client --socket PATH stats | ping | drain
  *   dcfb-client --socket PATH metrics [--watch] [--interval-ms N]
  *   dcfb-client --socket PATH raw '<request json>'
+ *   dcfb-client --endpoint HOST:PORT grid [--workloads A,B,...]
+ *               [--presets A,B,...] [--warm N --measure N] [--seed N]
+ *               [--out FILE]
+ *
+ * --endpoint HOST:PORT targets a TCP daemon (dcfb-serve --listen, or a
+ * dcfb-coord); --socket and --endpoint are interchangeable — both name
+ * where to connect, and every command works over either transport.
+ *
+ * `grid` speaks the coordinator's dcfb-coord-v1 protocol: it fans a
+ * whole ExperimentGrid out to the fleet, streams per-cell progress to
+ * stderr as results land, and writes the merged dcfb-grid-v1 report
+ * (byte-identical regardless of fleet size or cache warmth) to stdout
+ * or --out FILE.  Workloads default to all seven; presets default to
+ * the fig16 design set.
  *
  * A global --trace-spans FILE flag (before the command) records the
  * client side of the request as spans and sends the IDs along, so the
@@ -35,6 +49,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <thread>
 
@@ -51,20 +66,25 @@ usage(const char *argv0)
     // docs/FLAGS.md (src/cli/flag_docs.cpp).
     std::string global_flags = "[flags]";
     std::string submit_flags;
+    std::string grid_flags;
     for (const auto &doc : dcfb::cli::allBinaryDocs()) {
         if (doc.binary == "dcfb-client (global flags)")
             global_flags = dcfb::cli::usageLine(doc);
         else if (doc.binary == "dcfb-client submit")
             submit_flags = dcfb::cli::usageLine(doc);
+        else if (doc.binary == "dcfb-client grid")
+            grid_flags = dcfb::cli::usageLine(doc);
     }
     std::fprintf(stderr,
                  "usage: %s %s COMMAND ...\n"
                  "  submit %s\n"
+                 "  grid %s\n"
                  "  status JOB | fetch JOB | cancel JOB\n"
                  "  stats | ping | drain\n"
                  "  metrics [--watch] [--interval-ms N]\n"
                  "  raw '<request json>'\n",
-                 argv0, global_flags.c_str(), submit_flags.c_str());
+                 argv0, global_flags.c_str(), submit_flags.c_str(),
+                 grid_flags.c_str());
     std::exit(2);
 }
 
@@ -95,7 +115,8 @@ main(int argc, char **argv)
     svc::RetryPolicy retry_policy;
     int i = 1;
     while (i + 1 < argc) {
-        if (std::strcmp(argv[i], "--socket") == 0) {
+        if (std::strcmp(argv[i], "--socket") == 0 ||
+            std::strcmp(argv[i], "--endpoint") == 0) {
             socket_path = argv[i + 1];
             i += 2;
         } else if (std::strcmp(argv[i], "--trace-spans") == 0) {
@@ -204,6 +225,119 @@ main(int argc, char **argv)
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(interval_ms ? interval_ms
                                                       : 1000));
+        }
+    }
+
+    if (command == "grid") {
+        obs::JsonValue greq = obs::JsonValue::object();
+        greq["op"] = "grid";
+        std::string out_path;
+        for (; i < argc; ++i) {
+            std::string arg = argv[i];
+            auto next = [&]() -> const char * {
+                if (i + 1 >= argc)
+                    usage(argv[0]);
+                return argv[++i];
+            };
+            auto csvList = [&](const char *text) {
+                obs::JsonValue list = obs::JsonValue::array();
+                std::string item;
+                for (const char *p = text;; ++p) {
+                    if (*p == ',' || *p == '\0') {
+                        if (!item.empty())
+                            list.push(obs::JsonValue(item));
+                        item.clear();
+                        if (*p == '\0')
+                            break;
+                    } else {
+                        item.push_back(*p);
+                    }
+                }
+                return list;
+            };
+            if (arg == "--workloads")
+                greq["workloads"] = csvList(next());
+            else if (arg == "--presets")
+                greq["presets"] = csvList(next());
+            else if (arg == "--warm")
+                greq["warm"] =
+                    static_cast<std::uint64_t>(std::atoll(next()));
+            else if (arg == "--measure")
+                greq["measure"] =
+                    static_cast<std::uint64_t>(std::atoll(next()));
+            else if (arg == "--seed")
+                greq["seed"] =
+                    static_cast<std::uint64_t>(std::atoll(next()));
+            else if (arg == "--out")
+                out_path = next();
+            else
+                usage(argv[0]);
+        }
+        std::optional<obs::SpanScope> span;
+        if (obs::Spans::enabled()) {
+            span.emplace("client.grid", std::string());
+            greq["trace_id"] = span->traceId();
+            greq["parent_span"] = span->spanId();
+        }
+        if (auto sent = client.request(greq); !sent.ok()) {
+            std::fprintf(stderr, "dcfb-client: %s\n",
+                         sent.error().render().c_str());
+            return 2;
+        } else {
+            // request() already consumed the first frame; fall through
+            // to the event loop with it.
+            obs::JsonValue event = sent.value();
+            for (;;) {
+                const obs::JsonValue *kind = event.find("event");
+                std::string name = kind &&
+                        kind->kind() == obs::JsonValue::Kind::String
+                    ? kind->asString()
+                    : std::string();
+                if (name == "done") {
+                    const obs::JsonValue *report = event.find("report");
+                    std::string text =
+                        report ? report->dump(2) : event.dump(2);
+                    if (out_path.empty()) {
+                        std::printf("%s\n", text.c_str());
+                    } else {
+                        std::FILE *f =
+                            std::fopen(out_path.c_str(), "w");
+                        if (!f) {
+                            std::fprintf(stderr,
+                                         "dcfb-client: cannot open %s\n",
+                                         out_path.c_str());
+                            return 2;
+                        }
+                        std::fprintf(f, "%s\n", text.c_str());
+                        std::fclose(f);
+                    }
+                    obs::JsonValue summary = obs::JsonValue::object();
+                    for (const auto &[key, value] : event.members())
+                        if (key != "report")
+                            summary[key] = value;
+                    std::fprintf(stderr, "dcfb-client: %s\n",
+                                 summary.dump().c_str());
+                    return 0;
+                }
+                if (name == "error" || !event.find("ok") ||
+                    (event.find("ok")->kind() ==
+                         obs::JsonValue::Kind::Bool &&
+                     !event.find("ok")->asBool())) {
+                    std::fprintf(stderr, "dcfb-client: %s\n",
+                                 event.dump().c_str());
+                    return 1;
+                }
+                // Progress frames (accepted, cell) stream to stderr.
+                std::fprintf(stderr, "dcfb-client: %s\n",
+                             event.dump().c_str());
+                auto frame = client.receive();
+                if (!frame.ok()) {
+                    std::fprintf(stderr, "dcfb-client: %s\n",
+                                 frame.error().render().c_str());
+                    return 2;
+                }
+                event = std::move(frame.value());
+            }
         }
     }
 

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * dcfb-coord: the fleet coordinator daemon.
+ *
+ *   dcfb-coord --worker NAME=ENDPOINT [--worker ...]
+ *              [--socket PATH] [--listen HOST:PORT]
+ *              [--vnodes N] [--warm N --measure N]
+ *              [--connect-budget-ms N] [--recv-timeout-ms N]
+ *              [--poll-ms N] [--cell-attempts N]
+ *              [--trace-spans FILE]
+ *
+ * Each --worker names one dcfb-serve daemon (ENDPOINT is a Unix-socket
+ * path or host:port).  Grid cells are sharded across the fleet on a
+ * consistent-hash ring keyed by their result-cache fingerprints, so
+ * repeat cells land on the worker whose cache holds them (DESIGN.md
+ * section 15); the `grid` op streams per-cell events and a merged
+ * dcfb-grid-v1 report.  Runs until SIGTERM/SIGINT, then drains: the
+ * running grid finishes, fleet stats print to stdout, exit 0.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "cli/flag_docs.h"
+#include "obs/span.h"
+#include "svc/coordinator.h"
+
+namespace {
+
+volatile std::sig_atomic_t stopRequested = 0;
+
+void
+onSignal(int)
+{
+    stopRequested = 1;
+}
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    // Rendered from the same table as docs/FLAGS.md (src/cli/flag_docs.cpp).
+    for (const auto &doc : dcfb::cli::allBinaryDocs()) {
+        if (doc.binary != "dcfb-coord")
+            continue;
+        std::fprintf(stderr, "usage: %s %s\n", argv0,
+                     dcfb::cli::usageLine(doc).c_str());
+        std::exit(2);
+    }
+    std::fprintf(stderr, "usage: %s --worker NAME=ENDPOINT ...\n", argv0);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace dcfb;
+
+    svc::CoordinatorConfig config;
+    config.defaultWindows = sim::RunWindows{150000, 150000};
+    std::string spanPath;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--worker") {
+            std::string spec = next();
+            std::size_t eq = spec.find('=');
+            svc::WorkerSpec worker;
+            if (eq == std::string::npos) {
+                // Bare ENDPOINT: the endpoint doubles as the ring name.
+                worker.name = spec;
+                worker.endpoint = spec;
+            } else {
+                worker.name = spec.substr(0, eq);
+                worker.endpoint = spec.substr(eq + 1);
+            }
+            config.workers.push_back(std::move(worker));
+        } else if (arg == "--socket")
+            config.socketPath = next();
+        else if (arg == "--listen")
+            config.listenAddr = next();
+        else if (arg == "--vnodes")
+            config.vnodes = static_cast<unsigned>(std::atoi(next()));
+        else if (arg == "--warm")
+            config.defaultWindows.warm =
+                static_cast<std::uint64_t>(std::atoll(next()));
+        else if (arg == "--measure")
+            config.defaultWindows.measure =
+                static_cast<std::uint64_t>(std::atoll(next()));
+        else if (arg == "--connect-budget-ms")
+            config.connectBudgetMs =
+                static_cast<std::uint64_t>(std::atoll(next()));
+        else if (arg == "--recv-timeout-ms")
+            config.recvTimeoutMs =
+                static_cast<std::uint64_t>(std::atoll(next()));
+        else if (arg == "--poll-ms")
+            config.pollMs =
+                static_cast<std::uint64_t>(std::atoll(next()));
+        else if (arg == "--cell-attempts")
+            config.cellAttempts =
+                static_cast<unsigned>(std::atoi(next()));
+        else if (arg == "--trace-spans")
+            spanPath = next();
+        else
+            usage(argv[0]);
+    }
+    if (config.workers.empty() ||
+        (config.socketPath.empty() && config.listenAddr.empty()))
+        usage(argv[0]);
+
+    if (!spanPath.empty() && !obs::Spans::open(spanPath)) {
+        std::fprintf(stderr, "dcfb-coord: cannot open %s\n",
+                     spanPath.c_str());
+        return 1;
+    }
+
+    svc::Coordinator coordinator(config);
+    if (auto started = coordinator.start(); !started.ok()) {
+        std::fprintf(stderr, "dcfb-coord: %s\n",
+                     started.error().render().c_str());
+        return 1;
+    }
+
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+    if (!config.listenAddr.empty()) {
+        // `--listen host:0` binds an ephemeral port; announce the
+        // resolved one so scripts can discover it.
+        std::fprintf(stderr, "dcfb-coord: listening on tcp port %u\n",
+                     coordinator.tcpPort());
+    }
+    if (!config.socketPath.empty()) {
+        std::fprintf(stderr, "dcfb-coord: listening on %s\n",
+                     config.socketPath.c_str());
+    }
+    std::fprintf(stderr, "dcfb-coord: %zu worker(s)\n",
+                 config.workers.size());
+
+    while (!stopRequested)
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    std::fprintf(stderr, "dcfb-coord: draining\n");
+    coordinator.requestDrain();
+    std::printf("%s\n", coordinator.fleetStats().dump(2).c_str());
+    coordinator.shutdown();
+    if (!spanPath.empty()) {
+        obs::Spans::close();
+        std::fprintf(stderr,
+                     "dcfb-coord: span timeline written to %s\n",
+                     spanPath.c_str());
+    }
+    std::fprintf(stderr, "dcfb-coord: drained, exiting\n");
+    return 0;
+}

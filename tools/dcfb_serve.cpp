@@ -2,12 +2,17 @@
  * @file
  * dcfb-serve: the experiment service daemon.
  *
- *   dcfb-serve --socket /tmp/dcfb.sock [--jobs N] [--queue N]
+ *   dcfb-serve --socket /tmp/dcfb.sock [--listen HOST:PORT]
+ *              [--jobs N] [--queue N]
  *              [--cache DIR] [--warm N --measure N]
  *              [--retry-after-ms N] [--metrics-interval-ms N]
  *              [--trace-spans FILE]
  *              [--journal DIR] [--journal-fsync always|rotate|never]
  *              [--journal-rotate N] [--lease-ms N] [--svc-inject SPEC]
+ *
+ * Listens on the Unix socket, the TCP endpoint (fleet workers behind a
+ * dcfb-coord), or both; `--listen host:0` binds an ephemeral port and
+ * announces the resolved one on stderr so scripts can discover it.
  *
  * Runs until SIGTERM/SIGINT, then drains gracefully: admission stops,
  * every queued and running job finishes and is flushed to the result
@@ -83,6 +88,8 @@ main(int argc, char **argv)
         };
         if (arg == "--socket")
             config.socketPath = next();
+        else if (arg == "--listen")
+            config.listenAddr = next();
         else if (arg == "--jobs")
             config.jobs = static_cast<unsigned>(std::atoi(next()));
         else if (arg == "--queue")
@@ -131,7 +138,7 @@ main(int argc, char **argv)
         } else
             usage(argv[0]);
     }
-    if (config.socketPath.empty())
+    if (config.socketPath.empty() && config.listenAddr.empty())
         usage(argv[0]);
 
     if (!spanPath.empty() && !obs::Spans::open(spanPath)) {
@@ -149,8 +156,12 @@ main(int argc, char **argv)
 
     std::signal(SIGTERM, onSignal);
     std::signal(SIGINT, onSignal);
-    std::fprintf(stderr, "dcfb-serve: listening on %s\n",
-                 config.socketPath.c_str());
+    if (!config.socketPath.empty())
+        std::fprintf(stderr, "dcfb-serve: listening on %s\n",
+                     config.socketPath.c_str());
+    if (!config.listenAddr.empty())
+        std::fprintf(stderr, "dcfb-serve: listening on tcp port %u\n",
+                     server.tcpPort());
 
     while (!stopRequested)
         std::this_thread::sleep_for(std::chrono::milliseconds(100));
