@@ -28,7 +28,7 @@ buildDocs()
     BinaryDoc bench;
     bench.binary = "bench harnesses";
     bench.synopsis =
-        "fig01_footprint_miss … fig18_btb_sweep, tab01_empty_ftq, "
+        "fig01_footprint_miss … fig19_competitors, tab01_empty_ftq, "
         "tab02_storage, sec7j_dvllc [flags]";
     bench.description =
         "Every per-figure bench binary routes its arguments through "

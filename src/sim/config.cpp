@@ -51,6 +51,8 @@ presetName(Preset preset)
       case Preset::Shotgun: return "Shotgun";
       case Preset::PerfectL1i: return "PerfectL1i";
       case Preset::PerfectL1iBtb: return "PerfectL1i+BTBinf";
+      case Preset::Fdip: return "FDIP";
+      case Preset::MicroBtb: return "MicroBTB";
     }
     return "?";
 }
@@ -105,6 +107,13 @@ makeConfig(const workload::WorkloadProfile &profile, Preset preset)
         cfg.fetch.perfectL1i = true;
         cfg.fetch.perfectBtb = true;
         break;
+      case Preset::Fdip:
+        // The decoupled BPU runs ahead through a deeper FTQ than the
+        // BTB-directed baselines' default.
+        cfg.fetch.ftqEntries = cfg.fdip.ftqDepth;
+        break;
+      case Preset::MicroBtb:
+        break; // defaults in MicroBtbConfig
       default:
         break;
     }

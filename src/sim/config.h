@@ -11,6 +11,7 @@
 #include <string>
 
 #include "core/backend.h"
+#include "frontend/micro_btb.h"
 #include "frontend/shotgun_btb.h"
 #include "mem/l1d.h"
 #include "mem/l1i.h"
@@ -18,6 +19,7 @@
 #include "mem/memory.h"
 #include "noc/mesh.h"
 #include "prefetch/confluence.h"
+#include "prefetch/fdip.h"
 #include "prefetch/sn4l_dis_btb.h"
 #include "rt/faults.h"
 #include "rt/invariants.h"
@@ -43,6 +45,8 @@ enum class Preset {
     Shotgun,     //!< BTB-directed, split U/C/RIB BTB
     PerfectL1i,  //!< all instruction requests served at hit latency
     PerfectL1iBtb, //!< Perfect L1i + 32 K-entry never-miss BTB
+    Fdip,        //!< fetch-directed instruction prefetching (competitor)
+    MicroBtb,    //!< last-level BTB behind the main BTB (competitor)
 };
 
 /** Name used in reports. */
@@ -85,6 +89,8 @@ struct SystemConfig
 
     prefetch::Sn4lDisBtbConfig sn4l;
     prefetch::ConfluenceConfig confluence;
+    prefetch::FdipConfig fdip;
+    frontend::MicroBtbConfig microBtb;
 
     mem::L1iConfig l1i;
     mem::L1dConfig l1d;

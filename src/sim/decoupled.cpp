@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "obs/trace.h"
+#include "prefetch/fdip.h"
 #include "rt/invariants.h"
 
 namespace dcfb::sim {
@@ -20,10 +21,12 @@ DecoupledFetchEngine::DecoupledFetchEngine(
     const FetchConfig &config, Kind kind_, workload::TraceWalker &walker_,
     mem::L1iCache &l1i_, frontend::Tage &tage_,
     const isa::Predecoder &predecoder, unsigned boomerang_btb_entries,
-    const frontend::ShotgunBtbConfig &shotgun_cfg, exec::Arena *arena)
+    const frontend::ShotgunBtbConfig &shotgun_cfg,
+    frontend::Btb *conv_btb, prefetch::Fdip *fdip_, exec::Arena *arena)
     : FetchEngine(config, arena), kind(kind_), walker(walker_), l1i(l1i_),
       tage(tage_), pd(predecoder), bbtb(boomerang_btb_entries, 4),
-      sgBtb(shotgun_cfg), btbPb(32, 32, arena), ftq(config.ftqEntries)
+      sgBtb(shotgun_cfg), btbPb(32, 32, arena), convBtb(conv_btb),
+      fdip(fdip_), ftq(config.ftqEntries)
 {
     cFetched = statSet.counter("fe_fetched");
     cIcacheStallCycles = statSet.counter("fe_icache_stall_cycles");
@@ -47,6 +50,7 @@ DecoupledFetchEngine::DecoupledFetchEngine(
     cCbtbMisses = statSet.lazy("sg_cbtb_miss");
     cUbtbMisses = statSet.lazy("sg_ubtb_miss");
     cRibMisses = statSet.lazy("sg_rib_miss");
+    cFdipBtbMisses = statSet.lazy("fdip_btb_miss");
 
     // Pre-size the lookahead ring past the common BPU/fetch separation
     // (FTQ depth x BB-scan bound) so growth is exceptional.
@@ -156,8 +160,13 @@ DecoupledFetchEngine::onFill(Addr block_addr, bool was_prefetch,
     (void)bf;
     if (!was_prefetch)
         return;
-    // Proactive BTB prefill from prefetched blocks (both baselines pre-
-    // decode prefetched blocks to prime their BTB state).
+    // Proactive BTB prefill from prefetched blocks (both BTB-directed
+    // baselines pre-decode prefetched blocks to prime their BTB state).
+    // FDIP deliberately has no such path: its fills feed the prefetcher's
+    // own accounting (the Fdip unit is the L1i listener), and BTB misses
+    // keep stalling the BPU — that gap is what the comparison measures.
+    if (kind == Kind::Fdip)
+        return;
     if (kind == Kind::Boomerang)
         boomerangPrefill(block_addr);
     else
@@ -296,6 +305,41 @@ DecoupledFetchEngine::shotgunLookup(Addr bb_start, std::uint64_t term_idx,
     }
 }
 
+bool
+DecoupledFetchEngine::fdipLookup(Addr bb_start, std::uint64_t term_idx,
+                                 Cycle now)
+{
+    (void)bb_start; // FDIP's BPU keys the conventional BTB by branch PC
+    if (cfg.perfectBtb)
+        return true;
+    const TraceEntry &term = entryAt(term_idx);
+    if (!term.isBranch())
+        return true; // straight-line region: nothing to look up
+    if (const frontend::BtbEntry *entry = convBtb->lookup(term.pc)) {
+        if (term.taken && entry->target != kInvalidAddr &&
+            entry->target != term.target) {
+            // Stale stored target: the BPU ran down the stored path
+            // until the execute-stage redirect (charged in bpuStep).
+            targetMispredict = true;
+            wrongPathTarget = entry->target;
+            convBtb->update(term.pc, term.target, term.kind);
+        }
+        return true;
+    }
+    if (term.taken) {
+        // The BPU does not know this is a branch: it runs ahead down
+        // the fall-through path until decode discovers the branch, then
+        // refills reactively like the other decoupled designs.
+        reactiveStall(term.pc, now, cFdipBtbMisses);
+        convBtb->update(term.pc, term.target, term.kind);
+        return false;
+    }
+    // Fall-through fetch is accidentally correct for a not-taken
+    // conditional; install the entry and keep running ahead.
+    convBtb->update(term.pc, term.target, term.kind);
+    return true;
+}
+
 void
 DecoupledFetchEngine::bpuStep(Cycle now)
 {
@@ -313,9 +357,18 @@ DecoupledFetchEngine::bpuStep(Cycle now)
 
     targetMispredict = false;
     wrongPathTarget = kInvalidAddr;
-    bool ok = kind == Kind::Boomerang
-        ? boomerangLookup(bb_start, term_idx, now)
-        : shotgunLookup(bb_start, term_idx, now);
+    bool ok;
+    switch (kind) {
+      case Kind::Boomerang:
+        ok = boomerangLookup(bb_start, term_idx, now);
+        break;
+      case Kind::Shotgun:
+        ok = shotgunLookup(bb_start, term_idx, now);
+        break;
+      default:
+        ok = fdipLookup(bb_start, term_idx, now);
+        break;
+    }
     if (!ok)
         return; // BPU stalled on a reactive prefill
 
@@ -362,6 +415,13 @@ DecoupledFetchEngine::bpuStep(Cycle now)
         Addr last = blockAlign(term.pc + term.len - 1);
         for (Addr b = first; b <= last; b += kBlockBytes)
             l1i.prefetch(b, now);
+    }
+    // FDIP routes the same FTQ contents through its candidate queue
+    // (bounded, deduplicated, port-limited) instead of prefetching
+    // unconditionally — that queue discipline is the design under test.
+    if (!cfg.perfectL1i && kind == Kind::Fdip) {
+        fdip->onFtqAppend(blockAlign(bb_start),
+                          blockAlign(term.pc + term.len - 1), ftq.size());
     }
     bpuIdx = term_idx + 1;
 

@@ -39,22 +39,34 @@ namespace dcfb::rt {
 class InvariantRegistry;
 } // namespace dcfb::rt
 
+namespace dcfb::prefetch {
+class Fdip;
+} // namespace dcfb::prefetch
+
 namespace dcfb::sim {
 
 /**
- * BTB-directed frontend (Boomerang / Shotgun).
+ * BTB-directed frontend (Boomerang / Shotgun) and the FDIP competitor,
+ * whose BPU runs ahead through the conventional BTB and feeds the
+ * prefetch::Fdip unit from every FTQ append.
  */
 class DecoupledFetchEngine final : public FetchEngine, public mem::L1iListener
 {
   public:
-    enum class Kind { Boomerang, Shotgun };
+    enum class Kind { Boomerang, Shotgun, Fdip };
 
+    /**
+     * @param conv_btb conventional BTB driving the BPU (Kind::Fdip only)
+     * @param fdip     FTQ-append consumer (Kind::Fdip only)
+     */
     DecoupledFetchEngine(const FetchConfig &config, Kind kind_,
                          workload::TraceWalker &walker, mem::L1iCache &l1i,
                          frontend::Tage &tage,
                          const isa::Predecoder &predecoder,
                          unsigned boomerang_btb_entries,
                          const frontend::ShotgunBtbConfig &shotgun_cfg,
+                         frontend::Btb *conv_btb = nullptr,
+                         prefetch::Fdip *fdip = nullptr,
                          exec::Arena *arena = nullptr);
 
     void cycle(Cycle now) override;
@@ -89,6 +101,7 @@ class DecoupledFetchEngine final : public FetchEngine, public mem::L1iListener
      *  stall (reactive prefill in progress). */
     bool boomerangLookup(Addr bb_start, std::uint64_t term_idx, Cycle now);
     bool shotgunLookup(Addr bb_start, std::uint64_t term_idx, Cycle now);
+    bool fdipLookup(Addr bb_start, std::uint64_t term_idx, Cycle now);
 
     /** Begin a reactive prefill stall for the block at @p addr,
      *  counting it against @p stat. */
@@ -119,6 +132,8 @@ class DecoupledFetchEngine final : public FetchEngine, public mem::L1iListener
     frontend::BbBtb bbtb;
     frontend::ShotgunBtb sgBtb;
     prefetch::BtbPrefetchBuffer btbPb; //!< Shotgun: 32-entry prefill buffer
+    frontend::Btb *convBtb;            //!< Fdip: the conventional BTB
+    prefetch::Fdip *fdip;              //!< Fdip: FTQ-append consumer
 
     frontend::Ftq ftq;
 
@@ -175,7 +190,7 @@ class DecoupledFetchEngine final : public FetchEngine, public mem::L1iListener
         cBoomerangPrefillEntries, cSgFootprintPrefetches, cSgCbtbFills,
         cSgRegionSkipped, cBpuTargetMispredicts, cBpuMispredicts,
         cBpuRasMispredicts, cSquashes, cWrongPathPrefetches,
-        cBbBtbMisses, cCbtbMisses, cUbtbMisses, cRibMisses;
+        cBbBtbMisses, cCbtbMisses, cUbtbMisses, cRibMisses, cFdipBtbMisses;
 };
 
 } // namespace dcfb::sim

@@ -40,6 +40,7 @@
 #include "common/stats.h"
 #include "exec/arena.h"
 #include "frontend/btb.h"
+#include "frontend/micro_btb.h"
 #include "frontend/ras.h"
 #include "frontend/tage.h"
 #include "mem/l1i.h"
@@ -90,10 +91,15 @@ class FetchEngine
     const StatSet &stats() const { return statSet; }
     StatSet &stats() { return statSet; }
 
+    /** Attach a last-level BTB (the MicroBTB preset).  Null for every
+     *  other preset, so the probe sites stay bit-identical without it. */
+    void setMicroBtb(frontend::MicroBtb *m) { mbtb = m; }
+
   protected:
     FetchConfig cfg;
     BoundedQueue<FetchedSlot> fetchBuffer; //!< ring: drained every cycle
     StatSet statSet;
+    frontend::MicroBtb *mbtb = nullptr; //!< MicroBTB preset only
 };
 
 /**
@@ -265,13 +271,38 @@ class CoupledFetchEngineT final : public FetchEngine
                 // whole probe folds away.
                 if (auto *pb = pf.btbPrefetchBuffer()) {
                     if (const auto *b = pb->findBranch(e.pc)) {
-                        btb.update(e.pc,
+                        updateBtb(e.pc,
                                    b->hasTarget ? b->target : e.target,
                                    b->kind);
                         from_buffer = {b->hasTarget ? b->target : e.target,
                                        b->kind};
                         entry = &from_buffer;
                         cBtbBufferFills.add();
+                        if (obs::Tracing::enabled()) {
+                            obs::Tracing::record("btb", now, e.pc,
+                                                 obs::MissClass::Btb,
+                                                 obs::MissOutcome::Covered);
+                        }
+                    }
+                }
+                // Last-level BTB (the MicroBTB competitor): a hit
+                // promotes the entry into the main BTB, trading the
+                // decode-time redirect for a short fill bubble.
+                if (!entry && mbtb) {
+                    if (const frontend::MicroBtbEntry *me =
+                            mbtb->probe(e.pc)) {
+                        updateBtb(e.pc, me->target, me->kind);
+                        from_buffer = {me->target, me->kind};
+                        entry = &from_buffer;
+                        mbtb->notePromote();
+                        if (mbtb->promoteLatency() > 0) {
+                            // A fetch bubble, not a squash: no wrong-path
+                            // fetches, stalls accrue to the BTB bucket.
+                            redirectUntil = now + mbtb->promoteLatency();
+                            redirectReason = StallReason::BtbMissRedirect;
+                            wrongPathPc = kInvalidAddr;
+                            wrongPathBlock = kInvalidAddr;
+                        }
                         if (obs::Tracing::enabled()) {
                             obs::Tracing::record("btb", now, e.pc,
                                                  obs::MissClass::Btb,
@@ -295,11 +326,11 @@ class CoupledFetchEngineT final : public FetchEngine
                 }
                 redirect(now, cfg.decodeRedirectPenalty, e.pc + e.len,
                          StallReason::BtbMissRedirect);
-                btb.update(e.pc, e.target, e.kind);
+                updateBtb(e.pc, e.target, e.kind);
                 return true;
             }
             cBtbMissNotTaken.add();
-            btb.update(e.pc, e.target, e.kind);
+            updateBtb(e.pc, e.target, e.kind);
             return false;
         }
 
@@ -311,14 +342,14 @@ class CoupledFetchEngineT final : public FetchEngine
                 Addr wrong = predicted_taken ? entry->target : e.pc + e.len;
                 redirect(now, cfg.execRedirectPenalty, wrong,
                          StallReason::MispredictRedirect);
-                btb.update(e.pc, e.target, e.kind);
+                updateBtb(e.pc, e.target, e.kind);
                 return true;
             }
             if (e.taken && entry->target != e.target) {
                 cStaleTarget.add();
                 redirect(now, cfg.execRedirectPenalty, entry->target,
                          StallReason::MispredictRedirect);
-                btb.update(e.pc, e.target, e.kind);
+                updateBtb(e.pc, e.target, e.kind);
                 return true;
             }
             return e.taken;
@@ -328,7 +359,7 @@ class CoupledFetchEngineT final : public FetchEngine
                 cStaleTarget.add();
                 redirect(now, cfg.decodeRedirectPenalty, entry->target,
                          StallReason::MispredictRedirect);
-                btb.update(e.pc, e.target, e.kind);
+                updateBtb(e.pc, e.target, e.kind);
                 return true;
             }
             return true;
@@ -337,7 +368,7 @@ class CoupledFetchEngineT final : public FetchEngine
                 cIndirectMispredicts.add();
                 redirect(now, cfg.execRedirectPenalty, entry->target,
                          StallReason::MispredictRedirect);
-                btb.update(e.pc, e.target, e.kind);
+                updateBtb(e.pc, e.target, e.kind);
                 return true;
             }
             return true;
@@ -354,6 +385,16 @@ class CoupledFetchEngineT final : public FetchEngine
           default:
             return false;
         }
+    }
+
+    /** Install or refresh a BTB entry, mirroring it into the last-level
+     *  BTB when one is attached (inclusive fill policy). */
+    void
+    updateBtb(Addr pc, Addr target, isa::InstrKind kind)
+    {
+        btb.update(pc, target, kind);
+        if (mbtb)
+            mbtb->fill(pc, target, kind);
     }
 
     /** Begin a redirect window. */

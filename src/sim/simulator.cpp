@@ -203,6 +203,12 @@ trySimulate(const SystemConfig &config, const RunWindows &windows)
             system.prefetcher.get())) {
         merge(res, "pf", p->stats());
     }
+    if (auto *p = dynamic_cast<prefetch::Fdip *>(
+            system.prefetcher.get())) {
+        merge(res, "pf", p->stats());
+    }
+    if (system.microBtb)
+        merge(res, "mbtb", system.microBtb->stats());
     // Fault counters only exist under --inject, keeping uninjected
     // reports bit-identical to the pre-integrity format.
     if (system.injector.active())

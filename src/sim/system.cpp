@@ -4,6 +4,7 @@
 
 #include "prefetch/classic_discontinuity.h"
 #include "prefetch/confluence.h"
+#include "prefetch/fdip.h"
 #include "prefetch/nextline.h"
 #include "prefetch/sn4l_dis_btb.h"
 
@@ -54,6 +55,12 @@ System::estimateArenaBytes(const SystemConfig &config)
       case Preset::Confluence:
         bytes += prefetch::ConfluencePrefetcher::arenaBytes(config.confluence);
         break;
+      case Preset::Fdip:
+        bytes += prefetch::Fdip::arenaBytes(config.fdip);
+        break;
+      case Preset::MicroBtb:
+        bytes += frontend::MicroBtb::arenaBytes(config.microBtb);
+        break;
       default:
         break;
     }
@@ -93,6 +100,8 @@ System::System(const SystemConfig &config)
     tage = std::make_unique<frontend::Tage>(frontend::TageConfig{}, &arena);
     btb = std::make_unique<frontend::Btb>(cfg.btbEntries, cfg.btbAssoc,
                                           &arena);
+    if (cfg.preset == Preset::MicroBtb)
+        microBtb = std::make_unique<frontend::MicroBtb>(cfg.microBtb, &arena);
     backend = std::make_unique<core::Backend>(cfg.backend, &arena);
 
     switch (cfg.preset) {
@@ -128,6 +137,10 @@ System::System(const SystemConfig &config)
         prefetcher = std::make_unique<prefetch::ConfluencePrefetcher>(
             *l1i, cfg.confluence, &arena);
         break;
+      case Preset::Fdip:
+        prefetcher = std::make_unique<prefetch::Fdip>(*l1i, cfg.fdip,
+                                                      &arena);
+        break;
       default:
         prefetcher = std::make_unique<prefetch::NullPrefetcher>();
         break;
@@ -139,8 +152,9 @@ System::System(const SystemConfig &config)
     // are remembered so the BTB-directed engines' structures can be
     // primed after construction.
     std::vector<workload::TraceEntry> warm_branches;
-    bool decoupled_preset =
-        cfg.preset == Preset::Boomerang || cfg.preset == Preset::Shotgun;
+    // Only Shotgun consumes the collected branches (to prime its split
+    // BTB); Boomerang and FDIP prime through btb/bbtb updates directly.
+    bool collect_warm_branches = cfg.preset == Preset::Shotgun;
     // The warmup pass can outlast a worker lease on its own, so it
     // reports liveness at the same cadence the timed windows do.
     const Cycle hb_interval =
@@ -162,24 +176,37 @@ System::System(const SystemConfig &config)
             } else {
                 tage->updateHistoryUnconditional(e.pc);
             }
-            if (e.taken)
+            if (e.taken) {
                 btb->update(e.pc, e.target, e.kind);
-            if (decoupled_preset)
+                if (microBtb)
+                    microBtb->fill(e.pc, e.target, e.kind);
+            }
+            if (collect_warm_branches)
                 warm_branches.push_back(e);
         }
         recordRetiredFootprints(e);
     }
 
-    if (cfg.preset == Preset::Boomerang || cfg.preset == Preset::Shotgun) {
+    if (cfg.preset == Preset::Boomerang || cfg.preset == Preset::Shotgun ||
+        cfg.preset == Preset::Fdip) {
+        prefetch::Fdip *fdip_unit = cfg.preset == Preset::Fdip
+            ? static_cast<prefetch::Fdip *>(prefetcher.get())
+            : nullptr;
         auto engine = std::make_unique<DecoupledFetchEngine>(
             cfg.fetch,
             cfg.preset == Preset::Boomerang
                 ? DecoupledFetchEngine::Kind::Boomerang
-                : DecoupledFetchEngine::Kind::Shotgun,
+                : cfg.preset == Preset::Shotgun
+                      ? DecoupledFetchEngine::Kind::Shotgun
+                      : DecoupledFetchEngine::Kind::Fdip,
             *walker, *l1i, *tage, *predecoder, cfg.boomerangBtbEntries,
-            cfg.shotgunBtb, &arena);
+            cfg.shotgunBtb, btb.get(), fdip_unit, &arena);
         decoupled = engine.get();
-        l1i->setListener(decoupled);
+        // FDIP's fills/usefulness land in the prefetcher's accounting;
+        // the BTB-directed engines do their own prefill on fills.
+        l1i->setListener(fdip_unit
+                             ? static_cast<mem::L1iListener *>(fdip_unit)
+                             : decoupled);
         // Prime the Shotgun BTB from the warm branch stream (footprints
         // still build during the timed warm window: only the retired
         // stream can construct them, Section III).
@@ -232,6 +259,9 @@ System::System(const SystemConfig &config)
         }
     }
 
+    if (microBtb)
+        fetch->setMicroBtb(microBtb.get());
+
     selectStepFns();
     registerIntegrity();
 }
@@ -267,6 +297,9 @@ System::selectStepFns()
       case Preset::Boomerang:
       case Preset::Shotgun:
         bindStep<prefetch::NullPrefetcher, DecoupledFetchEngine>();
+        break;
+      case Preset::Fdip:
+        bindStep<prefetch::Fdip, DecoupledFetchEngine>();
         break;
       case Preset::NL:
       case Preset::N2L:
@@ -386,6 +419,11 @@ System::snapshot() const
         q["rlu"] = static_cast<std::uint64_t>(depths.rlu);
         doc["pf_queues"] = std::move(q);
     }
+    if (auto *p = dynamic_cast<const prefetch::Fdip *>(prefetcher.get())) {
+        obs::JsonValue q = obs::JsonValue::object();
+        q["queue"] = static_cast<std::uint64_t>(p->queueDepth());
+        doc["fdip"] = std::move(q);
+    }
     if (decoupled) {
         obs::JsonValue f = obs::JsonValue::object();
         f["size"] = static_cast<std::uint64_t>(decoupled->ftqSize());
@@ -412,7 +450,11 @@ System::resetStats()
     fetch->stats().reset();
     if (decoupled)
         decoupled->shotgunBtb().stats().reset();
+    if (microBtb)
+        microBtb->stats().reset();
     if (auto *p = dynamic_cast<prefetch::Sn4lDisBtb *>(prefetcher.get()))
+        p->stats().reset();
+    if (auto *p = dynamic_cast<prefetch::Fdip *>(prefetcher.get()))
         p->stats().reset();
     injector.stats().reset();
     simStats.reset();

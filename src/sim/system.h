@@ -109,6 +109,7 @@ class System
 
     std::unique_ptr<frontend::Tage> tage;
     std::unique_ptr<frontend::Btb> btb;
+    std::unique_ptr<frontend::MicroBtb> microBtb; //!< MicroBTB preset only
     std::unique_ptr<core::Backend> backend;
 
     std::unique_ptr<prefetch::InstrPrefetcher> prefetcher;

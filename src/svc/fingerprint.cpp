@@ -65,6 +65,20 @@ fingerprint(const sim::SystemConfig &c, const sim::RunWindows &w)
     conf["lookahead"] = u(c.confluence.lookahead);
     fp["confluence"] = std::move(conf);
 
+    obs::JsonValue fdip = obs::JsonValue::object();
+    fdip["ftq_depth"] = u(c.fdip.ftqDepth);
+    fdip["ahead"] = u(c.fdip.prefetchAhead);
+    fdip["queue_entries"] = u(c.fdip.queueEntries);
+    fdip["issues_per_cycle"] = u(c.fdip.issuesPerCycle);
+    fdip["recent_entries"] = u(c.fdip.recentEntries);
+    fp["fdip"] = std::move(fdip);
+
+    obs::JsonValue mbtb = obs::JsonValue::object();
+    mbtb["entries"] = u(c.microBtb.entries);
+    mbtb["assoc"] = u(c.microBtb.assoc);
+    mbtb["fill_latency"] = u(c.microBtb.fillLatency);
+    fp["micro_btb"] = std::move(mbtb);
+
     obs::JsonValue l1i = obs::JsonValue::object();
     l1i["bytes"] = u(c.l1i.capacityBytes);
     l1i["assoc"] = u(c.l1i.assoc);

@@ -35,7 +35,7 @@
 namespace dcfb::svc {
 
 /** Cache entry schema / fingerprint version.  Bump on layout change. */
-inline constexpr const char *kCacheSchema = "dcfb-cache-v1";
+inline constexpr const char *kCacheSchema = "dcfb-cache-v2";
 
 /** The canonical fingerprint document for one (config, windows) run. */
 obs::JsonValue fingerprint(const sim::SystemConfig &config,

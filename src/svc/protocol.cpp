@@ -8,7 +8,7 @@ namespace dcfb::svc {
 
 namespace {
 
-constexpr std::array<sim::Preset, 16> kAllPresets = {
+constexpr std::array<sim::Preset, 18> kAllPresets = {
     sim::Preset::Baseline,   sim::Preset::NL,
     sim::Preset::N2L,        sim::Preset::N4L,
     sim::Preset::N8L,        sim::Preset::N4LPlain,
@@ -17,6 +17,7 @@ constexpr std::array<sim::Preset, 16> kAllPresets = {
     sim::Preset::ClassicDis, sim::Preset::Confluence,
     sim::Preset::Boomerang,  sim::Preset::Shotgun,
     sim::Preset::PerfectL1i, sim::Preset::PerfectL1iBtb,
+    sim::Preset::Fdip,       sim::Preset::MicroBtb,
 };
 
 rt::Error

@@ -4,10 +4,11 @@
  * (`tools/dcfb_golden.cpp`, via `scripts/update_golden.py`) and the
  * regression test (`tests/test_golden.cpp`).
  *
- * Twelve (workload, preset) cells spanning every prefetcher family the
+ * Sixteen (workload, preset) cells spanning every prefetcher family the
  * paper evaluates -- sequential (NL/SN4L), discontinuity, BTB-directed
- * (Boomerang/Shotgun), Confluence, the combined proposal, the perfect
- * frontends, and one variable-length-ISA flavour so the VL decode path
+ * (Boomerang/Shotgun), Confluence, the competitor designs (FDIP and
+ * the micro BTB), the combined proposal, the perfect frontends, and one
+ * variable-length-ISA flavour so the VL decode path
  * is pinned too.  Each cell's RunResult JSON is committed under
  * `tests/golden/`; `test_golden.cpp` asserts that re-simulating the cell
  * reproduces the committed result *bit for bit* (RunResult::operator==
@@ -42,7 +43,7 @@ struct Cell
     bool vl = false;      //!< variable-length-ISA flavour
 };
 
-/** The twelve pinned cells. */
+/** The sixteen pinned cells. */
 inline std::vector<Cell>
 cells()
 {
@@ -60,6 +61,10 @@ cells()
         {"Media Streaming", Preset::ClassicDis},
         {"Web Frontend", Preset::PerfectL1iBtb},
         {"Web Search", Preset::SN4LDisBtb, /*vl=*/true},
+        {"OLTP (DB A)", Preset::Fdip},
+        {"Web Frontend", Preset::Fdip},
+        {"OLTP (DB A)", Preset::MicroBtb},
+        {"Web Frontend", Preset::MicroBtb},
     };
 }
 

@@ -15,19 +15,30 @@
  * branch footprints cold and cached, including across eviction/refill
  * of the direct-mapped cache, and decodeAt() must stay consistent with
  * the full-block decode.
+ *
+ * The competitor mechanisms bring two more pairs: the FDIP candidate
+ * queue (power-of-two ring with a logical cap + dedup filter) against a
+ * plain deque model, and the micro BTB (flat modulo-indexed ways, true
+ * LRU) against a map model that recomputes set membership by scanning —
+ * both over seeded random streams including non-power-of-two
+ * geometries.
  */
 
 #include <gtest/gtest.h>
 
+#include <deque>
+#include <map>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "frontend/micro_btb.h"
 #include "isa/encoding.h"
 #include "isa/predecoder.h"
 #include "prefetch/dis_table.h"
+#include "prefetch/fdip.h"
 #include "prefetch/seq_table.h"
 #include "workload/image.h"
 
@@ -154,6 +165,132 @@ class DisTable
     std::vector<Entry> table;
 };
 
+/**
+ * Reference FDIP candidate queue: a plain std::deque with an explicit
+ * logical capacity, plus the same recently-accepted ring.  The
+ * production FdipQueue sits on BoundedQueue's power-of-two ring with a
+ * logical cap; this model has no ring arithmetic at all, so the two
+ * only agree if the cap/wrap handling is exact for any (non-power-of-
+ * two) capacity.
+ */
+class FdipQueue
+{
+  public:
+    FdipQueue(unsigned entries, unsigned recent_entries)
+        : cap(entries ? entries : 1),
+          recent(recent_entries ? recent_entries : 1, kInvalidAddr)
+    {}
+
+    prefetch::FdipQueue::Push
+    push(Addr block)
+    {
+        for (Addr r : recent) {
+            if (r == block)
+                return prefetch::FdipQueue::Push::Duplicate;
+        }
+        if (q.size() >= cap)
+            return prefetch::FdipQueue::Push::Dropped;
+        q.push_back(block);
+        recent[recentPos] = block;
+        recentPos = (recentPos + 1) % recent.size();
+        return prefetch::FdipQueue::Push::Accepted;
+    }
+
+    bool empty() const { return q.empty(); }
+    std::size_t size() const { return q.size(); }
+    Addr front() const { return q.front(); }
+    void pop() { q.pop_front(); }
+
+  private:
+    std::size_t cap;
+    std::deque<Addr> q;
+    std::vector<Addr> recent;
+    std::size_t recentPos = 0;
+};
+
+/**
+ * Reference micro BTB: entries live in one std::map keyed by PC; set
+ * membership is recomputed per fill by scanning the whole map for PCs
+ * that share the victim set.  Replacement uses the same rules as the
+ * flat-way table (insert while the set is under-full, else evict the
+ * strictly lowest age) — ages advance in lockstep with the production
+ * table's ++tick, so LRU order must match exactly.
+ */
+class MicroBtb
+{
+  public:
+    explicit MicroBtb(const frontend::MicroBtbConfig &config)
+        : cfg(config), numSets(config.entries / config.assoc)
+    {}
+
+    const frontend::MicroBtbEntry *
+    probe(Addr pc)
+    {
+        ++probes;
+        auto it = table.find(pc);
+        if (it == table.end()) {
+            ++misses;
+            return nullptr;
+        }
+        ++hits;
+        it->second.age = ++clock_;
+        return &it->second.payload;
+    }
+
+    bool contains(Addr pc) const { return table.count(pc) != 0; }
+
+    frontend::MicroBtb::Evicted
+    fill(Addr pc, Addr target, isa::InstrKind kind)
+    {
+        ++fills;
+        auto it = table.find(pc);
+        if (it != table.end()) {
+            it->second.payload.target = target;
+            it->second.payload.kind = kind;
+            it->second.age = ++clock_;
+            return {};
+        }
+        // Scan the whole map for the set's residents (naive on purpose).
+        unsigned set = static_cast<unsigned>(pc % numSets);
+        std::map<Addr, Entry>::iterator victim = table.end();
+        unsigned occupancy = 0;
+        for (auto e = table.begin(); e != table.end(); ++e) {
+            if (static_cast<unsigned>(e->first % numSets) != set)
+                continue;
+            ++occupancy;
+            if (victim == table.end() || e->second.age < victim->second.age)
+                victim = e;
+        }
+        frontend::MicroBtb::Evicted ev;
+        if (occupancy >= cfg.assoc) {
+            ev.valid = true;
+            ev.pc = victim->first;
+            ++evicts;
+            table.erase(victim);
+        }
+        table[pc] = Entry{{target, kind}, ++clock_};
+        return ev;
+    }
+
+    std::uint64_t probes = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t fills = 0;
+    std::uint64_t evicts = 0;
+
+  private:
+    struct Entry
+    {
+        frontend::MicroBtbEntry payload;
+        std::uint64_t age = 0;
+    };
+
+    frontend::MicroBtbConfig cfg;
+    unsigned numSets;
+    std::map<Addr, Entry> table;
+    std::uint64_t clock_ = 0;
+};
+
 } // namespace ref
 
 namespace {
@@ -244,6 +381,154 @@ INSTANTIATE_TEST_SUITE_P(
         DisCase{4096, prefetch::DisTagPolicy::Partial4, 104},
         DisCase{48, prefetch::DisTagPolicy::Partial4, 105},
         DisCase{48, prefetch::DisTagPolicy::Full, 106}));
+
+// ---------------------------------------------------------------------
+// FDIP candidate-queue differential.
+// ---------------------------------------------------------------------
+
+struct FdipQueueCase
+{
+    unsigned entries;
+    unsigned recentEntries;
+    std::uint64_t seed;
+};
+
+class FdipQueueDifferential
+    : public ::testing::TestWithParam<FdipQueueCase>
+{};
+
+TEST_P(FdipQueueDifferential, AgreesWithDequeModelOnRandomStream)
+{
+    const FdipQueueCase &c = GetParam();
+    prefetch::FdipQueue opt(c.entries, c.recentEntries);
+    ref::FdipQueue model(c.entries, c.recentEntries);
+
+    Rng rng(c.seed);
+    const Addr base = 0x40000;
+    // Mirrors the FTQ-append pattern: short runs of consecutive blocks
+    // (a basic block's lines, in order) mixed with pops (issue slots)
+    // from a pool small enough to hit the dedup ring constantly.
+    for (int op = 0; op < 30000; ++op) {
+        if (rng.chance(0.6)) {
+            Addr first = base +
+                rng.below(c.entries * 4) * kBlockBytes;
+            Addr last = first + rng.below(3) * kBlockBytes;
+            for (Addr b = first; b <= last; b += kBlockBytes) {
+                ASSERT_EQ(opt.push(b), model.push(b))
+                    << "push() diverged at op " << op;
+            }
+        } else {
+            ASSERT_EQ(opt.empty(), model.empty())
+                << "empty() diverged at op " << op;
+            if (!opt.empty()) {
+                ASSERT_EQ(opt.front(), model.front())
+                    << "front() diverged at op " << op;
+                opt.pop();
+                model.pop();
+            }
+        }
+        ASSERT_EQ(opt.size(), model.size())
+            << "size() diverged at op " << op;
+    }
+    // Drain: the full FIFO order must match, not just the fronts the
+    // random schedule happened to observe.
+    while (!model.empty()) {
+        ASSERT_FALSE(opt.empty());
+        EXPECT_EQ(opt.front(), model.front());
+        opt.pop();
+        model.pop();
+    }
+    EXPECT_TRUE(opt.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, FdipQueueDifferential,
+    ::testing::Values(
+        // The preset geometry is deliberately non-power-of-two (24/12);
+        // the pow2 and degenerate single-entry shapes ride along.
+        FdipQueueCase{24, 12, 201}, FdipQueueCase{24, 12, 202},
+        FdipQueueCase{32, 8, 203}, FdipQueueCase{7, 3, 204},
+        FdipQueueCase{1, 1, 205}, FdipQueueCase{5, 16, 206}));
+
+// ---------------------------------------------------------------------
+// Micro-BTB differential.
+// ---------------------------------------------------------------------
+
+struct MicroBtbCase
+{
+    unsigned entries;
+    unsigned assoc;
+    std::uint64_t seed;
+};
+
+class MicroBtbDifferential
+    : public ::testing::TestWithParam<MicroBtbCase>
+{};
+
+TEST_P(MicroBtbDifferential, AgreesWithMapModelOnRandomStream)
+{
+    const MicroBtbCase &c = GetParam();
+    frontend::MicroBtbConfig cfg;
+    cfg.entries = c.entries;
+    cfg.assoc = c.assoc;
+    frontend::MicroBtb opt(cfg);
+    ref::MicroBtb model(cfg);
+
+    Rng rng(c.seed);
+    const Addr base = 0x40000;
+    // 6x more branch PCs than entries so sets stay full and every fill
+    // must pick the same LRU victim in both models.
+    const unsigned pool = c.entries * 6;
+    for (int op = 0; op < 30000; ++op) {
+        Addr pc = base + rng.below(pool) * kInstrBytes;
+        switch (rng.below(3)) {
+          case 0: {
+            Addr target = base + rng.below(pool) * kInstrBytes;
+            auto kind = rng.chance(0.5) ? isa::InstrKind::CondBranch
+                                        : isa::InstrKind::Jump;
+            frontend::MicroBtb::Evicted a = opt.fill(pc, target, kind);
+            frontend::MicroBtb::Evicted b = model.fill(pc, target, kind);
+            ASSERT_EQ(a.valid, b.valid)
+                << "evict presence diverged at op " << op;
+            if (a.valid) {
+                ASSERT_EQ(a.pc, b.pc)
+                    << "evict victim diverged at op " << op;
+            }
+            break;
+          }
+          case 1: {
+            const frontend::MicroBtbEntry *a = opt.probe(pc);
+            const frontend::MicroBtbEntry *b = model.probe(pc);
+            ASSERT_EQ(a != nullptr, b != nullptr)
+                << "probe() diverged at op " << op;
+            if (a) {
+                ASSERT_EQ(a->target, b->target) << "target at op " << op;
+                ASSERT_EQ(a->kind, b->kind) << "kind at op " << op;
+            }
+            break;
+          }
+          default:
+            ASSERT_EQ(opt.contains(pc), model.contains(pc))
+                << "contains() diverged at op " << op;
+            break;
+        }
+    }
+
+    EXPECT_EQ(opt.stats().get("mbtb_probes"), model.probes);
+    EXPECT_EQ(opt.stats().get("mbtb_hits"), model.hits);
+    EXPECT_EQ(opt.stats().get("mbtb_misses"), model.misses);
+    EXPECT_EQ(opt.stats().get("mbtb_fills"), model.fills);
+    EXPECT_EQ(opt.stats().get("mbtb_evicts"), model.evicts);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, MicroBtbDifferential,
+    ::testing::Values(
+        // 96/4 = 24 sets and 100/4 = 25 sets exercise the modulo index
+        // that SetAssocCache's power-of-two mask cannot express.
+        MicroBtbCase{96, 4, 301}, MicroBtbCase{100, 4, 302},
+        MicroBtbCase{64, 4, 303}, MicroBtbCase{48, 3, 304},
+        MicroBtbCase{12, 2, 305}, MicroBtbCase{6, 1, 306}));
 
 // ---------------------------------------------------------------------
 // Predecode-cache properties.

@@ -4,7 +4,7 @@
  * preset-specialized System::step path and the generic
  * (virtual-dispatch) path forced by SystemConfig::genericStep must
  * produce bit-identical RunResults — same counters, same histograms,
- * same serialized bytes — across the full 16-preset matrix, serially
+ * same serialized bytes — across the full 18-preset matrix, serially
  * and on a 4-worker pool.
  */
 
@@ -28,10 +28,11 @@ allPresets()
             Preset::SN4LDis,    Preset::SN4LDisBtb,
             Preset::ClassicDis, Preset::Confluence,
             Preset::Boomerang,  Preset::Shotgun,
-            Preset::PerfectL1i, Preset::PerfectL1iBtb};
+            Preset::PerfectL1i, Preset::PerfectL1iBtb,
+            Preset::Fdip,       Preset::MicroBtb};
 }
 
-/** Small cells so the 16-preset matrix stays cheap. */
+/** Small cells so the 18-preset matrix stays cheap. */
 void
 shrink(SystemConfig &cfg)
 {

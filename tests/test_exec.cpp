@@ -266,7 +266,8 @@ allPresets()
             sim::Preset::SN4LDis,    sim::Preset::SN4LDisBtb,
             sim::Preset::ClassicDis, sim::Preset::Confluence,
             sim::Preset::Boomerang,  sim::Preset::Shotgun,
-            sim::Preset::PerfectL1i, sim::Preset::PerfectL1iBtb};
+            sim::Preset::PerfectL1i, sim::Preset::PerfectL1iBtb,
+            sim::Preset::Fdip,       sim::Preset::MicroBtb};
 }
 
 TEST(ParallelGrid, JobsOneMatchesJobsFourAcrossAllPresets)

@@ -172,6 +172,45 @@ TEST(FaultInjection, DecoupledEnginesSurviveFaults)
     }
 }
 
+TEST(FaultInjection, CompetitorPresetsSurviveEveryFaultKind)
+{
+    // FDIP's prefetch path and the micro BTB's promote path both ride
+    // the faulted L1i/memory machinery; every fault kind must degrade
+    // them gracefully, never wedge them.
+    const char *specs[] = {
+        "drop:rate=0.5,seed=2",
+        "delay:cycles=200,rate=0.25,seed=3",
+        "corrupt:rate=0.5,seed=2",
+    };
+    for (Preset preset : {Preset::Fdip, Preset::MicroBtb}) {
+        for (const char *spec : specs) {
+            auto res =
+                trySimulate(faultConfig(preset, spec), fastWindows());
+            ASSERT_TRUE(res.ok())
+                << presetName(preset) << "/" << spec << ": "
+                << res.error().render();
+            expectConserved(res.value());
+        }
+    }
+}
+
+TEST(FaultInjection, CompetitorPresetsOffParityIsBitIdentical)
+{
+    // The injection machinery must be invisible when inert: for the new
+    // presets too, no plan, an explicit "none" and a zero-rate plan all
+    // produce the same RunResult bytes.
+    for (Preset preset : {Preset::Fdip, Preset::MicroBtb}) {
+        auto off = simulate(faultConfig(preset, ""), fastWindows());
+        auto zero =
+            simulate(faultConfig(preset, "drop:rate=0"), fastWindows());
+        auto none = simulate(faultConfig(preset, "none"), fastWindows());
+        EXPECT_EQ(off, zero) << presetName(preset);
+        EXPECT_EQ(off, none) << presetName(preset);
+        EXPECT_EQ(off.stats.count("rt.faults_dropped"), 0u)
+            << presetName(preset);
+    }
+}
+
 /** Find @p key in an error's context; nullptr when absent. */
 const std::string *
 contextValue(const rt::Error &err, const std::string &key)

@@ -179,7 +179,7 @@ TEST(SvcResultCache, StrayTempFileFromKilledWriterIsIgnored)
     // must treat that as a clean miss.
     {
         std::ofstream stray(cache.entryPath(key) + ".tmp.9999");
-        stray << "{\"schema\": \"dcfb-cache-v1\", \"trunca";
+        stray << "{\"schema\": \"dcfb-cache-v2\", \"trunca";
     }
     EXPECT_FALSE(cache.get(key, fp).has_value());
 
@@ -205,7 +205,7 @@ TEST(SvcResultCache, CorruptEntryIsRejectedAndRecomputed)
     {
         std::ofstream out(cache.entryPath(key),
                           std::ios::out | std::ios::trunc);
-        out << "{\"schema\": \"dcfb-cache-v1\", this is not json";
+        out << "{\"schema\": \"dcfb-cache-v2\", this is not json";
     }
     auto load = cache.load(key, fp);
     ASSERT_FALSE(load.ok()); // typed error, not a crash
